@@ -1,0 +1,98 @@
+//! Criterion bench of the three real convolution strategies on CPU —
+//! the paper's strategy comparison, executed rather than modeled.
+//!
+//! The paper's arithmetic-complexity argument shows up directly: the
+//! FFT strategy's time is flat in kernel size while direct/unrolling
+//! grow with k².
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gcnn_conv::{ConvAlgorithm, ConvConfig, DirectConv, FftConv, UnrollConv, WinogradConv};
+use gcnn_tensor::init::uniform_tensor;
+use std::hint::black_box;
+
+fn bench_forward_strategies(c: &mut Criterion) {
+    // Scaled-down base configuration (CPU-friendly): the relative
+    // ordering across strategies is what matters.
+    let cfg = ConvConfig::with_channels(4, 3, 64, 16, 11, 1);
+    let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 1);
+    let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, 2);
+
+    let mut group = c.benchmark_group("conv_forward");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cfg.forward_flops()));
+    group.bench_function("direct", |b| {
+        b.iter(|| black_box(DirectConv.forward(&cfg, black_box(&x), black_box(&w))))
+    });
+    group.bench_function("unrolling", |b| {
+        b.iter(|| black_box(UnrollConv.forward(&cfg, black_box(&x), black_box(&w))))
+    });
+    group.bench_function("fft", |b| {
+        b.iter(|| black_box(FftConv.forward(&cfg, black_box(&x), black_box(&w))))
+    });
+    group.finish();
+}
+
+fn bench_fft_flat_in_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_fft_vs_kernel_size");
+    group.sample_size(10);
+    for &k in &[3usize, 7, 11] {
+        let cfg = ConvConfig::with_channels(2, 3, 64, 8, k, 1);
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 3);
+        let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, 4);
+        group.bench_with_input(BenchmarkId::new("fft", k), &k, |b, _| {
+            b.iter(|| black_box(FftConv.forward(&cfg, black_box(&x), black_box(&w))))
+        });
+        group.bench_with_input(BenchmarkId::new("unrolling", k), &k, |b, _| {
+            b.iter(|| black_box(UnrollConv.forward(&cfg, black_box(&x), black_box(&w))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward_passes(c: &mut Criterion) {
+    let cfg = ConvConfig::with_channels(2, 3, 32, 8, 5, 1);
+    let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 5);
+    let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, 6);
+    let g = uniform_tensor(cfg.output_shape(), -1.0, 1.0, 7);
+
+    let mut group = c.benchmark_group("conv_backward");
+    group.sample_size(10);
+    group.bench_function("unrolling_data", |b| {
+        b.iter(|| black_box(UnrollConv.backward_data(&cfg, black_box(&g), black_box(&w))))
+    });
+    group.bench_function("unrolling_filters", |b| {
+        b.iter(|| black_box(UnrollConv.backward_filters(&cfg, black_box(&x), black_box(&g))))
+    });
+    group.finish();
+}
+
+fn bench_winograd_vs_unrolling(c: &mut Criterion) {
+    // The post-paper optimization: Winograd F(2,3) at 3×3/stride-1 —
+    // 2.25× fewer multiplies than direct/im2col.
+    let cfg = ConvConfig::with_channels(4, 8, 32, 16, 3, 1);
+    let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 8);
+    let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, 9);
+
+    let mut group = c.benchmark_group("conv_winograd_3x3");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(cfg.forward_flops()));
+    group.bench_function("winograd", |b| {
+        b.iter(|| black_box(WinogradConv.forward(&cfg, black_box(&x), black_box(&w))))
+    });
+    group.bench_function("unrolling", |b| {
+        b.iter(|| black_box(UnrollConv.forward(&cfg, black_box(&x), black_box(&w))))
+    });
+    group.bench_function("direct", |b| {
+        b.iter(|| black_box(DirectConv.forward(&cfg, black_box(&x), black_box(&w))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward_strategies,
+    bench_fft_flat_in_kernel,
+    bench_backward_passes,
+    bench_winograd_vs_unrolling
+);
+criterion_main!(benches);

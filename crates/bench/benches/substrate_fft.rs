@@ -1,0 +1,53 @@
+//! Criterion bench of the real FFT substrate (DIT vs DIF schedules and
+//! 2-D transforms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gcnn_fft::dif::dif_fft_inplace;
+use gcnn_fft::dit::fft_inplace;
+use gcnn_fft::{fft_flops, Direction, Fft2dPlan, FftPlan};
+use gcnn_tensor::Complex32;
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<Complex32> {
+    (0..n)
+        .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.91).cos()))
+        .collect()
+}
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for &n in &[256usize, 1024, 4096] {
+        let plan = FftPlan::new(n);
+        let base = signal(n);
+        group.throughput(Throughput::Elements(fft_flops(n)));
+        group.bench_with_input(BenchmarkId::new("dit", n), &n, |bench, _| {
+            let mut buf = base.clone();
+            bench.iter(|| {
+                fft_inplace(black_box(&mut buf), &plan, Direction::Forward);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dif", n), &n, |bench, _| {
+            let mut buf = base.clone();
+            bench.iter(|| {
+                dif_fft_inplace(black_box(&mut buf), &plan, Direction::Forward);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_2d");
+    for &n in &[32usize, 64, 128] {
+        let plan = Fft2dPlan::new(n, n);
+        let plane: Vec<f32> = (0..n * n).map(|i| ((i * 37) % 23) as f32 - 11.0).collect();
+        group.throughput(Throughput::Elements(2 * n as u64 * fft_flops(n)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(plan.forward_real(black_box(&plane))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_1d, bench_fft_2d);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench of the im2col/col2im unrolling primitives — the
+//! `im2col_gpu_kernel`/`col2im_gpu_kernel` hotspots of the paper's
+//! Fig. 4, as real CPU kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gcnn_tensor::im2col::{col2im, im2col, ConvGeometry};
+use gcnn_tensor::Matrix;
+use std::hint::black_box;
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    for &(i, k) in &[(32usize, 3usize), (64, 5), (128, 11)] {
+        let geom = ConvGeometry {
+            in_h: i,
+            in_w: i,
+            channels: 3,
+            kernel: k,
+            stride: 1,
+            pad: 0,
+        };
+        let image: Vec<f32> = (0..3 * i * i).map(|x| (x % 17) as f32).collect();
+        let mut cols = Matrix::zeros(geom.col_rows(), geom.col_cols());
+        group.throughput(Throughput::Bytes((geom.col_rows() * geom.col_cols() * 4) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("i{i}_k{k}")),
+            &geom,
+            |b, geom| {
+                b.iter(|| im2col(black_box(&image), geom, black_box(&mut cols)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_col2im(c: &mut Criterion) {
+    let geom = ConvGeometry {
+        in_h: 64,
+        in_w: 64,
+        channels: 3,
+        kernel: 5,
+        stride: 1,
+        pad: 0,
+    };
+    let cols = Matrix::from_fn(geom.col_rows(), geom.col_cols(), |r, c| ((r * 31 + c) % 13) as f32);
+    let mut image = vec![0.0f32; 3 * 64 * 64];
+    c.bench_function("col2im_i64_k5", |b| {
+        b.iter(|| col2im(black_box(&cols), &geom, black_box(&mut image)));
+    });
+}
+
+criterion_group!(benches, bench_im2col, bench_col2im);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Export each implementation's modeled execution schedule at the base
+//! configuration as a Chrome trace (`chrome://tracing` / Perfetto /
+//! speedscope) — the visual counterpart of Fig. 4's hotspot shares.
+
+use gcnn_conv::ConvConfig;
+use gcnn_frameworks::all_implementations;
+use gcnn_gpusim::DeviceSpec;
+use std::io::Write;
+
+fn main() {
+    let cfg = ConvConfig::paper_base();
+    let dev = DeviceSpec::k40c();
+    std::fs::create_dir_all("results").expect("create results dir");
+
+    println!("Exporting per-implementation execution traces at {cfg}\n");
+    for imp in all_implementations() {
+        if imp.supports(&cfg).is_err() {
+            continue;
+        }
+        let (report, timeline) = imp
+            .plan(&cfg)
+            .execute_traced(&dev, 1)
+            .expect("base config fits");
+        let slug = imp.name().to_lowercase().replace([' ', '-'], "_");
+        let path = format!("results/trace_{slug}.json");
+        let mut f = std::fs::File::create(&path).expect("create trace file");
+        f.write_all(timeline.to_chrome_trace().as_bytes())
+            .expect("write trace");
+        println!(
+            "  {:<15} {:>5} spans, {:>8.1} ms modeled → {path}",
+            imp.name(),
+            timeline.spans().len(),
+            report.total_ms()
+        );
+    }
+    println!("\nOpen any of these in chrome://tracing or https://ui.perfetto.dev.");
+}

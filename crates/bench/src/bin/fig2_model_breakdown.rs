@@ -1,0 +1,52 @@
+//! Fig. 2 — runtime breakdown of typical real-life CNN models:
+//! GoogLeNet, VGG, OverFeat and AlexNet.
+//!
+//! Paper result: convolutional layers consume 86 %, 89 %, 90 % and 94 %
+//! of the respective models' training-iteration time.
+
+use gcnn_core::report::{pct, text_table};
+use gcnn_frameworks::cudnn::CuDnn;
+use gcnn_gpusim::DeviceSpec;
+use gcnn_models::layer::InstanceKind;
+use gcnn_models::{all_models, model_breakdown};
+
+fn main() {
+    let dev = DeviceSpec::k40c();
+    let batch = 32;
+    println!("Fig. 2 — runtime breakdown of real-life CNN models");
+    println!("(batch {batch}, conv layers via the cuDNN model, 1 training iteration)\n");
+
+    let kinds = [
+        (InstanceKind::Conv, "Conv"),
+        (InstanceKind::Pool, "Pool"),
+        (InstanceKind::Relu, "ReLU"),
+        (InstanceKind::Fc, "FC"),
+        (InstanceKind::Concat, "Concat"),
+        (InstanceKind::Softmax, "Softmax"),
+    ];
+
+    let header: Vec<String> = std::iter::once("model".to_string())
+        .chain(kinds.iter().map(|(_, n)| n.to_string()))
+        .chain(std::iter::once("total ms".to_string()))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut dumps = Vec::new();
+    for model in all_models() {
+        let b = model_breakdown(&model, batch, &CuDnn, &dev);
+        let mut row = vec![b.model.clone()];
+        for (kind, _) in &kinds {
+            row.push(pct(b.share(*kind)));
+        }
+        row.push(format!("{:.1}", b.total_ms()));
+        rows.push(row);
+        dumps.push(b);
+    }
+    println!("{}", text_table("layer-type share of iteration time", &header, &rows));
+    println!("Paper: conv = 86% (GoogLeNet), 89% (VGG), 90% (OverFeat), 94% (AlexNet).");
+
+    match gcnn_bench::write_json("fig2_model_breakdown", &dumps) {
+        Ok(path) => println!("\nraw data → {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

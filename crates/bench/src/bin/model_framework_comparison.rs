@@ -1,0 +1,56 @@
+//! Extension experiment: whole-model framework comparison with a
+//! per-layer oracle — the paper's "no single implementation is the best
+//! for all scenarios" (§VI), cashed out at model granularity.
+
+use gcnn_core::compare_model;
+use gcnn_core::report::text_table;
+use gcnn_gpusim::DeviceSpec;
+use gcnn_models::all_models;
+
+fn main() {
+    let dev = DeviceSpec::k40c();
+    let batch = 32;
+    println!("Whole-model conv time per framework (batch {batch}), plus the per-layer oracle\n");
+
+    let mut dumps = Vec::new();
+    for model in all_models() {
+        let cmp = compare_model(&model, batch, &dev);
+
+        let header: Vec<String> = ["framework", "total conv ms"].iter().map(|s| s.to_string()).collect();
+        let mut rows: Vec<Vec<String>> = cmp
+            .totals
+            .iter()
+            .map(|(n, t)| {
+                vec![
+                    n.clone(),
+                    t.map(|t| format!("{t:.1}"))
+                        .unwrap_or_else(|| "— (unsupported layer)".into()),
+                ]
+            })
+            .collect();
+        rows.push(vec!["ORACLE (best per layer)".into(), format!("{:.1}", cmp.oracle_ms())]);
+        println!("{}", text_table(&format!("=== {} ===", cmp.model), &header, &rows));
+
+        if let Some((best, t)) = cmp.best_single() {
+            println!(
+                "best single framework: {best} at {t:.1} ms; oracle saves {:.0}% using {} implementations",
+                100.0 * (1.0 - cmp.oracle_ms() / t),
+                cmp.oracle_diversity()
+            );
+        }
+        // Show which layers switched away from the best single choice.
+        let mut switches = 0;
+        for choice in &cmp.oracle {
+            if Some(choice.implementation.as_str()) != cmp.best_single().map(|(n, _)| n) {
+                switches += 1;
+            }
+        }
+        println!("layers routed to a different implementation: {switches}/{}\n", cmp.oracle.len());
+        dumps.push(cmp);
+    }
+
+    match gcnn_bench::write_json("model_framework_comparison", &dumps) {
+        Ok(path) => println!("raw data → {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,346 @@
+//! FFT-based convolution.
+//!
+//! Paper §II-B: *"First, inputs and filter banks are transformed from
+//! the spatial domain to the Fourier domain […] Second, those
+//! transformed matrices are multiplied in the Fourier domain. Finally,
+//! the product results are inversed."* We follow fbfft's exact pipeline
+//! (§V-A): per-plane 2-D FFTs, a layout transpose from plane-major
+//! ("BDHW") to bin-major ("HWBD"), one complex GEMM per frequency bin,
+//! a transpose back, and an inverse FFT.
+//!
+//! Transforms are padded to the next power of two ≥ the (padded) input
+//! size — enough for *valid* correlation, since every needed output lag
+//! stays below the transform size and circular wrap-around never
+//! contaminates it. The kernel size does not enter the transform size at
+//! all, which is exactly why the paper's Fig. 3d shows fbfft's runtime
+//! flat in `k` while the unrolling strategies grow as `k²`.
+
+use crate::config::ConvConfig;
+use crate::strategy::{ConvAlgorithm, Strategy, Unsupported};
+use gcnn_fft::RfftPlan;
+use gcnn_gemm::batched::batched_cgemm;
+use gcnn_tensor::{Complex32, Shape4, Tensor4};
+use rayon::prelude::*;
+
+/// The FFT convolution algorithm (stride-1 only, like fbfft and
+/// Theano-fft).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FftConv;
+
+impl FftConv {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        FftConv
+    }
+}
+
+/// Forward-transform every `h×w` plane of `t`, zero-padded to `n×n`,
+/// returning plane-major Hermitian half-spectra:
+/// `out[plane · n·(n/2+1) + bin]` — the storage layout fbfft's R2C
+/// transforms use.
+fn plane_spectra(t: &Tensor4, n: usize, plan: &RfftPlan) -> Vec<Complex32> {
+    let s = t.shape();
+    let planes = s.n * s.c;
+    let bins = plan.spectrum_len();
+    let mut out = vec![Complex32::ZERO; planes * bins];
+    out.par_chunks_mut(bins)
+        .enumerate()
+        .for_each(|(p, chunk)| {
+            let (pn, pc) = (p / s.c, p % s.c);
+            let src = t.plane(pn, pc);
+            // Zero-pad the h×w plane into the n×n transform buffer.
+            let mut buf = vec![0.0f32; n * n];
+            for h in 0..s.h {
+                buf[h * n..h * n + s.w].copy_from_slice(&src[h * s.w..(h + 1) * s.w]);
+            }
+            chunk.copy_from_slice(&plan.forward(&buf));
+        });
+    out
+}
+
+/// Swap the two plane axes of a plane-major spectrum buffer:
+/// `[d0][d1][bin] → [d1][d0][bin]`. This plus [`gather_bins`] is fbfft's
+/// `Transpose` kernel.
+fn swap_planes(spec: &[Complex32], d0: usize, d1: usize, bins: usize) -> Vec<Complex32> {
+    debug_assert_eq!(spec.len(), d0 * d1 * bins);
+    let mut out = vec![Complex32::ZERO; spec.len()];
+    for i0 in 0..d0 {
+        for i1 in 0..d1 {
+            let src = &spec[(i0 * d1 + i1) * bins..(i0 * d1 + i1 + 1) * bins];
+            out[(i1 * d0 + i0) * bins..(i1 * d0 + i0 + 1) * bins].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// Plane-major → bin-major: `out[bin · planes + plane]`.
+fn gather_bins(spec: &[Complex32], planes: usize, bins: usize) -> Vec<Complex32> {
+    debug_assert_eq!(spec.len(), planes * bins);
+    let mut out = vec![Complex32::ZERO; spec.len()];
+    out.par_chunks_mut(planes)
+        .enumerate()
+        .for_each(|(bin, chunk)| {
+            for (p, slot) in chunk.iter_mut().enumerate() {
+                *slot = spec[p * bins + bin];
+            }
+        });
+    out
+}
+
+/// Bin-major → plane-major (inverse of [`gather_bins`]).
+fn scatter_bins(binmat: &[Complex32], planes: usize, bins: usize) -> Vec<Complex32> {
+    debug_assert_eq!(binmat.len(), planes * bins);
+    let mut out = vec![Complex32::ZERO; binmat.len()];
+    out.par_chunks_mut(bins).enumerate().for_each(|(p, chunk)| {
+        for (bin, slot) in chunk.iter_mut().enumerate() {
+            *slot = binmat[bin * planes + p];
+        }
+    });
+    out
+}
+
+/// Inverse-transform plane-major half-spectra and crop each plane to
+/// `out_h×out_w` at offset `(top, left)`, writing into a fresh tensor of
+/// shape `(d0, d1, out_h, out_w)`.
+#[allow(clippy::too_many_arguments)]
+fn planes_to_tensor(
+    spec: Vec<Complex32>,
+    d0: usize,
+    d1: usize,
+    n: usize,
+    plan: &RfftPlan,
+    out_h: usize,
+    out_w: usize,
+    top: usize,
+    left: usize,
+) -> Tensor4 {
+    let bins = plan.spectrum_len();
+    let mut out = Tensor4::zeros(Shape4::new(d0, d1, out_h, out_w));
+    let plane_len = out_h * out_w;
+    out.as_mut_slice()
+        .par_chunks_mut(plane_len)
+        .enumerate()
+        .for_each(|(p, dst)| {
+            let real = plan.inverse(&spec[p * bins..(p + 1) * bins]);
+            for h in 0..out_h {
+                for w in 0..out_w {
+                    dst[h * out_w + w] = real[(h + top) * n + (w + left)];
+                }
+            }
+        });
+    out
+}
+
+/// Spatially zero-pad an input tensor by `pad` on all sides (identity
+/// when `pad == 0`).
+fn pad_input(input: &Tensor4, pad: usize) -> Tensor4 {
+    if pad == 0 {
+        return input.clone();
+    }
+    let s = input.shape();
+    gcnn_tensor::pad::pad_planes(input, s.h + 2 * pad, s.w + 2 * pad, pad, pad)
+}
+
+impl ConvAlgorithm for FftConv {
+    fn strategy(&self) -> Strategy {
+        Strategy::Fft
+    }
+
+    fn supports(&self, cfg: &ConvConfig) -> Result<(), Unsupported> {
+        if !cfg.is_valid() {
+            return Err(Unsupported::InvalidGeometry {
+                reason: format!("{cfg}"),
+            });
+        }
+        // Paper §IV-B: "fbfft and Theano-conv2d_fft only support stride
+        // size of 1".
+        if cfg.stride != 1 {
+            return Err(Unsupported::StrideNotOne { stride: cfg.stride });
+        }
+        Ok(())
+    }
+
+    fn forward(&self, cfg: &ConvConfig, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
+        self.supports(cfg).expect("FftConv::forward: unsupported config");
+        assert_eq!(input.shape(), cfg.input_shape(), "FftConv::forward: input");
+        assert_eq!(filters.shape(), cfg.filter_shape(), "FftConv::forward: filters");
+
+        let padded = pad_input(input, cfg.pad);
+        let ieff = cfg.input + 2 * cfg.pad;
+        let n = ieff.next_power_of_two();
+        let plan = RfftPlan::new(n);
+        let bins = plan.spectrum_len();
+        let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
+
+        // 1. Forward transforms (fbfft's decimateInFrequency).
+        let in_spec = plane_spectra(&padded, n, &plan); // [n][c][bin]
+        let filt_spec = plane_spectra(filters, n, &plan); // [f][c][bin]
+
+        // 2. Transpose BDHW → HWBD.
+        let b_bins = gather_bins(&swap_planes(&in_spec, b, c, bins), c * b, bins); // [bin][c×b]
+        let a_bins = gather_bins(&filt_spec, f * c, bins); // [bin][f×c]
+
+        // 3. One [f×c]·[c×b] complex GEMM per bin; conjugated filters
+        //    turn the circular product into correlation (what CNNs
+        //    compute).
+        let mut c_bins = vec![Complex32::ZERO; bins * f * b];
+        batched_cgemm(
+            true, false, f, b, c, bins, &a_bins, f * c, &b_bins, c * b, &mut c_bins, f * b,
+        );
+
+        // 4. Transpose back and 5. inverse transform + crop to (o × o).
+        let out_spec = swap_planes(&scatter_bins(&c_bins, f * b, bins), f, b, bins);
+        planes_to_tensor(out_spec, b, f, n, &plan, cfg.output(), cfg.output(), 0, 0)
+    }
+
+    fn backward_data(&self, cfg: &ConvConfig, grad_out: &Tensor4, filters: &Tensor4) -> Tensor4 {
+        self.supports(cfg).expect("FftConv::backward_data: unsupported config");
+        assert_eq!(grad_out.shape(), cfg.output_shape(), "FftConv::backward_data: grad");
+
+        let ieff = cfg.input + 2 * cfg.pad;
+        let n = ieff.next_power_of_two();
+        let plan = RfftPlan::new(n);
+        let bins = plan.spectrum_len();
+        let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
+
+        let gout_spec = plane_spectra(grad_out, n, &plan); // [n][f][bin]
+        let filt_spec = plane_spectra(filters, n, &plan); // [f][c][bin]
+
+        // gin_spec[c,n] = Σ_f filt_spec[c,f] · gout_spec[f,n]  (true
+        // convolution — no conjugation).
+        let a_bins = gather_bins(&swap_planes(&filt_spec, f, c, bins), c * f, bins); // [bin][c×f]
+        let b_bins = gather_bins(&swap_planes(&gout_spec, b, f, bins), f * b, bins); // [bin][f×b]
+        let mut c_bins = vec![Complex32::ZERO; bins * c * b];
+        batched_cgemm(
+            false, false, c, b, f, bins, &a_bins, c * f, &b_bins, f * b, &mut c_bins, c * b,
+        );
+
+        let gin_spec = swap_planes(&scatter_bins(&c_bins, c * b, bins), c, b, bins); // [n][c][bin]
+        // Crop the interior when the forward pass padded the input.
+        planes_to_tensor(gin_spec, b, c, n, &plan, cfg.input, cfg.input, cfg.pad, cfg.pad)
+    }
+
+    fn backward_filters(&self, cfg: &ConvConfig, input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
+        self.supports(cfg).expect("FftConv::backward_filters: unsupported config");
+
+        let padded = pad_input(input, cfg.pad);
+        let ieff = cfg.input + 2 * cfg.pad;
+        let n = ieff.next_power_of_two();
+        let plan = RfftPlan::new(n);
+        let bins = plan.spectrum_len();
+        let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
+
+        let in_spec = plane_spectra(&padded, n, &plan); // [n][c][bin]
+        let gout_spec = plane_spectra(grad_out, n, &plan); // [n][f][bin]
+
+        // gw_spec[f,c] = Σ_n conj(gout_spec[f,n]) · in_spec[n,c]
+        // (correlation of the input with the output gradient).
+        let a_bins = gather_bins(&swap_planes(&gout_spec, b, f, bins), f * b, bins); // [bin][f×b]
+        let b_bins = gather_bins(&in_spec, b * c, bins); // [bin][b×c]
+        let mut c_bins = vec![Complex32::ZERO; bins * f * c];
+        batched_cgemm(
+            true, false, f, c, b, bins, &a_bins, f * b, &b_bins, b * c, &mut c_bins, f * c,
+        );
+
+        let gw_spec = scatter_bins(&c_bins, f * c, bins); // [f][c][bin]
+        planes_to_tensor(gw_spec, f, c, n, &plan, cfg.kernel, cfg.kernel, 0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use gcnn_tensor::init::uniform_tensor;
+
+    fn configs() -> Vec<ConvConfig> {
+        vec![
+            ConvConfig::with_channels(2, 3, 8, 4, 3, 1),
+            ConvConfig::with_channels(1, 1, 7, 2, 5, 1), // non-pow2 input
+            ConvConfig::with_channels(3, 2, 12, 5, 6, 1),
+            ConvConfig::with_channels(2, 4, 5, 2, 1, 1), // 1x1 kernel
+            {
+                let mut c = ConvConfig::with_channels(2, 2, 6, 3, 3, 1);
+                c.pad = 1;
+                c
+            },
+        ]
+    }
+
+    #[test]
+    fn forward_matches_reference() {
+        for cfg in configs() {
+            let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 30);
+            let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, 31);
+            let fast = FftConv.forward(&cfg, &x, &w);
+            let slow = reference::forward_ref(&cfg, &x, &w);
+            let dist = fast.rel_l2_dist(&slow).unwrap();
+            assert!(dist < 1e-4, "forward mismatch at {cfg}: rel l2 {dist}");
+        }
+    }
+
+    #[test]
+    fn backward_data_matches_reference() {
+        for cfg in configs() {
+            let g = uniform_tensor(cfg.output_shape(), -1.0, 1.0, 32);
+            let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, 33);
+            let fast = FftConv.backward_data(&cfg, &g, &w);
+            let slow = reference::backward_data_ref(&cfg, &g, &w);
+            let dist = fast.rel_l2_dist(&slow).unwrap();
+            assert!(dist < 1e-4, "backward_data mismatch at {cfg}: rel l2 {dist}");
+        }
+    }
+
+    #[test]
+    fn backward_filters_matches_reference() {
+        for cfg in configs() {
+            let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 34);
+            let g = uniform_tensor(cfg.output_shape(), -1.0, 1.0, 35);
+            let fast = FftConv.backward_filters(&cfg, &x, &g);
+            let slow = reference::backward_filters_ref(&cfg, &x, &g);
+            let dist = fast.rel_l2_dist(&slow).unwrap();
+            assert!(dist < 1e-4, "backward_filters mismatch at {cfg}: rel l2 {dist}");
+        }
+    }
+
+    #[test]
+    fn rejects_stride_two() {
+        let cfg = ConvConfig::with_channels(1, 1, 8, 1, 3, 2);
+        assert!(matches!(
+            FftConv.supports(&cfg),
+            Err(Unsupported::StrideNotOne { stride: 2 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported config")]
+    fn forward_panics_on_stride_two() {
+        let cfg = ConvConfig::with_channels(1, 1, 8, 1, 3, 2);
+        let x = Tensor4::zeros(cfg.input_shape());
+        let w = Tensor4::zeros(cfg.filter_shape());
+        FftConv.forward(&cfg, &x, &w);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let planes = 6;
+        let bins = 16;
+        let spec: Vec<Complex32> = (0..planes * bins)
+            .map(|i| Complex32::new(i as f32, -(i as f32)))
+            .collect();
+        let gathered = gather_bins(&spec, planes, bins);
+        assert_eq!(scatter_bins(&gathered, planes, bins), spec);
+        // Spot-check the layout: bin-major element (bin=3, plane=2).
+        assert_eq!(gathered[3 * planes + 2], spec[2 * bins + 3]);
+    }
+
+    #[test]
+    fn swap_planes_involution() {
+        let (d0, d1, bins) = (3, 4, 8);
+        let spec: Vec<Complex32> = (0..d0 * d1 * bins)
+            .map(|i| Complex32::from_real(i as f32))
+            .collect();
+        let swapped = swap_planes(&spec, d0, d1, bins);
+        assert_eq!(swap_planes(&swapped, d1, d0, bins), spec);
+    }
+}

@@ -1,0 +1,120 @@
+//! Finite-difference gradient checking.
+//!
+//! For a linear-in-each-argument operator like convolution, the gradient
+//! of the scalar objective `L = <forward(x, w), g>` w.r.t. `x` must
+//! equal `backward_data(g, w)` and w.r.t. `w` must equal
+//! `backward_filters(x, g)`. These helpers verify that numerically for
+//! any [`ConvAlgorithm`].
+
+use crate::config::ConvConfig;
+use crate::strategy::ConvAlgorithm;
+use gcnn_tensor::Tensor4;
+
+/// Inner product of two same-shaped tensors.
+fn dot(a: &Tensor4, b: &Tensor4) -> f32 {
+    a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum()
+}
+
+/// Maximum relative error between the analytic input gradient and a
+/// central finite difference, sampled at `samples` evenly-spaced input
+/// coordinates.
+pub fn check_backward_data(
+    algo: &dyn ConvAlgorithm,
+    cfg: &ConvConfig,
+    x: &Tensor4,
+    w: &Tensor4,
+    g: &Tensor4,
+    eps: f32,
+    samples: usize,
+) -> f32 {
+    let analytic = algo.backward_data(cfg, g, w);
+    let mut xp = x.clone();
+    let len = x.shape().len();
+    let step = (len / samples.max(1)).max(1);
+
+    let mut worst = 0.0f32;
+    for idx in (0..len).step_by(step) {
+        let orig = xp.as_slice()[idx];
+        xp.as_mut_slice()[idx] = orig + eps;
+        let lp = dot(&algo.forward(cfg, &xp, w), g);
+        xp.as_mut_slice()[idx] = orig - eps;
+        let lm = dot(&algo.forward(cfg, &xp, w), g);
+        xp.as_mut_slice()[idx] = orig;
+
+        let numeric = (lp - lm) / (2.0 * eps);
+        let exact = analytic.as_slice()[idx];
+        let err = (numeric - exact).abs() / exact.abs().max(1.0);
+        worst = worst.max(err);
+    }
+    worst
+}
+
+/// Maximum relative error between the analytic filter gradient and a
+/// central finite difference, sampled at `samples` filter coordinates.
+pub fn check_backward_filters(
+    algo: &dyn ConvAlgorithm,
+    cfg: &ConvConfig,
+    x: &Tensor4,
+    w: &Tensor4,
+    g: &Tensor4,
+    eps: f32,
+    samples: usize,
+) -> f32 {
+    let analytic = algo.backward_filters(cfg, x, g);
+    let mut wp = w.clone();
+    let len = w.shape().len();
+    let step = (len / samples.max(1)).max(1);
+
+    let mut worst = 0.0f32;
+    for idx in (0..len).step_by(step) {
+        let orig = wp.as_slice()[idx];
+        wp.as_mut_slice()[idx] = orig + eps;
+        let lp = dot(&algo.forward(cfg, x, &wp), g);
+        wp.as_mut_slice()[idx] = orig - eps;
+        let lm = dot(&algo.forward(cfg, x, &wp), g);
+        wp.as_mut_slice()[idx] = orig;
+
+        let numeric = (lp - lm) / (2.0 * eps);
+        let exact = analytic.as_slice()[idx];
+        let err = (numeric - exact).abs() / exact.abs().max(1.0);
+        worst = worst.max(err);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectConv;
+    use crate::fft_conv::FftConv;
+    use crate::unroll::UnrollConv;
+    use gcnn_tensor::init::uniform_tensor;
+
+    fn run(algo: &dyn ConvAlgorithm, cfg: ConvConfig) {
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 60);
+        let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, 61);
+        let g = uniform_tensor(cfg.output_shape(), -1.0, 1.0, 62);
+        let e1 = check_backward_data(algo, &cfg, &x, &w, &g, 1e-2, 12);
+        assert!(e1 < 0.05, "{}: backward_data rel err {e1}", algo.strategy());
+        let e2 = check_backward_filters(algo, &cfg, &x, &w, &g, 1e-2, 12);
+        assert!(e2 < 0.05, "{}: backward_filters rel err {e2}", algo.strategy());
+    }
+
+    #[test]
+    fn direct_gradients_check() {
+        run(&DirectConv, ConvConfig::with_channels(2, 2, 6, 3, 3, 1));
+        run(&DirectConv, ConvConfig::with_channels(1, 3, 7, 2, 3, 2));
+    }
+
+    #[test]
+    fn unroll_gradients_check() {
+        run(&UnrollConv, ConvConfig::with_channels(2, 2, 6, 3, 3, 1));
+        run(&UnrollConv, ConvConfig::with_channels(1, 3, 7, 2, 3, 2));
+    }
+
+    #[test]
+    fn fft_gradients_check() {
+        run(&FftConv, ConvConfig::with_channels(2, 2, 6, 3, 3, 1));
+        run(&FftConv, ConvConfig::with_channels(1, 3, 8, 2, 5, 1));
+    }
+}

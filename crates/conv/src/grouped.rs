@@ -1,0 +1,282 @@
+//! Grouped convolution — AlexNet's two-tower layers.
+//!
+//! The original AlexNet (the paper's §I flagship model) splits conv2,
+//! conv4 and conv5 into two channel groups, one per GPU of the 2012
+//! training rig. A grouped convolution with `g` groups partitions the
+//! input channels and the filters into `g` equal blocks and convolves
+//! block-diagonally: filters of group `j` see only input channels of
+//! group `j`.
+//!
+//! [`GroupedConv`] implements this as a wrapper over *any*
+//! [`ConvAlgorithm`], so every strategy (direct, unrolling, FFT,
+//! Winograd) gains group support without touching its kernels — exactly
+//! how the frameworks of the era implemented it (a loop of per-group
+//! GEMMs).
+
+use crate::config::ConvConfig;
+use crate::strategy::{ConvAlgorithm, Strategy, Unsupported};
+use gcnn_tensor::{Shape4, Tensor4};
+
+/// A grouped convolution over an inner algorithm.
+///
+/// Filter-bank convention: the `filters` tensor passed to the
+/// [`ConvAlgorithm`] methods has shape `(f, c/groups, k, k)` — each
+/// filter holds only its own group's input channels, exactly as
+/// cuda-convnet and Caffe store grouped banks.
+pub struct GroupedConv {
+    inner: Box<dyn ConvAlgorithm>,
+    groups: usize,
+}
+
+impl GroupedConv {
+    /// Wrap `inner` with `groups` channel groups.
+    ///
+    /// # Panics
+    /// Panics if `groups == 0`.
+    pub fn new(inner: Box<dyn ConvAlgorithm>, groups: usize) -> Self {
+        assert!(groups > 0, "GroupedConv: zero groups");
+        GroupedConv { inner, groups }
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The per-group configuration (channels and filters divided by the
+    /// group count).
+    fn group_config(&self, cfg: &ConvConfig) -> ConvConfig {
+        let mut g = *cfg;
+        g.channels = cfg.channels / self.groups;
+        g.filters = cfg.filters / self.groups;
+        g
+    }
+
+    /// Copy channels `[c0, c0+len)` of every image into a fresh tensor.
+    fn slice_channels(t: &Tensor4, c0: usize, len: usize) -> Tensor4 {
+        let s = t.shape();
+        let mut out = Tensor4::zeros(Shape4::new(s.n, len, s.h, s.w));
+        for n in 0..s.n {
+            for c in 0..len {
+                out.plane_mut(n, c).copy_from_slice(t.plane(n, c0 + c));
+            }
+        }
+        out
+    }
+
+    /// Write `src` into channels `[c0, c0+src.c)` of `dst`.
+    fn write_channels(dst: &mut Tensor4, src: &Tensor4, c0: usize) {
+        let s = src.shape();
+        for n in 0..s.n {
+            for c in 0..s.c {
+                dst.plane_mut(n, c0 + c).copy_from_slice(src.plane(n, c));
+            }
+        }
+    }
+}
+
+impl ConvAlgorithm for GroupedConv {
+    fn strategy(&self) -> Strategy {
+        self.inner.strategy()
+    }
+
+    fn supports(&self, cfg: &ConvConfig) -> Result<(), Unsupported> {
+        if cfg.channels % self.groups != 0 {
+            return Err(Unsupported::InvalidGeometry {
+                reason: format!(
+                    "channels {} not divisible by {} groups",
+                    cfg.channels, self.groups
+                ),
+            });
+        }
+        if cfg.filters % self.groups != 0 {
+            return Err(Unsupported::InvalidGeometry {
+                reason: format!(
+                    "filters {} not divisible by {} groups",
+                    cfg.filters, self.groups
+                ),
+            });
+        }
+        self.inner.supports(&self.group_config(cfg))
+    }
+
+    fn forward(&self, cfg: &ConvConfig, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
+        self.supports(cfg).expect("GroupedConv::forward: unsupported config");
+        let gcfg = self.group_config(cfg);
+        let (cg, fg) = (gcfg.channels, gcfg.filters);
+
+        let mut out = Tensor4::zeros(cfg.output_shape());
+        for g in 0..self.groups {
+            let x_g = Self::slice_channels(input, g * cg, cg);
+            // The filter bank is `(f, c/g, k, k)`: carve this group's
+            // block along the filter axis.
+            let mut wslice = Tensor4::zeros(Shape4::new(fg, cg, cfg.kernel, cfg.kernel));
+            for f in 0..fg {
+                for c in 0..cg {
+                    wslice
+                        .plane_mut(f, c)
+                        .copy_from_slice(filters.plane(g * fg + f, c));
+                }
+            }
+            let y_g = self.inner.forward(&gcfg, &x_g, &wslice);
+            Self::write_channels(&mut out, &y_g, g * fg);
+        }
+        out
+    }
+
+    fn backward_data(&self, cfg: &ConvConfig, grad_out: &Tensor4, filters: &Tensor4) -> Tensor4 {
+        self.supports(cfg).expect("GroupedConv::backward_data: unsupported config");
+        let gcfg = self.group_config(cfg);
+        let (cg, fg) = (gcfg.channels, gcfg.filters);
+
+        let mut grad_in = Tensor4::zeros(cfg.input_shape());
+        for g in 0..self.groups {
+            let g_g = Self::slice_channels(grad_out, g * fg, fg);
+            let mut wslice = Tensor4::zeros(Shape4::new(fg, cg, cfg.kernel, cfg.kernel));
+            for f in 0..fg {
+                for c in 0..cg {
+                    wslice
+                        .plane_mut(f, c)
+                        .copy_from_slice(filters.plane(g * fg + f, c));
+                }
+            }
+            let gi_g = self.inner.backward_data(&gcfg, &g_g, &wslice);
+            Self::write_channels(&mut grad_in, &gi_g, g * cg);
+        }
+        grad_in
+    }
+
+    fn backward_filters(&self, cfg: &ConvConfig, input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
+        self.supports(cfg).expect("GroupedConv::backward_filters: unsupported config");
+        let gcfg = self.group_config(cfg);
+        let (cg, fg) = (gcfg.channels, gcfg.filters);
+
+        // Gradient matches the grouped bank's (f, c/g, k, k) shape.
+        let mut grad_w = Tensor4::zeros(Shape4::new(cfg.filters, cg, cfg.kernel, cfg.kernel));
+        for g in 0..self.groups {
+            let x_g = Self::slice_channels(input, g * cg, cg);
+            let g_g = Self::slice_channels(grad_out, g * fg, fg);
+            let gw_g = self.inner.backward_filters(&gcfg, &x_g, &g_g);
+            for f in 0..fg {
+                for c in 0..cg {
+                    grad_w
+                        .plane_mut(g * fg + f, c)
+                        .copy_from_slice(gw_g.plane(f, c));
+                }
+            }
+        }
+        grad_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::unroll::UnrollConv;
+    use gcnn_tensor::init::uniform_tensor;
+
+    fn grouped(groups: usize) -> GroupedConv {
+        GroupedConv::new(Box::new(UnrollConv::new()), groups)
+    }
+
+    /// A grouped convolution equals a full convolution with a
+    /// block-diagonal filter bank (zeros outside each group's channels).
+    fn block_diagonal_equivalent(cfg: &ConvConfig, filters: &Tensor4, groups: usize) -> Tensor4 {
+        let (cg, fg) = (cfg.channels / groups, cfg.filters / groups);
+        Tensor4::from_fn(cfg.filter_shape(), |f, c, h, w| {
+            let g = f / fg;
+            if c >= g * cg && c < (g + 1) * cg {
+                filters.get(f, c - g * cg, h, w)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn groups_equal_block_diagonal_full_conv() {
+        for groups in [1usize, 2, 4] {
+            let cfg = ConvConfig::with_channels(2, 8, 10, 8, 3, 1);
+            let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 90);
+            // Grouped weights: (f, c/g, k, k).
+            let gshape = Shape4::new(cfg.filters, cfg.channels / groups, cfg.kernel, cfg.kernel);
+            let w = gcnn_tensor::init::uniform_tensor(gshape, -1.0, 1.0, 91);
+
+            let got = grouped(groups).forward(&cfg, &x, &w);
+
+            let w_full = block_diagonal_equivalent(&cfg, &w, groups);
+            let want = reference::forward_ref(&cfg, &x, &w_full);
+            assert!(
+                got.rel_l2_dist(&want).unwrap() < 1e-4,
+                "groups {groups}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_passes_match_block_diagonal() {
+        let groups = 2;
+        let cfg = ConvConfig::with_channels(2, 4, 8, 6, 3, 1);
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 92);
+        let gshape = Shape4::new(cfg.filters, cfg.channels / groups, cfg.kernel, cfg.kernel);
+        let w = gcnn_tensor::init::uniform_tensor(gshape, -1.0, 1.0, 93);
+        let g = uniform_tensor(cfg.output_shape(), -1.0, 1.0, 94);
+
+        let w_full = block_diagonal_equivalent(&cfg, &w, groups);
+
+        let gi = grouped(groups).backward_data(&cfg, &g, &w);
+        let gi_ref = reference::backward_data_ref(&cfg, &g, &w_full);
+        assert!(gi.rel_l2_dist(&gi_ref).unwrap() < 1e-4);
+
+        let gw = grouped(groups).backward_filters(&cfg, &x, &g);
+        let gw_full = reference::backward_filters_ref(&cfg, &x, &g);
+        // Compare each group block of the full gradient.
+        let (cg, fg) = (cfg.channels / groups, cfg.filters / groups);
+        for grp in 0..groups {
+            for f in 0..fg {
+                for c in 0..cg {
+                    for h in 0..cfg.kernel {
+                        for wx in 0..cfg.kernel {
+                            let a = gw.get(grp * fg + f, c, h, wx);
+                            let b = gw_full.get(grp * fg + f, grp * cg + c, h, wx);
+                            assert!((a - b).abs() < 1e-2, "g{grp} f{f} c{c}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indivisible_groups() {
+        let cfg = ConvConfig::with_channels(1, 6, 8, 6, 3, 1);
+        assert!(grouped(4).supports(&cfg).is_err());
+        assert!(grouped(3).supports(&cfg).is_ok());
+        assert!(grouped(2).supports(&cfg).is_ok());
+    }
+
+    #[test]
+    fn one_group_is_identity_wrapper() {
+        let cfg = ConvConfig::with_channels(2, 3, 8, 4, 3, 1);
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 95);
+        let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, 96);
+        let a = grouped(1).forward(&cfg, &x, &w);
+        let b = UnrollConv::new().forward(&cfg, &x, &w);
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn works_over_fft_strategy() {
+        let groups = 2;
+        let cfg = ConvConfig::with_channels(2, 4, 8, 4, 3, 1);
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 97);
+        let gshape = Shape4::new(cfg.filters, cfg.channels / groups, cfg.kernel, cfg.kernel);
+        let w = gcnn_tensor::init::uniform_tensor(gshape, -1.0, 1.0, 98);
+
+        let via_fft = GroupedConv::new(Box::new(crate::fft_conv::FftConv::new()), groups)
+            .forward(&cfg, &x, &w);
+        let via_unroll = grouped(groups).forward(&cfg, &x, &w);
+        assert!(via_fft.rel_l2_dist(&via_unroll).unwrap() < 1e-4);
+    }
+}

@@ -1,0 +1,115 @@
+//! Channel concatenation — GoogLeNet's Inception-module join.
+//!
+//! The paper's Fig. 2 lists "Concat" among GoogLeNet's layer types: each
+//! Inception module runs parallel convolution branches and concatenates
+//! their outputs along the channel axis.
+
+use gcnn_tensor::{Shape4, Tensor4};
+
+/// Concatenate tensors along the channel axis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConcatLayer;
+
+impl ConcatLayer {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        ConcatLayer
+    }
+
+    /// Forward: stack the inputs' channels. All inputs must share
+    /// `(n, h, w)`.
+    pub fn forward(&self, inputs: &[&Tensor4]) -> Tensor4 {
+        assert!(!inputs.is_empty(), "ConcatLayer: no inputs");
+        let first = inputs[0].shape();
+        let total_c: usize = inputs
+            .iter()
+            .map(|t| {
+                let s = t.shape();
+                assert_eq!(
+                    (s.n, s.h, s.w),
+                    (first.n, first.h, first.w),
+                    "ConcatLayer: mismatched (n, h, w)"
+                );
+                s.c
+            })
+            .sum();
+
+        let mut out = Tensor4::zeros(Shape4::new(first.n, total_c, first.h, first.w));
+        for n in 0..first.n {
+            let mut c_off = 0;
+            for t in inputs {
+                let s = t.shape();
+                for c in 0..s.c {
+                    out.plane_mut(n, c_off + c).copy_from_slice(t.plane(n, c));
+                }
+                c_off += s.c;
+            }
+        }
+        out
+    }
+
+    /// Backward: split the gradient back into per-branch gradients with
+    /// the given channel counts.
+    pub fn backward(&self, grad_out: &Tensor4, channel_splits: &[usize]) -> Vec<Tensor4> {
+        let s = grad_out.shape();
+        let total: usize = channel_splits.iter().sum();
+        assert_eq!(total, s.c, "ConcatLayer::backward: splits must cover channels");
+
+        let mut outs: Vec<Tensor4> = channel_splits
+            .iter()
+            .map(|&c| Tensor4::zeros(Shape4::new(s.n, c, s.h, s.w)))
+            .collect();
+        for n in 0..s.n {
+            let mut c_off = 0;
+            for (branch, &c_count) in channel_splits.iter().enumerate() {
+                for c in 0..c_count {
+                    outs[branch]
+                        .plane_mut(n, c)
+                        .copy_from_slice(grad_out.plane(n, c_off + c));
+                }
+                c_off += c_count;
+            }
+        }
+        outs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_stacks_channels() {
+        let a = Tensor4::full(Shape4::new(2, 1, 2, 2), 1.0);
+        let b = Tensor4::full(Shape4::new(2, 3, 2, 2), 2.0);
+        let out = ConcatLayer.forward(&[&a, &b]);
+        assert_eq!(out.shape(), Shape4::new(2, 4, 2, 2));
+        assert_eq!(out.get(1, 0, 0, 0), 1.0);
+        assert_eq!(out.get(1, 3, 1, 1), 2.0);
+    }
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        let a = Tensor4::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| (c * 4 + h * 2 + w) as f32);
+        let b = Tensor4::from_fn(Shape4::new(1, 1, 2, 2), |_, _, h, w| 100.0 + (h * 2 + w) as f32);
+        let cat = ConcatLayer.forward(&[&a, &b]);
+        let parts = ConcatLayer.backward(&cat, &[2, 1]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn rejects_mismatched_spatial() {
+        let a = Tensor4::zeros(Shape4::new(1, 1, 2, 2));
+        let b = Tensor4::zeros(Shape4::new(1, 1, 3, 3));
+        ConcatLayer.forward(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "splits must cover")]
+    fn rejects_bad_splits() {
+        let g = Tensor4::zeros(Shape4::new(1, 4, 2, 2));
+        ConcatLayer.backward(&g, &[1, 2]);
+    }
+}

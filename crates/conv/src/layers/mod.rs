@@ -1,0 +1,18 @@
+//! The non-convolutional CNN layers.
+//!
+//! The paper's Fig. 2 breaks real CNN models into convolutional,
+//! pooling, ReLU, fully-connected and concat layers; this module
+//! provides all of them (forward + backward) so `gcnn-models` can run
+//! complete AlexNet/VGG/GoogLeNet/OverFeat/LeNet-5 iterations.
+
+pub mod concat;
+pub mod fc;
+pub mod pooling;
+pub mod relu;
+pub mod softmax;
+
+pub use concat::ConcatLayer;
+pub use fc::FcLayer;
+pub use pooling::{PoolForward, PoolKind, PoolLayer};
+pub use relu::ReluLayer;
+pub use softmax::{softmax_cross_entropy, SoftmaxOutput};

@@ -1,0 +1,281 @@
+//! Spatial pooling layers.
+//!
+//! Paper §II-A: pooling layers "reduce the spatial size of feature map
+//! and control the over-fitting problem to some extent". Max pooling
+//! records argmax indices on the forward pass so the backward pass can
+//! route gradients; average pooling distributes them uniformly.
+
+use gcnn_tensor::{Shape4, Tensor4};
+use rayon::prelude::*;
+
+/// Pooling operator kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Arithmetic mean over the window.
+    Average,
+}
+
+/// A pooling layer with square window and stride.
+#[derive(Debug, Clone)]
+pub struct PoolLayer {
+    /// Operator kind.
+    pub kind: PoolKind,
+    /// Square window size.
+    pub window: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+/// Forward result: pooled tensor plus (for max pooling) the flat input
+/// index each output element was taken from.
+pub struct PoolForward {
+    /// Pooled output.
+    pub output: Tensor4,
+    /// For [`PoolKind::Max`]: per-output-element flat index into the
+    /// input plane; empty for average pooling.
+    pub argmax: Vec<u32>,
+}
+
+impl PoolLayer {
+    /// Construct a pooling layer.
+    pub fn new(kind: PoolKind, window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "PoolLayer: zero window/stride");
+        PoolLayer {
+            kind,
+            window,
+            stride,
+        }
+    }
+
+    /// Output spatial size for an input of spatial size `i`.
+    pub fn out_size(&self, i: usize) -> usize {
+        assert!(i >= self.window, "PoolLayer: window exceeds input {i}");
+        (i - self.window) / self.stride + 1
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, input: &Tensor4) -> PoolForward {
+        let s = input.shape();
+        let (oh, ow) = (self.out_size(s.h), self.out_size(s.w));
+        let out_shape = Shape4::new(s.n, s.c, oh, ow);
+        let mut output = Tensor4::zeros(out_shape);
+        let mut argmax = if self.kind == PoolKind::Max {
+            vec![0u32; out_shape.len()]
+        } else {
+            Vec::new()
+        };
+
+        let plane_out = oh * ow;
+        let (win, st) = (self.window, self.stride);
+
+        match self.kind {
+            PoolKind::Max => {
+                output
+                    .as_mut_slice()
+                    .par_chunks_mut(plane_out)
+                    .zip(argmax.par_chunks_mut(plane_out))
+                    .enumerate()
+                    .for_each(|(p, (oplane, aplane))| {
+                        let iplane = input.plane(p / s.c, p % s.c);
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut best = f32::NEG_INFINITY;
+                                let mut best_idx = 0usize;
+                                for ky in 0..win {
+                                    for kx in 0..win {
+                                        let idx = (oy * st + ky) * s.w + ox * st + kx;
+                                        if iplane[idx] > best {
+                                            best = iplane[idx];
+                                            best_idx = idx;
+                                        }
+                                    }
+                                }
+                                oplane[oy * ow + ox] = best;
+                                aplane[oy * ow + ox] = best_idx as u32;
+                            }
+                        }
+                    });
+            }
+            PoolKind::Average => {
+                let inv = 1.0 / (win * win) as f32;
+                output
+                    .as_mut_slice()
+                    .par_chunks_mut(plane_out)
+                    .enumerate()
+                    .for_each(|(p, oplane)| {
+                        let iplane = input.plane(p / s.c, p % s.c);
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut acc = 0.0f32;
+                                for ky in 0..win {
+                                    for kx in 0..win {
+                                        acc += iplane[(oy * st + ky) * s.w + ox * st + kx];
+                                    }
+                                }
+                                oplane[oy * ow + ox] = acc * inv;
+                            }
+                        }
+                    });
+            }
+        }
+
+        PoolForward { output, argmax }
+    }
+
+    /// Backward pass: route `grad_out` back to the input positions.
+    pub fn backward(
+        &self,
+        input_shape: Shape4,
+        fwd: &PoolForward,
+        grad_out: &Tensor4,
+    ) -> Tensor4 {
+        let s = input_shape;
+        let go = grad_out.shape();
+        assert_eq!(go, fwd.output.shape(), "PoolLayer::backward: grad shape");
+        let mut grad_in = Tensor4::zeros(s);
+        let plane_in = s.h * s.w;
+        let plane_out = go.h * go.w;
+        let (win, st) = (self.window, self.stride);
+
+        match self.kind {
+            PoolKind::Max => {
+                for p in 0..s.n * s.c {
+                    let gslice = &grad_out.as_slice()[p * plane_out..(p + 1) * plane_out];
+                    let aslice = &fwd.argmax[p * plane_out..(p + 1) * plane_out];
+                    let gin = &mut grad_in.as_mut_slice()[p * plane_in..(p + 1) * plane_in];
+                    for (g, &a) in gslice.iter().zip(aslice) {
+                        gin[a as usize] += g;
+                    }
+                }
+            }
+            PoolKind::Average => {
+                let inv = 1.0 / (win * win) as f32;
+                for p in 0..s.n * s.c {
+                    let gslice = &grad_out.as_slice()[p * plane_out..(p + 1) * plane_out];
+                    let gin = &mut grad_in.as_mut_slice()[p * plane_in..(p + 1) * plane_in];
+                    for oy in 0..go.h {
+                        for ox in 0..go.w {
+                            let g = gslice[oy * go.w + ox] * inv;
+                            for ky in 0..win {
+                                for kx in 0..win {
+                                    gin[(oy * st + ky) * s.w + ox * st + kx] += g;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_known_values() {
+        let input = Tensor4::from_vec(
+            Shape4::new(1, 1, 4, 4),
+            (0..16).map(|i| i as f32).collect(),
+        )
+        .unwrap();
+        let layer = PoolLayer::new(PoolKind::Max, 2, 2);
+        let fwd = layer.forward(&input);
+        assert_eq!(fwd.output.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+        assert_eq!(fwd.argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let input = Tensor4::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![1.0, 3.0, 5.0, 7.0],
+        )
+        .unwrap();
+        let layer = PoolLayer::new(PoolKind::Average, 2, 2);
+        let fwd = layer.forward(&input);
+        assert_eq!(fwd.output.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        // AlexNet-style 3x3/2 overlapping pooling.
+        let input = Tensor4::from_fn(Shape4::new(1, 1, 5, 5), |_, _, h, w| (h * 5 + w) as f32);
+        let layer = PoolLayer::new(PoolKind::Max, 3, 2);
+        let fwd = layer.forward(&input);
+        assert_eq!(fwd.output.shape(), Shape4::new(1, 1, 2, 2));
+        assert_eq!(fwd.output.as_slice(), &[12.0, 14.0, 22.0, 24.0]);
+    }
+
+    #[test]
+    fn max_backward_routes_to_argmax() {
+        let input = Tensor4::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![1.0, 9.0, 2.0, 3.0],
+        )
+        .unwrap();
+        let layer = PoolLayer::new(PoolKind::Max, 2, 2);
+        let fwd = layer.forward(&input);
+        let g = Tensor4::full(fwd.output.shape(), 5.0);
+        let gin = layer.backward(input.shape(), &fwd, &g);
+        assert_eq!(gin.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_backward_distributes_uniformly() {
+        let input = Tensor4::full(Shape4::new(1, 1, 2, 2), 1.0);
+        let layer = PoolLayer::new(PoolKind::Average, 2, 2);
+        let fwd = layer.forward(&input);
+        let g = Tensor4::full(fwd.output.shape(), 8.0);
+        let gin = layer.backward(input.shape(), &fwd, &g);
+        assert_eq!(gin.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    /// Adjoint identity for average pooling (a linear map).
+    #[test]
+    fn avg_pool_adjoint() {
+        let shape = Shape4::new(2, 3, 6, 6);
+        let x = gcnn_tensor::init::uniform_tensor(shape, -1.0, 1.0, 40);
+        let layer = PoolLayer::new(PoolKind::Average, 2, 2);
+        let fwd = layer.forward(&x);
+        let g = gcnn_tensor::init::uniform_tensor(fwd.output.shape(), -1.0, 1.0, 41);
+        let gin = layer.backward(shape, &fwd, &g);
+
+        let lhs: f32 = fwd
+            .output
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(gin.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn multi_plane_batches() {
+        let input = Tensor4::from_fn(Shape4::new(2, 2, 4, 4), |n, c, h, w| {
+            (n * 100 + c * 50 + h * 4 + w) as f32
+        });
+        let layer = PoolLayer::new(PoolKind::Max, 2, 2);
+        let fwd = layer.forward(&input);
+        assert_eq!(fwd.output.shape(), Shape4::new(2, 2, 2, 2));
+        assert_eq!(fwd.output.get(1, 1, 1, 1), input.get(1, 1, 3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds input")]
+    fn rejects_window_larger_than_input() {
+        let layer = PoolLayer::new(PoolKind::Max, 5, 1);
+        layer.out_size(3);
+    }
+}

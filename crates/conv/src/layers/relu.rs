@@ -1,0 +1,69 @@
+//! Rectified linear unit.
+
+use gcnn_tensor::Tensor4;
+use rayon::prelude::*;
+
+/// Elementwise `max(0, x)` with the standard subgradient backward pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReluLayer;
+
+impl ReluLayer {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        ReluLayer
+    }
+
+    /// Forward pass: `y = max(0, x)`.
+    pub fn forward(&self, input: &Tensor4) -> Tensor4 {
+        let data: Vec<f32> = input.as_slice().par_iter().map(|&x| x.max(0.0)).collect();
+        Tensor4::from_vec(input.shape(), data).expect("relu preserves shape")
+    }
+
+    /// Backward pass: gradient passes where the *input* was positive.
+    pub fn backward(&self, input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
+        assert_eq!(input.shape(), grad_out.shape(), "ReluLayer::backward: shapes");
+        let data: Vec<f32> = input
+            .as_slice()
+            .par_iter()
+            .zip(grad_out.as_slice())
+            .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+            .collect();
+        Tensor4::from_vec(input.shape(), data).expect("relu preserves shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnn_tensor::Shape4;
+
+    #[test]
+    fn forward_clamps_negative() {
+        let x = Tensor4::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![-1.0, 2.0, 0.0, -3.5],
+        )
+        .unwrap();
+        let y = ReluLayer.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_by_input_sign() {
+        let x = Tensor4::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![-1.0, 2.0, 0.0, 3.0],
+        )
+        .unwrap();
+        let g = Tensor4::full(x.shape(), 7.0);
+        let gin = ReluLayer.backward(&x, &g);
+        assert_eq!(gin.as_slice(), &[0.0, 7.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn idempotent_on_nonnegative() {
+        let x = Tensor4::from_fn(Shape4::new(2, 2, 3, 3), |n, c, h, w| (n + c + h + w) as f32);
+        let y = ReluLayer.forward(&x);
+        assert_eq!(y, x);
+    }
+}

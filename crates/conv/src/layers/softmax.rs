@@ -1,0 +1,147 @@
+//! Softmax + cross-entropy output layer.
+//!
+//! LeNet-5's final stage maps "high-level features to a probability
+//! vector over ten different classes" (paper §II-A); this module
+//! provides that mapping with the numerically-stable log-sum-exp form
+//! and the fused gradient `p − onehot(label)`.
+
+use gcnn_tensor::Tensor4;
+
+/// Result of the fused softmax + cross-entropy computation.
+pub struct SoftmaxOutput {
+    /// Per-image class probabilities, `(b, classes, 1, 1)`.
+    pub probs: Tensor4,
+    /// Mean cross-entropy loss over the mini-batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits (already divided by the batch size).
+    pub grad_logits: Tensor4,
+}
+
+/// Compute softmax probabilities, mean cross-entropy loss against the
+/// integer labels, and the gradient w.r.t. the logits.
+///
+/// `logits` must be `(b, classes, 1, 1)`; `labels` has length `b` with
+/// entries `< classes`.
+pub fn softmax_cross_entropy(logits: &Tensor4, labels: &[usize]) -> SoftmaxOutput {
+    let s = logits.shape();
+    assert_eq!(s.h * s.w, 1, "softmax_cross_entropy: expected (b, classes, 1, 1)");
+    assert_eq!(labels.len(), s.n, "softmax_cross_entropy: label count");
+    let classes = s.c;
+    assert!(
+        labels.iter().all(|&l| l < classes),
+        "softmax_cross_entropy: label out of range"
+    );
+
+    let mut probs = Tensor4::zeros(s);
+    let mut grad = Tensor4::zeros(s);
+    let mut loss = 0.0f64;
+    let inv_b = 1.0 / s.n as f32;
+
+    for n in 0..s.n {
+        let row = &logits.as_slice()[n * classes..(n + 1) * classes];
+        let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let exps: Vec<f32> = row.iter().map(|&x| (x - maxv).exp()).collect();
+        let denom: f32 = exps.iter().sum();
+        let prow = &mut probs.as_mut_slice()[n * classes..(n + 1) * classes];
+        for (p, e) in prow.iter_mut().zip(&exps) {
+            *p = e / denom;
+        }
+        loss += -((prow[labels[n]] as f64).max(1e-30)).ln();
+        let grow = &mut grad.as_mut_slice()[n * classes..(n + 1) * classes];
+        for (g, &p) in grow.iter_mut().zip(prow.iter()) {
+            *g = p * inv_b;
+        }
+        grow[labels[n]] -= inv_b;
+    }
+
+    SoftmaxOutput {
+        probs,
+        loss: (loss / s.n as f64) as f32,
+        grad_logits: grad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnn_tensor::Shape4;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let logits = gcnn_tensor::init::uniform_tensor(Shape4::new(3, 5, 1, 1), -3.0, 3.0, 50);
+        let out = softmax_cross_entropy(&logits, &[0, 2, 4]);
+        for n in 0..3 {
+            let s: f32 = (0..5).map(|c| out.probs.get(n, c, 0, 0)).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_log_classes_loss() {
+        let logits = Tensor4::zeros(Shape4::new(2, 10, 1, 1));
+        let out = softmax_cross_entropy(&logits, &[3, 7]);
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Tensor4::zeros(Shape4::new(1, 4, 1, 1));
+        logits.set(0, 2, 0, 0, 20.0);
+        let out = softmax_cross_entropy(&logits, &[2]);
+        assert!(out.loss < 1e-4);
+        // Gradient nearly zero everywhere.
+        assert!(out.grad_logits.as_slice().iter().all(|g| g.abs() < 1e-4));
+    }
+
+    #[test]
+    fn gradient_is_probs_minus_onehot() {
+        let logits = gcnn_tensor::init::uniform_tensor(Shape4::new(2, 3, 1, 1), -1.0, 1.0, 51);
+        let out = softmax_cross_entropy(&logits, &[1, 0]);
+        for n in 0..2 {
+            for c in 0..3 {
+                let onehot = if (n == 0 && c == 1) || (n == 1 && c == 0) { 1.0 } else { 0.0 };
+                let expect = (out.probs.get(n, c, 0, 0) - onehot) / 2.0;
+                assert!((out.grad_logits.get(n, c, 0, 0) - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut logits = gcnn_tensor::init::uniform_tensor(Shape4::new(2, 4, 1, 1), -1.0, 1.0, 52);
+        let labels = [3usize, 1];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-2;
+        for idx in 0..8 {
+            let orig = logits.as_slice()[idx];
+            logits.as_mut_slice()[idx] = orig + eps;
+            let lp = softmax_cross_entropy(&logits, &labels).loss;
+            logits.as_mut_slice()[idx] = orig - eps;
+            let lm = softmax_cross_entropy(&logits, &labels).loss;
+            logits.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = out.grad_logits.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "logit {idx}: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn stable_under_large_logits() {
+        let mut logits = Tensor4::zeros(Shape4::new(1, 3, 1, 1));
+        logits.set(0, 0, 0, 0, 1000.0);
+        logits.set(0, 1, 0, 0, 999.0);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.probs.get(0, 0, 0, 0) > 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_label() {
+        let logits = Tensor4::zeros(Shape4::new(1, 3, 1, 1));
+        softmax_cross_entropy(&logits, &[3]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # gcnn-conv
+//!
+//! The three convolution strategies of Li et al. (ICPP 2016) —
+//! [`direct`], [`unroll`]ing (im2col + GEMM) and [`fft_conv`] — each
+//! implementing forward, backward-data and backward-weights passes, plus
+//! the remaining CNN [`layers`] (pooling, ReLU, fully-connected,
+//! softmax, concat) and finite-difference [`gradcheck`]ing.
+//!
+//! Every strategy is validated against the naive [`reference`]
+//! convolution and against each other; the FFT path additionally obeys
+//! the convolution/correlation theorems tested in `gcnn-fft`.
+//!
+//! The entry points:
+//!
+//! * [`ConvConfig`] — the paper's `(b, i, f, k, s)` 5-tuple (plus
+//!   channels and padding), including [`config::table1_configs`].
+//! * [`ConvAlgorithm`] — the strategy trait, with implementations
+//!   [`DirectConv`], [`UnrollConv`] and [`FftConv`].
+
+pub mod config;
+pub mod direct;
+pub mod fft_conv;
+pub mod gradcheck;
+pub mod grouped;
+pub mod layers;
+pub mod reference;
+pub mod strategy;
+pub mod unroll;
+pub mod winograd;
+
+pub use config::{table1_configs, ConvConfig, TABLE1_NAMES};
+pub use direct::DirectConv;
+pub use fft_conv::FftConv;
+pub use grouped::GroupedConv;
+pub use strategy::{ConvAlgorithm, Strategy, Unsupported};
+pub use unroll::UnrollConv;
+pub use winograd::WinogradConv;
+
+/// All three strategies behind one constructor, for callers that select
+/// at runtime.
+pub fn algorithm_for(strategy: Strategy) -> Box<dyn ConvAlgorithm> {
+    match strategy {
+        Strategy::Direct => Box::new(DirectConv::new()),
+        Strategy::Unrolling => Box::new(UnrollConv::new()),
+        Strategy::Fft => Box::new(FftConv::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_for_returns_matching_strategy() {
+        for s in [Strategy::Direct, Strategy::Unrolling, Strategy::Fft] {
+            assert_eq!(algorithm_for(s).strategy(), s);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The convolution-strategy abstraction.
+//!
+//! Paper §II-B: *"mainstream CNN implementations follow three convolution
+//! strategies: direct convolution, unrolling-based convolution, and
+//! FFT-based convolution."* Each strategy is a [`ConvAlgorithm`]; the
+//! seven framework models in `gcnn-frameworks` each delegate their
+//! numerics to one of them.
+
+use crate::config::ConvConfig;
+use gcnn_tensor::Tensor4;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three convolution strategies of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Sliding-window dot products (cuda-convnet2, Theano-legacy).
+    Direct,
+    /// im2col + GEMM (Caffe, Torch-cunn, Theano-CorrMM, cuDNN).
+    Unrolling,
+    /// Fourier-domain pointwise product (fbfft, Theano-fft).
+    Fft,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Strategy::Direct => "direct",
+            Strategy::Unrolling => "unrolling",
+            Strategy::Fft => "fft",
+        })
+    }
+}
+
+/// Why a strategy (or framework) rejects a configuration — the paper's
+/// "shape limitations" (§IV-B Summary).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Unsupported {
+    /// FFT-based convolutions only support stride 1.
+    StrideNotOne {
+        /// The offending stride.
+        stride: usize,
+    },
+    /// cuda-convnet2 requires the mini-batch to be a multiple of 32.
+    BatchNotMultipleOf {
+        /// Required divisor.
+        multiple: usize,
+        /// The offending batch size.
+        batch: usize,
+    },
+    /// cuda-convnet2 requires the filter count to be a multiple of 16.
+    FiltersNotMultipleOf {
+        /// Required divisor.
+        multiple: usize,
+        /// The offending filter count.
+        filters: usize,
+    },
+    /// The geometry itself is impossible (kernel larger than padded
+    /// input, zero stride, …).
+    InvalidGeometry {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The configuration exceeds the device's memory.
+    OutOfMemory {
+        /// Bytes requested.
+        required: u64,
+        /// Bytes available.
+        available: u64,
+    },
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unsupported::StrideNotOne { stride } => {
+                write!(f, "FFT-based convolution requires stride 1, got {stride}")
+            }
+            Unsupported::BatchNotMultipleOf { multiple, batch } => {
+                write!(f, "mini-batch {batch} is not a multiple of {multiple}")
+            }
+            Unsupported::FiltersNotMultipleOf { multiple, filters } => {
+                write!(f, "filter count {filters} is not a multiple of {multiple}")
+            }
+            Unsupported::InvalidGeometry { reason } => write!(f, "invalid geometry: {reason}"),
+            Unsupported::OutOfMemory {
+                required,
+                available,
+            } => write!(
+                f,
+                "out of device memory: need {required} bytes, have {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// A convolution algorithm: forward plus both backward passes.
+///
+/// Implementations must produce results matching
+/// [`crate::reference`] up to `f32` rounding; the test suite enforces
+/// this for every strategy.
+pub trait ConvAlgorithm: Send + Sync {
+    /// Which of the paper's three strategies this is.
+    fn strategy(&self) -> Strategy;
+
+    /// Shape restrictions. The default accepts any valid geometry.
+    fn supports(&self, cfg: &ConvConfig) -> Result<(), Unsupported> {
+        if !cfg.is_valid() {
+            return Err(Unsupported::InvalidGeometry {
+                reason: format!("{cfg}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Forward pass: `(b,c,i,i) ⊛ (f,c,k,k) → (b,f,o,o)`.
+    fn forward(&self, cfg: &ConvConfig, input: &Tensor4, filters: &Tensor4) -> Tensor4;
+
+    /// Gradient w.r.t. the input.
+    fn backward_data(&self, cfg: &ConvConfig, grad_out: &Tensor4, filters: &Tensor4) -> Tensor4;
+
+    /// Gradient w.r.t. the filter bank.
+    fn backward_filters(&self, cfg: &ConvConfig, input: &Tensor4, grad_out: &Tensor4) -> Tensor4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::Direct.to_string(), "direct");
+        assert_eq!(Strategy::Unrolling.to_string(), "unrolling");
+        assert_eq!(Strategy::Fft.to_string(), "fft");
+    }
+
+    #[test]
+    fn unsupported_messages() {
+        assert!(Unsupported::StrideNotOne { stride: 2 }
+            .to_string()
+            .contains("stride 1"));
+        assert!(Unsupported::BatchNotMultipleOf {
+            multiple: 32,
+            batch: 33
+        }
+        .to_string()
+        .contains("multiple of 32"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Cross-strategy property tests: the paper's three convolution
+//! strategies must agree with each other and with the naive reference on
+//! arbitrary valid geometries.
+
+use gcnn_conv::{reference, ConvAlgorithm, ConvConfig, DirectConv, FftConv, UnrollConv};
+use gcnn_tensor::init::uniform_tensor;
+use proptest::prelude::*;
+
+fn small_config() -> impl Strategy<Value = ConvConfig> {
+    (
+        1usize..4,  // batch
+        1usize..4,  // channels
+        3usize..11, // input
+        1usize..6,  // filters
+        1usize..4,  // kernel
+        1usize..3,  // stride
+        0usize..2,  // pad
+    )
+        .prop_map(|(b, c, i, f, k, s, p)| {
+            let mut cfg = ConvConfig::with_channels(b, c, i, f, k, s);
+            cfg.pad = p;
+            cfg
+        })
+        .prop_filter("valid geometry", |cfg| cfg.is_valid())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn direct_equals_reference(cfg in small_config(), seed in 0u64..1000) {
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, seed);
+        let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, seed + 1);
+        let fast = DirectConv.forward(&cfg, &x, &w);
+        let slow = reference::forward_ref(&cfg, &x, &w);
+        prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-3, "at {cfg}");
+    }
+
+    #[test]
+    fn unroll_equals_direct(cfg in small_config(), seed in 0u64..1000) {
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, seed);
+        let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, seed + 2);
+        let a = UnrollConv.forward(&cfg, &x, &w);
+        let b = DirectConv.forward(&cfg, &x, &w);
+        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-3, "at {cfg}");
+    }
+
+    #[test]
+    fn fft_equals_reference_when_supported(cfg in small_config(), seed in 0u64..1000) {
+        prop_assume!(FftConv.supports(&cfg).is_ok());
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, seed);
+        let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, seed + 3);
+        let fast = FftConv.forward(&cfg, &x, &w);
+        let slow = reference::forward_ref(&cfg, &x, &w);
+        prop_assert!(fast.rel_l2_dist(&slow).unwrap() < 1e-3, "at {cfg}");
+    }
+
+    #[test]
+    fn backward_data_consistent_across_strategies(cfg in small_config(), seed in 0u64..1000) {
+        let g = uniform_tensor(cfg.output_shape(), -1.0, 1.0, seed);
+        let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, seed + 4);
+        let a = DirectConv.backward_data(&cfg, &g, &w);
+        let b = UnrollConv.backward_data(&cfg, &g, &w);
+        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-3, "at {cfg}");
+        if FftConv.supports(&cfg).is_ok() {
+            let c = FftConv.backward_data(&cfg, &g, &w);
+            prop_assert!(a.rel_l2_dist(&c).unwrap() < 1e-3, "fft at {cfg}");
+        }
+    }
+
+    #[test]
+    fn backward_filters_consistent_across_strategies(cfg in small_config(), seed in 0u64..1000) {
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, seed);
+        let g = uniform_tensor(cfg.output_shape(), -1.0, 1.0, seed + 5);
+        let a = DirectConv.backward_filters(&cfg, &x, &g);
+        let b = UnrollConv.backward_filters(&cfg, &x, &g);
+        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-2, "at {cfg}");
+        if FftConv.supports(&cfg).is_ok() {
+            let c = FftConv.backward_filters(&cfg, &x, &g);
+            prop_assert!(a.rel_l2_dist(&c).unwrap() < 1e-3, "fft at {cfg}");
+        }
+    }
+
+    /// Convolution is linear in the input: f(x1 + x2) == f(x1) + f(x2).
+    #[test]
+    fn forward_linear_in_input(cfg in small_config(), seed in 0u64..1000) {
+        let x1 = uniform_tensor(cfg.input_shape(), -1.0, 1.0, seed);
+        let x2 = uniform_tensor(cfg.input_shape(), -1.0, 1.0, seed + 6);
+        let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, seed + 7);
+
+        let mut xsum = x1.clone();
+        xsum.axpy(1.0, &x2).unwrap();
+
+        let mut ysum = UnrollConv.forward(&cfg, &x1, &w);
+        let y2 = UnrollConv.forward(&cfg, &x2, &w);
+        ysum.axpy(1.0, &y2).unwrap();
+
+        let direct = UnrollConv.forward(&cfg, &xsum, &w);
+        prop_assert!(direct.max_abs_diff(&ysum).unwrap() < 1e-3, "at {cfg}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Fig. 5: peak GPU memory comparison.
+
+use crate::compare::ComparisonTable;
+use crate::sweep::Sweep;
+use gcnn_conv::ConvConfig;
+use gcnn_frameworks::{all_implementations, ConvImplementation};
+use serde::{Deserialize, Serialize};
+
+/// One implementation's peak memory at one sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MemoryCell {
+    /// Peak device bytes.
+    Bytes(u64),
+    /// Shape rejected.
+    Unsupported(String),
+}
+
+impl MemoryCell {
+    /// Peak megabytes, if supported.
+    pub fn mb(&self) -> Option<f64> {
+        match self {
+            MemoryCell::Bytes(b) => Some(*b as f64 / (1024.0 * 1024.0)),
+            MemoryCell::Unsupported(_) => None,
+        }
+    }
+}
+
+/// Memory table over a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryTable {
+    /// Axis label.
+    pub axis: String,
+    /// Sweep values.
+    pub values: Vec<usize>,
+    /// Implementation names (column order).
+    pub implementations: Vec<String>,
+    /// `cells[point][impl]`.
+    pub cells: Vec<Vec<MemoryCell>>,
+}
+
+impl MemoryTable {
+    /// Peak MB of a named implementation at a point.
+    pub fn mb_of(&self, point: usize, name: &str) -> Option<f64> {
+        let idx = self.implementations.iter().position(|n| n == name)?;
+        self.cells[point][idx].mb()
+    }
+
+    /// The most memory-frugal implementation at a point.
+    pub fn most_frugal_at(&self, point: usize) -> Option<(&str, f64)> {
+        self.cells[point]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.mb().map(|m| (self.implementations[i].as_str(), m)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+/// Peak memory of one implementation at one configuration.
+pub fn peak_memory(imp: &dyn ConvImplementation, cfg: &ConvConfig) -> MemoryCell {
+    match imp.supports(cfg) {
+        Err(e) => MemoryCell::Unsupported(e.to_string()),
+        Ok(()) => MemoryCell::Bytes(imp.plan(cfg).peak_bytes()),
+    }
+}
+
+/// Run one sweep's memory comparison (the device doesn't matter: peak
+/// allocation is a property of the plan; the paper's `nvidia-smi`
+/// methodology measures the same thing).
+pub fn memory_comparison(sweep: &Sweep) -> MemoryTable {
+    let impls = all_implementations();
+    let mut cells = Vec::with_capacity(sweep.values.len());
+    for (_, cfg) in sweep.configs() {
+        cells.push(impls.iter().map(|imp| peak_memory(imp.as_ref(), &cfg)).collect());
+    }
+    MemoryTable {
+        axis: sweep.axis.label().to_string(),
+        values: sweep.values.clone(),
+        implementations: impls.iter().map(|i| i.name().to_string()).collect(),
+        cells,
+    }
+}
+
+/// Convenience: does the runtime table agree with this memory table on
+/// the implementation set? (Used by report rendering.)
+pub fn columns_match(mem: &MemoryTable, time: &ComparisonTable) -> bool {
+    mem.implementations == time.implementations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{paper_sweeps, SweepAxis};
+
+    fn table_for(axis: SweepAxis) -> MemoryTable {
+        let sweep = paper_sweeps().into_iter().find(|s| s.axis == axis).unwrap();
+        memory_comparison(&sweep)
+    }
+
+    #[test]
+    fn cc2_most_frugal_everywhere() {
+        // Paper Fig. 5: "cuda-convnet2 is the most memory efficient one
+        // in all scenarios".
+        for axis in [SweepAxis::Batch, SweepAxis::Input, SweepAxis::Kernel] {
+            let t = table_for(axis);
+            for p in 0..t.values.len() {
+                if let Some((name, _)) = t.most_frugal_at(p) {
+                    assert_eq!(name, "cuda-convnet2", "{:?} point {p}", axis);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fbfft_highest_on_batch_sweep() {
+        let t = table_for(SweepAxis::Batch);
+        for p in 0..t.values.len() {
+            let fb = t.mb_of(p, "fbfft").unwrap();
+            for other in ["Caffe", "cuDNN", "Torch-cunn", "Theano-CorrMM", "cuda-convnet2", "Theano-fft"] {
+                if let Some(m) = t.mb_of(p, other) {
+                    assert!(fb > m, "batch {}: fbfft {fb} ≤ {other} {m}", t.values[p]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bands_match_paper_order_of_magnitude() {
+        // Paper Fig. 5 ranges: cc2 125–2076 MB, Torch 170–2093 MB,
+        // Caffe 136–3809 MB, fbfft 1632–10866 MB across all sweeps.
+        let mut min_cc2 = f64::MAX;
+        let mut max_cc2: f64 = 0.0;
+        let mut min_fb = f64::MAX;
+        let mut max_fb: f64 = 0.0;
+        for sweep in paper_sweeps() {
+            let t = memory_comparison(&sweep);
+            for p in 0..t.values.len() {
+                if let Some(m) = t.mb_of(p, "cuda-convnet2") {
+                    min_cc2 = min_cc2.min(m);
+                    max_cc2 = max_cc2.max(m);
+                }
+                if let Some(m) = t.mb_of(p, "fbfft") {
+                    min_fb = min_fb.min(m);
+                    max_fb = max_fb.max(m);
+                }
+            }
+        }
+        assert!((100.0..400.0).contains(&min_cc2), "cc2 min {min_cc2}");
+        assert!((1000.0..4000.0).contains(&max_cc2), "cc2 max {max_cc2}");
+        // fbfft's floor diverges from the paper's 1632 MB (their build
+        // pre-allocates pooled cuFFT buffers we don't model; see
+        // EXPERIMENTS.md) but stays the per-sweep maximum everywhere and
+        // hits the paper's ~10 GB ceiling.
+        assert!(min_fb > min_cc2, "fbfft min {min_fb} vs cc2 {min_cc2}");
+        assert!(max_fb > 6000.0, "fbfft max {max_fb}");
+    }
+
+    #[test]
+    fn fbfft_memory_fluctuates_over_input_sweep() {
+        // Paper Fig. 5b: "dramatic fluctuations in memory usage of fbfft
+        // over certain input size" — power-of-two jumps make the curve
+        // non-monotone in ratio terms: i=128 needs N=128 but i=144 needs
+        // N=256.
+        let t = table_for(SweepAxis::Input);
+        let at = |i: usize| {
+            let p = t.values.iter().position(|&v| v == i).unwrap();
+            t.mb_of(p, "fbfft").unwrap()
+        };
+        let jump = at(144) / at(128);
+        assert!(jump > 2.0, "expected pow2 jump, got ×{jump:.2}");
+        // Between 144 and 256 the transform stays at 256: flat spectra.
+        let ratio = at(256) / at(160);
+        assert!(ratio < 2.0, "spectra should be flat within a pow2 band: ×{ratio:.2}");
+    }
+
+    #[test]
+    fn unsupported_cells_marked() {
+        let sweep = Sweep {
+            axis: SweepAxis::Stride,
+            values: vec![2],
+        };
+        let t = memory_comparison(&sweep);
+        let idx = t.implementations.iter().position(|n| n == "fbfft").unwrap();
+        assert!(matches!(t.cells[0][idx], MemoryCell::Unsupported(_)));
+    }
+
+    use crate::sweep::Sweep;
+}

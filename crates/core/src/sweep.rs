@@ -1,0 +1,146 @@
+//! The paper's five parameter sweeps (§IV-B).
+//!
+//! *"We organize those 5 parameters into a 5-tuple (b, i, f, k, s) […]
+//! we have five groups of 5-tuples: (b, 128, 64, 11, 1), (64, i, 64,
+//! 11, 1), (64, 128, f, 11, 1), (64, 128, 64, k, 1) and (64, 128, 64,
+//! 11, s)."* Batch ranges 32–512 in steps of 32, input 32–256 in steps
+//! of 16, filters 32–512 in steps of 16.
+
+use gcnn_conv::ConvConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which tuple element a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Mini-batch size `b`.
+    Batch,
+    /// Input size `i`.
+    Input,
+    /// Filter count `f`.
+    Filters,
+    /// Kernel size `k`.
+    Kernel,
+    /// Stride `s`.
+    Stride,
+}
+
+impl SweepAxis {
+    /// Axis label for reports.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            SweepAxis::Batch => "mini-batch size",
+            SweepAxis::Input => "input size",
+            SweepAxis::Filters => "filter number",
+            SweepAxis::Kernel => "kernel size",
+            SweepAxis::Stride => "stride",
+        }
+    }
+}
+
+/// One sweep: an axis and the values it takes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sweep {
+    /// The varied axis.
+    pub axis: SweepAxis,
+    /// The values the axis takes (other tuple elements stay at the base
+    /// configuration).
+    pub values: Vec<usize>,
+}
+
+impl Sweep {
+    /// The configuration at one sweep point. Channels stay at the base
+    /// configuration's 3 throughout — the sweeps vary exactly one tuple
+    /// element, like the paper's Fig. 3/5 panels.
+    pub fn config_at(&self, value: usize) -> ConvConfig {
+        let base = ConvConfig::paper_base();
+        match self.axis {
+            SweepAxis::Batch => ConvConfig::with_channels(value, 3, 128, 64, 11, 1),
+            SweepAxis::Input => ConvConfig::with_channels(64, 3, value, 64, 11, 1),
+            SweepAxis::Filters => ConvConfig::with_channels(64, 3, 128, value, 11, 1),
+            SweepAxis::Kernel => ConvConfig::with_channels(64, 3, 128, 64, value, 1),
+            SweepAxis::Stride => ConvConfig::with_channels(64, 3, 128, 64, 11, value),
+        }
+        .validated_against(base)
+    }
+
+    /// All configurations of the sweep.
+    pub fn configs(&self) -> Vec<(usize, ConvConfig)> {
+        self.values.iter().map(|&v| (v, self.config_at(v))).collect()
+    }
+}
+
+trait Validated {
+    fn validated_against(self, base: ConvConfig) -> ConvConfig;
+}
+
+impl Validated for ConvConfig {
+    fn validated_against(self, _base: ConvConfig) -> ConvConfig {
+        debug_assert!(self.is_valid(), "sweep produced invalid config {self}");
+        self
+    }
+}
+
+/// The paper's five sweeps (§IV-B ranges; kernel and stride ranges are
+/// the plotted 3–15 odd kernels and strides 1–4).
+pub fn paper_sweeps() -> Vec<Sweep> {
+    vec![
+        Sweep {
+            axis: SweepAxis::Batch,
+            values: (32..=512).step_by(32).collect(),
+        },
+        Sweep {
+            axis: SweepAxis::Input,
+            values: (32..=256).step_by(16).collect(),
+        },
+        Sweep {
+            axis: SweepAxis::Filters,
+            values: (32..=512).step_by(16).collect(),
+        },
+        Sweep {
+            axis: SweepAxis::Kernel,
+            values: (3..=15).step_by(2).collect(),
+        },
+        Sweep {
+            axis: SweepAxis::Stride,
+            values: (1..=4).collect(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_sweeps_with_paper_ranges() {
+        let sweeps = paper_sweeps();
+        assert_eq!(sweeps.len(), 5);
+        assert_eq!(sweeps[0].values.first(), Some(&32));
+        assert_eq!(sweeps[0].values.last(), Some(&512));
+        assert_eq!(sweeps[0].values.len(), 16); // multiples of 32
+        assert_eq!(sweeps[1].values.last(), Some(&256));
+        assert_eq!(sweeps[2].values.len(), 31); // 32..512 step 16
+        assert_eq!(sweeps[4].values, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sweep_points_fix_other_axes_at_base() {
+        let sweeps = paper_sweeps();
+        let cfg = sweeps[0].config_at(256);
+        assert_eq!(cfg.batch, 256);
+        assert_eq!((cfg.input, cfg.filters, cfg.kernel, cfg.stride), (128, 64, 11, 1));
+
+        let cfg = sweeps[3].config_at(7);
+        assert_eq!(cfg.kernel, 7);
+        assert_eq!(cfg.batch, 64);
+    }
+
+    #[test]
+    fn all_sweep_configs_valid() {
+        for sweep in paper_sweeps() {
+            for (v, cfg) in sweep.configs() {
+                assert!(cfg.is_valid(), "{:?}={v}: {cfg}", sweep.axis);
+            }
+        }
+    }
+}

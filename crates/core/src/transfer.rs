@@ -1,0 +1,127 @@
+//! Fig. 7: CPU↔GPU data-transfer overhead.
+
+use gcnn_conv::{table1_configs, TABLE1_NAMES};
+use gcnn_frameworks::all_implementations;
+use gcnn_gpusim::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Transfer overhead of one implementation over the five Table I
+/// configurations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferRow {
+    /// Implementation name.
+    pub implementation: String,
+    /// `(layer name, transfer fraction of total runtime)`; None when the
+    /// shape is unsupported.
+    pub fractions: Vec<(String, Option<f64>)>,
+}
+
+impl TransferRow {
+    /// Fraction at a named Table I layer.
+    pub fn at(&self, layer: &str) -> Option<f64> {
+        self.fractions
+            .iter()
+            .find(|(n, _)| n == layer)
+            .and_then(|(_, f)| *f)
+    }
+
+    /// Largest fraction across the supported layers.
+    pub fn max_fraction(&self) -> f64 {
+        self.fractions
+            .iter()
+            .filter_map(|(_, f)| *f)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The full Fig. 7 grid.
+pub fn transfer_overheads(dev: &DeviceSpec) -> Vec<TransferRow> {
+    all_implementations()
+        .iter()
+        .map(|imp| {
+            let fractions = table1_configs()
+                .iter()
+                .zip(TABLE1_NAMES)
+                .map(|(cfg, name)| {
+                    let f = imp
+                        .supports(cfg)
+                        .ok()
+                        .and_then(|_| imp.plan(cfg).execute(dev, 1).ok())
+                        .map(|r| r.transfer_fraction());
+                    (name.to_string(), f)
+                })
+                .collect();
+            TransferRow {
+                implementation: imp.name().to_string(),
+                fractions,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<TransferRow> {
+        transfer_overheads(&DeviceSpec::k40c())
+    }
+
+    fn row<'a>(rows: &'a [TransferRow], name: &str) -> &'a TransferRow {
+        rows.iter().find(|r| r.implementation == name).unwrap()
+    }
+
+    #[test]
+    fn hidden_transfer_trio_near_zero() {
+        // Paper Fig. 7: "cuDNN, Caffe and fbfft have the lowest
+        // percentage (almost 0%) of data transfer time".
+        let rows = grid();
+        for name in ["cuDNN", "Caffe", "fbfft"] {
+            assert!(
+                row(&rows, name).max_fraction() < 0.01,
+                "{name}: {}",
+                row(&rows, name).max_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn middle_band_one_to_fifteen_percent() {
+        // Paper: "Torch-cunn, cuda-convnet2 and Theano-fft have
+        // relatively higher percentage (from 1% to 15%)".
+        let rows = grid();
+        for name in ["Torch-cunn", "cuda-convnet2", "Theano-fft"] {
+            let r = row(&rows, name);
+            let max = r.max_fraction();
+            assert!(
+                (0.005..=0.20).contains(&max),
+                "{name}: max fraction {max}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrmm_conv2_spike() {
+        // Paper: "Theano-CorrMM in the second configuration (Conv2) has
+        // a significant data transfer overhead (more than 60% of its
+        // total runtime)".
+        let rows = grid();
+        let r = row(&rows, "Theano-CorrMM");
+        let conv2 = r.at("Conv2").unwrap();
+        assert!(conv2 > 0.5, "Conv2 fraction {conv2}");
+        // And it is an outlier: every other layer stays small.
+        for layer in ["Conv1", "Conv3", "Conv4", "Conv5"] {
+            let f = r.at(layer).unwrap();
+            assert!(f < 0.10, "{layer}: {f}");
+        }
+    }
+
+    #[test]
+    fn all_rows_cover_all_layers() {
+        for r in grid() {
+            assert_eq!(r.fractions.len(), 5, "{}", r.implementation);
+            // Table I is stride-1: everything supported.
+            assert!(r.fractions.iter().all(|(_, f)| f.is_some()));
+        }
+    }
+}

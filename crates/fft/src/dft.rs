@@ -1,0 +1,71 @@
+//! The O(n²) discrete Fourier transform — reference implementation for
+//! testing the fast paths.
+
+use crate::Direction;
+use gcnn_tensor::Complex32;
+
+/// Direct evaluation of `X[k] = Σ x[j]·e^(∓2πijk/n)`, scaled by `1/n`
+/// for the inverse.
+pub fn dft(input: &[Complex32], dir: Direction) -> Vec<Complex32> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Complex32::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let theta = sign * 2.0 * std::f32::consts::PI * (j * k % n.max(1)) as f32 / n as f32;
+            acc = acc.mul_add(x, Complex32::from_polar_unit(theta));
+        }
+        if matches!(dir, Direction::Inverse) {
+            acc = acc / n as f32;
+        }
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[Complex32], b: &[Complex32], tol: f32) -> bool {
+        a.iter().zip(b).all(|(x, y)| (*x - *y).abs() < tol)
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex32::ZERO; 8];
+        x[0] = Complex32::ONE;
+        let f = dft(&x, Direction::Forward);
+        assert!(f.iter().all(|z| (*z - Complex32::ONE).abs() < 1e-5));
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let x = vec![Complex32::ONE; 8];
+        let f = dft(&x, Direction::Forward);
+        assert!((f[0] - Complex32::from_real(8.0)).abs() < 1e-4);
+        assert!(f[1..].iter().all(|z| z.abs() < 1e-4));
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let x: Vec<Complex32> = (0..16)
+            .map(|i| Complex32::new((i as f32).sin(), (i as f32 * 0.7).cos()))
+            .collect();
+        let back = dft(&dft(&x, Direction::Forward), Direction::Inverse);
+        assert!(close(&x, &back, 1e-4));
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<Complex32> = (0..8).map(|i| Complex32::new(i as f32, -(i as f32))).collect();
+        let f = dft(&x, Direction::Forward);
+        let et: f32 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ef: f32 = f.iter().map(|z| z.norm_sqr()).sum::<f32>() / 8.0;
+        assert!((et - ef).abs() < 1e-2 * et);
+    }
+}

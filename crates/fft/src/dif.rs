@@ -1,0 +1,120 @@
+//! Radix-2 decimation-in-frequency transform — the fbfft schedule.
+//!
+//! DIF runs the butterfly stages in shrinking span order on
+//! natural-order input and produces bit-reversed output; fbfft's
+//! `decimateInFrequency` kernel does exactly this (and fuses the
+//! bit-reversal into its register shuffles). We expose both the raw
+//! bit-reversed-output stage pipeline and a natural-order wrapper.
+
+use crate::plan::FftPlan;
+use crate::Direction;
+use gcnn_tensor::Complex32;
+
+/// DIF butterfly stages only: natural-order input → **bit-reversed**
+/// output. No scaling.
+pub fn dif_stages(data: &mut [Complex32], plan: &FftPlan, dir: Direction) {
+    let n = plan.len();
+    assert_eq!(data.len(), n, "dif_stages: buffer length");
+    if n <= 1 {
+        return;
+    }
+
+    let mut span = n / 2; // half-size of butterflies, shrinking
+    while span >= 1 {
+        let stride = n / (span * 2);
+        for start in (0..n).step_by(span * 2) {
+            for j in 0..span {
+                let w = match dir {
+                    Direction::Forward => plan.w_forward(j * stride),
+                    Direction::Inverse => plan.w_inverse(j * stride),
+                };
+                let a = data[start + j];
+                let b = data[start + j + span];
+                data[start + j] = a + b;
+                data[start + j + span] = (a - b) * w;
+            }
+        }
+        span /= 2;
+    }
+}
+
+/// Full natural-order DIF FFT: stages + bit-reversal, inverse scaled by
+/// `1/n`. Numerically equivalent to [`crate::dit::fft_inplace`]; tested
+/// against it.
+pub fn dif_fft_inplace(data: &mut [Complex32], plan: &FftPlan, dir: Direction) {
+    dif_stages(data, plan, dir);
+    plan.bitrev_permute(data);
+    if matches!(dir, Direction::Inverse) {
+        let inv_n = 1.0 / plan.len().max(1) as f32;
+        for z in data.iter_mut() {
+            *z = z.scale(inv_n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+    use crate::dit::fft_inplace;
+
+    fn close(a: &[Complex32], b: &[Complex32], tol: f32) -> bool {
+        a.iter().zip(b).all(|(x, y)| (*x - *y).abs() < tol)
+    }
+
+    fn signal(n: usize) -> Vec<Complex32> {
+        (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.53).cos(), (i as f32 * 0.29).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn dif_matches_dit() {
+        for n in [1usize, 2, 4, 16, 128] {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let mut a = x.clone();
+            fft_inplace(&mut a, &plan, Direction::Forward);
+            let mut b = x;
+            dif_fft_inplace(&mut b, &plan, Direction::Forward);
+            assert!(close(&a, &b, 1e-3 * (n as f32).max(1.0)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dif_matches_reference() {
+        let n = 32;
+        let plan = FftPlan::new(n);
+        let x = signal(n);
+        let mut fast = x.clone();
+        dif_fft_inplace(&mut fast, &plan, Direction::Forward);
+        let slow = dft(&x, Direction::Forward);
+        assert!(close(&fast, &slow, 1e-3 * n as f32));
+    }
+
+    #[test]
+    fn dif_roundtrip() {
+        let n = 64;
+        let plan = FftPlan::new(n);
+        let x = signal(n);
+        let mut buf = x.clone();
+        dif_fft_inplace(&mut buf, &plan, Direction::Forward);
+        dif_fft_inplace(&mut buf, &plan, Direction::Inverse);
+        assert!(close(&buf, &x, 1e-4 * (n as f32).sqrt()));
+    }
+
+    #[test]
+    fn stages_output_is_bitreversed() {
+        // dif_stages output, once bit-reverse-permuted, equals the DIT
+        // result — i.e. the stages really do emit bit-reversed order.
+        let n = 16;
+        let plan = FftPlan::new(n);
+        let x = signal(n);
+        let mut staged = x.clone();
+        dif_stages(&mut staged, &plan, Direction::Forward);
+        plan.bitrev_permute(&mut staged);
+        let mut expect = x;
+        fft_inplace(&mut expect, &plan, Direction::Forward);
+        assert!(close(&staged, &expect, 1e-3));
+    }
+}

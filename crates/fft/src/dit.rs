@@ -1,0 +1,145 @@
+//! Iterative radix-2 decimation-in-time transform.
+//!
+//! Bit-reverse the input, then run `log2(n)` butterfly stages of growing
+//! span. This is the textbook Cooley–Tukey schedule, the one a generic
+//! cuFFT-style library (the Theano-fft path) uses.
+
+use crate::plan::FftPlan;
+use crate::Direction;
+use gcnn_tensor::Complex32;
+
+/// In-place radix-2 DIT FFT. Input in natural order, output in natural
+/// order. Inverse is scaled by `1/n`.
+///
+/// ```
+/// use gcnn_fft::{FftPlan, Direction, dit::fft_inplace};
+/// use gcnn_tensor::Complex32;
+///
+/// let plan = FftPlan::new(8);
+/// let mut x = vec![Complex32::ZERO; 8];
+/// x[0] = Complex32::ONE; // impulse → flat spectrum
+/// fft_inplace(&mut x, &plan, Direction::Forward);
+/// assert!(x.iter().all(|z| (*z - Complex32::ONE).abs() < 1e-6));
+/// ```
+pub fn fft_inplace(data: &mut [Complex32], plan: &FftPlan, dir: Direction) {
+    let n = plan.len();
+    assert_eq!(data.len(), n, "fft_inplace: buffer length");
+    if n <= 1 {
+        return;
+    }
+
+    plan.bitrev_permute(data);
+
+    let mut span = 1; // half-size of the butterflies at this stage
+    while span < n {
+        let stride = n / (span * 2); // twiddle index stride
+        for start in (0..n).step_by(span * 2) {
+            for j in 0..span {
+                let w = match dir {
+                    Direction::Forward => plan.w_forward(j * stride),
+                    Direction::Inverse => plan.w_inverse(j * stride),
+                };
+                let a = data[start + j];
+                let b = data[start + j + span] * w;
+                data[start + j] = a + b;
+                data[start + j + span] = a - b;
+            }
+        }
+        span *= 2;
+    }
+
+    if matches!(dir, Direction::Inverse) {
+        let inv_n = 1.0 / n as f32;
+        for z in data.iter_mut() {
+            *z = z.scale(inv_n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    fn close(a: &[Complex32], b: &[Complex32], tol: f32) -> bool {
+        a.iter().zip(b).all(|(x, y)| (*x - *y).abs() < tol)
+    }
+
+    fn signal(n: usize) -> Vec<Complex32> {
+        (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.91).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let mut fast = x.clone();
+            fft_inplace(&mut fast, &plan, Direction::Forward);
+            let slow = dft(&x, Direction::Forward);
+            assert!(close(&fast, &slow, 1e-3 * (n as f32)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [2usize, 8, 32, 128, 512] {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let mut buf = x.clone();
+            fft_inplace(&mut buf, &plan, Direction::Forward);
+            fft_inplace(&mut buf, &plan, Direction::Inverse);
+            assert!(close(&buf, &x, 1e-4 * (n as f32).sqrt()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let plan = FftPlan::new(n);
+        let x = signal(n);
+        let y: Vec<Complex32> = signal(n).iter().map(|z| z.conj()).collect();
+
+        let mut fx = x.clone();
+        fft_inplace(&mut fx, &plan, Direction::Forward);
+        let mut fy = y.clone();
+        fft_inplace(&mut fy, &plan, Direction::Forward);
+
+        let mut fxy: Vec<Complex32> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        fft_inplace(&mut fxy, &plan, Direction::Forward);
+
+        let sum: Vec<Complex32> = fx.iter().zip(&fy).map(|(a, b)| *a + *b).collect();
+        assert!(close(&fxy, &sum, 1e-3));
+    }
+
+    #[test]
+    fn time_shift_is_phase_ramp() {
+        // Shifting the input circularly by 1 multiplies bin k by W_n^k.
+        let n = 16;
+        let plan = FftPlan::new(n);
+        let x = signal(n);
+        let mut shifted = x.clone();
+        shifted.rotate_right(1);
+
+        let mut fx = x;
+        fft_inplace(&mut fx, &plan, Direction::Forward);
+        let mut fs = shifted;
+        fft_inplace(&mut fs, &plan, Direction::Forward);
+
+        for k in 0..n {
+            let theta = -2.0 * std::f32::consts::PI * k as f32 / n as f32;
+            let expect = fx[k] * Complex32::from_polar_unit(theta);
+            assert!((fs[k] - expect).abs() < 1e-3, "bin {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn length_mismatch_panics() {
+        let plan = FftPlan::new(8);
+        let mut data = vec![Complex32::ZERO; 4];
+        fft_inplace(&mut data, &plan, Direction::Forward);
+    }
+}

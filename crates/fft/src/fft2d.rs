@@ -1,0 +1,210 @@
+//! Row-column 2-D transforms over complex planes.
+//!
+//! FFT convolution transforms every `h×w` feature-map plane; the 2-D
+//! transform is separable, so we run the 1-D plan over all rows, then
+//! over all columns (via a transpose-free strided gather into a scratch
+//! column buffer).
+
+use crate::dit::fft_inplace;
+use crate::plan::FftPlan;
+use crate::Direction;
+use gcnn_tensor::Complex32;
+
+/// Plans for a 2-D power-of-two transform of shape `rows × cols`.
+#[derive(Debug, Clone)]
+pub struct Fft2dPlan {
+    rows: usize,
+    cols: usize,
+    row_plan: FftPlan,
+    col_plan: FftPlan,
+}
+
+impl Fft2dPlan {
+    /// Build row and column plans. Both dimensions must be powers of
+    /// two.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Fft2dPlan {
+            rows,
+            cols,
+            row_plan: FftPlan::new(cols),
+            col_plan: FftPlan::new(rows),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// In-place 2-D transform of a row-major `rows × cols` plane.
+    pub fn transform(&self, plane: &mut [Complex32], dir: Direction) {
+        assert_eq!(
+            plane.len(),
+            self.rows * self.cols,
+            "Fft2dPlan::transform: plane size"
+        );
+        // All rows.
+        for r in 0..self.rows {
+            fft_inplace(&mut plane[r * self.cols..(r + 1) * self.cols], &self.row_plan, dir);
+        }
+        // All columns via scratch gather.
+        let mut colbuf = vec![Complex32::ZERO; self.rows];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                colbuf[r] = plane[r * self.cols + c];
+            }
+            fft_inplace(&mut colbuf, &self.col_plan, dir);
+            for r in 0..self.rows {
+                plane[r * self.cols + c] = colbuf[r];
+            }
+        }
+    }
+
+    /// Transform a real plane: widen to complex, forward-transform.
+    pub fn forward_real(&self, plane: &[f32]) -> Vec<Complex32> {
+        assert_eq!(plane.len(), self.rows * self.cols, "forward_real: plane size");
+        let mut buf: Vec<Complex32> = plane.iter().map(|&x| Complex32::from_real(x)).collect();
+        self.transform(&mut buf, Direction::Forward);
+        buf
+    }
+
+    /// Inverse-transform and take the real part (imaginary residue is
+    /// rounding noise when the spectrum came from real data).
+    pub fn inverse_to_real(&self, mut spectrum: Vec<Complex32>) -> Vec<f32> {
+        self.transform(&mut spectrum, Direction::Inverse);
+        spectrum.into_iter().map(|z| z.re).collect()
+    }
+}
+
+/// Elementwise spectrum product: `out[i] += a[i] · b[i]` (or conjugated
+/// `b` for correlation). This is the degenerate 1×1 case of the batched
+/// CGEMM the frameworks use; kept here for tests and the simple
+/// single-channel path.
+pub fn pointwise_mac(a: &[Complex32], b: &[Complex32], conj_b: bool, out: &mut [Complex32]) {
+    assert_eq!(a.len(), b.len(), "pointwise_mac: length");
+    assert_eq!(a.len(), out.len(), "pointwise_mac: out length");
+    for ((&x, &y), o) in a.iter().zip(b).zip(out.iter_mut()) {
+        let yy = if conj_b { y.conj() } else { y };
+        *o = o.mul_add(x, yy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_2d() {
+        let plan = Fft2dPlan::new(8, 16);
+        let plane: Vec<f32> = (0..128).map(|i| ((i * 37) % 23) as f32 - 11.0).collect();
+        let spec = plan.forward_real(&plane);
+        let back = plan.inverse_to_real(spec);
+        for (x, y) in plane.iter().zip(&back) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dc_bin_is_sum() {
+        let plan = Fft2dPlan::new(4, 4);
+        let plane = vec![1.5f32; 16];
+        let spec = plan.forward_real(&plane);
+        assert!((spec[0] - Complex32::from_real(24.0)).abs() < 1e-4);
+        assert!(spec[1..].iter().all(|z| z.abs() < 1e-4));
+    }
+
+    #[test]
+    fn impulse_spectrum_is_flat() {
+        let plan = Fft2dPlan::new(4, 8);
+        let mut plane = vec![0.0f32; 32];
+        plane[0] = 1.0;
+        let spec = plan.forward_real(&plane);
+        assert!(spec.iter().all(|z| (*z - Complex32::ONE).abs() < 1e-4));
+    }
+
+    /// Circular convolution theorem in 2-D: ifft(fft(a)·fft(b)) equals
+    /// the circular convolution computed directly.
+    #[test]
+    fn convolution_theorem_2d() {
+        let (h, w) = (8usize, 8usize);
+        let plan = Fft2dPlan::new(h, w);
+        let a: Vec<f32> = (0..h * w).map(|i| ((i * 7) % 5) as f32 - 2.0).collect();
+        let b: Vec<f32> = (0..h * w).map(|i| ((i * 13) % 3) as f32 - 1.0).collect();
+
+        // Direct circular convolution.
+        let mut direct = vec![0.0f32; h * w];
+        for oy in 0..h {
+            for ox in 0..w {
+                let mut acc = 0.0;
+                for ky in 0..h {
+                    for kx in 0..w {
+                        let ay = (oy + h - ky) % h;
+                        let ax = (ox + w - kx) % w;
+                        acc += a[ay * w + ax] * b[ky * w + kx];
+                    }
+                }
+                direct[oy * w + ox] = acc;
+            }
+        }
+
+        let fa = plan.forward_real(&a);
+        let fb = plan.forward_real(&b);
+        let mut prod = vec![Complex32::ZERO; h * w];
+        pointwise_mac(&fa, &fb, false, &mut prod);
+        let via_fft = plan.inverse_to_real(prod);
+
+        for (x, y) in direct.iter().zip(&via_fft) {
+            assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    /// Correlation theorem: conjugating one spectrum yields circular
+    /// cross-correlation.
+    #[test]
+    fn correlation_theorem_2d() {
+        let (h, w) = (4usize, 4usize);
+        let plan = Fft2dPlan::new(h, w);
+        let a: Vec<f32> = (0..16).map(|i| (i % 7) as f32).collect();
+        let b: Vec<f32> = (0..16).map(|i| ((i * 3) % 5) as f32).collect();
+
+        let mut direct = vec![0.0f32; h * w];
+        for oy in 0..h {
+            for ox in 0..w {
+                let mut acc = 0.0;
+                for ky in 0..h {
+                    for kx in 0..w {
+                        let ay = (oy + ky) % h;
+                        let ax = (ox + kx) % w;
+                        acc += a[ay * w + ax] * b[ky * w + kx];
+                    }
+                }
+                direct[oy * w + ox] = acc;
+            }
+        }
+
+        let fa = plan.forward_real(&a);
+        let fb = plan.forward_real(&b);
+        let mut prod = vec![Complex32::ZERO; h * w];
+        pointwise_mac(&fa, &fb, true, &mut prod);
+        let via_fft = plan.inverse_to_real(prod);
+
+        for (x, y) in direct.iter().zip(&via_fft) {
+            assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes_supported() {
+        let plan = Fft2dPlan::new(2, 32);
+        let plane: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let back = plan.inverse_to_real(plan.forward_real(&plane));
+        for (x, y) in plane.iter().zip(&back) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+}

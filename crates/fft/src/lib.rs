@@ -1,0 +1,66 @@
+//! # gcnn-fft
+//!
+//! A from-scratch radix-2 FFT — the "cuFFT / fbfft" substrate of the
+//! gcnn workspace.
+//!
+//! The FFT-based convolution strategy (paper §II-B) converts spatial
+//! convolution into a pointwise Fourier-domain product. fbfft implements
+//! the forward transform with a **decimation-in-frequency** (DIF) kernel
+//! (`decimateInFrequency` in the paper's Fig. 4f hotspot profile) and the
+//! inverse with `decimateInFrequencyInverse`. This crate provides:
+//!
+//! * [`plan::FftPlan`] — cached twiddle factors + bit-reversal table for
+//!   one power-of-two size.
+//! * [`dit`] — iterative decimation-in-time transform (used by the
+//!   Theano-fft model, which delegates to a generic cuFFT-style plan).
+//! * [`dif`] — decimation-in-frequency transform (the fbfft path).
+//! * [`fft2d`] — row-column 2-D transforms over [`Complex32`] planes.
+//! * [`dft`] — the O(n²) reference every fast path is tested against.
+//!
+//! All transforms are power-of-two only, like fbfft itself — this is the
+//! root cause of the paper's Fig. 5b/5d memory fluctuations, which our
+//! reproduction inherits by construction.
+//!
+//! [`Complex32`]: gcnn_tensor::Complex32
+
+pub mod dft;
+pub mod dif;
+pub mod dit;
+pub mod fft2d;
+pub mod plan;
+pub mod rfft;
+
+pub use fft2d::Fft2dPlan;
+pub use plan::FftPlan;
+pub use rfft::RfftPlan;
+
+/// Direction of a transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Spatial → Fourier.
+    Forward,
+    /// Fourier → spatial (scaled by `1/n`).
+    Inverse,
+}
+
+/// FLOPs of one radix-2 complex FFT of size `n`: `5·n·log2(n)`
+/// (the standard operation count: 10 real ops per butterfly over
+/// `n/2·log2(n)` butterflies).
+pub fn fft_flops(n: usize) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    5 * (n as u64) * (n.trailing_zeros() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_model() {
+        assert_eq!(fft_flops(1), 0);
+        assert_eq!(fft_flops(8), 5 * 8 * 3);
+        assert_eq!(fft_flops(1024), 5 * 1024 * 10);
+    }
+}

@@ -1,0 +1,149 @@
+//! Twiddle-factor plans.
+
+use gcnn_tensor::Complex32;
+
+/// Precomputed tables for a radix-2 FFT of one power-of-two size.
+///
+/// Holds forward twiddles `W_n^k = e^(−2πik/n)` for `k < n/2`, their
+/// conjugates for the inverse transform, and the bit-reversal
+/// permutation. Creating a plan is `O(n)`; transforms reuse it, the same
+/// way cuFFT/fbfft plans are created once per layer shape.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    log2n: u32,
+    /// `twiddles[k] = e^(−2πik/n)`, `k ∈ [0, n/2)`.
+    forward: Vec<Complex32>,
+    /// Conjugate twiddles for the inverse transform.
+    inverse: Vec<Complex32>,
+    /// `bitrev[i]` = bit-reversed `i` over `log2n` bits.
+    bitrev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Build a plan for size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FftPlan: size {n} not a power of two");
+        let log2n = n.trailing_zeros();
+        let half = n / 2;
+        let mut forward = Vec::with_capacity(half.max(1));
+        let mut inverse = Vec::with_capacity(half.max(1));
+        for k in 0..half.max(1) {
+            let theta = -2.0 * std::f32::consts::PI * k as f32 / n as f32;
+            let w = Complex32::from_polar_unit(theta);
+            forward.push(w);
+            inverse.push(w.conj());
+        }
+        let mut bitrev = vec![0u32; n];
+        for (i, slot) in bitrev.iter_mut().enumerate() {
+            *slot = (i as u32).reverse_bits() >> (32 - log2n.max(1));
+        }
+        if n == 1 {
+            bitrev[0] = 0;
+        }
+        FftPlan {
+            n,
+            log2n,
+            forward,
+            inverse,
+            bitrev,
+        }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate size-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// `log2(n)`.
+    #[inline]
+    pub fn log2n(&self) -> u32 {
+        self.log2n
+    }
+
+    /// Forward twiddle `W_n^k` for `k < n/2`.
+    #[inline]
+    pub fn w_forward(&self, k: usize) -> Complex32 {
+        self.forward[k]
+    }
+
+    /// Inverse twiddle `W_n^{−k}` for `k < n/2`.
+    #[inline]
+    pub fn w_inverse(&self, k: usize) -> Complex32 {
+        self.inverse[k]
+    }
+
+    /// Apply the bit-reversal permutation in place.
+    pub fn bitrev_permute(&self, data: &mut [Complex32]) {
+        debug_assert_eq!(data.len(), self.n, "bitrev_permute: length");
+        for i in 0..self.n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn rejects_non_pow2() {
+        FftPlan::new(12);
+    }
+
+    #[test]
+    fn twiddles_on_unit_circle() {
+        let p = FftPlan::new(16);
+        for k in 0..8 {
+            assert!((p.w_forward(k).abs() - 1.0).abs() < 1e-6);
+            // inverse twiddle is the conjugate
+            assert_eq!(p.w_inverse(k), p.w_forward(k).conj());
+        }
+        // W^0 = 1, W^{n/4} = −i for forward.
+        assert!((p.w_forward(0) - Complex32::ONE).abs() < 1e-6);
+        assert!((p.w_forward(4) - Complex32::new(0.0, -1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bitrev_is_involution() {
+        let p = FftPlan::new(32);
+        let orig: Vec<Complex32> = (0..32).map(|i| Complex32::from_real(i as f32)).collect();
+        let mut data = orig.clone();
+        p.bitrev_permute(&mut data);
+        assert_ne!(data, orig);
+        p.bitrev_permute(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn bitrev_known_order_8() {
+        let p = FftPlan::new(8);
+        let mut data: Vec<Complex32> = (0..8).map(|i| Complex32::from_real(i as f32)).collect();
+        p.bitrev_permute(&mut data);
+        let got: Vec<f32> = data.iter().map(|z| z.re).collect();
+        assert_eq!(got, vec![0.0, 4.0, 2.0, 6.0, 1.0, 5.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn size_one_plan() {
+        let p = FftPlan::new(1);
+        assert!(p.is_empty());
+        let mut data = [Complex32::ONE];
+        p.bitrev_permute(&mut data);
+        assert_eq!(data[0], Complex32::ONE);
+    }
+}

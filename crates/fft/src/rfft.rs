@@ -1,0 +1,242 @@
+//! Real-input 2-D transforms with Hermitian half-spectra.
+//!
+//! fbfft (and cuFFT's R2C/C2R paths) exploit that a real signal's
+//! spectrum is Hermitian: `X[k] = conj(X[n−k])`, so only `n/2 + 1`
+//! columns of an `n×n` spectrum need to be stored, multiplied and
+//! inverse-transformed. This module provides that layout — it halves
+//! the Fourier-domain work of the convolution strategy, exactly the
+//! saving the real implementations take.
+//!
+//! Layout: an `n×n` real plane transforms to `n` rows × `(n/2 + 1)`
+//! columns of [`Complex32`], row-major. Row transforms run first
+//! (real → half row spectrum), then full complex column transforms.
+
+use crate::dit::fft_inplace;
+use crate::plan::FftPlan;
+use crate::Direction;
+use gcnn_tensor::Complex32;
+
+/// Plan for `n×n` real-input transforms (power-of-two `n`).
+#[derive(Debug, Clone)]
+pub struct RfftPlan {
+    n: usize,
+    half: usize,
+    plan: FftPlan,
+}
+
+impl RfftPlan {
+    /// Build a plan for `n×n` planes.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        RfftPlan {
+            n,
+            half: n / 2 + 1,
+            plan: FftPlan::new(n),
+        }
+    }
+
+    /// Spatial size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored spectrum columns: `n/2 + 1`.
+    pub fn half_cols(&self) -> usize {
+        self.half
+    }
+
+    /// Stored spectrum elements per plane: `n · (n/2 + 1)`.
+    pub fn spectrum_len(&self) -> usize {
+        self.n * self.half
+    }
+
+    /// Forward transform of a row-major `n×n` real plane into the
+    /// half-spectrum layout.
+    pub fn forward(&self, plane: &[f32]) -> Vec<Complex32> {
+        assert_eq!(plane.len(), self.n * self.n, "RfftPlan::forward: plane size");
+        let (n, half) = (self.n, self.half);
+
+        // Row transforms: full complex FFT per row, keep half+1 bins.
+        let mut spec = vec![Complex32::ZERO; n * half];
+        let mut row = vec![Complex32::ZERO; n];
+        for r in 0..n {
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = Complex32::from_real(plane[r * n + c]);
+            }
+            fft_inplace(&mut row, &self.plan, Direction::Forward);
+            spec[r * half..(r + 1) * half].copy_from_slice(&row[..half]);
+        }
+
+        // Column transforms over the retained columns.
+        let mut col = vec![Complex32::ZERO; n];
+        for c in 0..half {
+            for r in 0..n {
+                col[r] = spec[r * half + c];
+            }
+            fft_inplace(&mut col, &self.plan, Direction::Forward);
+            for r in 0..n {
+                spec[r * half + c] = col[r];
+            }
+        }
+        spec
+    }
+
+    /// Inverse transform of a half-spectrum back to the real plane.
+    pub fn inverse(&self, spectrum: &[Complex32]) -> Vec<f32> {
+        assert_eq!(
+            spectrum.len(),
+            self.spectrum_len(),
+            "RfftPlan::inverse: spectrum size"
+        );
+        let (n, half) = (self.n, self.half);
+
+        // Inverse column transforms on the stored columns.
+        let mut spec = spectrum.to_vec();
+        let mut col = vec![Complex32::ZERO; n];
+        for c in 0..half {
+            for r in 0..n {
+                col[r] = spec[r * half + c];
+            }
+            fft_inplace(&mut col, &self.plan, Direction::Inverse);
+            for r in 0..n {
+                spec[r * half + c] = col[r];
+            }
+        }
+
+        // Reconstruct each full row by Hermitian symmetry, then inverse
+        // row transform and keep the real part.
+        let mut out = vec![0.0f32; n * n];
+        let mut row = vec![Complex32::ZERO; n];
+        for r in 0..n {
+            let src = &spec[r * half..(r + 1) * half];
+            row[..half].copy_from_slice(src);
+            for c in half..n {
+                // After the column inverse, each row is the spectrum of
+                // a real signal again, hence Hermitian within the row:
+                // T[r][n−c] = conj(T[r][c]).
+                row[c] = spec[r * half + (n - c)].conj();
+            }
+            // Column pass already applied its own inverse scaling; only
+            // the row direction remains.
+            fft_inplace(&mut row, &self.plan, Direction::Inverse);
+            for c in 0..n {
+                out[r * n + c] = row[c].re;
+            }
+        }
+        out
+    }
+}
+
+/// Pointwise half-spectrum product accumulate: `out += a·b` (or
+/// `a·conj(b)` for correlation). Works because products of Hermitian
+/// spectra stay Hermitian.
+pub fn half_pointwise_mac(
+    a: &[Complex32],
+    b: &[Complex32],
+    conj_b: bool,
+    out: &mut [Complex32],
+) {
+    assert_eq!(a.len(), b.len(), "half_pointwise_mac: operand lengths");
+    assert_eq!(a.len(), out.len(), "half_pointwise_mac: out length");
+    for ((&x, &y), o) in a.iter().zip(b).zip(out.iter_mut()) {
+        let yy = if conj_b { y.conj() } else { y };
+        *o = o.mul_add(x, yy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fft2dPlan;
+
+    fn plane(n: usize, seed: u64) -> Vec<f32> {
+        (0..n * n)
+            .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97)) % 1000) as f32
+                / 100.0
+                - 5.0)
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let p = RfftPlan::new(n);
+            let x = plane(n, 1);
+            let back = p.inverse(&p.forward(&x));
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-3, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_full_complex_transform() {
+        let n = 16;
+        let rp = RfftPlan::new(n);
+        let fp = Fft2dPlan::new(n, n);
+        let x = plane(n, 2);
+        let half = rp.forward(&x);
+        let full = fp.forward_real(&x);
+        for r in 0..n {
+            for c in 0..rp.half_cols() {
+                let a = half[r * rp.half_cols() + c];
+                let b = full[r * n + c];
+                assert!((a - b).abs() < 1e-3, "({r},{c}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_bin_is_sum() {
+        let n = 8;
+        let p = RfftPlan::new(n);
+        let x = vec![0.5f32; n * n];
+        let s = p.forward(&x);
+        assert!((s[0].re - 32.0).abs() < 1e-3);
+        assert!(s[0].im.abs() < 1e-4);
+    }
+
+    #[test]
+    fn spectrum_is_half_size() {
+        let p = RfftPlan::new(64);
+        assert_eq!(p.spectrum_len(), 64 * 33);
+        assert_eq!(p.forward(&plane(64, 3)).len(), 64 * 33);
+    }
+
+    /// Circular correlation through the half-spectrum equals the full
+    /// spectrum result.
+    #[test]
+    fn correlation_through_half_spectrum() {
+        let n = 8;
+        let rp = RfftPlan::new(n);
+        let fp = Fft2dPlan::new(n, n);
+        let a = plane(n, 4);
+        let b = plane(n, 5);
+
+        // Half-spectrum path.
+        let fa = rp.forward(&a);
+        let fb = rp.forward(&b);
+        let mut prod = vec![Complex32::ZERO; fa.len()];
+        half_pointwise_mac(&fa, &fb, true, &mut prod);
+        let via_half = rp.inverse(&prod);
+
+        // Full-spectrum path.
+        let ga = fp.forward_real(&a);
+        let gb = fp.forward_real(&b);
+        let mut full = vec![Complex32::ZERO; ga.len()];
+        crate::fft2d::pointwise_mac(&ga, &gb, true, &mut full);
+        let via_full = fp.inverse_to_real(full);
+
+        for (x, y) in via_half.iter().zip(&via_full) {
+            assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plane size")]
+    fn forward_checks_length() {
+        RfftPlan::new(8).forward(&[0.0; 63]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the FFT substrate.
+
+use gcnn_fft::dft::dft;
+use gcnn_fft::dif::dif_fft_inplace;
+use gcnn_fft::dit::fft_inplace;
+use gcnn_fft::{Direction, Fft2dPlan, FftPlan};
+use gcnn_tensor::Complex32;
+use proptest::prelude::*;
+
+fn cvec(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    proptest::collection::vec((-4.0f32..4.0, -4.0f32..4.0), len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex32::new(re, im)).collect())
+}
+
+fn pow2(max_log: u32) -> impl Strategy<Value = usize> {
+    (0u32..=max_log).prop_map(|l| 1usize << l)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dit_roundtrip((n, seed) in pow2(9).prop_flat_map(|n| (Just(n), 0u64..1000))) {
+        let _ = seed;
+        let plan = FftPlan::new(n);
+        let x: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new(((i as u64 + seed) % 17) as f32 - 8.0, ((i as u64 * 3 + seed) % 13) as f32 - 6.0))
+            .collect();
+        let mut buf = x.clone();
+        fft_inplace(&mut buf, &plan, Direction::Forward);
+        fft_inplace(&mut buf, &plan, Direction::Inverse);
+        for (a, b) in x.iter().zip(&buf) {
+            prop_assert!((*a - *b).abs() < 1e-3 * (n as f32).sqrt());
+        }
+    }
+
+    #[test]
+    fn dit_matches_dft(x in pow2(6).prop_flat_map(cvec)) {
+        let n = x.len();
+        let plan = FftPlan::new(n);
+        let mut fast = x.clone();
+        fft_inplace(&mut fast, &plan, Direction::Forward);
+        let slow = dft(&x, Direction::Forward);
+        let scale = x.iter().map(|z| z.abs()).fold(1.0f32, f32::max);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 2e-3 * scale * n as f32, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dif_equals_dit(x in pow2(8).prop_flat_map(cvec)) {
+        let plan = FftPlan::new(x.len());
+        let mut a = x.clone();
+        fft_inplace(&mut a, &plan, Direction::Forward);
+        let mut b = x;
+        dif_fft_inplace(&mut b, &plan, Direction::Forward);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((*p - *q).abs() < 1e-2 * p.abs().max(1.0));
+        }
+    }
+
+    /// Parseval: ‖x‖² == ‖X‖²/n.
+    #[test]
+    fn parseval(x in pow2(8).prop_flat_map(cvec)) {
+        let n = x.len();
+        let plan = FftPlan::new(n);
+        let mut f = x.clone();
+        fft_inplace(&mut f, &plan, Direction::Forward);
+        let et: f32 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ef: f32 = f.iter().map(|z| z.norm_sqr()).sum::<f32>() / n as f32;
+        prop_assert!((et - ef).abs() < 1e-2 * et.max(1.0), "{et} vs {ef}");
+    }
+
+    /// Real input ⇒ Hermitian spectrum: X[k] == conj(X[n−k]).
+    #[test]
+    fn real_input_hermitian(v in pow2(7).prop_flat_map(|n| proptest::collection::vec(-4.0f32..4.0, n))) {
+        let n = v.len();
+        let plan = FftPlan::new(n);
+        let mut f: Vec<Complex32> = v.iter().map(|&x| Complex32::from_real(x)).collect();
+        fft_inplace(&mut f, &plan, Direction::Forward);
+        let scale = v.iter().map(|x| x.abs()).fold(1.0f32, f32::max) * n as f32;
+        for k in 1..n {
+            prop_assert!((f[k] - f[n - k].conj()).abs() < 1e-4 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn fft2d_roundtrip(logh in 0u32..4, logw in 0u32..4, seed in 0u64..500) {
+        let (h, w) = (1usize << logh, 1usize << logw);
+        let plan = Fft2dPlan::new(h, w);
+        let plane: Vec<f32> = (0..h * w).map(|i| (((i as u64 * 31 + seed) % 19) as f32) - 9.0).collect();
+        let back = plan.inverse_to_real(plan.forward_real(&plane));
+        for (a, b) in plane.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-3 * ((h * w) as f32).sqrt());
+        }
+    }
+}

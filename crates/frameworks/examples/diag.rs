@@ -1,0 +1,48 @@
+//! Calibration diagnostic: prints per-framework timing breakdowns.
+
+use gcnn_conv::ConvConfig;
+use gcnn_frameworks::all_implementations;
+use gcnn_gpusim::DeviceSpec;
+
+fn main() {
+    let dev = DeviceSpec::k40c();
+    let configs = [
+        ("base k=11", ConvConfig::paper_base()),
+        ("k=3", ConvConfig::from_tuple(64, 128, 64, 3, 1)),
+        ("k=5", ConvConfig::from_tuple(64, 128, 64, 5, 1)),
+        ("k=7", ConvConfig::from_tuple(64, 128, 64, 7, 1)),
+        ("f=160", ConvConfig::from_tuple(64, 128, 160, 11, 1)),
+        ("f=128", ConvConfig::from_tuple(64, 128, 128, 11, 1)),
+        ("conv2", gcnn_conv::table1_configs()[1]),
+    ];
+    for (label, cfg) in configs {
+        println!("=== {label} {cfg} ===");
+        for imp in all_implementations() {
+            if imp.supports(&cfg).is_err() {
+                println!("  {:<15} unsupported", imp.name());
+                continue;
+            }
+            let plan = imp.plan(&cfg);
+            match plan.execute(&dev, 1) {
+                Ok(r) => {
+                    let mut parts: Vec<String> = r
+                        .kernels
+                        .iter()
+                        .map(|k| format!("{}={:.1}ms", k.name, k.total_ms))
+                        .collect();
+                    parts.truncate(5);
+                    println!(
+                        "  {:<15} total={:>8.1}ms xfer={:>5.1}ms ({:>4.1}%) mem={:>6}MB | {}",
+                        imp.name(),
+                        r.total_ms(),
+                        r.transfer_visible_ms,
+                        100.0 * r.transfer_fraction(),
+                        r.peak_mem_bytes / (1024 * 1024),
+                        parts.join(" ")
+                    );
+                }
+                Err(e) => println!("  {:<15} OOM: {e}", imp.name()),
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Execution plans: the kernel-level schedule an implementation runs for
+//! one training iteration.
+
+use gcnn_gpusim::{
+    DeviceSpec, KernelDesc, OomError, ProfileReport, ProfilerSession, Timeline, Transfer,
+};
+use serde::{Deserialize, Serialize};
+
+/// Table II row: per-thread registers and per-block shared memory of an
+/// implementation's hotspot kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceProfile {
+    /// Registers per thread.
+    pub registers: u32,
+    /// Shared memory per block, KB.
+    pub shared_kb: f32,
+}
+
+impl ResourceProfile {
+    /// Shared memory in bytes.
+    pub fn shared_bytes(&self) -> u32 {
+        (self.shared_kb * 1024.0) as u32
+    }
+}
+
+/// One kernel repeated `count` times (e.g. Caffe's per-image im2col is
+/// one planned kernel with `count = batch`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedKernel {
+    /// The launch description.
+    pub desc: KernelDesc,
+    /// Number of identical launches.
+    pub count: u32,
+}
+
+impl PlannedKernel {
+    /// A kernel launched once.
+    pub fn once(desc: KernelDesc) -> Self {
+        PlannedKernel { desc, count: 1 }
+    }
+
+    /// A kernel launched `count` times.
+    pub fn times(desc: KernelDesc, count: u32) -> Self {
+        PlannedKernel { desc, count }
+    }
+}
+
+/// Everything one training iteration does on the device.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Device allocations, labeled (tensors + workspaces). All live for
+    /// the duration of the iteration, so their sum is the peak.
+    pub allocations: Vec<(String, u64)>,
+    /// Host↔device copies of the iteration.
+    pub transfers: Vec<Transfer>,
+    /// Kernel launches in order.
+    pub kernels: Vec<PlannedKernel>,
+}
+
+impl ExecutionPlan {
+    /// Total device bytes the plan holds at peak.
+    pub fn peak_bytes(&self) -> u64 {
+        self.allocations.iter().map(|(_, b)| *b).sum()
+    }
+
+    /// Total useful FLOPs across all launches.
+    pub fn total_flops(&self) -> u64 {
+        self.kernels
+            .iter()
+            .map(|p| p.desc.flops * p.count as u64)
+            .sum()
+    }
+
+    /// Execute the plan on a fresh profiler session over `dev` for
+    /// `iterations` iterations (allocations persist across iterations,
+    /// as frameworks reuse their buffers; kernels and transfers repeat).
+    pub fn execute(
+        &self,
+        dev: &DeviceSpec,
+        iterations: u32,
+    ) -> Result<ProfileReport, OomError> {
+        self.execute_traced(dev, iterations).map(|(report, _)| report)
+    }
+
+    /// [`ExecutionPlan::execute`], additionally returning the execution
+    /// [`Timeline`] (exportable to Chrome trace format).
+    pub fn execute_traced(
+        &self,
+        dev: &DeviceSpec,
+        iterations: u32,
+    ) -> Result<(ProfileReport, Timeline), OomError> {
+        let mut session = ProfilerSession::new(dev.clone());
+        for (label, bytes) in &self.allocations {
+            session.alloc(label.clone(), *bytes)?;
+        }
+        for _ in 0..iterations {
+            for t in &self.transfers {
+                session.transfer(*t);
+            }
+            for pk in &self.kernels {
+                for _ in 0..pk.count {
+                    session.launch(&pk.desc);
+                }
+            }
+        }
+        let timeline = session.timeline().clone();
+        Ok((session.report(), timeline))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnn_gpusim::{LaunchConfig, TransferDirection};
+
+    fn plan() -> ExecutionPlan {
+        let mut k = KernelDesc::new("work", LaunchConfig::new(512, 256));
+        k.flops = 1_000_000_000;
+        ExecutionPlan {
+            allocations: vec![("input".into(), 1000), ("output".into(), 2000)],
+            transfers: vec![Transfer::sync(TransferDirection::HostToDevice, 1 << 20)],
+            kernels: vec![PlannedKernel::times(k, 3)],
+        }
+    }
+
+    #[test]
+    fn peak_and_flops_totals() {
+        let p = plan();
+        assert_eq!(p.peak_bytes(), 3000);
+        assert_eq!(p.total_flops(), 3_000_000_000);
+    }
+
+    #[test]
+    fn execute_counts_launches_and_iterations() {
+        let p = plan();
+        let report = p.execute(&DeviceSpec::k40c(), 2).unwrap();
+        assert_eq!(report.kernels.len(), 1);
+        assert_eq!(report.kernels[0].launches, 6);
+        assert_eq!(report.peak_mem_bytes, 3000);
+        assert!(report.transfer_visible_ms > 0.0);
+    }
+
+    #[test]
+    fn oom_surfaces_from_execute() {
+        let mut p = plan();
+        p.allocations.push(("huge".into(), u64::MAX / 2));
+        assert!(p.execute(&DeviceSpec::k40c(), 1).is_err());
+    }
+
+    #[test]
+    fn resource_profile_bytes() {
+        let r = ResourceProfile {
+            registers: 86,
+            shared_kb: 8.5,
+        };
+        assert_eq!(r.shared_bytes(), 8704);
+    }
+}

@@ -1,0 +1,73 @@
+//! Cache-blocking parameters for the BLIS-style GEMM.
+
+/// Register micro-tile height (rows of C computed per micro-kernel call).
+pub const MR: usize = 8;
+/// Register micro-tile width (columns of C computed per micro-kernel
+/// call).
+pub const NR: usize = 8;
+
+/// Cache-level blocking sizes.
+///
+/// The three loops of a blocked GEMM walk `N` in `nc` strips (panel of B
+/// kept streaming), `K` in `kc` slabs (packed B panel sized for L3/L2)
+/// and `M` in `mc` blocks (packed A block sized for L2/L1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// `M`-dimension block (rows of A packed at once). Multiple of [`MR`].
+    pub mc: usize,
+    /// `K`-dimension block (shared inner dimension per packing pass).
+    pub kc: usize,
+    /// `N`-dimension block (columns of B packed at once). Multiple of
+    /// [`NR`].
+    pub nc: usize,
+}
+
+impl BlockSizes {
+    /// Sizes tuned for typical x86 cache hierarchies; good defaults for
+    /// every matrix in this workspace.
+    pub const fn default_sizes() -> Self {
+        BlockSizes {
+            mc: 128,
+            kc: 256,
+            nc: 1024,
+        }
+    }
+
+    /// Small blocks used by tests to force many partial tiles.
+    pub const fn tiny() -> Self {
+        BlockSizes {
+            mc: MR * 2,
+            kc: 7,
+            nc: NR * 2,
+        }
+    }
+
+    /// Validate the invariants the packing code relies on.
+    pub fn validate(&self) -> bool {
+        self.mc > 0 && self.kc > 0 && self.nc > 0 && self.mc % MR == 0 && self.nc % NR == 0
+    }
+}
+
+impl Default for BlockSizes {
+    fn default() -> Self {
+        Self::default_sizes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(BlockSizes::default_sizes().validate());
+        assert!(BlockSizes::tiny().validate());
+    }
+
+    #[test]
+    fn invalid_blocks_detected() {
+        assert!(!BlockSizes { mc: 0, kc: 1, nc: NR }.validate());
+        assert!(!BlockSizes { mc: MR + 1, kc: 1, nc: NR }.validate());
+        assert!(!BlockSizes { mc: MR, kc: 1, nc: NR + 1 }.validate());
+    }
+}

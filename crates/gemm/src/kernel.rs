@@ -1,0 +1,107 @@
+//! The register-tile micro-kernel.
+
+use crate::blocking::{MR, NR};
+
+/// Compute an `MR×NR` product of one packed-A strip and one packed-B
+/// strip, accumulating `alpha · A·B` into the accumulator `acc`
+/// (row-major `MR×NR`).
+///
+/// `a_strip` holds `kc` groups of `MR` values (one column of the strip
+/// per group); `b_strip` holds `kc` groups of `NR` values (one row of the
+/// strip per group). Both are produced zero-padded by `pack`, so the
+/// kernel is branch-free.
+#[inline(always)]
+pub fn microkernel(kc: usize, alpha: f32, a_strip: &[f32], b_strip: &[f32], acc: &mut [f32]) {
+    debug_assert!(a_strip.len() >= kc * MR);
+    debug_assert!(b_strip.len() >= kc * NR);
+    debug_assert_eq!(acc.len(), MR * NR);
+
+    // Local accumulator keeps the hot values in registers; the compiler
+    // vectorizes the NR-wide inner loop.
+    let mut local = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let av = &a_strip[p * MR..p * MR + MR];
+        let bv = &b_strip[p * NR..p * NR + NR];
+        for (i, &ai) in av.iter().enumerate() {
+            let row = &mut local[i];
+            for (j, &bj) in bv.iter().enumerate() {
+                row[j] += ai * bj;
+            }
+        }
+    }
+    for i in 0..MR {
+        for j in 0..NR {
+            acc[i * NR + j] += alpha * local[i][j];
+        }
+    }
+}
+
+/// Write the valid `m_eff × n_eff` corner of a full `MR×NR` accumulator
+/// tile into C at `(row0, col0)` (C row-major with leading dimension
+/// `ldc`), adding to what is already there.
+#[inline]
+pub fn writeback_tile(
+    acc: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    m_eff: usize,
+    n_eff: usize,
+) {
+    debug_assert_eq!(acc.len(), MR * NR);
+    for i in 0..m_eff {
+        let crow = &mut c[(row0 + i) * ldc + col0..(row0 + i) * ldc + col0 + n_eff];
+        let arow = &acc[i * NR..i * NR + n_eff];
+        for (cv, av) in crow.iter_mut().zip(arow) {
+            *cv += av;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microkernel_matches_reference() {
+        let kc = 5;
+        let a: Vec<f32> = (0..kc * MR).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..kc * NR).map(|i| (i % 5) as f32 - 2.0).collect();
+        let mut acc = vec![0.0; MR * NR];
+        microkernel(kc, 2.0, &a, &b, &mut acc);
+
+        for i in 0..MR {
+            for j in 0..NR {
+                let expect: f32 = (0..kc).map(|p| a[p * MR + i] * b[p * NR + j]).sum();
+                assert!(
+                    (acc[i * NR + j] - 2.0 * expect).abs() < 1e-5,
+                    "tile ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn microkernel_accumulates() {
+        let kc = 1;
+        let a = vec![1.0; MR];
+        let b = vec![1.0; NR];
+        let mut acc = vec![10.0; MR * NR];
+        microkernel(kc, 1.0, &a, &b, &mut acc);
+        assert!(acc.iter().all(|&v| (v - 11.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn writeback_partial_tile() {
+        let acc: Vec<f32> = (0..MR * NR).map(|i| i as f32).collect();
+        let mut c = vec![100.0; 4 * 10];
+        writeback_tile(&acc, &mut c, 10, 1, 2, 2, 3);
+        // Rows 1..3, cols 2..5 updated.
+        assert_eq!(c[10 + 2], 100.0 + acc[0]);
+        assert_eq!(c[2 * 10 + 4], 100.0 + acc[NR + 2]);
+        // Untouched corner.
+        assert_eq!(c[0], 100.0);
+        assert_eq!(c[3 * 10 + 2], 100.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Trivially-correct reference GEMMs the optimized paths are tested
+//! against.
+
+use gcnn_tensor::Complex32;
+
+/// Reference real GEMM: `C ← alpha·op(A)·op(B) + beta·C`, all matrices
+/// row-major with the given leading dimensions, `op` controlled by the
+/// transpose flags.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_ref(
+    transa: bool,
+    transb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let av = if transa { a[p * lda + i] } else { a[i * lda + p] };
+                let bv = if transb { b[j * ldb + p] } else { b[p * ldb + j] };
+                acc += av * bv;
+            }
+            c[i * ldc + j] = alpha * acc + beta * c[i * ldc + j];
+        }
+    }
+}
+
+/// Reference complex GEMM: `C ← alpha·A·B + beta·C` (no transpose
+/// variants; the FFT path conjugates operands explicitly instead).
+#[allow(clippy::too_many_arguments)]
+pub fn cgemm_ref(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: Complex32,
+    a: &[Complex32],
+    lda: usize,
+    b: &[Complex32],
+    ldb: usize,
+    beta: Complex32,
+    c: &mut [Complex32],
+    ldc: usize,
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = Complex32::ZERO;
+            for p in 0..k {
+                acc = acc.mul_add(a[i * lda + p], b[p * ldb + j]);
+            }
+            c[i * ldc + j] = alpha * acc + beta * c[i * ldc + j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_matrix() {
+        // I(2) * [[1,2],[3,4]] = same.
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let mut c = [0.0; 4];
+        sgemm_ref(false, false, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn transpose_flags() {
+        // A = [[1,2],[3,4]] (2x2). A^T * A = [[10,14],[14,20]].
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let mut c = [0.0; 4];
+        sgemm_ref(true, false, 2, 2, 2, 1.0, &a, 2, &a, 2, 0.0, &mut c, 2);
+        assert_eq!(c, [10.0, 14.0, 14.0, 20.0]);
+
+        // A * A^T = [[5,11],[11,25]].
+        let mut c = [0.0; 4];
+        sgemm_ref(false, true, 2, 2, 2, 1.0, &a, 2, &a, 2, 0.0, &mut c, 2);
+        assert_eq!(c, [5.0, 11.0, 11.0, 25.0]);
+    }
+
+    #[test]
+    fn alpha_beta() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [1.0, 1.0, 1.0, 1.0];
+        let mut c = [10.0, 10.0, 10.0, 10.0];
+        sgemm_ref(false, false, 2, 2, 2, 2.0, &a, 2, &b, 2, 0.5, &mut c, 2);
+        assert_eq!(c, [7.0, 7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn cgemm_i_squared() {
+        // [i] * [i] = [-1]
+        let i = Complex32::I;
+        let a = [i];
+        let b = [i];
+        let mut c = [Complex32::ZERO];
+        cgemm_ref(1, 1, 1, Complex32::ONE, &a, 1, &b, 1, Complex32::ZERO, &mut c, 1);
+        assert_eq!(c[0], Complex32::new(-1.0, 0.0));
+    }
+}

@@ -1,0 +1,155 @@
+//! Operand packing for the blocked GEMM.
+//!
+//! Packing copies a block of A (resp. a panel of B) into a contiguous
+//! buffer laid out exactly in the order the micro-kernel consumes it,
+//! zero-padding partial tiles so the micro-kernel never branches on
+//! edges. This mirrors what cuBLAS/cuDNN do in shared memory on the GPU
+//! (paper §V-A: cuDNN's unrolling and GEMM are "optimized by using shared
+//! memory and tiled matrix multiplication").
+
+use crate::blocking::{MR, NR};
+
+/// A read-only view of a (possibly transposed) row-major operand.
+///
+/// `at(i, j)` yields element `(i, j)` of the *logical* matrix, i.e. after
+/// the transpose flag has been applied.
+#[derive(Clone, Copy)]
+pub struct OperandView<'a> {
+    data: &'a [f32],
+    /// Leading dimension (row stride) of the *stored* matrix.
+    ld: usize,
+    transposed: bool,
+}
+
+impl<'a> OperandView<'a> {
+    /// Wrap a row-major buffer with leading dimension `ld`; when
+    /// `transposed`, logical `(i, j)` reads stored `(j, i)`.
+    pub fn new(data: &'a [f32], ld: usize, transposed: bool) -> Self {
+        OperandView {
+            data,
+            ld,
+            transposed,
+        }
+    }
+
+    /// Element of the logical matrix.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        if self.transposed {
+            self.data[j * self.ld + i]
+        } else {
+            self.data[i * self.ld + j]
+        }
+    }
+}
+
+/// Pack an `mc_eff × kc_eff` block of A (starting at logical row `i0`,
+/// column `p0`) into strips of [`MR`] rows: the buffer holds, for each
+/// strip, `kc_eff` groups of `MR` consecutive values (one per row),
+/// zero-padded when the strip exceeds the matrix edge.
+///
+/// Buffer length must be `ceil(mc_eff / MR) * MR * kc_eff`.
+pub fn pack_a(
+    a: &OperandView<'_>,
+    i0: usize,
+    p0: usize,
+    mc_eff: usize,
+    kc_eff: usize,
+    buf: &mut [f32],
+) {
+    let strips = mc_eff.div_ceil(MR);
+    debug_assert_eq!(buf.len(), strips * MR * kc_eff, "pack_a: buffer size");
+    let mut out = 0;
+    for s in 0..strips {
+        let row_base = s * MR;
+        for p in 0..kc_eff {
+            for r in 0..MR {
+                let i = row_base + r;
+                buf[out] = if i < mc_eff { a.at(i0 + i, p0 + p) } else { 0.0 };
+                out += 1;
+            }
+        }
+    }
+}
+
+/// Pack a `kc_eff × nc_eff` panel of B (starting at logical row `p0`,
+/// column `j0`) into strips of [`NR`] columns: for each strip, `kc_eff`
+/// groups of `NR` consecutive values (one per column), zero-padded on the
+/// right edge.
+///
+/// Buffer length must be `ceil(nc_eff / NR) * NR * kc_eff`.
+pub fn pack_b(
+    b: &OperandView<'_>,
+    p0: usize,
+    j0: usize,
+    kc_eff: usize,
+    nc_eff: usize,
+    buf: &mut [f32],
+) {
+    let strips = nc_eff.div_ceil(NR);
+    debug_assert_eq!(buf.len(), strips * NR * kc_eff, "pack_b: buffer size");
+    let mut out = 0;
+    for s in 0..strips {
+        let col_base = s * NR;
+        for p in 0..kc_eff {
+            for c in 0..NR {
+                let j = col_base + c;
+                buf[out] = if j < nc_eff { b.at(p0 + p, j0 + j) } else { 0.0 };
+                out += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_view_transpose() {
+        // Stored 2x3 row-major: [1 2 3; 4 5 6].
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let v = OperandView::new(&data, 3, false);
+        assert_eq!(v.at(1, 2), 6.0);
+        let vt = OperandView::new(&data, 3, true); // logical 3x2
+        assert_eq!(vt.at(2, 1), 6.0);
+        assert_eq!(vt.at(0, 1), 4.0);
+    }
+
+    #[test]
+    fn pack_a_layout_and_padding() {
+        // 3x2 logical block packed with MR=8: one strip, rows 3..8 padded.
+        let data: Vec<f32> = (1..=6).map(|x| x as f32).collect(); // 3x2
+        let a = OperandView::new(&data, 2, false);
+        let mut buf = vec![-1.0; MR * 2];
+        pack_a(&a, 0, 0, 3, 2, &mut buf);
+        // k=0 group: column 0 of the block = [1, 3, 5, 0, 0, 0, 0, 0]
+        assert_eq!(&buf[..MR], &[1.0, 3.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        // k=1 group: column 1 of the block = [2, 4, 6, 0...]
+        assert_eq!(&buf[MR..2 * MR], &[2.0, 4.0, 6.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_b_layout_and_padding() {
+        // 2x3 logical panel packed with NR=8: one strip, cols 3..8 padded.
+        let data: Vec<f32> = (1..=6).map(|x| x as f32).collect(); // 2x3
+        let b = OperandView::new(&data, 3, false);
+        let mut buf = vec![-1.0; NR * 2];
+        pack_b(&b, 0, 0, 2, 3, &mut buf);
+        // p=0 group: row 0 = [1, 2, 3, 0, 0, 0, 0, 0]
+        assert_eq!(&buf[..NR], &[1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&buf[NR..2 * NR], &[4.0, 5.0, 6.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_a_subblock_offsets() {
+        // A 4x4 matrix, pack the 2x2 block at (2, 1).
+        let data: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        let a = OperandView::new(&data, 4, false);
+        let mut buf = vec![0.0; MR * 2];
+        pack_a(&a, 2, 1, 2, 2, &mut buf);
+        assert_eq!(buf[0], 9.0); // (2,1)
+        assert_eq!(buf[1], 13.0); // (3,1)
+        assert_eq!(buf[MR], 10.0); // (2,2)
+    }
+}

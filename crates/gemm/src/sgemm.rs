@@ -1,0 +1,424 @@
+//! The blocked, packed, parallel SGEMM driver.
+
+use crate::blocking::{BlockSizes, MR, NR};
+use crate::kernel::{microkernel, writeback_tile};
+use crate::pack::{pack_a, pack_b, OperandView};
+use gcnn_tensor::Matrix;
+use rayon::prelude::*;
+
+/// Transpose flag for a GEMM operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the stored operand.
+    Yes,
+}
+
+impl Transpose {
+    fn flag(self) -> bool {
+        matches!(self, Transpose::Yes)
+    }
+}
+
+/// `C ← alpha·op(A)·op(B) + beta·C` with default block sizes.
+///
+/// All matrices are row-major; `lda`/`ldb`/`ldc` are the *stored* leading
+/// dimensions. `op(A)` is logically `m×k` and `op(B)` is `k×n`.
+///
+/// ```
+/// use gcnn_gemm::{sgemm, Transpose};
+///
+/// // C(2×2) = A(2×3) · B(3×2)
+/// let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+/// let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+/// let mut c = [0.0f32; 4];
+/// sgemm(Transpose::No, Transpose::No, 2, 2, 3,
+///       1.0, &a, 3, &b, 2, 0.0, &mut c, 2);
+/// assert_eq!(c, [4.0, 5.0, 10.0, 11.0]);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm(
+    transa: Transpose,
+    transb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    sgemm_blocked(
+        transa,
+        transb,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        b,
+        ldb,
+        beta,
+        c,
+        ldc,
+        BlockSizes::default_sizes(),
+    );
+}
+
+/// [`sgemm`] with explicit block sizes (exposed so tests can force edge
+/// tiles and benches can sweep blocking).
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_blocked(
+    transa: Transpose,
+    transb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    blocks: BlockSizes,
+) {
+    assert!(blocks.validate(), "sgemm: invalid block sizes {blocks:?}");
+    assert!(ldc >= n, "sgemm: ldc {ldc} < n {n}");
+    assert!(c.len() >= m.saturating_sub(1) * ldc + n || m == 0 || n == 0);
+
+    // Apply beta once up front; the block loops then accumulate.
+    if beta != 1.0 {
+        for i in 0..m {
+            for v in &mut c[i * ldc..i * ldc + n] {
+                *v *= beta;
+            }
+        }
+    }
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    let av = OperandView::new(a, lda, transa.flag());
+    let bv = OperandView::new(b, ldb, transb.flag());
+
+    let mut bbuf = vec![0.0f32; blocks.nc.div_ceil(NR) * NR * blocks.kc];
+    for j0 in (0..n).step_by(blocks.nc) {
+        let nc_eff = blocks.nc.min(n - j0);
+        for p0 in (0..k).step_by(blocks.kc) {
+            let kc_eff = blocks.kc.min(k - p0);
+            let b_strips = nc_eff.div_ceil(NR);
+            let bpanel = &mut bbuf[..b_strips * NR * kc_eff];
+            pack_b(&bv, p0, j0, kc_eff, nc_eff, bpanel);
+            let bpanel: &[f32] = bpanel;
+
+            // Parallelize over disjoint row-block slices of C: each chunk
+            // covers `mc` full rows, so writes never alias.
+            c.par_chunks_mut(blocks.mc * ldc)
+                .enumerate()
+                .for_each(|(chunk_idx, cchunk)| {
+                    let i0 = chunk_idx * blocks.mc;
+                    if i0 >= m {
+                        return;
+                    }
+                    let mc_eff = blocks.mc.min(m - i0);
+                    let a_strips = mc_eff.div_ceil(MR);
+                    let mut abuf = vec![0.0f32; a_strips * MR * kc_eff];
+                    pack_a(&av, i0, p0, mc_eff, kc_eff, &mut abuf);
+
+                    let mut acc = [0.0f32; MR * NR];
+                    for sa in 0..a_strips {
+                        let arow = sa * MR;
+                        let m_eff = MR.min(mc_eff - arow);
+                        let astrip = &abuf[sa * MR * kc_eff..(sa + 1) * MR * kc_eff];
+                        for sb in 0..b_strips {
+                            let bcol = sb * NR;
+                            let n_eff = NR.min(nc_eff - bcol);
+                            let bstrip = &bpanel[sb * NR * kc_eff..(sb + 1) * NR * kc_eff];
+                            acc.iter_mut().for_each(|x| *x = 0.0);
+                            microkernel(kc_eff, alpha, astrip, bstrip, &mut acc);
+                            writeback_tile(&acc, cchunk, ldc, arow, j0 + bcol, m_eff, n_eff);
+                        }
+                    }
+                });
+        }
+    }
+}
+
+/// Matrix-level convenience wrapper: returns `op(A)·op(B)` as a new
+/// [`Matrix`].
+pub fn sgemm_mat(transa: Transpose, a: &Matrix, transb: Transpose, b: &Matrix) -> Matrix {
+    let (m, ka) = match transa {
+        Transpose::No => (a.rows(), a.cols()),
+        Transpose::Yes => (a.cols(), a.rows()),
+    };
+    let (kb, n) = match transb {
+        Transpose::No => (b.rows(), b.cols()),
+        Transpose::Yes => (b.cols(), b.rows()),
+    };
+    assert_eq!(ka, kb, "sgemm_mat: inner dimensions {ka} vs {kb}");
+    let mut c = Matrix::zeros(m, n);
+    sgemm(
+        transa,
+        transb,
+        m,
+        n,
+        ka,
+        1.0,
+        a.as_slice(),
+        a.cols(),
+        b.as_slice(),
+        b.cols(),
+        0.0,
+        c.as_mut_slice(),
+        n,
+    );
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::sgemm_ref;
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check(
+        transa: Transpose,
+        transb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        beta: f32,
+        blocks: BlockSizes,
+    ) {
+        let (ar, ac) = match transa {
+            Transpose::No => (m, k),
+            Transpose::Yes => (k, m),
+        };
+        let (br, bc) = match transb {
+            Transpose::No => (k, n),
+            Transpose::Yes => (n, k),
+        };
+        let a = rand_vec(ar * ac, 1);
+        let b = rand_vec(br * bc, 2);
+        let c0 = rand_vec(m * n, 3);
+
+        let mut c_opt = c0.clone();
+        sgemm_blocked(
+            transa, transb, m, n, k, alpha, &a, ac, &b, bc, beta, &mut c_opt, n, blocks,
+        );
+        let mut c_ref = c0;
+        sgemm_ref(
+            transa.flag(),
+            transb.flag(),
+            m,
+            n,
+            k,
+            alpha,
+            &a,
+            ac,
+            &b,
+            bc,
+            beta,
+            &mut c_ref,
+            n,
+        );
+        let max_diff = c_opt
+            .iter()
+            .zip(&c_ref)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_diff < 1e-3 * (k as f32).sqrt(),
+            "({m},{n},{k}) ta={transa:?} tb={transb:?}: diff {max_diff}"
+        );
+    }
+
+    #[test]
+    fn matches_reference_square() {
+        check(
+            Transpose::No,
+            Transpose::No,
+            64,
+            64,
+            64,
+            1.0,
+            0.0,
+            BlockSizes::default_sizes(),
+        );
+    }
+
+    #[test]
+    fn matches_reference_rectangular() {
+        check(
+            Transpose::No,
+            Transpose::No,
+            37,
+            53,
+            29,
+            1.5,
+            0.5,
+            BlockSizes::default_sizes(),
+        );
+    }
+
+    #[test]
+    fn matches_reference_tiny_blocks() {
+        // Tiny blocks force every edge-tile path.
+        check(
+            Transpose::No,
+            Transpose::No,
+            33,
+            19,
+            23,
+            -0.5,
+            2.0,
+            BlockSizes::tiny(),
+        );
+    }
+
+    #[test]
+    fn matches_reference_transposed_a() {
+        check(
+            Transpose::Yes,
+            Transpose::No,
+            40,
+            24,
+            56,
+            1.0,
+            0.0,
+            BlockSizes::tiny(),
+        );
+    }
+
+    #[test]
+    fn matches_reference_transposed_b() {
+        check(
+            Transpose::No,
+            Transpose::Yes,
+            24,
+            40,
+            56,
+            1.0,
+            1.0,
+            BlockSizes::tiny(),
+        );
+    }
+
+    #[test]
+    fn matches_reference_both_transposed() {
+        check(
+            Transpose::Yes,
+            Transpose::Yes,
+            31,
+            17,
+            13,
+            2.0,
+            0.0,
+            BlockSizes::tiny(),
+        );
+    }
+
+    #[test]
+    fn dimension_one_edge_cases() {
+        for (m, n, k) in [(1, 1, 1), (1, 64, 64), (64, 1, 64), (64, 64, 1)] {
+            check(
+                Transpose::No,
+                Transpose::No,
+                m,
+                n,
+                k,
+                1.0,
+                0.0,
+                BlockSizes::default_sizes(),
+            );
+        }
+    }
+
+    #[test]
+    fn zero_k_scales_by_beta_only() {
+        let mut c = vec![2.0; 4];
+        sgemm(
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            0,
+            1.0,
+            &[],
+            1,
+            &[],
+            1,
+            0.5,
+            &mut c,
+            2,
+        );
+        assert_eq!(c, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn alpha_zero_skips_product() {
+        let a = vec![f32::NAN; 4];
+        let b = vec![f32::NAN; 4];
+        let mut c = vec![3.0; 4];
+        sgemm(
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            2,
+            0.0,
+            &a,
+            2,
+            &b,
+            2,
+            1.0,
+            &mut c,
+            2,
+        );
+        assert_eq!(c, vec![3.0; 4]);
+    }
+
+    #[test]
+    fn sgemm_mat_identity() {
+        let i = Matrix::identity(5);
+        let m = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
+        let p = sgemm_mat(Transpose::No, &i, Transpose::No, &m);
+        assert_eq!(p, m);
+    }
+
+    #[test]
+    fn sgemm_mat_transpose_shapes() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(3, 4, |r, c| (r * c) as f32);
+        let p = sgemm_mat(Transpose::Yes, &a, Transpose::No, &b); // 5x4
+        assert_eq!(p.rows(), 5);
+        assert_eq!(p.cols(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn sgemm_mat_rejects_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        sgemm_mat(Transpose::No, &a, Transpose::No, &b);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests pinning the optimized GEMM to the reference.
+
+use gcnn_gemm::blocking::BlockSizes;
+use gcnn_gemm::naive::sgemm_ref;
+use gcnn_gemm::sgemm::sgemm_blocked;
+use gcnn_gemm::Transpose;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random vector from a seed (keeps case sizes
+/// independent of proptest's value trees).
+fn lcg_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 2.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_matches_reference(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        tiny in any::<bool>(),
+        seed in 0u64..10_000,
+    ) {
+        let (ar, ac) = if ta { (k, m) } else { (m, k) };
+        let (br, bc) = if tb { (n, k) } else { (k, n) };
+        let a = lcg_vec(ar * ac, seed);
+        let b = lcg_vec(br * bc, seed + 1);
+        let c0: Vec<f32> = (0..m * n).map(|i| (i % 11) as f32 - 5.0).collect();
+
+        let blocks = if tiny { BlockSizes::tiny() } else { BlockSizes::default_sizes() };
+        let transa = if ta { Transpose::Yes } else { Transpose::No };
+        let transb = if tb { Transpose::Yes } else { Transpose::No };
+
+        let mut c_opt = c0.clone();
+        sgemm_blocked(transa, transb, m, n, k, alpha, &a, ac, &b, bc, beta, &mut c_opt, n, blocks);
+        let mut c_ref = c0;
+        sgemm_ref(ta, tb, m, n, k, alpha, &a, ac, &b, bc, beta, &mut c_ref, n);
+
+        let tol = 1e-3 * (k as f32).sqrt() * alpha.abs().max(1.0);
+        for (i, (x, y)) in c_opt.iter().zip(&c_ref).enumerate() {
+            prop_assert!((x - y).abs() <= tol, "elem {i}: {x} vs {y}");
+        }
+    }
+
+    /// GEMM is linear in alpha: gemm(2a) == 2 * gemm(a) when beta = 0.
+    #[test]
+    fn linear_in_alpha(m in 1usize..16, n in 1usize..16, k in 1usize..16, alpha in -2.0f32..2.0) {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 13) % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 17) % 5) as f32 - 2.0).collect();
+
+        let mut c1 = vec![0.0f32; m * n];
+        sgemm_blocked(Transpose::No, Transpose::No, m, n, k, alpha, &a, k, &b, n, 0.0, &mut c1, n, BlockSizes::tiny());
+        let mut c2 = vec![0.0f32; m * n];
+        sgemm_blocked(Transpose::No, Transpose::No, m, n, k, 2.0 * alpha, &a, k, &b, n, 0.0, &mut c2, n, BlockSizes::tiny());
+
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((2.0 * x - y).abs() < 1e-3 * x.abs().max(1.0));
+        }
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_identity(m in 1usize..12, n in 1usize..12, k in 1usize..12) {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 31) % 9) as f32 - 4.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 23) % 11) as f32 - 5.0).collect();
+
+        let mut ab = vec![0.0f32; m * n];
+        sgemm_blocked(Transpose::No, Transpose::No, m, n, k, 1.0, &a, k, &b, n, 0.0, &mut ab, n, BlockSizes::tiny());
+
+        // Bᵀ·Aᵀ computed with transpose flags on the stored (untransposed) buffers.
+        let mut btat = vec![0.0f32; n * m];
+        sgemm_blocked(Transpose::Yes, Transpose::Yes, n, m, k, 1.0, &b, n, &a, k, 0.0, &mut btat, m, BlockSizes::tiny());
+
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert!((ab[i * n + j] - btat[j * m + i]).abs() < 1e-3);
+            }
+        }
+    }
+}

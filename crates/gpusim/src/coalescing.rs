@@ -1,0 +1,125 @@
+//! Global-memory coalescing model.
+//!
+//! Paper §V-C-2: *"When global load or store efficiency is less than
+//! 100 %, it indicates that there exists request replays in global
+//! memory access due to inappropriate access pattern, such as unaligned
+//! or non-coalesced memory access."* Efficiency here is the ratio of
+//! requested bytes to the bytes actually moved in 128-byte transactions.
+
+use crate::device::DeviceSpec;
+use crate::kernel::AccessPattern;
+
+/// Number of distinct memory transactions one warp-wide 4-byte access
+/// generates under the given pattern.
+pub fn transactions_per_request(dev: &DeviceSpec, pattern: AccessPattern) -> u32 {
+    let warp = dev.warp_size;
+    let word = 4u32; // all gcnn traffic is f32
+    let per_transaction = dev.transaction_bytes / word; // words per 128 B
+    match pattern {
+        AccessPattern::Coalesced => warp.div_ceil(per_transaction),
+        AccessPattern::Strided { stride_words } => {
+            if stride_words == 0 {
+                // Broadcast: all lanes hit one word → one transaction.
+                1
+            } else {
+                // Lanes touch words 0, s, 2s, …; distinct 128-byte
+                // segments touched:
+                let span_words = (warp - 1) * stride_words + 1;
+                let segments = span_words.div_ceil(per_transaction);
+                segments.min(warp)
+            }
+        }
+        AccessPattern::Random => warp,
+        AccessPattern::Unaligned => warp.div_ceil(per_transaction) + 1,
+    }
+}
+
+/// Requested-to-required throughput ratio for the pattern — the
+/// `gld_efficiency`/`gst_efficiency` metric.
+pub fn access_efficiency(dev: &DeviceSpec, pattern: AccessPattern) -> f64 {
+    let ideal = transactions_per_request(dev, AccessPattern::Coalesced) as f64;
+    let actual = transactions_per_request(dev, pattern) as f64;
+    match pattern {
+        // A broadcast needs fewer bytes than a full warp request; keep
+        // efficiency capped at 1.0 for loads/stores (unlike shared
+        // memory, global broadcasts don't over-credit).
+        AccessPattern::Strided { stride_words: 0 } => 1.0,
+        _ => (ideal / actual).min(1.0),
+    }
+}
+
+/// Bytes actually moved across the memory bus for `useful_bytes` of
+/// requested data under the pattern.
+pub fn bus_bytes(dev: &DeviceSpec, pattern: AccessPattern, useful_bytes: u64) -> u64 {
+    let eff = access_efficiency(dev, pattern);
+    if eff <= 0.0 {
+        return useful_bytes;
+    }
+    (useful_bytes as f64 / eff).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::k40c()
+    }
+
+    #[test]
+    fn coalesced_is_one_transaction() {
+        assert_eq!(transactions_per_request(&dev(), AccessPattern::Coalesced), 1);
+        assert!((access_efficiency(&dev(), AccessPattern::Coalesced) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stride_two_halves_efficiency() {
+        let p = AccessPattern::Strided { stride_words: 2 };
+        assert_eq!(transactions_per_request(&dev(), p), 2);
+        assert!((access_efficiency(&dev(), p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_strides_degenerate_to_one_transaction_per_lane() {
+        let p = AccessPattern::Strided { stride_words: 64 };
+        assert_eq!(transactions_per_request(&dev(), p), 32);
+        assert!((access_efficiency(&dev(), p) - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_is_worst_case() {
+        assert_eq!(transactions_per_request(&dev(), AccessPattern::Random), 32);
+        assert!((access_efficiency(&dev(), AccessPattern::Random) - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        let p = AccessPattern::Strided { stride_words: 0 };
+        assert_eq!(transactions_per_request(&dev(), p), 1);
+        assert!((access_efficiency(&dev(), p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unaligned_costs_one_extra_transaction() {
+        assert_eq!(transactions_per_request(&dev(), AccessPattern::Unaligned), 2);
+        assert!((access_efficiency(&dev(), AccessPattern::Unaligned) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bus_bytes_inflates_by_inefficiency() {
+        let p = AccessPattern::Strided { stride_words: 4 };
+        assert!((access_efficiency(&dev(), p) - 0.25).abs() < 1e-12);
+        assert_eq!(bus_bytes(&dev(), p, 1000), 4000);
+        assert_eq!(bus_bytes(&dev(), AccessPattern::Coalesced, 1000), 1000);
+    }
+
+    #[test]
+    fn efficiency_monotone_in_stride() {
+        let mut last = 2.0;
+        for s in [1u32, 2, 4, 8, 16, 32, 64] {
+            let e = access_efficiency(&dev(), AccessPattern::Strided { stride_words: s });
+            assert!(e <= last, "stride {s}: {e} > {last}");
+            last = e;
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The nvprof-style metric set.
+//!
+//! Paper §III-B / §V-C: the study profiles five metrics — *achieved
+//! occupancy*, *ipc*, *warp execution efficiency*, *global load/store
+//! efficiency* and *shared memory efficiency* — for the top kernels of
+//! every implementation. [`KernelMetrics`] is one kernel's row of that
+//! table.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics computed for one kernel launch (or aggregated over launches).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelMetrics {
+    /// Wall-clock time, milliseconds.
+    pub runtime_ms: f64,
+    /// Ratio of average active warps per active cycle to the SM maximum
+    /// (percent).
+    pub achieved_occupancy: f64,
+    /// Warp instructions executed per cycle per SM.
+    pub ipc: f64,
+    /// Ratio of active threads per warp to the warp width (percent).
+    pub warp_execution_efficiency: f64,
+    /// Requested / required global load throughput (percent). Zero when
+    /// the kernel issues no global loads — the paper observes exactly
+    /// this for cuDNN's shared-memory-resident kernels.
+    pub gld_efficiency: f64,
+    /// Requested / required global store throughput (percent).
+    pub gst_efficiency: f64,
+    /// Requested / required shared throughput (percent; may exceed 100
+    /// under broadcasts).
+    pub shared_efficiency: f64,
+    /// Achieved fraction of device peak FLOP/s (percent).
+    pub flop_efficiency: f64,
+}
+
+impl KernelMetrics {
+    /// An all-zero metric row (identity for weighted aggregation).
+    pub fn zero() -> Self {
+        KernelMetrics {
+            runtime_ms: 0.0,
+            achieved_occupancy: 0.0,
+            ipc: 0.0,
+            warp_execution_efficiency: 0.0,
+            gld_efficiency: 0.0,
+            gst_efficiency: 0.0,
+            shared_efficiency: 0.0,
+            flop_efficiency: 0.0,
+        }
+    }
+
+    /// Runtime-weighted average of metric rows — the aggregation the
+    /// paper applies to each implementation's top kernels (§V-C: "take a
+    /// weighted average of those top kernels […] The weight of each
+    /// kernel is determined by the percentage of its runtime").
+    pub fn weighted_average(rows: &[(f64, KernelMetrics)]) -> KernelMetrics {
+        let total: f64 = rows.iter().map(|(w, _)| *w).sum();
+        if total <= 0.0 {
+            return KernelMetrics::zero();
+        }
+        let mut out = KernelMetrics::zero();
+        for (w, m) in rows {
+            let f = w / total;
+            out.achieved_occupancy += f * m.achieved_occupancy;
+            out.ipc += f * m.ipc;
+            out.warp_execution_efficiency += f * m.warp_execution_efficiency;
+            out.gld_efficiency += f * m.gld_efficiency;
+            out.gst_efficiency += f * m.gst_efficiency;
+            out.shared_efficiency += f * m.shared_efficiency;
+            out.flop_efficiency += f * m.flop_efficiency;
+            out.runtime_ms += m.runtime_ms;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(occ: f64) -> KernelMetrics {
+        KernelMetrics {
+            runtime_ms: 1.0,
+            achieved_occupancy: occ,
+            ipc: occ / 10.0,
+            warp_execution_efficiency: 100.0,
+            gld_efficiency: 50.0,
+            gst_efficiency: 50.0,
+            shared_efficiency: 100.0,
+            flop_efficiency: 10.0,
+        }
+    }
+
+    #[test]
+    fn weighted_average_weights_by_runtime() {
+        let rows = [(3.0, row(10.0)), (1.0, row(50.0))];
+        let avg = KernelMetrics::weighted_average(&rows);
+        assert!((avg.achieved_occupancy - 20.0).abs() < 1e-9);
+        assert!((avg.runtime_ms - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_rows_give_zero() {
+        let avg = KernelMetrics::weighted_average(&[]);
+        assert_eq!(avg.achieved_occupancy, 0.0);
+    }
+
+    #[test]
+    fn single_row_is_identity() {
+        let avg = KernelMetrics::weighted_average(&[(5.0, row(33.0))]);
+        assert!((avg.achieved_occupancy - 33.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Host↔device PCIe transfer model.
+//!
+//! Paper §V-D: *"The data transfer overhead between CPU and GPU can be
+//! crucial to the performance"*, and the remedies it lists — pinned
+//! memory, asynchronous (overlapped) transfers, batching small copies —
+//! are exactly the knobs this model exposes.
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferDirection {
+    /// Host → device (inputs, filters).
+    HostToDevice,
+    /// Device → host (results, gradients).
+    DeviceToHost,
+}
+
+/// One host↔device copy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Direction of the copy.
+    pub direction: TransferDirection,
+    /// Payload size, bytes.
+    pub bytes: u64,
+    /// Whether the host buffer is page-locked (pinned) — roughly
+    /// doubles effective bandwidth.
+    pub pinned: bool,
+    /// Fraction of the copy hidden behind concurrent kernel execution
+    /// (Caffe's prefetch thread achieves ≈1.0; synchronous Theano copies
+    /// 0.0).
+    pub overlap: f32,
+}
+
+impl Transfer {
+    /// A synchronous pageable copy.
+    pub fn sync(direction: TransferDirection, bytes: u64) -> Self {
+        Transfer {
+            direction,
+            bytes,
+            pinned: false,
+            overlap: 0.0,
+        }
+    }
+
+    /// A pinned, fully-overlapped (prefetched) copy.
+    pub fn prefetched(direction: TransferDirection, bytes: u64) -> Self {
+        Transfer {
+            direction,
+            bytes,
+            pinned: true,
+            overlap: 1.0,
+        }
+    }
+
+    /// Raw wire time of the copy, milliseconds.
+    pub fn wire_time_ms(&self, dev: &DeviceSpec) -> f64 {
+        let bw = if self.pinned {
+            dev.pcie_pinned_gbs
+        } else {
+            dev.pcie_pageable_gbs
+        } * 1e9;
+        (self.bytes as f64 / bw + dev.transfer_latency_us * 1e-6) * 1e3
+    }
+
+    /// Time visible on the critical path (wire time minus the overlapped
+    /// fraction), milliseconds.
+    pub fn visible_time_ms(&self, dev: &DeviceSpec) -> f64 {
+        self.wire_time_ms(dev) * (1.0 - self.overlap.clamp(0.0, 1.0)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::k40c()
+    }
+
+    #[test]
+    fn pinned_beats_pageable() {
+        let pageable = Transfer::sync(TransferDirection::HostToDevice, 1 << 30);
+        let mut pinned = pageable;
+        pinned.pinned = true;
+        assert!(pinned.wire_time_ms(&dev()) < pageable.wire_time_ms(&dev()));
+    }
+
+    #[test]
+    fn bandwidth_model_magnitude() {
+        // 1 GB pageable at 6 GB/s ≈ 167 ms.
+        let t = Transfer::sync(TransferDirection::HostToDevice, 1_000_000_000);
+        assert!((t.wire_time_ms(&dev()) - 166.7).abs() < 5.0);
+    }
+
+    #[test]
+    fn full_overlap_hides_everything() {
+        let t = Transfer::prefetched(TransferDirection::HostToDevice, 1 << 30);
+        assert!(t.wire_time_ms(&dev()) > 50.0);
+        assert_eq!(t.visible_time_ms(&dev()), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_scales_linearly() {
+        let mut t = Transfer::sync(TransferDirection::DeviceToHost, 1 << 28);
+        let full = t.visible_time_ms(&dev());
+        t.overlap = 0.75;
+        assert!((t.visible_time_ms(&dev()) - full * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_floor_for_small_copies() {
+        let t = Transfer::sync(TransferDirection::HostToDevice, 4);
+        // Dominated by the 10 µs latency.
+        assert!(t.wire_time_ms(&dev()) >= 0.01);
+    }
+}

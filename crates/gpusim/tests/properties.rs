@@ -1,0 +1,125 @@
+//! Property-based tests for the GPU performance model: the mechanisms
+//! must be monotone and bounded the way real hardware is.
+
+use gcnn_gpusim::timing::time_kernel;
+use gcnn_gpusim::{occupancy, AccessPattern, DeviceSpec, KernelDesc, LaunchConfig};
+use proptest::prelude::*;
+
+fn dev() -> DeviceSpec {
+    DeviceSpec::k40c()
+}
+
+fn block_sizes() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(32u32), Just(64), Just(128), Just(256), Just(512), Just(1024)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Occupancy never exceeds device limits and never reports zero
+    /// resident blocks for a feasible kernel.
+    #[test]
+    fn occupancy_bounded(regs in 0u32..200, smem_kb in 0u32..48, block in block_sizes()) {
+        let d = dev();
+        // Skip infeasible combinations (a single block that can't fit).
+        let warps_per_block = block.div_ceil(d.warp_size);
+        let regs_per_warp = ((regs * 32).div_ceil(256) * 256).max(1);
+        prop_assume!(regs == 0 || d.registers_per_sm / regs_per_warp >= warps_per_block);
+
+        let occ = occupancy(&d, regs, smem_kb * 1024, block);
+        prop_assert!(occ.blocks_per_sm >= 1);
+        prop_assert!(occ.active_warps <= d.max_warps_per_sm);
+        prop_assert!(occ.blocks_per_sm <= d.max_blocks_per_sm);
+        prop_assert!(occ.theoretical > 0.0 && occ.theoretical <= 1.0);
+    }
+
+    /// More registers never increase occupancy (same block/smem).
+    #[test]
+    fn occupancy_monotone_in_registers(r1 in 1u32..120, extra in 1u32..80, block in block_sizes()) {
+        let d = dev();
+        let r2 = r1 + extra;
+        let warps_per_block = block.div_ceil(d.warp_size);
+        let fits = |r: u32| d.registers_per_sm / (((r * 32).div_ceil(256) * 256).max(1)) >= warps_per_block;
+        prop_assume!(fits(r1) && fits(r2));
+        let o1 = occupancy(&d, r1, 0, block);
+        let o2 = occupancy(&d, r2, 0, block);
+        prop_assert!(o2.active_warps <= o1.active_warps);
+    }
+
+    /// More shared memory per block never increases occupancy.
+    #[test]
+    fn occupancy_monotone_in_smem(s1 in 1u32..24, extra in 1u32..24, block in block_sizes()) {
+        let d = dev();
+        let o1 = occupancy(&d, 32, s1 * 1024, block);
+        let o2 = occupancy(&d, 32, (s1 + extra) * 1024, block);
+        prop_assert!(o2.active_warps <= o1.active_warps);
+    }
+
+    /// Runtime is monotone in FLOPs (all else equal).
+    #[test]
+    fn time_monotone_in_flops(flops in 1u64..1_000_000_000, scale in 2u64..10) {
+        let mut k = KernelDesc::new("t", LaunchConfig::new(1024, 256));
+        k.flops = flops;
+        let t1 = time_kernel(&dev(), &k).time_ms;
+        k.flops = flops * scale;
+        let t2 = time_kernel(&dev(), &k).time_ms;
+        prop_assert!(t2 >= t1);
+    }
+
+    /// Runtime is monotone in memory traffic.
+    #[test]
+    fn time_monotone_in_bytes(bytes in 1u64..1_000_000_000, scale in 2u64..10) {
+        let mut k = KernelDesc::new("t", LaunchConfig::new(1024, 256));
+        k.gmem_load_bytes = bytes;
+        let t1 = time_kernel(&dev(), &k).time_ms;
+        k.gmem_load_bytes = bytes * scale;
+        let t2 = time_kernel(&dev(), &k).time_ms;
+        prop_assert!(t2 >= t1);
+    }
+
+    /// Worse coalescing never speeds a kernel up, and the reported gld
+    /// metric is the pattern's efficiency regardless of size.
+    #[test]
+    fn coalescing_never_helps(bytes in 1_000u64..100_000_000, stride in 1u32..64) {
+        let mut k = KernelDesc::new("t", LaunchConfig::new(1024, 256));
+        k.gmem_load_bytes = bytes;
+        k.load_pattern = AccessPattern::Coalesced;
+        let good = time_kernel(&dev(), &k);
+        k.load_pattern = AccessPattern::Strided { stride_words: stride };
+        let bad = time_kernel(&dev(), &k);
+        prop_assert!(bad.time_ms >= good.time_ms);
+        prop_assert!(bad.metrics.gld_efficiency <= good.metrics.gld_efficiency + 1e-9);
+    }
+
+    /// Metrics stay in their physical ranges for arbitrary kernels.
+    #[test]
+    fn metrics_physical_ranges(
+        flops in 0u64..10_000_000_000,
+        loads in 0u64..1_000_000_000,
+        stores in 0u64..1_000_000_000,
+        regs in 1u32..200,
+        wee in 0.2f32..1.0,
+        grid in 1u32..100_000,
+        block in block_sizes(),
+    ) {
+        let d = dev();
+        let warps_per_block = block.div_ceil(d.warp_size);
+        let fits = d.registers_per_sm / (((regs * 32).div_ceil(256) * 256).max(1)) >= warps_per_block;
+        prop_assume!(fits);
+        let mut k = KernelDesc::new("t", LaunchConfig::new(grid, block));
+        k.flops = flops;
+        k.gmem_load_bytes = loads;
+        k.gmem_store_bytes = stores;
+        k.regs_per_thread = regs;
+        k.warp_efficiency = wee;
+        let r = time_kernel(&d, &k);
+        prop_assert!(r.time_ms > 0.0);
+        let m = &r.metrics;
+        prop_assert!((0.0..=100.0).contains(&m.achieved_occupancy));
+        prop_assert!((0.0..=100.0).contains(&m.gld_efficiency));
+        prop_assert!((0.0..=100.0).contains(&m.gst_efficiency));
+        prop_assert!((0.0..=100.0).contains(&m.warp_execution_efficiency));
+        prop_assert!(m.ipc >= 0.0 && m.ipc < 16.0);
+        prop_assert!(m.flop_efficiency <= 100.0 + 1e-9);
+    }
+}

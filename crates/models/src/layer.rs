@@ -1,0 +1,379 @@
+//! Declarative model descriptions and the shape walker.
+
+use gcnn_conv::layers::PoolKind;
+use gcnn_conv::ConvConfig;
+use serde::{Deserialize, Serialize};
+
+/// One layer's hyper-parameters (shape-free; channels and spatial sizes
+/// are inferred by the walker).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// Square convolution.
+    Conv {
+        /// Output channels (filter count).
+        out: usize,
+        /// Kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Window size.
+        window: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding (Inception's stride-1 pool-proj branches pad to
+        /// preserve spatial size).
+        pad: usize,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Window size.
+        window: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Rectified linear unit.
+    Relu,
+    /// Fully-connected layer.
+    Fc {
+        /// Output features.
+        out: usize,
+    },
+    /// GoogLeNet Inception module: parallel branches concatenated along
+    /// channels.
+    Inception {
+        /// Each branch is a sequence of layers applied to the module
+        /// input.
+        branches: Vec<Vec<NamedLayer>>,
+    },
+    /// Softmax classifier head.
+    Softmax,
+}
+
+/// A named layer within a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedLayer {
+    /// Layer name (e.g. "conv2").
+    pub name: String,
+    /// The hyper-parameters.
+    pub spec: LayerSpec,
+}
+
+impl NamedLayer {
+    /// Construct a named layer.
+    pub fn new(name: impl Into<String>, spec: LayerSpec) -> Self {
+        NamedLayer {
+            name: name.into(),
+            spec,
+        }
+    }
+}
+
+/// A full model description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model name as the paper uses it.
+    pub name: String,
+    /// Input channels.
+    pub input_channels: usize,
+    /// Input spatial size (square).
+    pub input_size: usize,
+    /// The layers in execution order.
+    pub layers: Vec<NamedLayer>,
+}
+
+/// Classification of an instantiated layer, matching the paper's Fig. 2
+/// categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstanceKind {
+    /// Convolutional layer.
+    Conv,
+    /// Pooling layer (max or average).
+    Pool,
+    /// ReLU layer.
+    Relu,
+    /// Fully-connected layer.
+    Fc,
+    /// Concat (Inception join).
+    Concat,
+    /// Softmax head.
+    Softmax,
+}
+
+/// One instantiated layer with resolved shapes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerInstance {
+    /// Qualified name ("inception3a/branch1/conv" etc.).
+    pub name: String,
+    /// Layer category.
+    pub kind: InstanceKind,
+    /// Resolved convolution configuration (for `kind == Conv`).
+    pub conv: Option<ConvConfig>,
+    /// Pooling parameters (kind, window, stride) for pooling layers.
+    pub pool: Option<(PoolKindSer, usize, usize)>,
+    /// FC dimensions `(in_features, out_features)`.
+    pub fc: Option<(usize, usize)>,
+    /// Elements entering the layer (per mini-batch).
+    pub in_elems: u64,
+    /// Elements leaving the layer (per mini-batch).
+    pub out_elems: u64,
+}
+
+/// Serializable mirror of [`PoolKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolKindSer {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Average,
+}
+
+impl From<PoolKindSer> for PoolKind {
+    fn from(p: PoolKindSer) -> PoolKind {
+        match p {
+            PoolKindSer::Max => PoolKind::Max,
+            PoolKindSer::Average => PoolKind::Average,
+        }
+    }
+}
+
+/// Walk a model, resolving every layer's shapes for a given mini-batch.
+///
+/// Returns the flattened instance list (Inception branches are expanded
+/// with qualified names, followed by one `Concat` instance).
+///
+/// # Panics
+/// Panics if a layer is geometrically impossible (kernel larger than its
+/// input, FC after nothing, …).
+pub fn walk(model: &ModelSpec, batch: usize) -> Vec<LayerInstance> {
+    let mut out = Vec::new();
+    let (c, s) = walk_sequence(
+        &model.layers,
+        batch,
+        model.input_channels,
+        model.input_size,
+        "",
+        &mut out,
+    );
+    let _ = (c, s);
+    out
+}
+
+/// Walk one layer sequence; returns the resulting (channels, spatial).
+fn walk_sequence(
+    layers: &[NamedLayer],
+    batch: usize,
+    mut channels: usize,
+    mut spatial: usize,
+    prefix: &str,
+    out: &mut Vec<LayerInstance>,
+) -> (usize, usize) {
+    for layer in layers {
+        let name = if prefix.is_empty() {
+            layer.name.clone()
+        } else {
+            format!("{prefix}/{}", layer.name)
+        };
+        let in_elems = (batch * channels * spatial * spatial) as u64;
+        match &layer.spec {
+            LayerSpec::Conv {
+                out: f,
+                kernel,
+                stride,
+                pad,
+            } => {
+                let mut cfg = ConvConfig::with_channels(batch, channels, spatial, *f, *kernel, *stride);
+                cfg.pad = *pad;
+                assert!(cfg.is_valid(), "{name}: invalid conv {cfg}");
+                let o = cfg.output();
+                out.push(LayerInstance {
+                    name,
+                    kind: InstanceKind::Conv,
+                    conv: Some(cfg),
+                    pool: None,
+                    fc: None,
+                    in_elems,
+                    out_elems: (batch * f * o * o) as u64,
+                });
+                channels = *f;
+                spatial = o;
+            }
+            LayerSpec::MaxPool { window, stride, pad }
+            | LayerSpec::AvgPool { window, stride, pad } => {
+                assert!(
+                    spatial + 2 * pad >= *window,
+                    "{name}: pool window {window} > padded input"
+                );
+                // Ceil-mode pooling, as Caffe/GoogLeNet use (a partial
+                // window at the border still produces an output).
+                let o = (spatial + 2 * pad - window).div_ceil(*stride) + 1;
+                let kind = if matches!(layer.spec, LayerSpec::MaxPool { .. }) {
+                    PoolKindSer::Max
+                } else {
+                    PoolKindSer::Average
+                };
+                out.push(LayerInstance {
+                    name,
+                    kind: InstanceKind::Pool,
+                    conv: None,
+                    pool: Some((kind, *window, *stride)),
+                    fc: None,
+                    in_elems,
+                    out_elems: (batch * channels * o * o) as u64,
+                });
+                spatial = o;
+            }
+            LayerSpec::Relu => {
+                out.push(LayerInstance {
+                    name,
+                    kind: InstanceKind::Relu,
+                    conv: None,
+                    pool: None,
+                    fc: None,
+                    in_elems,
+                    out_elems: in_elems,
+                });
+            }
+            LayerSpec::Fc { out: f } => {
+                let in_features = channels * spatial * spatial;
+                out.push(LayerInstance {
+                    name,
+                    kind: InstanceKind::Fc,
+                    conv: None,
+                    pool: None,
+                    fc: Some((in_features, *f)),
+                    in_elems,
+                    out_elems: (batch * f) as u64,
+                });
+                channels = *f;
+                spatial = 1;
+            }
+            LayerSpec::Inception { branches } => {
+                let mut total_c = 0;
+                let mut branch_spatial = spatial;
+                for (i, branch) in branches.iter().enumerate() {
+                    let (bc, bs) = walk_sequence(
+                        branch,
+                        batch,
+                        channels,
+                        spatial,
+                        &format!("{name}/b{i}"),
+                        out,
+                    );
+                    total_c += bc;
+                    branch_spatial = bs;
+                }
+                let concat_elems = (batch * total_c * branch_spatial * branch_spatial) as u64;
+                out.push(LayerInstance {
+                    name: format!("{name}/concat"),
+                    kind: InstanceKind::Concat,
+                    conv: None,
+                    pool: None,
+                    fc: None,
+                    in_elems: concat_elems,
+                    out_elems: concat_elems,
+                });
+                channels = total_c;
+                spatial = branch_spatial;
+            }
+            LayerSpec::Softmax => {
+                out.push(LayerInstance {
+                    name,
+                    kind: InstanceKind::Softmax,
+                    conv: None,
+                    pool: None,
+                    fc: None,
+                    in_elems,
+                    out_elems: in_elems,
+                });
+            }
+        }
+    }
+    (channels, spatial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> ModelSpec {
+        ModelSpec {
+            name: "tiny".into(),
+            input_channels: 1,
+            input_size: 28,
+            layers: vec![
+                NamedLayer::new("conv1", LayerSpec::Conv { out: 6, kernel: 5, stride: 1, pad: 0 }),
+                NamedLayer::new("relu1", LayerSpec::Relu),
+                NamedLayer::new("pool1", LayerSpec::MaxPool { window: 2, stride: 2, pad: 0 }),
+                NamedLayer::new("fc1", LayerSpec::Fc { out: 10 }),
+                NamedLayer::new("prob", LayerSpec::Softmax),
+            ],
+        }
+    }
+
+    #[test]
+    fn walker_resolves_shapes() {
+        let inst = walk(&tiny_model(), 4);
+        assert_eq!(inst.len(), 5);
+        // conv1: 28 → 24, 6 channels.
+        let conv = inst[0].conv.unwrap();
+        assert_eq!(conv.output(), 24);
+        assert_eq!(conv.filters, 6);
+        assert_eq!(conv.channels, 1);
+        // pool1: 24 → 12.
+        assert_eq!(inst[2].out_elems, 4 * 6 * 12 * 12);
+        // fc1 consumes 6·12·12 features.
+        assert_eq!(inst[3].fc, Some((6 * 12 * 12, 10)));
+    }
+
+    #[test]
+    fn inception_branches_concat_channels() {
+        let model = ModelSpec {
+            name: "mini-inception".into(),
+            input_channels: 8,
+            input_size: 16,
+            layers: vec![NamedLayer::new(
+                "inc",
+                LayerSpec::Inception {
+                    branches: vec![
+                        vec![NamedLayer::new(
+                            "c1",
+                            LayerSpec::Conv { out: 4, kernel: 1, stride: 1, pad: 0 },
+                        )],
+                        vec![NamedLayer::new(
+                            "c3",
+                            LayerSpec::Conv { out: 6, kernel: 3, stride: 1, pad: 1 },
+                        )],
+                    ],
+                },
+            )],
+        };
+        let inst = walk(&model, 2);
+        // two branch convs + one concat
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst[2].kind, InstanceKind::Concat);
+        // channels 4 + 6 = 10 at spatial 16
+        assert_eq!(inst[2].out_elems, 2 * 10 * 16 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid conv")]
+    fn rejects_impossible_conv() {
+        let model = ModelSpec {
+            name: "bad".into(),
+            input_channels: 1,
+            input_size: 4,
+            layers: vec![NamedLayer::new(
+                "conv",
+                LayerSpec::Conv { out: 1, kernel: 9, stride: 1, pad: 0 },
+            )],
+        };
+        walk(&model, 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # gcnn-models
+//!
+//! The CNN model zoo of Li et al. (ICPP 2016) and the machinery behind
+//! their Fig. 2: per-layer runtime breakdowns of **AlexNet, GoogLeNet,
+//! VGG and OverFeat** ("Convolutional layer consumes the bulk of total
+//! runtime — 86 %, 89 %, 90 % and 94 %"), plus **LeNet-5** (the paper's
+//! §II-A architecture walkthrough, Fig. 1) wired into a real,
+//! CPU-executable training loop on synthetic data.
+//!
+//! * [`layer`] — declarative layer specs and the shape walker that
+//!   instantiates them (including GoogLeNet's Inception branches).
+//! * [`zoo`] — the five architectures.
+//! * [`breakdown`] — Fig. 2: time every layer on the GPU model and
+//!   aggregate by layer type.
+//! * [`network`] — an executable sequential CNN (real numerics from
+//!   `gcnn-conv`) with SGD training.
+//! * [`data`] — deterministic synthetic datasets.
+
+pub mod breakdown;
+pub mod data;
+pub mod layer;
+pub mod network;
+pub mod persist;
+pub mod zoo;
+
+pub use breakdown::{model_breakdown, BreakdownRow, LayerClass, ModelBreakdown};
+pub use layer::{LayerInstance, LayerSpec, ModelSpec, NamedLayer};
+pub use network::{Network, TrainReport};
+pub use zoo::{alexnet, googlenet, lenet5, overfeat, vgg16, all_models};

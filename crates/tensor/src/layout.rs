@@ -1,0 +1,158 @@
+//! Memory layouts for 4-D feature-map tensors.
+//!
+//! The seven implementations the paper studies disagree on layout:
+//! Caffe/cuDNN/Torch/Theano use NCHW ("BDHW" in the fbfft paper's
+//! terminology), cuda-convnet2 uses CHWN (images innermost), and fbfft
+//! transposes BDHW → HWBD around its complex GEMM (paper §V-A: "the
+//! `Transpose` kernel is used to convert the BDHW layout into HWBD").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Layout of a 4-D tensor in linear memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layout {
+    /// Batch-major: `n` slowest, `w` fastest. Used by the unrolling-based
+    /// implementations (Caffe, cuDNN, Torch-cunn, Theano-CorrMM).
+    /// The fbfft paper calls this BDHW.
+    Nchw,
+    /// Image-minor: `c` slowest, `n` fastest. Used by cuda-convnet2,
+    /// whose kernels read 32/64/128 images per memory transaction.
+    Chwn,
+    /// Spatial-major: `(h, w)` slowest, `n` fastest. fbfft's "HWBD"
+    /// layout, produced by its `Transpose` kernel so the per-frequency
+    /// complex GEMM reads contiguous `[c × n]` panels.
+    Hwcn,
+}
+
+impl Layout {
+    /// Linear offset of logical element `(n, c, h, w)` in a tensor of
+    /// logical shape `(nn, cc, hh, ww)` stored in this layout.
+    #[inline]
+    pub const fn offset(
+        &self,
+        (nn, cc, hh, ww): (usize, usize, usize, usize),
+        (n, c, h, w): (usize, usize, usize, usize),
+    ) -> usize {
+        match self {
+            Layout::Nchw => ((n * cc + c) * hh + h) * ww + w,
+            Layout::Chwn => ((c * hh + h) * ww + w) * nn + n,
+            Layout::Hwcn => ((h * ww + w) * cc + c) * nn + n,
+        }
+    }
+
+    /// Short name used in reports.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Layout::Nchw => "NCHW",
+            Layout::Chwn => "CHWN",
+            Layout::Hwcn => "HWCN",
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Reorder a contiguous buffer from one layout to another.
+///
+/// This is the CPU analogue of fbfft's `Transpose` kernel; the GPU cost
+/// of that kernel is modeled separately in `gcnn-frameworks::fbfft`.
+pub fn relayout(
+    src: &[f32],
+    dst: &mut [f32],
+    shape: (usize, usize, usize, usize),
+    from: Layout,
+    to: Layout,
+) {
+    let (nn, cc, hh, ww) = shape;
+    assert_eq!(src.len(), nn * cc * hh * ww, "relayout: src length");
+    assert_eq!(dst.len(), src.len(), "relayout: dst length");
+    if from == to {
+        dst.copy_from_slice(src);
+        return;
+    }
+    for n in 0..nn {
+        for c in 0..cc {
+            for h in 0..hh {
+                for w in 0..ww {
+                    let idx = (n, c, h, w);
+                    dst[to.offset(shape, idx)] = src[from.offset(shape, idx)];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nchw_offsets_are_row_major() {
+        let shape = (2, 3, 4, 5);
+        assert_eq!(Layout::Nchw.offset(shape, (0, 0, 0, 0)), 0);
+        assert_eq!(Layout::Nchw.offset(shape, (0, 0, 0, 1)), 1);
+        assert_eq!(Layout::Nchw.offset(shape, (1, 2, 3, 4)), 119);
+    }
+
+    #[test]
+    fn chwn_puts_batch_innermost() {
+        let shape = (2, 3, 4, 5);
+        assert_eq!(Layout::Chwn.offset(shape, (0, 0, 0, 0)), 0);
+        assert_eq!(Layout::Chwn.offset(shape, (1, 0, 0, 0)), 1);
+        assert_eq!(Layout::Chwn.offset(shape, (0, 0, 0, 1)), 2);
+    }
+
+    #[test]
+    fn hwcn_puts_spatial_outermost() {
+        let shape = (2, 3, 4, 5);
+        assert_eq!(Layout::Hwcn.offset(shape, (0, 0, 0, 0)), 0);
+        assert_eq!(Layout::Hwcn.offset(shape, (1, 0, 0, 0)), 1);
+        assert_eq!(Layout::Hwcn.offset(shape, (0, 1, 0, 0)), 2);
+        assert_eq!(Layout::Hwcn.offset(shape, (0, 0, 1, 0)), 5 * 3 * 2);
+    }
+
+    #[test]
+    fn all_layouts_are_bijections() {
+        let shape = (2, 3, 4, 5);
+        for layout in [Layout::Nchw, Layout::Chwn, Layout::Hwcn] {
+            let mut seen = [false; 120];
+            for n in 0..2 {
+                for c in 0..3 {
+                    for h in 0..4 {
+                        for w in 0..5 {
+                            let off = layout.offset(shape, (n, c, h, w));
+                            assert!(!seen[off], "{layout}: duplicate offset {off}");
+                            seen[off] = true;
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{layout}: not surjective");
+        }
+    }
+
+    #[test]
+    fn relayout_roundtrip() {
+        let shape = (2, 3, 4, 5);
+        let src: Vec<f32> = (0..120).map(|i| i as f32).collect();
+        let mut mid = vec![0.0; 120];
+        let mut back = vec![0.0; 120];
+        relayout(&src, &mut mid, shape, Layout::Nchw, Layout::Hwcn);
+        relayout(&mid, &mut back, shape, Layout::Hwcn, Layout::Nchw);
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn relayout_identity_is_copy() {
+        let shape = (1, 2, 2, 2);
+        let src: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let mut dst = [0.0; 8];
+        relayout(&src, &mut dst, shape, Layout::Chwn, Layout::Chwn);
+        assert_eq!(src, dst);
+    }
+}

@@ -1,0 +1,133 @@
+//! Zero-padding and cropping of feature maps.
+//!
+//! The FFT convolution strategy zero-pads both input and filter planes to
+//! a common transform size (paper §V-B: FFT implementations "need extra
+//! memory for zero-padding to extend filter bank to be the same size of
+//! input"); direct and unrolling strategies optionally pad the input
+//! spatially before convolving.
+
+use crate::shape::Shape4;
+use crate::tensor::Tensor4;
+
+/// Zero-pad every plane of `src` to `(new_h, new_w)`, placing the
+/// original content at offset `(top, left)`.
+///
+/// # Panics
+/// Panics if the padded region cannot contain the source plane.
+pub fn pad_planes(src: &Tensor4, new_h: usize, new_w: usize, top: usize, left: usize) -> Tensor4 {
+    let s = src.shape();
+    assert!(
+        top + s.h <= new_h && left + s.w <= new_w,
+        "pad_planes: target {new_h}x{new_w} cannot hold {}x{} at ({top},{left})",
+        s.h,
+        s.w
+    );
+    let mut out = Tensor4::zeros(Shape4::new(s.n, s.c, new_h, new_w));
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let sp = src.plane(n, c);
+            let dp = out.plane_mut(n, c);
+            for h in 0..s.h {
+                let srow = &sp[h * s.w..(h + 1) * s.w];
+                let dstart = (h + top) * new_w + left;
+                dp[dstart..dstart + s.w].copy_from_slice(srow);
+            }
+        }
+    }
+    out
+}
+
+/// Crop every plane of `src` to `(new_h, new_w)` starting at
+/// `(top, left)` — the inverse of [`pad_planes`].
+///
+/// # Panics
+/// Panics if the crop window exceeds the source plane.
+pub fn crop_planes(src: &Tensor4, new_h: usize, new_w: usize, top: usize, left: usize) -> Tensor4 {
+    let s = src.shape();
+    assert!(
+        top + new_h <= s.h && left + new_w <= s.w,
+        "crop_planes: window {new_h}x{new_w} at ({top},{left}) exceeds source {}x{}",
+        s.h,
+        s.w
+    );
+    let mut out = Tensor4::zeros(Shape4::new(s.n, s.c, new_h, new_w));
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let sp = src.plane(n, c);
+            let dp = out.plane_mut(n, c);
+            for h in 0..new_h {
+                let sstart = (h + top) * s.w + left;
+                dp[h * new_w..(h + 1) * new_w].copy_from_slice(&sp[sstart..sstart + new_w]);
+            }
+        }
+    }
+    out
+}
+
+/// Flip every `h×w` plane by 180° (reverse both spatial axes). The
+/// backward-data pass of convolution correlates with flipped filters.
+pub fn flip_planes(src: &Tensor4) -> Tensor4 {
+    let s = src.shape();
+    Tensor4::from_fn(s, |n, c, h, w| src.get(n, c, s.h - 1 - h, s.w - 1 - w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(shape: Shape4) -> Tensor4 {
+        let mut i = 0.0;
+        Tensor4::from_fn(shape, |_, _, _, _| {
+            i += 1.0;
+            i
+        })
+    }
+
+    #[test]
+    fn pad_then_crop_roundtrips() {
+        let src = seq(Shape4::new(2, 3, 4, 5));
+        let padded = pad_planes(&src, 9, 8, 2, 1);
+        assert_eq!(padded.shape(), Shape4::new(2, 3, 9, 8));
+        let back = crop_planes(&padded, 4, 5, 2, 1);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn padding_is_zero_outside() {
+        let src = Tensor4::full(Shape4::new(1, 1, 2, 2), 1.0);
+        let padded = pad_planes(&src, 4, 4, 1, 1);
+        assert_eq!(padded.sum(), 4.0);
+        assert_eq!(padded.get(0, 0, 0, 0), 0.0);
+        assert_eq!(padded.get(0, 0, 1, 1), 1.0);
+        assert_eq!(padded.get(0, 0, 2, 2), 1.0);
+        assert_eq!(padded.get(0, 0, 3, 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pad_planes")]
+    fn pad_rejects_too_small_target() {
+        let src = seq(Shape4::new(1, 1, 4, 4));
+        pad_planes(&src, 4, 4, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crop_planes")]
+    fn crop_rejects_out_of_bounds() {
+        let src = seq(Shape4::new(1, 1, 4, 4));
+        crop_planes(&src, 3, 3, 2, 2);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let src = seq(Shape4::new(2, 2, 3, 4));
+        assert_eq!(flip_planes(&flip_planes(&src)), src);
+    }
+
+    #[test]
+    fn flip_reverses_corners() {
+        let src = seq(Shape4::new(1, 1, 2, 2)); // [[1,2],[3,4]]
+        let f = flip_planes(&src);
+        assert_eq!(f.get(0, 0, 0, 0), 4.0);
+        assert_eq!(f.get(0, 0, 1, 1), 1.0);
+    }
+}

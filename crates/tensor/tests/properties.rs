@@ -1,0 +1,93 @@
+//! Property-based tests for the tensor substrate.
+
+use gcnn_tensor::im2col::{col2im, im2col, ConvGeometry};
+use gcnn_tensor::layout::{relayout, Layout};
+use gcnn_tensor::pad::{crop_planes, flip_planes, pad_planes};
+use gcnn_tensor::{Matrix, Shape4};
+use proptest::prelude::*;
+
+fn small_shape() -> impl Strategy<Value = Shape4> {
+    (1usize..4, 1usize..4, 1usize..8, 1usize..8).prop_map(|(n, c, h, w)| Shape4::new(n, c, h, w))
+}
+
+proptest! {
+    #[test]
+    fn pad_crop_roundtrip(shape in small_shape(), top in 0usize..3, left in 0usize..3, extra_h in 0usize..3, extra_w in 0usize..3, seed in 0u64..1000) {
+        let t = gcnn_tensor::init::uniform_tensor(shape, -1.0, 1.0, seed);
+        let padded = pad_planes(&t, shape.h + top + extra_h, shape.w + left + extra_w, top, left);
+        let back = crop_planes(&padded, shape.h, shape.w, top, left);
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn pad_preserves_sum(shape in small_shape(), seed in 0u64..1000) {
+        let t = gcnn_tensor::init::uniform_tensor(shape, 0.0, 1.0, seed);
+        let padded = pad_planes(&t, shape.h + 4, shape.w + 4, 2, 2);
+        prop_assert!((padded.sum() - t.sum()).abs() < 1e-3 * t.sum().abs().max(1.0));
+    }
+
+    #[test]
+    fn flip_involution(shape in small_shape(), seed in 0u64..1000) {
+        let t = gcnn_tensor::init::uniform_tensor(shape, -1.0, 1.0, seed);
+        prop_assert_eq!(flip_planes(&flip_planes(&t)), t);
+    }
+
+    #[test]
+    fn relayout_roundtrip_any_pair(shape in small_shape(), seed in 0u64..1000,
+                                   a in 0usize..3, b in 0usize..3) {
+        let layouts = [Layout::Nchw, Layout::Chwn, Layout::Hwcn];
+        let (from, to) = (layouts[a], layouts[b]);
+        let t = gcnn_tensor::init::uniform_tensor(shape, -1.0, 1.0, seed);
+        let dims = (shape.n, shape.c, shape.h, shape.w);
+        let mut mid = vec![0.0; shape.len()];
+        let mut back = vec![0.0; shape.len()];
+        relayout(t.as_slice(), &mut mid, dims, from, to);
+        relayout(&mid, &mut back, dims, to, from);
+        prop_assert_eq!(back, t.as_slice().to_vec());
+    }
+
+    /// im2col followed by summing each column group equals a box filter —
+    /// here we only check the adjoint identity <im2col(x), y> = <x, col2im(y)>,
+    /// which pins both functions to each other.
+    #[test]
+    fn im2col_col2im_adjoint(
+        in_hw in 3usize..9,
+        channels in 1usize..3,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let geom = ConvGeometry { in_h: in_hw, in_w: in_hw, channels, kernel, stride, pad };
+        prop_assume!(geom.is_valid());
+        let xlen = channels * in_hw * in_hw;
+        let x = gcnn_tensor::init::uniform_matrix(1, xlen, -1.0, 1.0, seed);
+        let mut cols = Matrix::zeros(geom.col_rows(), geom.col_cols());
+        im2col(x.as_slice(), &geom, &mut cols);
+        let y = gcnn_tensor::init::uniform_matrix(geom.col_rows(), geom.col_cols(), -1.0, 1.0, seed + 1);
+        let mut folded = vec![0.0f32; xlen];
+        col2im(&y, &geom, &mut folded);
+
+        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(&folded).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "lhs {lhs} rhs {rhs}");
+    }
+
+    /// Every element that im2col extracts comes from the input or padding.
+    #[test]
+    fn im2col_values_come_from_input(
+        in_hw in 3usize..7,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let geom = ConvGeometry { in_h: in_hw, in_w: in_hw, channels: 1, kernel, stride, pad: 0 };
+        prop_assume!(geom.is_valid());
+        let x = gcnn_tensor::init::uniform_matrix(1, in_hw * in_hw, 0.5, 1.5, seed);
+        let mut cols = Matrix::zeros(geom.col_rows(), geom.col_cols());
+        im2col(x.as_slice(), &geom, &mut cols);
+        for &v in cols.as_slice() {
+            prop_assert!(x.as_slice().contains(&v));
+        }
+    }
+}

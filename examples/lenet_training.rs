@@ -1,0 +1,47 @@
+//! Train LeNet-5 (the paper's Fig. 1 architecture) on synthetic digits
+//! with each of the three convolution strategies and verify they all
+//! learn the task — the cross-strategy equivalence underpinning the
+//! paper's whole comparison, demonstrated with real numerics.
+//!
+//! ```sh
+//! cargo run --release --example lenet_training
+//! ```
+
+use gcnn_conv::Strategy;
+use gcnn_models::data::synthetic_digits;
+use gcnn_models::Network;
+
+fn main() {
+    let classes = 4;
+    let size = 16; // LeNet geometry scaled to keep the demo fast on CPU
+    let train = synthetic_digits(256, size, classes, 42);
+    let test = synthetic_digits(64, size, classes, 43);
+    println!(
+        "synthetic digits: {} train / {} test, {classes} classes, {size}×{size}\n",
+        train.len(),
+        test.len()
+    );
+
+    for strategy in [Strategy::Direct, Strategy::Unrolling, Strategy::Fft] {
+        let mut net = Network::lenet5(size, classes, strategy, 7);
+        net.learning_rate = 0.1;
+        let t0 = std::time::Instant::now();
+        let report = net.train(&train, &test, 32, 3);
+        let secs = t0.elapsed().as_secs_f64();
+
+        println!("strategy: {strategy}");
+        for (epoch, loss) in report.epoch_losses.iter().enumerate() {
+            println!("  epoch {epoch}: mean loss {loss:.4}");
+        }
+        println!(
+            "  test accuracy {:.1}% (chance {:.1}%), trained in {secs:.1}s\n",
+            100.0 * report.test_accuracy,
+            100.0 / classes as f32
+        );
+        assert!(
+            report.test_accuracy > 2.0 / classes as f32,
+            "{strategy}: failed to beat chance"
+        );
+    }
+    println!("all three strategies trained the same architecture successfully");
+}

@@ -1,0 +1,69 @@
+//! End-to-end training: LeNet-5 (the paper's Fig. 1 walkthrough
+//! architecture) learns a synthetic digit task with real numerics under
+//! every convolution strategy.
+
+use gcnn_conv::Strategy;
+use gcnn_models::data::synthetic_digits;
+use gcnn_models::Network;
+
+fn train_with(strategy: Strategy) -> (Vec<f32>, f32) {
+    let classes = 4;
+    let size = 16;
+    let train = synthetic_digits(128, size, classes, 100);
+    let test = synthetic_digits(48, size, classes, 101);
+    let mut net = Network::lenet5(size, classes, strategy, 7);
+    net.learning_rate = 0.15;
+    let report = net.train(&train, &test, 32, 6);
+    (report.epoch_losses, report.test_accuracy)
+}
+
+#[test]
+fn unrolling_strategy_learns() {
+    let (losses, acc) = train_with(Strategy::Unrolling);
+    assert!(
+        losses.last().unwrap() < &(0.75 * losses[0]),
+        "loss did not decrease: {losses:?}"
+    );
+    assert!(acc > 0.5, "accuracy {acc} (chance 0.25)");
+}
+
+#[test]
+fn direct_strategy_learns() {
+    let (losses, acc) = train_with(Strategy::Direct);
+    assert!(losses.last().unwrap() < &losses[0], "{losses:?}");
+    assert!(acc > 0.5, "accuracy {acc}");
+}
+
+#[test]
+fn fft_strategy_learns() {
+    let (losses, acc) = train_with(Strategy::Fft);
+    assert!(losses.last().unwrap() < &losses[0], "{losses:?}");
+    assert!(acc > 0.5, "accuracy {acc}");
+}
+
+#[test]
+fn strategies_agree_after_one_step() {
+    // One SGD step from identical weights must leave the networks in
+    // (numerically) the same state regardless of strategy: predictions
+    // afterwards agree.
+    let classes = 3;
+    let size = 16;
+    let data = synthetic_digits(16, size, classes, 55);
+    let (imgs, labels) = data.batch(0, 16);
+
+    let mut nets: Vec<Network> = [Strategy::Direct, Strategy::Unrolling, Strategy::Fft]
+        .into_iter()
+        .map(|s| Network::lenet5(size, classes, s, 77))
+        .collect();
+    let losses: Vec<f32> = nets.iter_mut().map(|n| n.train_batch(&imgs, &labels)).collect();
+    for w in losses.windows(2) {
+        assert!((w[0] - w[1]).abs() < 1e-3, "initial losses diverge: {losses:?}");
+    }
+
+    let probe = synthetic_digits(8, size, classes, 56).images;
+    let logits: Vec<_> = nets.iter().map(|n| n.forward(&probe)).collect();
+    for other in &logits[1..] {
+        let dist = logits[0].rel_l2_dist(other).unwrap();
+        assert!(dist < 1e-2, "post-step logits diverge: rel l2 {dist}");
+    }
+}
