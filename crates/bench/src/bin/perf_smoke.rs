@@ -1,0 +1,242 @@
+//! perf_smoke — tracked wall-clock timings of the hot paths every figure
+//! depends on, at the paper's base configuration `(64,128,64,11,1)`.
+//!
+//! Times the im2col-shaped SGEMM (`m = f`, `n = b·oh·ow`, `k = c·k²`),
+//! a batched 2-D real FFT of the fft-conv plane set, and one
+//! forward + backward convolution per strategy, then writes
+//! `results/BENCH_hotpaths.json` with mean/p50/p95 per section so the
+//! performance trajectory is comparable across PRs.
+//!
+//! Environment knobs:
+//! * `GCNN_PERF_ITERS` — iterations per section (default 10).
+//! * `GCNN_PERF_DIRECT_ITERS` — iterations for the `Direct` strategy
+//!   (default 2: it is the unoptimized O(n⁷) reference loop and costs
+//!   minutes per iteration at the base config on one core).
+
+use gcnn_conv::{algorithm_for, ConvConfig, Strategy};
+use gcnn_fft::RfftPlan;
+use gcnn_gemm::{gemm_flops, sgemm, Transpose};
+use gcnn_tensor::init::{uniform_tensor, xavier_filters};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct Section {
+    name: String,
+    iters: usize,
+    mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+    /// Sustained GFLOP/s over the mean, where a FLOP count is defined.
+    gflops: Option<f64>,
+    note: Option<String>,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    config: ConvConfig,
+    sections: Vec<Section>,
+}
+
+fn env_iters(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Run `body` `iters` times, returning per-iteration milliseconds.
+fn time_ms(iters: usize, mut body: impl FnMut()) -> Vec<f64> {
+    (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            body();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+fn section(name: &str, samples: Vec<f64>, flops: Option<u64>, note: Option<String>) -> Section {
+    assert!(!samples.is_empty(), "section {name}: no samples");
+    let mut sorted = samples.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let p50 = sorted[sorted.len() / 2];
+    let p95 = sorted[((sorted.len() - 1) as f64 * 0.95).ceil() as usize];
+    let s = Section {
+        name: name.to_string(),
+        iters: samples.len(),
+        mean_ms: mean,
+        p50_ms: p50,
+        p95_ms: p95,
+        min_ms: sorted[0],
+        max_ms: sorted[sorted.len() - 1],
+        gflops: flops.map(|f| f as f64 / (mean * 1e6)),
+        note,
+    };
+    println!(
+        "{:<24} iters {:>3}  mean {:>10} ms  p50 {:>10} ms  p95 {:>10} ms{}",
+        s.name,
+        s.iters,
+        gcnn_bench::ms(s.mean_ms),
+        gcnn_bench::ms(s.p50_ms),
+        gcnn_bench::ms(s.p95_ms),
+        s.gflops
+            .map(|g| format!("  {g:.2} GFLOP/s"))
+            .unwrap_or_default(),
+    );
+    s
+}
+
+fn skipped(name: &str, reason: String) -> Section {
+    println!("{name:<24} skipped: {reason}");
+    Section {
+        name: name.to_string(),
+        iters: 0,
+        mean_ms: 0.0,
+        p50_ms: 0.0,
+        p95_ms: 0.0,
+        min_ms: 0.0,
+        max_ms: 0.0,
+        gflops: None,
+        note: Some(reason),
+    }
+}
+
+/// The im2col GEMM of the whole base-config batch: `m = f = 64`,
+/// `n = b·oh·ow = 891136`, `k = c·k² = 363`.
+fn bench_sgemm(cfg: &ConvConfig, iters: usize) -> Section {
+    let m = cfg.filters;
+    let n = cfg.batch * cfg.output() * cfg.output();
+    let k = cfg.channels * cfg.kernel * cfg.kernel;
+    let a = uniform_tensor(gcnn_tensor::Shape4::new(1, 1, m, k), -1.0, 1.0, 11);
+    let b = uniform_tensor(gcnn_tensor::Shape4::new(1, 1, k, n), -1.0, 1.0, 12);
+    let mut c = vec![0.0f32; m * n];
+    let samples = time_ms(iters, || {
+        sgemm(
+            Transpose::No,
+            Transpose::No,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            k,
+            b.as_slice(),
+            n,
+            0.0,
+            &mut c,
+            n,
+        );
+    });
+    section(
+        "sgemm_im2col_base",
+        samples,
+        Some(gemm_flops(m, n, k)),
+        Some(format!("m={m} n={n} k={k}")),
+    )
+}
+
+/// Batched 2-D real FFT round-trip over the fft-conv input plane set
+/// (`b·c` planes, padded size = next pow2 ≥ `i + k − 1`).
+fn bench_batched_fft(cfg: &ConvConfig, iters: usize) -> Section {
+    let min_size = cfg.input + cfg.kernel - 1;
+    let fft_n = min_size.next_power_of_two();
+    let planes = cfg.batch * cfg.channels;
+    let plan = RfftPlan::cached(fft_n);
+    let data = uniform_tensor(
+        gcnn_tensor::Shape4::new(planes, 1, fft_n, fft_n),
+        -1.0,
+        1.0,
+        13,
+    );
+    let mut spectra = vec![gcnn_tensor::Complex32::ZERO; planes * plan.spectrum_len()];
+    let mut back = vec![0.0f32; planes * fft_n * fft_n];
+    let samples = time_ms(iters, || {
+        gcnn_fft::rfft_forward_batch(&plan, data.as_slice(), &mut spectra);
+        gcnn_fft::rfft_inverse_batch(&plan, &spectra, &mut back);
+        std::hint::black_box(&back);
+    });
+    section(
+        "batched_rfft_roundtrip",
+        samples,
+        None,
+        Some(format!("{planes} planes of {fft_n}x{fft_n}")),
+    )
+}
+
+/// One forward + full backward (data + filters) for one algorithm.
+fn bench_algo(
+    cfg: &ConvConfig,
+    algo: &dyn gcnn_conv::ConvAlgorithm,
+    tag: &str,
+    iters: usize,
+) -> Vec<Section> {
+    if let Err(err) = algo.supports(cfg) {
+        return vec![skipped(&format!("conv_{tag}"), format!("{err:?}"))];
+    }
+    if iters == 0 {
+        return vec![skipped(&format!("conv_{tag}"), "iters = 0".to_string())];
+    }
+    let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 21);
+    let w = xavier_filters(cfg.filter_shape(), 22);
+    let y = algo.forward(cfg, &x, &w);
+
+    let fwd = time_ms(iters, || {
+        std::hint::black_box(algo.forward(cfg, &x, &w));
+    });
+    let bwd = time_ms(iters, || {
+        std::hint::black_box(algo.backward_data(cfg, &y, &w));
+        std::hint::black_box(algo.backward_filters(cfg, &x, &y));
+    });
+    vec![
+        section(
+            &format!("conv_{tag}_fwd"),
+            fwd,
+            Some(cfg.forward_flops()),
+            None,
+        ),
+        section(&format!("conv_{tag}_bwd"), bwd, None, None),
+    ]
+}
+
+fn main() {
+    let iters = env_iters("GCNN_PERF_ITERS", 10);
+    let direct_iters = env_iters("GCNN_PERF_DIRECT_ITERS", 2);
+    let cfg = ConvConfig::paper_base();
+    println!(
+        "perf_smoke: base config {:?} (output {}), {iters} iters",
+        cfg,
+        cfg.output()
+    );
+
+    let mut sections = Vec::new();
+    sections.push(bench_sgemm(&cfg, iters));
+    sections.push(bench_batched_fft(&cfg, iters));
+    for strat in [Strategy::Unrolling, Strategy::Fft] {
+        let algo = algorithm_for(strat);
+        let tag = format!("{strat:?}").to_lowercase();
+        sections.extend(bench_algo(&cfg, algo.as_ref(), &tag, iters));
+    }
+    // Winograd has no `Strategy` slot of its own (it rides the
+    // transform-domain family) and F(2x2,3x3) needs k = 3, so it is
+    // tracked at the 3x3 variant of the base config.
+    let wcfg = ConvConfig { kernel: 3, ..cfg };
+    let winograd = gcnn_conv::WinogradConv::new();
+    sections.extend(bench_algo(&wcfg, &winograd, "winograd_3x3", iters));
+    {
+        let algo = algorithm_for(Strategy::Direct);
+        sections.extend(bench_algo(&cfg, algo.as_ref(), "direct", direct_iters));
+    }
+
+    let report = Report {
+        config: cfg,
+        sections,
+    };
+    match gcnn_bench::write_json("BENCH_hotpaths", &report) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write BENCH_hotpaths.json: {e}"),
+    }
+}

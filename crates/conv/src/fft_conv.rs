@@ -14,12 +14,18 @@
 //! contaminates it. The kernel size does not enter the transform size at
 //! all, which is exactly why the paper's Fig. 3d shows fbfft's runtime
 //! flat in `k` while the unrolling strategies grow as `k²`.
+//!
+//! Plans come from the process-wide [`RfftPlan`] cache and every
+//! intermediate (spectra, transposes, bin matrices) is checked out of
+//! the thread-local [`gcnn_tensor::workspace`] arena, so repeated
+//! passes at one configuration are steady-state allocation-free apart
+//! from the output tensor itself.
 
 use crate::config::ConvConfig;
 use crate::strategy::{ConvAlgorithm, Strategy, Unsupported};
 use gcnn_fft::RfftPlan;
 use gcnn_gemm::batched::batched_cgemm;
-use gcnn_tensor::{Complex32, Shape4, Tensor4};
+use gcnn_tensor::{workspace, Complex32, Shape4, Tensor4};
 use rayon::prelude::*;
 
 /// The FFT convolution algorithm (stride-1 only, like fbfft and
@@ -35,48 +41,50 @@ impl FftConv {
 }
 
 /// Forward-transform every `h×w` plane of `t`, zero-padded to `n×n`,
-/// returning plane-major Hermitian half-spectra:
+/// into plane-major Hermitian half-spectra:
 /// `out[plane · n·(n/2+1) + bin]` — the storage layout fbfft's R2C
-/// transforms use.
-fn plane_spectra(t: &Tensor4, n: usize, plan: &RfftPlan) -> Vec<Complex32> {
+/// transforms use. Per-plane pad buffers come from the workspace arena.
+fn plane_spectra_into(t: &Tensor4, n: usize, plan: &RfftPlan, out: &mut [Complex32]) {
     let s = t.shape();
     let planes = s.n * s.c;
     let bins = plan.spectrum_len();
-    let mut out = vec![Complex32::ZERO; planes * bins];
+    debug_assert_eq!(out.len(), planes * bins);
     out.par_chunks_mut(bins)
         .enumerate()
         .for_each(|(p, chunk)| {
             let (pn, pc) = (p / s.c, p % s.c);
             let src = t.plane(pn, pc);
-            // Zero-pad the h×w plane into the n×n transform buffer.
-            let mut buf = vec![0.0f32; n * n];
+            // Zero-pad the h×w plane into the n×n transform buffer —
+            // copied rows zero only their right margin, the bottom band
+            // is cleared wholesale (halo-only fill on reused scratch).
+            let mut buf = workspace::take_f32(n * n);
             for h in 0..s.h {
                 buf[h * n..h * n + s.w].copy_from_slice(&src[h * s.w..(h + 1) * s.w]);
+                buf[h * n + s.w..(h + 1) * n].fill(0.0);
             }
-            chunk.copy_from_slice(&plan.forward(&buf));
+            buf[s.h * n..].fill(0.0);
+            plan.forward_into(&buf, chunk);
         });
-    out
 }
 
 /// Swap the two plane axes of a plane-major spectrum buffer:
-/// `[d0][d1][bin] → [d1][d0][bin]`. This plus [`gather_bins`] is fbfft's
-/// `Transpose` kernel.
-fn swap_planes(spec: &[Complex32], d0: usize, d1: usize, bins: usize) -> Vec<Complex32> {
+/// `[d0][d1][bin] → [d1][d0][bin]`. This plus [`gather_bins_into`] is
+/// fbfft's `Transpose` kernel.
+fn swap_planes_into(spec: &[Complex32], d0: usize, d1: usize, bins: usize, out: &mut [Complex32]) {
     debug_assert_eq!(spec.len(), d0 * d1 * bins);
-    let mut out = vec![Complex32::ZERO; spec.len()];
+    debug_assert_eq!(out.len(), spec.len());
     for i0 in 0..d0 {
         for i1 in 0..d1 {
             let src = &spec[(i0 * d1 + i1) * bins..(i0 * d1 + i1 + 1) * bins];
             out[(i1 * d0 + i0) * bins..(i1 * d0 + i0 + 1) * bins].copy_from_slice(src);
         }
     }
-    out
 }
 
 /// Plane-major → bin-major: `out[bin · planes + plane]`.
-fn gather_bins(spec: &[Complex32], planes: usize, bins: usize) -> Vec<Complex32> {
+fn gather_bins_into(spec: &[Complex32], planes: usize, bins: usize, out: &mut [Complex32]) {
     debug_assert_eq!(spec.len(), planes * bins);
-    let mut out = vec![Complex32::ZERO; spec.len()];
+    debug_assert_eq!(out.len(), spec.len());
     out.par_chunks_mut(planes)
         .enumerate()
         .for_each(|(bin, chunk)| {
@@ -84,19 +92,17 @@ fn gather_bins(spec: &[Complex32], planes: usize, bins: usize) -> Vec<Complex32>
                 *slot = spec[p * bins + bin];
             }
         });
-    out
 }
 
-/// Bin-major → plane-major (inverse of [`gather_bins`]).
-fn scatter_bins(binmat: &[Complex32], planes: usize, bins: usize) -> Vec<Complex32> {
+/// Bin-major → plane-major (inverse of [`gather_bins_into`]).
+fn scatter_bins_into(binmat: &[Complex32], planes: usize, bins: usize, out: &mut [Complex32]) {
     debug_assert_eq!(binmat.len(), planes * bins);
-    let mut out = vec![Complex32::ZERO; binmat.len()];
+    debug_assert_eq!(out.len(), binmat.len());
     out.par_chunks_mut(bins).enumerate().for_each(|(p, chunk)| {
         for (bin, slot) in chunk.iter_mut().enumerate() {
             *slot = binmat[bin * planes + p];
         }
     });
-    out
 }
 
 /// Inverse-transform plane-major half-spectra and crop each plane to
@@ -104,7 +110,7 @@ fn scatter_bins(binmat: &[Complex32], planes: usize, bins: usize) -> Vec<Complex
 /// shape `(d0, d1, out_h, out_w)`.
 #[allow(clippy::too_many_arguments)]
 fn planes_to_tensor(
-    spec: Vec<Complex32>,
+    spec: &[Complex32],
     d0: usize,
     d1: usize,
     n: usize,
@@ -121,7 +127,8 @@ fn planes_to_tensor(
         .par_chunks_mut(plane_len)
         .enumerate()
         .for_each(|(p, dst)| {
-            let real = plan.inverse(&spec[p * bins..(p + 1) * bins]);
+            let mut real = workspace::take_f32(n * n);
+            plan.inverse_into(&spec[p * bins..(p + 1) * bins], &mut real);
             for h in 0..out_h {
                 for w in 0..out_w {
                     dst[h * out_w + w] = real[(h + top) * n + (w + left)];
@@ -129,16 +136,6 @@ fn planes_to_tensor(
             }
         });
     out
-}
-
-/// Spatially zero-pad an input tensor by `pad` on all sides (identity
-/// when `pad == 0`).
-fn pad_input(input: &Tensor4, pad: usize) -> Tensor4 {
-    if pad == 0 {
-        return input.clone();
-    }
-    let s = input.shape();
-    gcnn_tensor::pad::pad_planes(input, s.h + 2 * pad, s.w + 2 * pad, pad, pad)
 }
 
 impl ConvAlgorithm for FftConv {
@@ -165,32 +162,51 @@ impl ConvAlgorithm for FftConv {
         assert_eq!(input.shape(), cfg.input_shape(), "FftConv::forward: input");
         assert_eq!(filters.shape(), cfg.filter_shape(), "FftConv::forward: filters");
 
-        let padded = pad_input(input, cfg.pad);
+        // Borrow the input directly when no spatial padding is needed —
+        // the previous implementation cloned the whole tensor.
+        let padded_storage;
+        let padded: &Tensor4 = if cfg.pad == 0 {
+            input
+        } else {
+            let s = input.shape();
+            padded_storage =
+                gcnn_tensor::pad::pad_planes(input, s.h + 2 * cfg.pad, s.w + 2 * cfg.pad, cfg.pad, cfg.pad);
+            &padded_storage
+        };
         let ieff = cfg.input + 2 * cfg.pad;
         let n = ieff.next_power_of_two();
-        let plan = RfftPlan::new(n);
+        let plan = RfftPlan::cached(n);
         let bins = plan.spectrum_len();
         let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
 
         // 1. Forward transforms (fbfft's decimateInFrequency).
-        let in_spec = plane_spectra(&padded, n, &plan); // [n][c][bin]
-        let filt_spec = plane_spectra(filters, n, &plan); // [f][c][bin]
+        let mut in_spec = workspace::take_c32(b * c * bins); // [n][c][bin]
+        plane_spectra_into(padded, n, &plan, &mut in_spec);
+        let mut filt_spec = workspace::take_c32(f * c * bins); // [f][c][bin]
+        plane_spectra_into(filters, n, &plan, &mut filt_spec);
 
         // 2. Transpose BDHW → HWBD.
-        let b_bins = gather_bins(&swap_planes(&in_spec, b, c, bins), c * b, bins); // [bin][c×b]
-        let a_bins = gather_bins(&filt_spec, f * c, bins); // [bin][f×c]
+        let mut swapped = workspace::take_c32(b * c * bins);
+        swap_planes_into(&in_spec, b, c, bins, &mut swapped);
+        let mut b_bins = workspace::take_c32(b * c * bins); // [bin][c×b]
+        gather_bins_into(&swapped, c * b, bins, &mut b_bins);
+        let mut a_bins = workspace::take_c32(f * c * bins); // [bin][f×c]
+        gather_bins_into(&filt_spec, f * c, bins, &mut a_bins);
 
         // 3. One [f×c]·[c×b] complex GEMM per bin; conjugated filters
         //    turn the circular product into correlation (what CNNs
         //    compute).
-        let mut c_bins = vec![Complex32::ZERO; bins * f * b];
+        let mut c_bins = workspace::take_c32(bins * f * b);
         batched_cgemm(
             true, false, f, b, c, bins, &a_bins, f * c, &b_bins, c * b, &mut c_bins, f * b,
         );
 
         // 4. Transpose back and 5. inverse transform + crop to (o × o).
-        let out_spec = swap_planes(&scatter_bins(&c_bins, f * b, bins), f, b, bins);
-        planes_to_tensor(out_spec, b, f, n, &plan, cfg.output(), cfg.output(), 0, 0)
+        let mut scattered = workspace::take_c32(bins * f * b);
+        scatter_bins_into(&c_bins, f * b, bins, &mut scattered);
+        let mut out_spec = workspace::take_c32(bins * f * b);
+        swap_planes_into(&scattered, f, b, bins, &mut out_spec);
+        planes_to_tensor(&out_spec, b, f, n, &plan, cfg.output(), cfg.output(), 0, 0)
     }
 
     fn backward_data(&self, cfg: &ConvConfig, grad_out: &Tensor4, filters: &Tensor4) -> Tensor4 {
@@ -199,51 +215,79 @@ impl ConvAlgorithm for FftConv {
 
         let ieff = cfg.input + 2 * cfg.pad;
         let n = ieff.next_power_of_two();
-        let plan = RfftPlan::new(n);
+        let plan = RfftPlan::cached(n);
         let bins = plan.spectrum_len();
         let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
 
-        let gout_spec = plane_spectra(grad_out, n, &plan); // [n][f][bin]
-        let filt_spec = plane_spectra(filters, n, &plan); // [f][c][bin]
+        let mut gout_spec = workspace::take_c32(b * f * bins); // [n][f][bin]
+        plane_spectra_into(grad_out, n, &plan, &mut gout_spec);
+        let mut filt_spec = workspace::take_c32(f * c * bins); // [f][c][bin]
+        plane_spectra_into(filters, n, &plan, &mut filt_spec);
 
         // gin_spec[c,n] = Σ_f filt_spec[c,f] · gout_spec[f,n]  (true
         // convolution — no conjugation).
-        let a_bins = gather_bins(&swap_planes(&filt_spec, f, c, bins), c * f, bins); // [bin][c×f]
-        let b_bins = gather_bins(&swap_planes(&gout_spec, b, f, bins), f * b, bins); // [bin][f×b]
-        let mut c_bins = vec![Complex32::ZERO; bins * c * b];
+        let mut swapped = workspace::take_c32(f * c * bins);
+        swap_planes_into(&filt_spec, f, c, bins, &mut swapped);
+        let mut a_bins = workspace::take_c32(f * c * bins); // [bin][c×f]
+        gather_bins_into(&swapped, c * f, bins, &mut a_bins);
+        let mut gswapped = workspace::take_c32(b * f * bins);
+        swap_planes_into(&gout_spec, b, f, bins, &mut gswapped);
+        let mut b_bins = workspace::take_c32(b * f * bins); // [bin][f×b]
+        gather_bins_into(&gswapped, f * b, bins, &mut b_bins);
+
+        let mut c_bins = workspace::take_c32(bins * c * b);
         batched_cgemm(
             false, false, c, b, f, bins, &a_bins, c * f, &b_bins, f * b, &mut c_bins, c * b,
         );
 
-        let gin_spec = swap_planes(&scatter_bins(&c_bins, c * b, bins), c, b, bins); // [n][c][bin]
+        let mut scattered = workspace::take_c32(bins * c * b);
+        scatter_bins_into(&c_bins, c * b, bins, &mut scattered);
+        let mut gin_spec = workspace::take_c32(bins * c * b); // [n][c][bin]
+        swap_planes_into(&scattered, c, b, bins, &mut gin_spec);
         // Crop the interior when the forward pass padded the input.
-        planes_to_tensor(gin_spec, b, c, n, &plan, cfg.input, cfg.input, cfg.pad, cfg.pad)
+        planes_to_tensor(&gin_spec, b, c, n, &plan, cfg.input, cfg.input, cfg.pad, cfg.pad)
     }
 
     fn backward_filters(&self, cfg: &ConvConfig, input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
         self.supports(cfg).expect("FftConv::backward_filters: unsupported config");
 
-        let padded = pad_input(input, cfg.pad);
+        let padded_storage;
+        let padded: &Tensor4 = if cfg.pad == 0 {
+            input
+        } else {
+            let s = input.shape();
+            padded_storage =
+                gcnn_tensor::pad::pad_planes(input, s.h + 2 * cfg.pad, s.w + 2 * cfg.pad, cfg.pad, cfg.pad);
+            &padded_storage
+        };
         let ieff = cfg.input + 2 * cfg.pad;
         let n = ieff.next_power_of_two();
-        let plan = RfftPlan::new(n);
+        let plan = RfftPlan::cached(n);
         let bins = plan.spectrum_len();
         let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
 
-        let in_spec = plane_spectra(&padded, n, &plan); // [n][c][bin]
-        let gout_spec = plane_spectra(grad_out, n, &plan); // [n][f][bin]
+        let mut in_spec = workspace::take_c32(b * c * bins); // [n][c][bin]
+        plane_spectra_into(padded, n, &plan, &mut in_spec);
+        let mut gout_spec = workspace::take_c32(b * f * bins); // [n][f][bin]
+        plane_spectra_into(grad_out, n, &plan, &mut gout_spec);
 
         // gw_spec[f,c] = Σ_n conj(gout_spec[f,n]) · in_spec[n,c]
         // (correlation of the input with the output gradient).
-        let a_bins = gather_bins(&swap_planes(&gout_spec, b, f, bins), f * b, bins); // [bin][f×b]
-        let b_bins = gather_bins(&in_spec, b * c, bins); // [bin][b×c]
-        let mut c_bins = vec![Complex32::ZERO; bins * f * c];
+        let mut gswapped = workspace::take_c32(b * f * bins);
+        swap_planes_into(&gout_spec, b, f, bins, &mut gswapped);
+        let mut a_bins = workspace::take_c32(b * f * bins); // [bin][f×b]
+        gather_bins_into(&gswapped, f * b, bins, &mut a_bins);
+        let mut b_bins = workspace::take_c32(b * c * bins); // [bin][b×c]
+        gather_bins_into(&in_spec, b * c, bins, &mut b_bins);
+
+        let mut c_bins = workspace::take_c32(bins * f * c);
         batched_cgemm(
             true, false, f, c, b, bins, &a_bins, f * b, &b_bins, b * c, &mut c_bins, f * c,
         );
 
-        let gw_spec = scatter_bins(&c_bins, f * c, bins); // [f][c][bin]
-        planes_to_tensor(gw_spec, f, c, n, &plan, cfg.kernel, cfg.kernel, 0, 0)
+        let mut gw_spec = workspace::take_c32(bins * f * c); // [f][c][bin]
+        scatter_bins_into(&c_bins, f * c, bins, &mut gw_spec);
+        planes_to_tensor(&gw_spec, f, c, n, &plan, cfg.kernel, cfg.kernel, 0, 0)
     }
 }
 
@@ -328,8 +372,11 @@ mod tests {
         let spec: Vec<Complex32> = (0..planes * bins)
             .map(|i| Complex32::new(i as f32, -(i as f32)))
             .collect();
-        let gathered = gather_bins(&spec, planes, bins);
-        assert_eq!(scatter_bins(&gathered, planes, bins), spec);
+        let mut gathered = vec![Complex32::ZERO; spec.len()];
+        gather_bins_into(&spec, planes, bins, &mut gathered);
+        let mut back = vec![Complex32::ZERO; spec.len()];
+        scatter_bins_into(&gathered, planes, bins, &mut back);
+        assert_eq!(back, spec);
         // Spot-check the layout: bin-major element (bin=3, plane=2).
         assert_eq!(gathered[3 * planes + 2], spec[2 * bins + 3]);
     }
@@ -340,7 +387,10 @@ mod tests {
         let spec: Vec<Complex32> = (0..d0 * d1 * bins)
             .map(|i| Complex32::from_real(i as f32))
             .collect();
-        let swapped = swap_planes(&spec, d0, d1, bins);
-        assert_eq!(swap_planes(&swapped, d1, d0, bins), spec);
+        let mut swapped = vec![Complex32::ZERO; spec.len()];
+        swap_planes_into(&spec, d0, d1, bins, &mut swapped);
+        let mut back = vec![Complex32::ZERO; spec.len()];
+        swap_planes_into(&swapped, d1, d0, bins, &mut back);
+        assert_eq!(back, spec);
     }
 }

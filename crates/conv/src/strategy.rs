@@ -7,7 +7,7 @@
 //! numerics to one of them.
 
 use crate::config::ConvConfig;
-use gcnn_tensor::Tensor4;
+use gcnn_tensor::{Tensor4, Workspace};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -123,6 +123,50 @@ pub trait ConvAlgorithm: Send + Sync {
 
     /// Gradient w.r.t. the filter bank.
     fn backward_filters(&self, cfg: &ConvConfig, input: &Tensor4, grad_out: &Tensor4) -> Tensor4;
+
+    /// [`ConvAlgorithm::forward`] with an explicit [`Workspace`].
+    ///
+    /// The in-tree strategies draw their scratch from thread-local
+    /// pools, so the handle carries no storage — it makes the reuse
+    /// dependency visible in signatures (the training loop owns one
+    /// workspace for the whole run) and gives external implementations
+    /// a place to hang per-call scratch. Defaults delegate to the
+    /// plain methods.
+    fn forward_ws(
+        &self,
+        cfg: &ConvConfig,
+        input: &Tensor4,
+        filters: &Tensor4,
+        ws: &mut Workspace,
+    ) -> Tensor4 {
+        let _ = ws;
+        self.forward(cfg, input, filters)
+    }
+
+    /// [`ConvAlgorithm::backward_data`] with an explicit [`Workspace`].
+    fn backward_data_ws(
+        &self,
+        cfg: &ConvConfig,
+        grad_out: &Tensor4,
+        filters: &Tensor4,
+        ws: &mut Workspace,
+    ) -> Tensor4 {
+        let _ = ws;
+        self.backward_data(cfg, grad_out, filters)
+    }
+
+    /// [`ConvAlgorithm::backward_filters`] with an explicit
+    /// [`Workspace`].
+    fn backward_filters_ws(
+        &self,
+        cfg: &ConvConfig,
+        input: &Tensor4,
+        grad_out: &Tensor4,
+        ws: &mut Workspace,
+    ) -> Tensor4 {
+        let _ = ws;
+        self.backward_filters(cfg, input, grad_out)
+    }
 }
 
 #[cfg(test)]

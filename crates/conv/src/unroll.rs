@@ -12,8 +12,8 @@
 use crate::config::ConvConfig;
 use crate::strategy::{ConvAlgorithm, Strategy};
 use gcnn_gemm::{sgemm, Transpose};
-use gcnn_tensor::im2col::{col2im, im2col};
-use gcnn_tensor::{Matrix, Tensor4};
+use gcnn_tensor::im2col::{col2im_from, im2col_into};
+use gcnn_tensor::{workspace, Tensor4};
 use rayon::prelude::*;
 
 /// The unrolling (im2col + GEMM) convolution algorithm.
@@ -47,9 +47,11 @@ impl ConvAlgorithm for UnrollConv {
             .for_each(|(n, oimg)| {
                 // Per-image unroll buffer — the `im2col_gpu_kernel`
                 // workspace the paper's Fig. 5 memory analysis charges to
-                // Caffe/Torch/Theano-CorrMM.
-                let mut cols = Matrix::zeros(ckk, o2);
-                im2col(input.image(n), &geom, &mut cols);
+                // Caffe/Torch/Theano-CorrMM. Checked out of the
+                // thread-local arena: steady-state iterations allocate
+                // nothing. Not zeroed — im2col writes every element.
+                let mut cols = workspace::take_f32(ckk * o2);
+                im2col_into(input.image(n), &geom, &mut cols);
                 sgemm(
                     Transpose::No,
                     Transpose::No,
@@ -82,7 +84,8 @@ impl ConvAlgorithm for UnrollConv {
             .par_chunks_mut(image_in)
             .enumerate()
             .for_each(|(n, gimg)| {
-                let mut cols = Matrix::zeros(ckk, o2);
+                // Arena scratch; sgemm's beta = 0 overwrites every entry.
+                let mut cols = workspace::take_f32(ckk * o2);
                 sgemm(
                     Transpose::Yes,
                     Transpose::No,
@@ -95,10 +98,10 @@ impl ConvAlgorithm for UnrollConv {
                     grad_out.image(n),
                     o2,
                     0.0,
-                    cols.as_mut_slice(),
+                    &mut cols,
                     o2,
                 );
-                col2im(&cols, &geom, gimg);
+                col2im_from(&cols, &geom, gimg);
             });
         grad_in
     }
@@ -113,8 +116,8 @@ impl ConvAlgorithm for UnrollConv {
         let grad_w_flat = (0..cfg.batch)
             .into_par_iter()
             .fold(zero, |mut acc, n| {
-                let mut cols = Matrix::zeros(ckk, o2);
-                im2col(input.image(n), &geom, &mut cols);
+                let mut cols = workspace::take_f32(ckk * o2);
+                im2col_into(input.image(n), &geom, &mut cols);
                 sgemm(
                     Transpose::No,
                     Transpose::Yes,

@@ -23,7 +23,7 @@
 use crate::config::ConvConfig;
 use crate::strategy::{ConvAlgorithm, Strategy, Unsupported};
 use crate::unroll::UnrollConv;
-use gcnn_tensor::Tensor4;
+use gcnn_tensor::{workspace, Tensor4};
 use rayon::prelude::*;
 
 /// The Winograd F(2×2, 3×3) convolution algorithm.
@@ -144,13 +144,15 @@ impl ConvAlgorithm for WinogradConv {
         let p = cfg.pad;
         let tiles = o.div_ceil(2);
 
-        // Pre-transform all filters: U[f][c] = G g Gᵀ.
-        let transformed_filters: Vec<[f32; 16]> = (0..cfg.filters * cfg.channels)
-            .map(|idx| {
-                let (f, c) = (idx / cfg.channels, idx % cfg.channels);
-                transform_filter(filters.plane(f, c))
-            })
-            .collect();
+        // Pre-transform all filters: U[f][c] = G g Gᵀ (flat 16-wide
+        // records in arena scratch).
+        let mut transformed_filters = workspace::take_f32(cfg.filters * cfg.channels * 16);
+        for idx in 0..cfg.filters * cfg.channels {
+            let (f, c) = (idx / cfg.channels, idx % cfg.channels);
+            transformed_filters[idx * 16..(idx + 1) * 16]
+                .copy_from_slice(&transform_filter(filters.plane(f, c)));
+        }
+        let transformed_filters = &transformed_filters;
 
         let mut out = Tensor4::zeros(cfg.output_shape());
         let image_out = cfg.filters * o * o;
@@ -159,8 +161,9 @@ impl ConvAlgorithm for WinogradConv {
             .enumerate()
             .for_each(|(n, oimg)| {
                 // Transform every 4×4 input tile of every channel once
-                // per image: V[c][tile] = Bᵀ d B.
-                let mut v = vec![[0.0f32; 16]; cfg.channels * tiles * tiles];
+                // per image: V[c][tile] = Bᵀ d B. Arena scratch: every
+                // record is fully written before it is read.
+                let mut v = workspace::take_f32(cfg.channels * tiles * tiles * 16);
                 for c in 0..cfg.channels {
                     let plane = input.plane(n, c);
                     for ty in 0..tiles {
@@ -178,7 +181,9 @@ impl ConvAlgorithm for WinogradConv {
                                     }
                                 }
                             }
-                            v[(c * tiles + ty) * tiles + tx] = transform_input(&d);
+                            let rec = (c * tiles + ty) * tiles + tx;
+                            v[rec * 16..(rec + 1) * 16]
+                                .copy_from_slice(&transform_input(&d));
                         }
                     }
                 }
@@ -192,8 +197,10 @@ impl ConvAlgorithm for WinogradConv {
                         for tx in 0..tiles {
                             let mut m = [0.0f32; 16];
                             for c in 0..cfg.channels {
-                                let u = &transformed_filters[f * cfg.channels + c];
-                                let vv = &v[(c * tiles + ty) * tiles + tx];
+                                let fi = (f * cfg.channels + c) * 16;
+                                let u = &transformed_filters[fi..fi + 16];
+                                let rec = ((c * tiles + ty) * tiles + tx) * 16;
+                                let vv = &v[rec..rec + 16];
                                 for t in 0..16 {
                                     m[t] += u[t] * vv[t];
                                 }

@@ -99,3 +99,30 @@ proptest! {
         prop_assert!(direct.max_abs_diff(&ysum).unwrap() < 1e-3, "at {cfg}");
     }
 }
+
+/// Repeating a forward+backward pass with unchanged shapes must be
+/// steady-state allocation-free: the second round draws every scratch
+/// buffer (im2col columns, GEMM packs, FFT spectra) from the arena.
+#[test]
+fn repeated_conv_is_steady_state_allocation_free() {
+    let mut cfg = ConvConfig::with_channels(2, 3, 16, 4, 3, 1);
+    cfg.pad = 1;
+    let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 21);
+    let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, 22);
+
+    for algo in [&UnrollConv as &dyn ConvAlgorithm, &FftConv] {
+        let round = || {
+            let y = algo.forward(&cfg, &x, &w);
+            let _gw = algo.backward_filters(&cfg, &x, &y);
+            let _gx = algo.backward_data(&cfg, &y, &w);
+        };
+        round(); // warm the thread-local pools
+        let (_, misses) = gcnn_tensor::workspace::alloc_scope(round);
+        assert_eq!(
+            misses,
+            0,
+            "second identical {:?} round took {misses} fresh allocations",
+            algo.strategy()
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Batched real 2-D transforms over plane sets.
+//!
+//! Every FFT-convolution pass transforms `b·c` (inputs), `f·c`
+//! (filters) or `b·f` (gradients) planes of one size — the paper's
+//! fbfft profile is dominated by exactly this batch (Fig. 4f). This
+//! module executes the batch rayon-parallel over planes; each worker
+//! draws its line/spectrum scratch from its own thread-local
+//! [`gcnn_tensor::workspace`] pool, so the batch performs zero heap
+//! allocation in steady state regardless of pool width.
+
+use crate::rfft::RfftPlan;
+use gcnn_tensor::Complex32;
+use rayon::prelude::*;
+
+/// Forward-transform `count` contiguous `n×n` real planes into `count`
+/// contiguous half-spectra. `planes.len()` must be `count·n²` and
+/// `spectra.len()` must be `count·spectrum_len`; `count` is inferred.
+pub fn rfft_forward_batch(plan: &RfftPlan, planes: &[f32], spectra: &mut [Complex32]) {
+    let plane_len = plan.n() * plan.n();
+    let spec_len = plan.spectrum_len();
+    assert_eq!(planes.len() % plane_len, 0, "forward_batch: plane size");
+    let count = planes.len() / plane_len;
+    assert_eq!(
+        spectra.len(),
+        count * spec_len,
+        "forward_batch: spectra size for {count} planes"
+    );
+    spectra
+        .par_chunks_mut(spec_len)
+        .zip(planes.par_chunks(plane_len))
+        .for_each(|(spec, plane)| plan.forward_into(plane, spec));
+}
+
+/// Inverse-transform `count` contiguous half-spectra into `count`
+/// contiguous `n×n` real planes. Sizes as in [`rfft_forward_batch`].
+pub fn rfft_inverse_batch(plan: &RfftPlan, spectra: &[Complex32], planes: &mut [f32]) {
+    let plane_len = plan.n() * plan.n();
+    let spec_len = plan.spectrum_len();
+    assert_eq!(spectra.len() % spec_len, 0, "inverse_batch: spectra size");
+    let count = spectra.len() / spec_len;
+    assert_eq!(
+        planes.len(),
+        count * plane_len,
+        "inverse_batch: planes size for {count} spectra"
+    );
+    planes
+        .par_chunks_mut(plane_len)
+        .zip(spectra.par_chunks(spec_len))
+        .for_each(|(plane, spec)| plan.inverse_into(spec, plane));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnn_tensor::workspace::alloc_scope;
+
+    fn planes(count: usize, n: usize) -> Vec<f32> {
+        (0..count * n * n)
+            .map(|i| (((i as u64).wrapping_mul(2654435761)) % 1000) as f32 / 100.0 - 5.0)
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_single_plane_calls() {
+        let n = 16;
+        let count = 5;
+        let plan = RfftPlan::cached(n);
+        let x = planes(count, n);
+
+        let mut spectra = vec![Complex32::ZERO; count * plan.spectrum_len()];
+        rfft_forward_batch(&plan, &x, &mut spectra);
+
+        for p in 0..count {
+            let single = plan.forward(&x[p * n * n..(p + 1) * n * n]);
+            let batch = &spectra[p * plan.spectrum_len()..(p + 1) * plan.spectrum_len()];
+            for (a, b) in single.iter().zip(batch) {
+                assert_eq!(a, b, "plane {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let n = 8;
+        let count = 7;
+        let plan = RfftPlan::cached(n);
+        let x = planes(count, n);
+
+        let mut spectra = vec![Complex32::ZERO; count * plan.spectrum_len()];
+        rfft_forward_batch(&plan, &x, &mut spectra);
+        let mut back = vec![0.0f32; count * n * n];
+        rfft_inverse_batch(&plan, &spectra, &mut back);
+
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn second_batch_allocates_nothing() {
+        let n = 32;
+        let count = 3;
+        let plan = RfftPlan::cached(n);
+        let x = planes(count, n);
+        let mut spectra = vec![Complex32::ZERO; count * plan.spectrum_len()];
+        let mut back = vec![0.0f32; count * n * n];
+
+        // Warm the thread-local pools.
+        rfft_forward_batch(&plan, &x, &mut spectra);
+        rfft_inverse_batch(&plan, &spectra, &mut back);
+
+        let (_, misses) = alloc_scope(|| {
+            rfft_forward_batch(&plan, &x, &mut spectra);
+            rfft_inverse_batch(&plan, &spectra, &mut back);
+        });
+        assert_eq!(misses, 0, "steady-state batch FFT hit the allocator");
+    }
+}

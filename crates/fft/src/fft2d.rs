@@ -8,26 +8,27 @@
 use crate::dit::fft_inplace;
 use crate::plan::FftPlan;
 use crate::Direction;
-use gcnn_tensor::Complex32;
+use gcnn_tensor::{workspace, Complex32};
+use std::sync::Arc;
 
 /// Plans for a 2-D power-of-two transform of shape `rows × cols`.
 #[derive(Debug, Clone)]
 pub struct Fft2dPlan {
     rows: usize,
     cols: usize,
-    row_plan: FftPlan,
-    col_plan: FftPlan,
+    row_plan: Arc<FftPlan>,
+    col_plan: Arc<FftPlan>,
 }
 
 impl Fft2dPlan {
-    /// Build row and column plans. Both dimensions must be powers of
-    /// two.
+    /// Build row and column plans (shared through the process-wide
+    /// [`FftPlan`] cache). Both dimensions must be powers of two.
     pub fn new(rows: usize, cols: usize) -> Self {
         Fft2dPlan {
             rows,
             cols,
-            row_plan: FftPlan::new(cols),
-            col_plan: FftPlan::new(rows),
+            row_plan: FftPlan::cached(cols),
+            col_plan: FftPlan::cached(rows),
         }
     }
 
@@ -52,8 +53,9 @@ impl Fft2dPlan {
         for r in 0..self.rows {
             fft_inplace(&mut plane[r * self.cols..(r + 1) * self.cols], &self.row_plan, dir);
         }
-        // All columns via scratch gather.
-        let mut colbuf = vec![Complex32::ZERO; self.rows];
+        // All columns via scratch gather (arena scratch: no per-call
+        // allocation in steady state).
+        let mut colbuf = workspace::take_c32(self.rows);
         for c in 0..self.cols {
             for r in 0..self.rows {
                 colbuf[r] = plane[r * self.cols + c];

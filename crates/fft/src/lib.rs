@@ -23,6 +23,7 @@
 //!
 //! [`Complex32`]: gcnn_tensor::Complex32
 
+pub mod batch;
 pub mod dft;
 pub mod dif;
 pub mod dit;
@@ -30,6 +31,7 @@ pub mod fft2d;
 pub mod plan;
 pub mod rfft;
 
+pub use batch::{rfft_forward_batch, rfft_inverse_batch};
 pub use fft2d::Fft2dPlan;
 pub use plan::FftPlan;
 pub use rfft::RfftPlan;

@@ -1,6 +1,8 @@
-//! Twiddle-factor plans.
+//! Twiddle-factor plans and the process-wide plan cache.
 
 use gcnn_tensor::Complex32;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Precomputed tables for a radix-2 FFT of one power-of-two size.
 ///
@@ -51,6 +53,22 @@ impl FftPlan {
             inverse,
             bitrev,
         }
+    }
+
+    /// Fetch the shared plan for size `n` from the process-wide cache,
+    /// building it on first request.
+    ///
+    /// A convolution layer transforms thousands of planes of one size;
+    /// cuFFT amortizes that by creating the plan once (`cufftPlan2d`)
+    /// and executing it per plane. This is the same split: `cached` is
+    /// the plan-creation step, [`crate::dit::fft_inplace`] the execute
+    /// step. Lock is held only for the map lookup/insert; the `O(n)`
+    /// table build happens outside any per-transform path.
+    pub fn cached(n: usize) -> Arc<FftPlan> {
+        static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("FftPlan cache poisoned");
+        Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
     }
 
     /// Transform size.
@@ -136,6 +154,16 @@ mod tests {
         p.bitrev_permute(&mut data);
         let got: Vec<f32> = data.iter().map(|z| z.re).collect();
         assert_eq!(got, vec![0.0, 4.0, 2.0, 6.0, 1.0, 5.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn cached_returns_same_plan() {
+        let a = FftPlan::cached(64);
+        let b = FftPlan::cached(64);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        let c = FftPlan::cached(128);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert_eq!(c.len(), 128);
     }
 
     #[test]

@@ -14,18 +14,22 @@
 use crate::dit::fft_inplace;
 use crate::plan::FftPlan;
 use crate::Direction;
-use gcnn_tensor::Complex32;
+use gcnn_tensor::{workspace, Complex32};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Plan for `n×n` real-input transforms (power-of-two `n`).
 #[derive(Debug, Clone)]
 pub struct RfftPlan {
     n: usize,
     half: usize,
-    plan: FftPlan,
+    plan: Arc<FftPlan>,
 }
 
 impl RfftPlan {
-    /// Build a plan for `n×n` planes.
+    /// Build a plan for `n×n` planes. The twiddle/bit-reversal tables
+    /// come from the process-wide [`FftPlan`] cache, so plans of one
+    /// size share storage.
     ///
     /// # Panics
     /// Panics if `n` is not a power of two.
@@ -33,8 +37,17 @@ impl RfftPlan {
         RfftPlan {
             n,
             half: n / 2 + 1,
-            plan: FftPlan::new(n),
+            plan: FftPlan::cached(n),
         }
+    }
+
+    /// Fetch the shared plan for `n×n` planes from the process-wide
+    /// cache — the cuFFT `cufftPlan2d`-once / execute-many split.
+    pub fn cached(n: usize) -> Arc<RfftPlan> {
+        static CACHE: OnceLock<Mutex<HashMap<usize, Arc<RfftPlan>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("RfftPlan cache poisoned");
+        Arc::clone(map.entry(n).or_insert_with(|| Arc::new(RfftPlan::new(n))))
     }
 
     /// Spatial size.
@@ -53,78 +66,98 @@ impl RfftPlan {
     }
 
     /// Forward transform of a row-major `n×n` real plane into the
-    /// half-spectrum layout.
-    pub fn forward(&self, plane: &[f32]) -> Vec<Complex32> {
+    /// half-spectrum layout, writing into caller-provided storage.
+    /// Line scratch comes from the thread-local workspace arena, so
+    /// steady-state calls allocate nothing.
+    pub fn forward_into(&self, plane: &[f32], spec: &mut [Complex32]) {
         assert_eq!(plane.len(), self.n * self.n, "RfftPlan::forward: plane size");
+        assert_eq!(
+            spec.len(),
+            self.spectrum_len(),
+            "RfftPlan::forward: spectrum size"
+        );
         let (n, half) = (self.n, self.half);
 
         // Row transforms: full complex FFT per row, keep half+1 bins.
-        let mut spec = vec![Complex32::ZERO; n * half];
-        let mut row = vec![Complex32::ZERO; n];
+        let mut line = workspace::take_c32(n);
         for r in 0..n {
-            for (c, slot) in row.iter_mut().enumerate() {
+            for (c, slot) in line.iter_mut().enumerate() {
                 *slot = Complex32::from_real(plane[r * n + c]);
             }
-            fft_inplace(&mut row, &self.plan, Direction::Forward);
-            spec[r * half..(r + 1) * half].copy_from_slice(&row[..half]);
+            fft_inplace(&mut line, &self.plan, Direction::Forward);
+            spec[r * half..(r + 1) * half].copy_from_slice(&line[..half]);
         }
 
         // Column transforms over the retained columns.
-        let mut col = vec![Complex32::ZERO; n];
         for c in 0..half {
             for r in 0..n {
-                col[r] = spec[r * half + c];
+                line[r] = spec[r * half + c];
             }
-            fft_inplace(&mut col, &self.plan, Direction::Forward);
+            fft_inplace(&mut line, &self.plan, Direction::Forward);
             for r in 0..n {
-                spec[r * half + c] = col[r];
+                spec[r * half + c] = line[r];
             }
         }
+    }
+
+    /// Forward transform returning a freshly allocated spectrum.
+    pub fn forward(&self, plane: &[f32]) -> Vec<Complex32> {
+        let mut spec = vec![Complex32::ZERO; self.spectrum_len()];
+        self.forward_into(plane, &mut spec);
         spec
     }
 
-    /// Inverse transform of a half-spectrum back to the real plane.
-    pub fn inverse(&self, spectrum: &[Complex32]) -> Vec<f32> {
+    /// Inverse transform of a half-spectrum into a caller-provided real
+    /// plane. The spectrum copy and line scratch come from the
+    /// thread-local workspace arena.
+    pub fn inverse_into(&self, spectrum: &[Complex32], out: &mut [f32]) {
         assert_eq!(
             spectrum.len(),
             self.spectrum_len(),
             "RfftPlan::inverse: spectrum size"
         );
+        assert_eq!(out.len(), self.n * self.n, "RfftPlan::inverse: plane size");
         let (n, half) = (self.n, self.half);
 
-        // Inverse column transforms on the stored columns.
-        let mut spec = spectrum.to_vec();
-        let mut col = vec![Complex32::ZERO; n];
+        // Inverse column transforms on the stored columns (on a scratch
+        // copy — the caller's spectrum is borrowed immutably).
+        let mut spec = workspace::take_c32(spectrum.len());
+        spec.copy_from_slice(spectrum);
+        let mut line = workspace::take_c32(n);
         for c in 0..half {
             for r in 0..n {
-                col[r] = spec[r * half + c];
+                line[r] = spec[r * half + c];
             }
-            fft_inplace(&mut col, &self.plan, Direction::Inverse);
+            fft_inplace(&mut line, &self.plan, Direction::Inverse);
             for r in 0..n {
-                spec[r * half + c] = col[r];
+                spec[r * half + c] = line[r];
             }
         }
 
         // Reconstruct each full row by Hermitian symmetry, then inverse
         // row transform and keep the real part.
-        let mut out = vec![0.0f32; n * n];
-        let mut row = vec![Complex32::ZERO; n];
         for r in 0..n {
             let src = &spec[r * half..(r + 1) * half];
-            row[..half].copy_from_slice(src);
+            line[..half].copy_from_slice(src);
             for c in half..n {
                 // After the column inverse, each row is the spectrum of
                 // a real signal again, hence Hermitian within the row:
                 // T[r][n−c] = conj(T[r][c]).
-                row[c] = spec[r * half + (n - c)].conj();
+                line[c] = spec[r * half + (n - c)].conj();
             }
             // Column pass already applied its own inverse scaling; only
             // the row direction remains.
-            fft_inplace(&mut row, &self.plan, Direction::Inverse);
+            fft_inplace(&mut line, &self.plan, Direction::Inverse);
             for c in 0..n {
-                out[r * n + c] = row[c].re;
+                out[r * n + c] = line[c].re;
             }
         }
+    }
+
+    /// Inverse transform returning a freshly allocated plane.
+    pub fn inverse(&self, spectrum: &[Complex32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n * self.n];
+        self.inverse_into(spectrum, &mut out);
         out
     }
 }

@@ -31,6 +31,32 @@ pub fn cgemm(
     c: &mut [Complex32],
     ldc: usize,
 ) {
+    // Dispatch once on the conjugation flags so the kernel instantiates
+    // with compile-time constants and the per-element `if`s fold away.
+    match (conj_a, conj_b) {
+        (false, false) => cgemm_kernel::<false, false>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
+        (false, true) => cgemm_kernel::<false, true>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
+        (true, false) => cgemm_kernel::<true, false>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
+        (true, true) => cgemm_kernel::<true, true>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
+    }
+}
+
+/// The monomorphized body of [`cgemm`]: `CONJ_A`/`CONJ_B` are const so
+/// conjugation costs nothing on the `(false, false)` forward path.
+#[allow(clippy::too_many_arguments)]
+fn cgemm_kernel<const CONJ_A: bool, const CONJ_B: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: Complex32,
+    a: &[Complex32],
+    lda: usize,
+    b: &[Complex32],
+    ldb: usize,
+    beta: Complex32,
+    c: &mut [Complex32],
+    ldc: usize,
+) {
     // Scale C by beta first, then accumulate the product.
     if beta != Complex32::ONE {
         for i in 0..m {
@@ -52,10 +78,10 @@ pub fn cgemm(
         while j0 + JT <= n {
             let mut acc = [Complex32::ZERO; JT];
             for (p, &araw) in arow.iter().enumerate() {
-                let av = if conj_a { araw.conj() } else { araw };
+                let av = if CONJ_A { araw.conj() } else { araw };
                 let brow = &b[p * ldb + j0..p * ldb + j0 + JT];
                 for (t, acc_t) in acc.iter_mut().enumerate() {
-                    let bv = if conj_b { brow[t].conj() } else { brow[t] };
+                    let bv = if CONJ_B { brow[t].conj() } else { brow[t] };
                     *acc_t = acc_t.mul_add(av, bv);
                 }
             }
@@ -67,8 +93,12 @@ pub fn cgemm(
         for j in j0..n {
             let mut acc = Complex32::ZERO;
             for (p, &araw) in arow.iter().enumerate() {
-                let av = if conj_a { araw.conj() } else { araw };
-                let bv = if conj_b { b[p * ldb + j].conj() } else { b[p * ldb + j] };
+                let av = if CONJ_A { araw.conj() } else { araw };
+                let bv = if CONJ_B {
+                    b[p * ldb + j].conj()
+                } else {
+                    b[p * ldb + j]
+                };
                 acc = acc.mul_add(av, bv);
             }
             c[i * ldc + j] += alpha * acc;

@@ -1,10 +1,30 @@
 //! The blocked, packed, parallel SGEMM driver.
+//!
+//! The driver tiles C on a 2-D `(it, jt)` macro-tile grid of
+//! `mc × nc` tiles and parallelizes over the *flat* tile index, so both
+//! tall-skinny and short-wide products expose enough tasks to fill a
+//! pool (the im2col product is `64 × 891136` — row-only chunking yields
+//! a single task, column tiles yield hundreds). Each task checks its
+//! packing buffers and a C-tile accumulator out of the thread-local
+//! [`gcnn_tensor::workspace`] arena, so steady-state calls perform no
+//! heap allocation, and writes C exactly once: the k-slab loop
+//! accumulates into the resident tile and the final pass fuses the
+//! `beta` scale with the writeback (the previous driver swept C once
+//! for `beta` and then read-modified-wrote it once per k-slab).
 
 use crate::blocking::{BlockSizes, MR, NR};
 use crate::kernel::{microkernel, writeback_tile};
 use crate::pack::{pack_a, pack_b, OperandView};
-use gcnn_tensor::Matrix;
+use gcnn_tensor::{workspace, Matrix};
 use rayon::prelude::*;
+
+/// Raw C base pointer smuggled into the parallel tile loop. Safety rests
+/// on the tile grid: each `(it, jt)` task touches only rows
+/// `it·mc..` × columns `jt·nc..` of C, and tiles are pairwise disjoint.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
 
 /// Transpose flag for a GEMM operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,60 +114,96 @@ pub fn sgemm_blocked(
     assert!(ldc >= n, "sgemm: ldc {ldc} < n {n}");
     assert!(c.len() >= m.saturating_sub(1) * ldc + n || m == 0 || n == 0);
 
-    // Apply beta once up front; the block loops then accumulate.
-    if beta != 1.0 {
-        for i in 0..m {
-            for v in &mut c[i * ldc..i * ldc + n] {
-                *v *= beta;
-            }
-        }
+    if m == 0 || n == 0 {
+        return;
     }
-    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+    if k == 0 || alpha == 0.0 {
+        // The product contributes nothing: C ← beta·C, parallel over rows.
+        c.par_chunks_mut(ldc)
+            .take(m)
+            .for_each(|row| scale_row(&mut row[..n], beta));
         return;
     }
 
     let av = OperandView::new(a, lda, transa.flag());
     let bv = OperandView::new(b, ldb, transb.flag());
 
-    let mut bbuf = vec![0.0f32; blocks.nc.div_ceil(NR) * NR * blocks.kc];
-    for j0 in (0..n).step_by(blocks.nc) {
+    // 2-D macro-tile grid over C, flattened so rayon sees every tile as
+    // one task regardless of the matrix aspect ratio.
+    let n_it = m.div_ceil(blocks.mc);
+    let n_jt = n.div_ceil(blocks.nc);
+    let cbase = SendPtr(c.as_mut_ptr());
+
+    (0..n_it * n_jt).into_par_iter().for_each(|t| {
+        let i0 = (t / n_jt) * blocks.mc;
+        let j0 = (t % n_jt) * blocks.nc;
+        let mc_eff = blocks.mc.min(m - i0);
         let nc_eff = blocks.nc.min(n - j0);
+        let a_strips = mc_eff.div_ceil(MR);
+        let b_strips = nc_eff.div_ceil(NR);
+
+        // Per-thread scratch from the workspace arena: packing buffers
+        // sized for the *full* kc so every k-slab reuses one checkout,
+        // plus the resident C-tile accumulator. Zero heap allocation
+        // once the thread's pool is warm.
+        let mut abuf = workspace::take_f32(a_strips * MR * blocks.kc);
+        let mut bbuf = workspace::take_f32(b_strips * NR * blocks.kc);
+        let mut ctile = workspace::take_f32_zeroed(mc_eff * nc_eff);
+
+        let mut acc = [0.0f32; MR * NR];
         for p0 in (0..k).step_by(blocks.kc) {
             let kc_eff = blocks.kc.min(k - p0);
-            let b_strips = nc_eff.div_ceil(NR);
+            let apanel = &mut abuf[..a_strips * MR * kc_eff];
+            pack_a(&av, i0, p0, mc_eff, kc_eff, apanel);
             let bpanel = &mut bbuf[..b_strips * NR * kc_eff];
             pack_b(&bv, p0, j0, kc_eff, nc_eff, bpanel);
-            let bpanel: &[f32] = bpanel;
 
-            // Parallelize over disjoint row-block slices of C: each chunk
-            // covers `mc` full rows, so writes never alias.
-            c.par_chunks_mut(blocks.mc * ldc)
-                .enumerate()
-                .for_each(|(chunk_idx, cchunk)| {
-                    let i0 = chunk_idx * blocks.mc;
-                    if i0 >= m {
-                        return;
-                    }
-                    let mc_eff = blocks.mc.min(m - i0);
-                    let a_strips = mc_eff.div_ceil(MR);
-                    let mut abuf = vec![0.0f32; a_strips * MR * kc_eff];
-                    pack_a(&av, i0, p0, mc_eff, kc_eff, &mut abuf);
+            for sa in 0..a_strips {
+                let arow = sa * MR;
+                let m_eff = MR.min(mc_eff - arow);
+                let astrip = &apanel[sa * MR * kc_eff..(sa + 1) * MR * kc_eff];
+                for sb in 0..b_strips {
+                    let bcol = sb * NR;
+                    let n_eff = NR.min(nc_eff - bcol);
+                    let bstrip = &bpanel[sb * NR * kc_eff..(sb + 1) * NR * kc_eff];
+                    acc.iter_mut().for_each(|x| *x = 0.0);
+                    microkernel(kc_eff, alpha, astrip, bstrip, &mut acc);
+                    writeback_tile(&acc, &mut ctile, nc_eff, arow, bcol, m_eff, n_eff);
+                }
+            }
+        }
 
-                    let mut acc = [0.0f32; MR * NR];
-                    for sa in 0..a_strips {
-                        let arow = sa * MR;
-                        let m_eff = MR.min(mc_eff - arow);
-                        let astrip = &abuf[sa * MR * kc_eff..(sa + 1) * MR * kc_eff];
-                        for sb in 0..b_strips {
-                            let bcol = sb * NR;
-                            let n_eff = NR.min(nc_eff - bcol);
-                            let bstrip = &bpanel[sb * NR * kc_eff..(sb + 1) * NR * kc_eff];
-                            acc.iter_mut().for_each(|x| *x = 0.0);
-                            microkernel(kc_eff, alpha, astrip, bstrip, &mut acc);
-                            writeback_tile(&acc, cchunk, ldc, arow, j0 + bcol, m_eff, n_eff);
-                        }
-                    }
-                });
+        // Fused beta-scale + writeback: the only pass over this C tile.
+        // SAFETY: tiles partition C, so row segments
+        // `(i0+i)·ldc + j0 .. + nc_eff` are disjoint across tasks.
+        for i in 0..mc_eff {
+            let crow = unsafe {
+                std::slice::from_raw_parts_mut(cbase.0.add((i0 + i) * ldc + j0), nc_eff)
+            };
+            let trow = &ctile[i * nc_eff..(i + 1) * nc_eff];
+            if beta == 0.0 {
+                crow.copy_from_slice(trow);
+            } else if beta == 1.0 {
+                for (cv, &tv) in crow.iter_mut().zip(trow) {
+                    *cv += tv;
+                }
+            } else {
+                for (cv, &tv) in crow.iter_mut().zip(trow) {
+                    *cv = beta * *cv + tv;
+                }
+            }
+        }
+    });
+}
+
+/// `row ← beta·row`, honoring the BLAS convention that `beta == 0`
+/// overwrites (so pre-existing NaN/Inf never propagates).
+fn scale_row(row: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        row.fill(0.0);
+    } else if beta != 1.0 {
+        for v in row {
+            *v *= beta;
         }
     }
 }

@@ -4,7 +4,9 @@ use gcnn_gemm::blocking::BlockSizes;
 use gcnn_gemm::naive::sgemm_ref;
 use gcnn_gemm::sgemm::sgemm_blocked;
 use gcnn_gemm::Transpose;
+use gcnn_tensor::workspace;
 use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
 
 /// Deterministic pseudo-random vector from a seed (keeps case sizes
 /// independent of proptest's value trees).
@@ -72,6 +74,53 @@ proptest! {
         }
     }
 
+    /// The 2-D-tiled driver must be oblivious to pool width: the same
+    /// problem solved under pools of 1, 2, and `max` threads (and under
+    /// both tiny and default block sizes) matches the reference. Tile
+    /// boundaries shift with the grid decomposition, so this pins both
+    /// the task-splitting arithmetic and the disjointness of the fused
+    /// writeback.
+    #[test]
+    fn blocked_matches_reference_across_pools(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 1usize..32,
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in 0u64..10_000,
+    ) {
+        let a = lcg_vec(m * k, seed);
+        let b = lcg_vec(k * n, seed + 1);
+        let c0: Vec<f32> = (0..m * n).map(|i| (i % 7) as f32 - 3.0).collect();
+
+        let mut c_ref = c0.clone();
+        sgemm_ref(false, false, m, n, k, alpha, &a, k, &b, n, beta, &mut c_ref, n);
+        let tol = 1e-3 * (k as f32).sqrt() * alpha.abs().max(1.0);
+
+        let max_threads = rayon::current_num_threads().max(4);
+        for threads in [1, 2, max_threads] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            for blocks in [BlockSizes::tiny(), BlockSizes::default_sizes()] {
+                let mut c_opt = c0.clone();
+                pool.install(|| {
+                    sgemm_blocked(
+                        Transpose::No, Transpose::No, m, n, k,
+                        alpha, &a, k, &b, n, beta, &mut c_opt, n, blocks,
+                    )
+                });
+                for (i, (x, y)) in c_opt.iter().zip(&c_ref).enumerate() {
+                    prop_assert!(
+                        (x - y).abs() <= tol,
+                        "threads={threads} blocks={blocks:?} elem {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
     /// (A·B)ᵀ == Bᵀ·Aᵀ.
     #[test]
     fn transpose_identity(m in 1usize..12, n in 1usize..12, k in 1usize..12) {
@@ -91,4 +140,43 @@ proptest! {
             }
         }
     }
+}
+
+/// The second of two identical GEMM calls must run entirely out of the
+/// workspace arena: zero fresh pool allocations.
+#[test]
+fn repeated_sgemm_is_steady_state_allocation_free() {
+    let m = 48;
+    let n = 200;
+    let k = 96;
+    let a = lcg_vec(m * k, 3);
+    let b = lcg_vec(k * n, 4);
+    let mut c = vec![0.0f32; m * n];
+    let blocks = BlockSizes::default_sizes();
+
+    let mut run = |c: &mut [f32]| {
+        sgemm_blocked(
+            Transpose::No,
+            Transpose::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            k,
+            &b,
+            n,
+            0.0,
+            c,
+            n,
+            blocks,
+        )
+    };
+
+    run(&mut c); // warm the thread-local pools
+    let (_, misses) = workspace::alloc_scope(|| run(&mut c));
+    assert_eq!(
+        misses, 0,
+        "second identical GEMM call took {misses} fresh allocations"
+    );
 }

@@ -9,7 +9,7 @@
 use crate::data::Dataset;
 use gcnn_conv::layers::{softmax_cross_entropy, FcLayer, PoolForward, PoolKind, PoolLayer, ReluLayer};
 use gcnn_conv::{algorithm_for, ConvConfig, Strategy};
-use gcnn_tensor::{Shape4, Tensor4};
+use gcnn_tensor::{Shape4, Tensor4, Workspace};
 
 /// A trainable layer.
 enum NetLayer {
@@ -158,7 +158,7 @@ impl Network {
     }
 
     /// Forward pass, returning the logits and the per-layer caches.
-    fn forward_cached(&self, input: &Tensor4) -> (Tensor4, Vec<Cache>) {
+    fn forward_cached(&self, input: &Tensor4, ws: &mut Workspace) -> (Tensor4, Vec<Cache>) {
         let mut x = input.clone();
         let mut caches = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
@@ -176,7 +176,7 @@ impl Network {
                         ConvConfig::with_channels(s.n, s.c, s.h, w.n, w.h, *stride);
                     cfg.pad = *pad;
                     let algo = algorithm_for(*strategy);
-                    let y = algo.forward(&cfg, &x, weights);
+                    let y = algo.forward_ws(&cfg, &x, weights, ws);
                     caches.push(Cache::Conv { input: x, cfg });
                     x = y;
                 }
@@ -207,7 +207,8 @@ impl Network {
 
     /// Inference: logits only.
     pub fn forward(&self, input: &Tensor4) -> Tensor4 {
-        self.forward_cached(input).0
+        let mut ws = Workspace::new();
+        self.forward_cached(input, &mut ws).0
     }
 
     /// Predicted class per image.
@@ -224,7 +225,22 @@ impl Network {
 
     /// One SGD step over a mini-batch; returns the batch loss.
     pub fn train_batch(&mut self, images: &Tensor4, labels: &[usize]) -> f32 {
-        let (logits, caches) = self.forward_cached(images);
+        let mut ws = Workspace::new();
+        self.train_batch_ws(images, labels, &mut ws)
+    }
+
+    /// [`Network::train_batch`] with an explicit [`Workspace`].
+    ///
+    /// [`Network::train`] owns one workspace for the whole run, so after
+    /// the first batch every conv layer's scratch (im2col columns, GEMM
+    /// pack buffers, FFT spectra) is recycled rather than reallocated.
+    pub fn train_batch_ws(
+        &mut self,
+        images: &Tensor4,
+        labels: &[usize],
+        ws: &mut Workspace,
+    ) -> f32 {
+        let (logits, caches) = self.forward_cached(images, ws);
         let out = softmax_cross_entropy(&logits, labels);
         let mut grad = out.grad_logits;
 
@@ -243,8 +259,8 @@ impl Network {
                     Cache::Conv { input, cfg },
                 ) => {
                     let algo = algorithm_for(*strategy);
-                    let grad_w = algo.backward_filters(&cfg, &input, &grad);
-                    grad = algo.backward_data(&cfg, &grad, weights);
+                    let grad_w = algo.backward_filters_ws(&cfg, &input, &grad, ws);
+                    grad = algo.backward_data_ws(&cfg, &grad, weights, ws);
                     // v ← μ·v − lr·(∇w + wd·w);  w ← w + v
                     for ((v, g), w) in velocity
                         .as_mut_slice()
@@ -308,13 +324,14 @@ impl Network {
     ) -> TrainReport {
         assert!(batch > 0 && batch <= train.len(), "Network::train: bad batch");
         let mut epoch_losses = Vec::with_capacity(epochs);
+        let mut ws = Workspace::new();
         for _ in 0..epochs {
             let mut loss_sum = 0.0;
             let mut batches = 0;
             let mut start = 0;
             while start + batch <= train.len() {
                 let (imgs, labels) = train.batch(start, batch);
-                loss_sum += self.train_batch(&imgs, &labels);
+                loss_sum += self.train_batch_ws(&imgs, &labels, &mut ws);
                 batches += 1;
                 start += batch;
             }

@@ -64,43 +64,79 @@ impl ConvGeometry {
     }
 }
 
+/// Valid output range `[lo, hi)` along one axis for kernel tap `kt`:
+/// the outputs whose input coordinate `o·s + kt − p` lands inside
+/// `[0, in_dim)`. Empty ranges come back as `(0, 0)`.
+const fn tap_range(out_dim: usize, in_dim: usize, kt: usize, s: usize, p: usize) -> (usize, usize) {
+    let lo = if kt >= p { 0 } else { (p - kt).div_ceil(s) };
+    let hi = if in_dim + p > kt {
+        let h = (in_dim + p - 1 - kt) / s + 1;
+        if h < out_dim {
+            h
+        } else {
+            out_dim
+        }
+    } else {
+        0
+    };
+    if lo < hi {
+        (lo, hi)
+    } else {
+        (0, 0)
+    }
+}
+
 /// Unroll one image (`image` = the `c·h·w` slice of a [`Tensor4`]) into a
-/// column matrix of shape `(c·k·k, out_h·out_w)`.
+/// row-major `(c·k·k) × (out_h·out_w)` column buffer.
 ///
 /// Row `(c, kh, kw)` and column `(oh, ow)` holds input element
 /// `(c, oh·s + kh − pad, ow·s + kw − pad)`, or zero when that falls in
-/// the padding.
-pub fn im2col(image: &[f32], geom: &ConvGeometry, cols: &mut Matrix) {
+/// the padding. Only the padding halo is zero-filled: each row's valid
+/// `(oh, ow)` rectangle is computed up front and its interior copied
+/// without per-element bounds tests (contiguously for stride 1 — the
+/// overwhelmingly common case in the paper's configuration sweeps).
+pub fn im2col_into(image: &[f32], geom: &ConvGeometry, cols: &mut [f32]) {
     debug_assert!(geom.is_valid(), "im2col: invalid geometry {geom:?}");
     debug_assert_eq!(image.len(), geom.channels * geom.in_h * geom.in_w);
-    debug_assert_eq!(cols.rows(), geom.col_rows());
-    debug_assert_eq!(cols.cols(), geom.col_cols());
+    debug_assert_eq!(cols.len(), geom.col_rows() * geom.col_cols());
 
     let (out_h, out_w) = (geom.out_h(), geom.out_w());
     let (k, s, p) = (geom.kernel, geom.stride, geom.pad);
-    let plane = geom.in_h * geom.in_w;
+    let (in_h, in_w) = (geom.in_h, geom.in_w);
+    let plane = in_h * in_w;
+    let o2 = out_h * out_w;
 
     let mut row = 0;
     for c in 0..geom.channels {
         let src = &image[c * plane..(c + 1) * plane];
         for kh in 0..k {
+            let (oh_lo, oh_hi) = tap_range(out_h, in_h, kh, s, p);
             for kw in 0..k {
-                let dst = cols.row_mut(row);
+                let dst = &mut cols[row * o2..(row + 1) * o2];
                 row += 1;
-                let mut col = 0;
-                for oh in 0..out_h {
-                    let ih = oh * s + kh;
-                    // `ih < p` means the tap is in the top padding.
-                    let in_bounds_h = ih >= p && ih - p < geom.in_h;
-                    for ow in 0..out_w {
-                        let iw = ow * s + kw;
-                        let v = if in_bounds_h && iw >= p && iw - p < geom.in_w {
-                            src[(ih - p) * geom.in_w + (iw - p)]
-                        } else {
-                            0.0
-                        };
-                        dst[col] = v;
-                        col += 1;
+                let (ow_lo, ow_hi) = tap_range(out_w, in_w, kw, s, p);
+                if oh_lo == oh_hi || ow_lo == ow_hi {
+                    // The tap never leaves the padding.
+                    dst.fill(0.0);
+                    continue;
+                }
+                // Zero only the halo: rows above/below the valid band…
+                dst[..oh_lo * out_w].fill(0.0);
+                dst[oh_hi * out_w..].fill(0.0);
+                for oh in oh_lo..oh_hi {
+                    let seg = &mut dst[oh * out_w..(oh + 1) * out_w];
+                    // …and the left/right margins of each valid row.
+                    seg[..ow_lo].fill(0.0);
+                    seg[ow_hi..].fill(0.0);
+                    let ih = oh * s + kh - p;
+                    if s == 1 {
+                        let iw0 = ow_lo + kw - p;
+                        seg[ow_lo..ow_hi]
+                            .copy_from_slice(&src[ih * in_w + iw0..ih * in_w + iw0 + ow_hi - ow_lo]);
+                    } else {
+                        for (ow, slot) in seg[ow_lo..ow_hi].iter_mut().enumerate() {
+                            *slot = src[ih * in_w + (ow_lo + ow) * s + kw - p];
+                        }
                     }
                 }
             }
@@ -108,41 +144,67 @@ pub fn im2col(image: &[f32], geom: &ConvGeometry, cols: &mut Matrix) {
     }
 }
 
+/// [`im2col_into`] writing into a [`Matrix`] of shape
+/// `(c·k·k, out_h·out_w)`.
+pub fn im2col(image: &[f32], geom: &ConvGeometry, cols: &mut Matrix) {
+    debug_assert_eq!(cols.rows(), geom.col_rows());
+    debug_assert_eq!(cols.cols(), geom.col_cols());
+    im2col_into(image, geom, cols.as_mut_slice());
+}
+
 /// Fold a column matrix back into an image, *accumulating* overlapping
 /// contributions — the adjoint of [`im2col`], used by the backward-data
 /// pass.
-pub fn col2im(cols: &Matrix, geom: &ConvGeometry, image: &mut [f32]) {
+pub fn col2im_from(cols: &[f32], geom: &ConvGeometry, image: &mut [f32]) {
     debug_assert!(geom.is_valid(), "col2im: invalid geometry {geom:?}");
     debug_assert_eq!(image.len(), geom.channels * geom.in_h * geom.in_w);
-    debug_assert_eq!(cols.rows(), geom.col_rows());
-    debug_assert_eq!(cols.cols(), geom.col_cols());
+    debug_assert_eq!(cols.len(), geom.col_rows() * geom.col_cols());
 
-    image.iter_mut().for_each(|x| *x = 0.0);
+    image.fill(0.0);
     let (out_h, out_w) = (geom.out_h(), geom.out_w());
     let (k, s, p) = (geom.kernel, geom.stride, geom.pad);
-    let plane = geom.in_h * geom.in_w;
+    let (in_h, in_w) = (geom.in_h, geom.in_w);
+    let plane = in_h * in_w;
+    let o2 = out_h * out_w;
 
     let mut row = 0;
     for c in 0..geom.channels {
+        let dst = &mut image[c * plane..(c + 1) * plane];
         for kh in 0..k {
+            let (oh_lo, oh_hi) = tap_range(out_h, in_h, kh, s, p);
             for kw in 0..k {
-                let src = cols.row(row);
+                let src = &cols[row * o2..(row + 1) * o2];
                 row += 1;
-                let mut col = 0;
-                for oh in 0..out_h {
-                    let ih = oh * s + kh;
-                    let in_bounds_h = ih >= p && ih - p < geom.in_h;
-                    for ow in 0..out_w {
-                        let iw = ow * s + kw;
-                        if in_bounds_h && iw >= p && iw - p < geom.in_w {
-                            image[c * plane + (ih - p) * geom.in_w + (iw - p)] += src[col];
+                let (ow_lo, ow_hi) = tap_range(out_w, in_w, kw, s, p);
+                // Taps that land in the padding contribute nothing; only
+                // the valid (oh, ow) band is walked.
+                for oh in oh_lo..oh_hi {
+                    let ih = oh * s + kh - p;
+                    let srow = &src[oh * out_w + ow_lo..oh * out_w + ow_hi];
+                    if s == 1 {
+                        let iw0 = ow_lo + kw - p;
+                        for (drow, v) in dst[ih * in_w + iw0..ih * in_w + iw0 + ow_hi - ow_lo]
+                            .iter_mut()
+                            .zip(srow)
+                        {
+                            *drow += v;
                         }
-                        col += 1;
+                    } else {
+                        for (ow, v) in srow.iter().enumerate() {
+                            dst[ih * in_w + (ow_lo + ow) * s + kw - p] += v;
+                        }
                     }
                 }
             }
         }
     }
+}
+
+/// [`col2im_from`] reading from a [`Matrix`].
+pub fn col2im(cols: &Matrix, geom: &ConvGeometry, image: &mut [f32]) {
+    debug_assert_eq!(cols.rows(), geom.col_rows());
+    debug_assert_eq!(cols.cols(), geom.col_cols());
+    col2im_from(cols.as_slice(), geom, image);
 }
 
 /// Unroll a filter bank `(f, c, k, k)` into the `(f, c·k·k)` row matrix

@@ -31,6 +31,7 @@ pub mod ops;
 pub mod pad;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use complex::Complex32;
 pub use error::TensorError;
@@ -38,6 +39,7 @@ pub use layout::Layout;
 pub use matrix::Matrix;
 pub use shape::{Shape2, Shape4};
 pub use tensor::Tensor4;
+pub use workspace::{Scratch, Workspace};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,356 @@
+//! Thread-local workspace arena for steady-state allocation-free hot paths.
+//!
+//! The paper's profiling methodology times *steady-state* iterations:
+//! the first call of a layer may set up scratch, but every subsequent
+//! call with the same shapes must not touch the allocator. This module
+//! provides the scratch substrate the GEMM, FFT, and convolution hot
+//! paths draw from:
+//!
+//! * a **thread-local, size-classed pool** of `f32` and [`Complex32`]
+//!   buffers ([`take_f32`], [`take_c32`], …) handed out as RAII
+//!   [`Scratch`] guards that return the buffer on drop,
+//! * a global **fresh-allocation counter** ([`fresh_allocs`],
+//!   [`alloc_scope`]) so tests can assert that a second identical call
+//!   performs **zero** new checkouts,
+//! * an explicit [`Workspace`] handle that convolution strategies and
+//!   the training loop thread through forward/backward so the borrow is
+//!   visible in signatures even though storage is thread-local.
+//!
+//! Size classes are powers of two up to 1 Mi elements; larger requests
+//! round up to a multiple of 1 Mi elements. Rounding bounds pool growth
+//! when a mix of nearby sizes is requested (e.g. the per-tile packing
+//! strips of every (MC, KC) combination map to one class).
+
+use crate::complex::Complex32;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Requests at or below this element count use power-of-two classes.
+const POW2_LIMIT: usize = 1 << 20;
+/// Requests above [`POW2_LIMIT`] round up to a multiple of this.
+const BIG_QUANTUM: usize = 1 << 20;
+
+/// Number of `f32`/`Complex32` buffers freshly allocated (pool misses)
+/// since process start. Monotonic; read it before and after a region via
+/// [`alloc_scope`] to count misses inside the region.
+static FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Total fresh buffer allocations made by all workspace pools so far.
+pub fn fresh_allocs() -> u64 {
+    FRESH_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Run `body` and return `(result, fresh allocations made inside)`.
+///
+/// This is the test hook behind the "second identical call allocates
+/// nothing" guarantee:
+///
+/// ```
+/// use gcnn_tensor::workspace::{alloc_scope, take_f32};
+/// let (_, first) = alloc_scope(|| drop(take_f32(1000)));
+/// let (_, second) = alloc_scope(|| drop(take_f32(1000)));
+/// assert!(first >= 1);
+/// assert_eq!(second, 0);
+/// ```
+pub fn alloc_scope<R>(body: impl FnOnce() -> R) -> (R, u64) {
+    let before = fresh_allocs();
+    let out = body();
+    (out, fresh_allocs() - before)
+}
+
+/// Round a request up to its size class.
+fn size_class(len: usize) -> usize {
+    if len == 0 {
+        0
+    } else if len <= POW2_LIMIT {
+        len.next_power_of_two()
+    } else {
+        len.div_ceil(BIG_QUANTUM) * BIG_QUANTUM
+    }
+}
+
+/// One per-thread pool of same-type buffers, grouped by capacity class.
+struct Pool<T> {
+    /// `(class capacity, buffers of that capacity)`, sorted by capacity.
+    classes: Vec<(usize, Vec<Vec<T>>)>,
+}
+
+impl<T> Pool<T> {
+    const fn new() -> Self {
+        Pool {
+            classes: Vec::new(),
+        }
+    }
+
+    /// Check out a buffer of exactly `class` capacity, allocating on miss.
+    fn take(&mut self, class: usize) -> Vec<T> {
+        let idx = self.classes.binary_search_by_key(&class, |(c, _)| *c);
+        match idx {
+            Ok(i) => {
+                if let Some(buf) = self.classes[i].1.pop() {
+                    return buf;
+                }
+            }
+            Err(i) => self.classes.insert(i, (class, Vec::new())),
+        }
+        FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(class)
+    }
+
+    /// Return a buffer to its class shelf.
+    fn restore(&mut self, buf: Vec<T>) {
+        let class = buf.capacity();
+        if class == 0 {
+            return;
+        }
+        if let Ok(i) = self.classes.binary_search_by_key(&class, |(c, _)| *c) {
+            self.classes[i].1.push(buf);
+        } else {
+            // A buffer whose capacity is not a known class (e.g. adopted
+            // from outside). Shelve it under its own capacity; future
+            // same-class requests will still hit.
+            let i = self
+                .classes
+                .binary_search_by_key(&class, |(c, _)| *c)
+                .unwrap_err();
+            self.classes.insert(i, (class, vec![buf]));
+        }
+    }
+}
+
+thread_local! {
+    static F32_POOL: RefCell<Pool<f32>> = const { RefCell::new(Pool::new()) };
+    static C32_POOL: RefCell<Pool<Complex32>> = const { RefCell::new(Pool::new()) };
+}
+
+/// A checked-out scratch buffer; returns itself to the thread-local pool
+/// on drop. Derefs to `Vec<T>` so call sites index and slice it like any
+/// owned buffer.
+pub struct Scratch<T: PoolItem> {
+    buf: Option<Vec<T>>,
+}
+
+impl<T: PoolItem> Scratch<T> {
+    /// The buffer's current length (as sized by the checkout call).
+    pub fn len(&self) -> usize {
+        self.buf.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Whether the buffer holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// View as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        self.buf.as_deref().unwrap_or(&[])
+    }
+
+    /// View as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.buf.as_deref_mut().unwrap_or(&mut [])
+    }
+}
+
+impl<T: PoolItem> std::ops::Deref for Scratch<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: PoolItem> std::ops::DerefMut for Scratch<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: PoolItem> Drop for Scratch<T> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            T::restore_raw(buf);
+        }
+    }
+}
+
+/// Element types that have a thread-local pool. Sealed to `f32` and
+/// [`Complex32`], the only scalar types the hot paths use.
+pub trait PoolItem: Copy + Default + Sized {
+    #[doc(hidden)]
+    fn take_raw(class: usize) -> Vec<Self>;
+    #[doc(hidden)]
+    fn restore_raw(buf: Vec<Self>);
+}
+
+impl PoolItem for f32 {
+    fn take_raw(class: usize) -> Vec<Self> {
+        F32_POOL.with(|p| p.borrow_mut().take(class))
+    }
+    fn restore_raw(buf: Vec<Self>) {
+        F32_POOL.with(|p| p.borrow_mut().restore(buf));
+    }
+}
+
+impl PoolItem for Complex32 {
+    fn take_raw(class: usize) -> Vec<Self> {
+        C32_POOL.with(|p| p.borrow_mut().take(class))
+    }
+    fn restore_raw(buf: Vec<Self>) {
+        C32_POOL.with(|p| p.borrow_mut().restore(buf));
+    }
+}
+
+/// Check out a buffer of `len` elements with **unspecified contents**
+/// (whatever the previous user left, or `T::default()` on a fresh
+/// allocation). Use when every element is written before being read,
+/// e.g. packing buffers.
+pub fn take<T: PoolItem>(len: usize) -> Scratch<T> {
+    let class = size_class(len);
+    let mut buf = T::take_raw(class);
+    // Resize within capacity: never reallocates, only extends the
+    // initialized prefix with `default()` (cheap relative to the fill
+    // the caller is about to do) or truncates.
+    buf.resize(len, T::default());
+    Scratch { buf: Some(buf) }
+}
+
+/// Check out a buffer of `len` elements, all zeroed.
+pub fn take_zeroed<T: PoolItem>(len: usize) -> Scratch<T> {
+    let mut s = take::<T>(len);
+    s.as_mut_slice().fill(T::default());
+    s
+}
+
+/// Check out `len` `f32`s with unspecified contents.
+pub fn take_f32(len: usize) -> Scratch<f32> {
+    take(len)
+}
+
+/// Check out `len` zeroed `f32`s.
+pub fn take_f32_zeroed(len: usize) -> Scratch<f32> {
+    take_zeroed(len)
+}
+
+/// Check out `len` [`Complex32`]s with unspecified contents.
+pub fn take_c32(len: usize) -> Scratch<Complex32> {
+    take(len)
+}
+
+/// Check out `len` zeroed [`Complex32`]s.
+pub fn take_c32_zeroed(len: usize) -> Scratch<Complex32> {
+    take_zeroed(len)
+}
+
+/// Explicit workspace handle threaded through convolution forward and
+/// backward passes and the training loop.
+///
+/// Storage lives in thread-local pools, so `Workspace` itself is a
+/// zero-sized token — its job is to make the scratch dependency visible
+/// in signatures (`fn forward_ws(&self, …, ws: &mut Workspace)`) and to
+/// give call sites one object whose lifetime scopes the reuse story.
+/// Creating one is free; all handles on a thread share the same pools.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    _private: (),
+}
+
+impl Workspace {
+    /// Create a workspace handle.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Check out `len` `f32`s with unspecified contents.
+    pub fn take_f32(&mut self, len: usize) -> Scratch<f32> {
+        take(len)
+    }
+
+    /// Check out `len` zeroed `f32`s.
+    pub fn take_f32_zeroed(&mut self, len: usize) -> Scratch<f32> {
+        take_zeroed(len)
+    }
+
+    /// Check out `len` [`Complex32`]s with unspecified contents.
+    pub fn take_c32(&mut self, len: usize) -> Scratch<Complex32> {
+        take(len)
+    }
+
+    /// Check out `len` zeroed [`Complex32`]s.
+    pub fn take_c32_zeroed(&mut self, len: usize) -> Scratch<Complex32> {
+        take_zeroed(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_round_up() {
+        assert_eq!(size_class(0), 0);
+        assert_eq!(size_class(1), 1);
+        assert_eq!(size_class(3), 4);
+        assert_eq!(size_class(1000), 1024);
+        assert_eq!(size_class(POW2_LIMIT), POW2_LIMIT);
+        assert_eq!(size_class(POW2_LIMIT + 1), 2 * BIG_QUANTUM);
+        assert_eq!(size_class(5 * BIG_QUANTUM + 7), 6 * BIG_QUANTUM);
+    }
+
+    #[test]
+    fn second_checkout_hits_pool() {
+        // Warm the class with a distinctive size for this test.
+        let (_, _first) = alloc_scope(|| drop(take_f32(12345)));
+        let (_, misses) = alloc_scope(|| {
+            let s = take_f32(12345);
+            assert_eq!(s.len(), 12345);
+            drop(s);
+        });
+        assert_eq!(misses, 0, "pooled buffer was not reused");
+    }
+
+    #[test]
+    fn nearby_sizes_share_a_class() {
+        let (_, _first) = alloc_scope(|| drop(take_f32(900)));
+        // 900 and 1024 both map to the 1024 class.
+        let (_, misses) = alloc_scope(|| drop(take_f32(1024)));
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn zeroed_checkout_is_zeroed_after_reuse() {
+        {
+            let mut s = take_f32(64);
+            s.as_mut_slice().fill(7.5);
+        }
+        let s = take_f32_zeroed(64);
+        assert!(s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn concurrent_checkouts_are_distinct() {
+        let mut a = take_f32(256);
+        let mut b = take_f32(256);
+        a.as_mut_slice().fill(1.0);
+        b.as_mut_slice().fill(2.0);
+        assert!(a.iter().all(|&x| x == 1.0));
+        assert!(b.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn complex_pool_round_trips() {
+        let (_, _first) = alloc_scope(|| drop(take_c32(500)));
+        let (_, misses) = alloc_scope(|| {
+            let s = take_c32_zeroed(500);
+            assert!(s.iter().all(|c| *c == Complex32::ZERO));
+        });
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn workspace_handle_delegates() {
+        let mut ws = Workspace::new();
+        let (_, _warm) = alloc_scope(|| drop(ws.take_f32(2048)));
+        let (_, misses) = alloc_scope(|| drop(ws.take_f32(2048)));
+        assert_eq!(misses, 0);
+    }
+}

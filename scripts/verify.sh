@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and lint-clean clippy.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+echo "verify: OK"

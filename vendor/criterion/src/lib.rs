@@ -1,0 +1,236 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Keeps the bench sources compiling and runnable (`cargo bench`) with
+//! a plain wall-clock harness: each benchmark runs `sample_size`
+//! timed samples after one warm-up iteration and prints mean/min/max
+//! per-iteration times. No statistical analysis, HTML reports or
+//! comparison baselines — the workspace's tracked numbers come from the
+//! `perf_smoke` binary instead.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration and sink; mirrors `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, 10, f);
+        self
+    }
+
+    /// Flush results; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 2 here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare throughput for reporting; recorded but unused.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Soft cap on total measurement time; a no-op here.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into_benchmark_id(), self.sample_size, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &T),
+    {
+        run_benchmark(&id.into_benchmark_id(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters: Vec::with_capacity(samples + 1),
+    };
+    // Warm-up sample, then the timed ones.
+    for _ in 0..=samples {
+        f(&mut bencher);
+    }
+    if bencher.iters.is_empty() {
+        println!("  {name}: no measurements");
+        return;
+    }
+    let timed = if bencher.iters.len() > 1 {
+        &bencher.iters[1..]
+    } else {
+        &bencher.iters[..]
+    };
+    let mean = timed.iter().sum::<Duration>() / timed.len() as u32;
+    let min = timed.iter().min().copied().unwrap_or_default();
+    let max = timed.iter().max().copied().unwrap_or_default();
+    println!(
+        "  {name}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+        timed.len()
+    );
+}
+
+/// Passed to benchmark closures to time the measured body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `body`.
+    pub fn iter<O, F>(&mut self, mut body: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = body();
+        self.iters.push(start.elapsed());
+        drop(black_box(out));
+    }
+}
+
+/// Benchmark identifier; mirrors `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of `&str` / `String` / [`BenchmarkId`] into a printable id.
+pub trait IntoBenchmarkId {
+    /// Render the identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (or FLOPs) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the collected groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 4); // 3 samples + 1 warm-up
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,218 @@
+//! Sequential parallel-iterator shim.
+//!
+//! [`ParIter`] wraps a plain [`Iterator`] and exposes the rayon adapter
+//! vocabulary the workspace uses. Conversion entry points live on the
+//! [`IntoParallelIterator`] trait so that `use rayon::prelude::*` enables
+//! `(0..n).into_par_iter()`, `vec.into_par_iter()` and zipping against
+//! plain slices, exactly as with the real crate.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator.
+#[derive(Debug, Clone)]
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub(crate) fn from_inner(inner: I) -> Self {
+        ParIter { inner }
+    }
+}
+
+/// Conversion into a [`ParIter`]; mirrors `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item the iterator yields.
+    type Item;
+    /// Wrap `self` as a (sequential) parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: Iterator> IntoParallelIterator for ParIter<I> {
+    type Iter = I;
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I> {
+        self
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = std::ops::Range<usize>;
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Iter = std::ops::Range<u32>;
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+/// Marker matching rayon's trait of the same name; adapters here live
+/// directly on [`ParIter`], so the trait only needs to exist for
+/// `use rayon::prelude::*` compatibility.
+pub trait ParallelIterator {}
+impl<I: Iterator> ParallelIterator for ParIter<I> {}
+
+/// Marker for indexed iterators (length-aware in real rayon).
+pub trait IndexedParallelIterator {}
+impl<I: ExactSizeIterator> IndexedParallelIterator for ParIter<I> {}
+
+impl<I: Iterator> ParIter<I> {
+    /// Apply `map_op` to every element.
+    pub fn map<F, R>(self, map_op: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter {
+            inner: self.inner.map(map_op),
+        }
+    }
+
+    /// Keep elements for which `pred` holds.
+    pub fn filter<F>(self, pred: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter {
+            inner: self.inner.filter(pred),
+        }
+    }
+
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Keep only the first `n` elements.
+    pub fn take(self, n: usize) -> ParIter<std::iter::Take<I>> {
+        ParIter {
+            inner: self.inner.take(n),
+        }
+    }
+
+    /// Zip with anything convertible to a parallel iterator (slices,
+    /// ranges, other [`ParIter`]s).
+    pub fn zip<Z>(self, other: Z) -> ParIter<std::iter::Zip<I, Z::Iter>>
+    where
+        Z: IntoParallelIterator,
+    {
+        ParIter {
+            inner: self.inner.zip(other.into_par_iter().inner),
+        }
+    }
+
+    /// Hint for minimum work-splitting granularity; a no-op here.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Run `op` on every element.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.inner.for_each(op);
+    }
+
+    /// Per-thread fold: seeds one accumulator per worker with `identity`
+    /// and folds items into it. Sequentially there is exactly one worker,
+    /// so this yields a single accumulated value to `reduce`.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter {
+            inner: std::iter::once(self.inner.fold(identity(), fold_op)),
+        }
+    }
+
+    /// Combine all elements, starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Collect into any [`FromIterator`] container.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+
+    /// Sum of all elements.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    /// Number of elements.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// Maximum element, if any.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.max()
+    }
+
+    /// Minimum element, if any.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.min()
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment has no network access and no crate registry, so
+//! the real `rayon` cannot be fetched. This crate keeps the call sites
+//! source-compatible (`par_iter`, `par_chunks_mut`, `into_par_iter`,
+//! `ThreadPoolBuilder`, …) while executing everything **sequentially** on
+//! the calling thread. On the single-core container this project targets,
+//! that is also the fastest correct schedule: there is no second core for
+//! real worker threads to run on, so a pool would only add overhead.
+//!
+//! Semantics preserved relative to real rayon:
+//! * adapter chains produce identical results (ordering is deterministic,
+//!   which real rayon also guarantees for indexed iterators),
+//! * `fold` yields per-"thread" partial accumulators that `reduce`
+//!   combines (here: exactly one partial),
+//! * `ThreadPool::install` scopes a thread-count visible through
+//!   [`current_num_threads`], so code that branches on pool size behaves
+//!   as if a pool of that size existed.
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod iter;
+pub mod slice;
+
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::iter::{IndexedParallelIterator, IntoParallelIterator, ParallelIterator};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads the "current pool" advertises. Outside any
+/// [`ThreadPool::install`] scope this reports 1 (the calling thread).
+pub fn current_num_threads() -> usize {
+    let n = POOL_THREADS.with(Cell::get);
+    if n == 0 {
+        1
+    } else {
+        n
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request an advertised pool width (0 = automatic, i.e. 1 here).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Never fails in the sequential stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                1
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// Error type kept for signature compatibility; never constructed.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Scoped "pool": runs closures on the calling thread while advertising
+/// the configured width through [`current_num_threads`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Advertised width of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Execute `op` "inside" the pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// Run two closures and return both results (sequentially, left first).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn install_scopes_thread_count() {
+        assert_eq!(current_num_threads(), 1);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 4);
+        assert_eq!(current_num_threads(), 1);
+    }
+
+    #[test]
+    fn chained_adapters_match_sequential() {
+        let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+
+        let s: usize = (0..100usize)
+            .into_par_iter()
+            .fold(|| 0usize, |a, x| a + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn slice_chunks_and_zip() {
+        let mut c = [0i32; 6];
+        let src = [1i32, 2, 3, 4, 5, 6];
+        c.par_chunks_mut(2)
+            .zip(src.par_chunks(2))
+            .for_each(|(dst, s)| dst.copy_from_slice(s));
+        assert_eq!(c, src);
+
+        let dots: Vec<i32> = src
+            .par_iter()
+            .zip(src.as_slice())
+            .map(|(&a, &b)| a * b)
+            .collect();
+        assert_eq!(dots, vec![1, 4, 9, 16, 25, 36]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Slice entry points (`par_iter`, `par_chunks_mut`, …) for the
+//! sequential rayon shim.
+
+use crate::iter::ParIter;
+
+/// Shared-slice parallel views; mirrors `rayon::slice::ParallelSlice`
+/// plus the `par_iter` entry point from `IntoParallelRefIterator`.
+pub trait ParallelSlice<T: Sync> {
+    /// Iterate elements by reference.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Iterate non-overlapping chunks of `chunk_size` (last may be short).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter::from_inner(self.iter())
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter::from_inner(self.chunks(chunk_size))
+    }
+}
+
+/// Mutable-slice parallel views; mirrors `rayon::slice::ParallelSliceMut`
+/// plus the `par_iter_mut` entry point from `IntoParallelRefMutIterator`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Iterate elements by mutable reference.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Iterate non-overlapping mutable chunks of `chunk_size`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter::from_inner(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter::from_inner(self.chunks_mut(chunk_size))
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The real serde models serialization through a visitor (`Serializer`)
+//! so one `Serialize` impl can target many formats. This workspace only
+//! ever serializes to JSON (via `serde_json::to_string_pretty`), so the
+//! stand-in collapses the data model to a single method that appends
+//! compact JSON to a `String`. `serde_json` then re-parses and
+//! pretty-prints it, which keeps the output format identical in spirit
+//! to the real pipeline.
+//!
+//! `Deserialize` is a marker: the workspace derives it for API symmetry
+//! but only ever *parses* into `serde_json::Value`, never into typed
+//! structs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can render itself as compact JSON.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Marker for types whose derive requests deserialization support.
+pub trait Deserialize {}
+
+/// Escape and append a JSON string literal.
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 24], *self as i128));
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer formatting without going through `format!` (keeps the hot
+/// serialization path allocation-light).
+fn itoa_buf(buf: &mut [u8; 24], mut v: i128) -> &str {
+    let neg = v < 0;
+    if neg {
+        v = -v;
+    }
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's Display prints the shortest round-trip
+                    // representation, same contract as serde_json's ryu.
+                    out.push_str(&format!("{self}"));
+                } else {
+                    // serde_json maps NaN/±inf to null.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String) {
+        let mut tmp = [0u8; 4];
+        write_json_str(self.encode_utf8(&mut tmp), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+impl<T> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T> Deserialize for Option<T> {}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.$idx.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(k.as_ref(), out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn render<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(render(&42u64), "42");
+        assert_eq!(render(&-7i32), "-7");
+        assert_eq!(render(&true), "true");
+        assert_eq!(render(&1.5f32), "1.5");
+        assert_eq!(render(&f32::NAN), "null");
+        assert_eq!(render("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(render(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(render(&Some(5u8)), "5");
+        assert_eq!(render(&Option::<u8>::None), "null");
+        assert_eq!(render(&("ab".to_string(), 3u64)), "[\"ab\",3]");
+    }
+}

@@ -1,0 +1,449 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stand-in.
+//!
+//! The registry (and therefore `syn`/`quote`) is unreachable in this
+//! build environment, so the item grammar is parsed directly off the
+//! `proc_macro` token stream. Supported shapes — which cover every
+//! derive site in the workspace — are:
+//!
+//! * unit / tuple / named-field structs (with optional generics),
+//! * enums whose variants are unit, tuple or struct-like,
+//! * `pub` / `pub(...)` visibilities, attributes and doc comments
+//!   (skipped), and explicit enum discriminants (skipped).
+//!
+//! JSON encoding follows serde's externally-tagged default:
+//! unit variant → `"Name"`, newtype variant → `{"Name": value}`,
+//! tuple variant → `{"Name":[..]}`, struct variant → `{"Name":{..}}`.
+//! `#[serde(...)]` attributes are not supported and there are none in
+//! the workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Parameter declarations for the `impl<...>` list (bounds added by
+    /// the caller for type params).
+    params: Vec<String>,
+    /// Bare parameter names for the `Name<...>` type arguments.
+    args: Vec<String>,
+    /// Which params are type params (as opposed to lifetimes/consts).
+    type_params: Vec<String>,
+    body: Body,
+}
+
+/// Derive the vendored `serde::Serialize` (compact-JSON writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item.body);
+    let (impl_generics, ty_generics) = generics_strings(&item, true);
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {}{ty_generics} {{\n\
+             fn write_json(&self, __out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty_generics) = generics_strings(&item, false);
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {}{ty_generics} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Render `impl<...>` and `<...>` generic lists. When `bound` is set,
+/// every type parameter gets a `::serde::Serialize` bound appended.
+fn generics_strings(item: &Item, bound: bool) -> (String, String) {
+    if item.params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let decls: Vec<String> = item
+        .params
+        .iter()
+        .zip(&item.args)
+        .map(|(decl, arg)| {
+            if bound && item.type_params.contains(arg) {
+                if decl.contains(':') {
+                    format!("{decl} + ::serde::Serialize")
+                } else {
+                    format!("{decl}: ::serde::Serialize")
+                }
+            } else {
+                decl.clone()
+            }
+        })
+        .collect();
+    (
+        format!("<{}>", decls.join(", ")),
+        format!("<{}>", item.args.join(", ")),
+    )
+}
+
+fn serialize_body(body: &Body) -> String {
+    // Generated code writes through `__out` and binds variant fields as
+    // `__f_<name>` so that user field names (e.g. a field called `out`)
+    // can never shadow the writer.
+    match body {
+        Body::Struct(Fields::Unit) => "__out.push_str(\"null\");".to_string(),
+        Body::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::write_json(&self.0, __out);".to_string()
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let mut s = String::from("__out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    s.push_str("__out.push(',');\n");
+                }
+                s.push_str(&format!(
+                    "::serde::Serialize::write_json(&self.{i}, __out);\n"
+                ));
+            }
+            s.push_str("__out.push(']');");
+            s
+        }
+        Body::Struct(Fields::Named(names)) => {
+            let mut s = String::from("__out.push('{');\n");
+            for (i, name) in names.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("__out.push(',');\n");
+                }
+                s.push_str(&format!(
+                    "__out.push_str(\"\\\"{name}\\\":\");\n\
+                     ::serde::Serialize::write_json(&self.{name}, __out);\n"
+                ));
+            }
+            s.push_str("__out.push('}');");
+            s
+        }
+        Body::Enum(variants) => {
+            if variants.is_empty() {
+                return "match *self {}".to_string();
+            }
+            let mut s = String::from("match self {\n");
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        s.push_str(&format!(
+                            "Self::{vname} => __out.push_str(\"\\\"{vname}\\\"\"),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        s.push_str(&format!(
+                            "Self::{vname}(__f0) => {{\n\
+                               __out.push_str(\"{{\\\"{vname}\\\":\");\n\
+                               ::serde::Serialize::write_json(__f0, __out);\n\
+                               __out.push('}}');\n\
+                             }}\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "Self::{vname}({}) => {{\n\
+                               __out.push_str(\"{{\\\"{vname}\\\":[\");\n",
+                            binds.join(", ")
+                        );
+                        for (i, b) in binds.iter().enumerate() {
+                            if i > 0 {
+                                arm.push_str("__out.push(',');\n");
+                            }
+                            arm.push_str(&format!(
+                                "::serde::Serialize::write_json({b}, __out);\n"
+                            ));
+                        }
+                        arm.push_str("__out.push(']');\n__out.push('}');\n}\n");
+                        s.push_str(&arm);
+                    }
+                    Fields::Named(names) => {
+                        let binds: Vec<String> = names
+                            .iter()
+                            .map(|f| format!("{f}: __f_{f}"))
+                            .collect();
+                        let mut arm = format!(
+                            "Self::{vname} {{ {} }} => {{\n\
+                               __out.push_str(\"{{\\\"{vname}\\\":{{\");\n",
+                            binds.join(", ")
+                        );
+                        for (i, fname) in names.iter().enumerate() {
+                            if i > 0 {
+                                arm.push_str("__out.push(',');\n");
+                            }
+                            arm.push_str(&format!(
+                                "__out.push_str(\"\\\"{fname}\\\":\");\n\
+                                 ::serde::Serialize::write_json(__f_{fname}, __out);\n"
+                            ));
+                        }
+                        arm.push_str("__out.push('}');\n__out.push('}');\n}\n");
+                        s.push_str(&arm);
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kind = ident_at(&toks, &mut i);
+    assert!(
+        kind == "struct" || kind == "enum",
+        "derive target must be a struct or enum, got `{kind}`"
+    );
+    let name = ident_at(&toks, &mut i);
+
+    let (params, args, type_params) = parse_generics(&toks, &mut i);
+
+    // Find the body: a brace group (named struct / enum), a paren group
+    // followed by `;` (tuple struct), or a bare `;` (unit struct).
+    // `where` clauses would sit between the generics and the body; none
+    // exist in the workspace and none of their tokens are groups that
+    // could be confused with a body here.
+    let mut body = Body::Struct(Fields::Unit);
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                body = if kind == "enum" {
+                    Body::Enum(parse_variants(&inner))
+                } else {
+                    Body::Struct(Fields::Named(parse_named_fields(&inner)))
+                };
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                body = Body::Struct(Fields::Tuple(count_tuple_fields(&inner)));
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    Item {
+        name,
+        params,
+        args,
+        type_params,
+        body,
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + bracket group
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: &mut usize) -> String {
+    match &toks[*i] {
+        TokenTree::Ident(id) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got `{other}`"),
+    }
+}
+
+/// Parse an optional `<...>` generic parameter list starting at `i`.
+/// Returns (param declarations, bare argument names, type-param names).
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> (Vec<String>, Vec<String>, Vec<String>) {
+    let (mut params, mut args, mut type_params) = (Vec::new(), Vec::new(), Vec::new());
+    if !matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return (params, args, type_params);
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    while *i < toks.len() {
+        let t = toks[*i].clone();
+        *i += 1;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                current.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                flush_param(&mut current, &mut params, &mut args, &mut type_params);
+            }
+            _ => current.push(t),
+        }
+    }
+    flush_param(&mut current, &mut params, &mut args, &mut type_params);
+    (params, args, type_params)
+}
+
+fn flush_param(
+    current: &mut Vec<TokenTree>,
+    params: &mut Vec<String>,
+    args: &mut Vec<String>,
+    type_params: &mut Vec<String>,
+) {
+    if current.is_empty() {
+        return;
+    }
+    let decl: TokenStream = current.drain(..).collect();
+    let decl_toks: Vec<TokenTree> = decl.clone().into_iter().collect();
+    let decl_str = decl.to_string();
+
+    // The bare name is the leading lifetime/ident (skipping `const`).
+    let mut j = 0;
+    let mut is_lifetime = false;
+    let mut is_const = false;
+    if let Some(TokenTree::Punct(p)) = decl_toks.get(j) {
+        if p.as_char() == '\'' {
+            is_lifetime = true;
+        }
+    }
+    if let Some(TokenTree::Ident(id)) = decl_toks.get(j) {
+        if id.to_string() == "const" {
+            is_const = true;
+            j += 1;
+        }
+    }
+    let arg = if is_lifetime {
+        match &decl_toks[1] {
+            TokenTree::Ident(id) => format!("'{id}"),
+            other => panic!("expected lifetime name, got `{other}`"),
+        }
+    } else {
+        match &decl_toks[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected parameter name, got `{other}`"),
+        }
+    };
+    if !is_lifetime && !is_const {
+        type_params.push(arg.clone());
+    }
+    params.push(decl_str);
+    args.push(arg);
+}
+
+/// Parse `name: Type, ...` named-field lists, returning the names.
+fn parse_named_fields(toks: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        skip_attrs_and_vis(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        names.push(ident_at(toks, &mut i));
+        // Skip `: Type` up to the next top-level comma.
+        skip_to_field_end(toks, &mut i);
+    }
+    names
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(toks: &[TokenTree]) -> usize {
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        skip_attrs_and_vis(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        skip_to_field_end(toks, &mut i);
+    }
+    count
+}
+
+/// Advance past the current field's type (or discriminant), leaving `i`
+/// just after the separating comma. Tracks `<...>` nesting so commas
+/// inside generics don't split fields.
+fn skip_to_field_end(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0usize;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle > 0 => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Parse enum variants: `Name`, `Name(T, ..)`, `Name { f: T, .. }`,
+/// each optionally followed by `= discriminant`.
+fn parse_variants(toks: &[TokenTree]) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        skip_attrs_and_vis(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Named(parse_named_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip optional `= discriminant` through the trailing comma.
+        skip_to_field_end(toks, &mut i);
+        variants.push((name, fields));
+    }
+    variants
+}
