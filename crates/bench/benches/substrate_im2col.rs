@@ -20,7 +20,9 @@ fn bench_im2col(c: &mut Criterion) {
         };
         let image: Vec<f32> = (0..3 * i * i).map(|x| (x % 17) as f32).collect();
         let mut cols = Matrix::zeros(geom.col_rows(), geom.col_cols());
-        group.throughput(Throughput::Bytes((geom.col_rows() * geom.col_cols() * 4) as u64));
+        group.throughput(Throughput::Bytes(
+            (geom.col_rows() * geom.col_cols() * 4) as u64,
+        ));
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("i{i}_k{k}")),
             &geom,
@@ -41,7 +43,9 @@ fn bench_col2im(c: &mut Criterion) {
         stride: 1,
         pad: 0,
     };
-    let cols = Matrix::from_fn(geom.col_rows(), geom.col_cols(), |r, c| ((r * 31 + c) % 13) as f32);
+    let cols = Matrix::from_fn(geom.col_rows(), geom.col_cols(), |r, c| {
+        ((r * 31 + c) % 13) as f32
+    });
     let mut image = vec![0.0f32; 3 * 64 * 64];
     c.bench_function("col2im_i64_k5", |b| {
         b.iter(|| col2im(black_box(&cols), &geom, black_box(&mut image)));

@@ -32,10 +32,15 @@ fn main() {
 /// doesn't.
 fn ablation_registers(dev: &DeviceSpec) {
     println!("=== ablation 1: register pressure → occupancy → runtime ===\n");
-    let header: Vec<String> = ["regs/thread", "occupancy %", "thin kernel ms", "ILP-rich kernel ms"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "regs/thread",
+        "occupancy %",
+        "thin kernel ms",
+        "ILP-rich kernel ms",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for regs in [32u32, 64, 80, 96, 116, 160, 200] {
         let occ = occupancy(dev, regs, 8 * 1024, 128);
@@ -53,8 +58,14 @@ fn ablation_registers(dev: &DeviceSpec) {
         rows.push(vec![
             regs.to_string(),
             format!("{:.1}", occ.theoretical * 100.0),
-            format!("{:.1}", gcnn_gpusim::timing::time_kernel(dev, &thin).time_ms),
-            format!("{:.1}", gcnn_gpusim::timing::time_kernel(dev, &rich).time_ms),
+            format!(
+                "{:.1}",
+                gcnn_gpusim::timing::time_kernel(dev, &thin).time_ms
+            ),
+            format!(
+                "{:.1}",
+                gcnn_gpusim::timing::time_kernel(dev, &rich).time_ms
+            ),
         ]);
     }
     println!("{}", text_table("", &header, &rows));
@@ -66,10 +77,15 @@ fn ablation_registers(dev: &DeviceSpec) {
 /// Ablation 2 — cuda-convnet2 with and without its 128-image tiles.
 fn ablation_batch_tiles(dev: &DeviceSpec) {
     println!("=== ablation 2: cuda-convnet2 batch tiling ===\n");
-    let header: Vec<String> = ["batch", "with tiling (ms/img)", "tile efficiency", "flat model (ms/img)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "batch",
+        "with tiling (ms/img)",
+        "tile efficiency",
+        "flat model (ms/img)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for b in (32..=256).step_by(32) {
         let cfg = ConvConfig::from_tuple(b, 128, 64, 11, 1);
@@ -134,8 +150,7 @@ fn ablation_winograd(dev: &DeviceSpec) {
         let mut wino_plan = CuDnn.plan(&cfg);
         for pk in &mut wino_plan.kernels {
             if pk.desc.name != "precomputed_convolve_sgemm" {
-                pk.desc.flops =
-                    (pk.desc.flops as f64 / WinogradConv::MULTIPLY_REDUCTION) as u64;
+                pk.desc.flops = (pk.desc.flops as f64 / WinogradConv::MULTIPLY_REDUCTION) as u64;
                 pk.desc.name = format!("winograd_{}", pk.desc.name);
             }
         }

@@ -1,0 +1,88 @@
+//! bench_compare — diff two `BENCH_hotpaths.json` reports and fail on
+//! regression. The CI bench job runs this after `perf_smoke`:
+//!
+//! ```text
+//! bench_compare --baseline baseline.json [--current results/BENCH_hotpaths.json]
+//!               [--tolerance 0.25] [--trace results/BENCH_trace.json]
+//! ```
+//!
+//! A section whose p50 exceeds `baseline · (1 + tolerance)` fails, as
+//! does a measured baseline section missing from the current report.
+//! With `--trace`, a non-zero steady-state fresh-allocation count in
+//! the trace report fails too. Exit codes: 0 clean, 1 regression,
+//! 2 usage or I/O error.
+
+use gcnn_bench::compare::{diff_reports, steady_fresh_allocs};
+use serde_json::Value;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare --baseline <json> [--current <json>] \
+         [--tolerance <frac>] [--trace <json>]"
+    );
+    exit(2);
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot read {path}: {e}");
+        exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot parse {path}: {e:?}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let mut baseline = None;
+    let mut current = "results/BENCH_hotpaths.json".to_string();
+    let mut tolerance = 0.25f64;
+    let mut trace = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value()),
+            "--current" => current = value(),
+            "--tolerance" => {
+                tolerance = value().parse().unwrap_or_else(|_| usage());
+                if tolerance < 0.0 {
+                    usage();
+                }
+            }
+            "--trace" => trace = Some(value()),
+            _ => usage(),
+        }
+    }
+    let Some(baseline) = baseline else { usage() };
+
+    let diff = diff_reports(&load(&baseline), &load(&current), tolerance).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {e}");
+        exit(2);
+    });
+    print!("{}", diff.render());
+    let mut failed = diff.regressed();
+
+    if let Some(trace_path) = trace {
+        match steady_fresh_allocs(&load(&trace_path)) {
+            Ok(0) => println!("steady-state allocations: 0 (ok)"),
+            Ok(n) => {
+                println!("steady-state allocations: {n} (REGRESSED — hot paths must not allocate)");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("bench_compare: {e}");
+                exit(2);
+            }
+        }
+    }
+
+    if failed {
+        println!("bench_compare: FAILED");
+        exit(1);
+    }
+    println!("bench_compare: ok");
+}

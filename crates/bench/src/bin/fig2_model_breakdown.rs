@@ -42,7 +42,10 @@ fn main() {
         rows.push(row);
         dumps.push(b);
     }
-    println!("{}", text_table("layer-type share of iteration time", &header, &rows));
+    println!(
+        "{}",
+        text_table("layer-type share of iteration time", &header, &rows)
+    );
     println!("Paper: conv = 86% (GoogLeNet), 89% (VGG), 90% (OverFeat), 94% (AlexNet).");
 
     match gcnn_bench::write_json("fig2_model_breakdown", &dumps) {

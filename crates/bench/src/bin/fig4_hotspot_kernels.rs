@@ -19,7 +19,11 @@ fn main() {
             println!("  {:<32} {:>7}", kernel, pct(*share));
         }
         if r.transfer_share > 0.001 {
-            println!("  {:<32} {:>7}", "(CPU↔GPU transfer)", pct(r.transfer_share));
+            println!(
+                "  {:<32} {:>7}",
+                "(CPU↔GPU transfer)",
+                pct(r.transfer_share)
+            );
         }
         println!();
     }

@@ -48,7 +48,10 @@ fn main() {
         })
         .collect();
 
-    println!("{}", text_table("per-implementation profiles", &header, &table_rows));
+    println!(
+        "{}",
+        text_table("per-implementation profiles", &header, &table_rows)
+    );
 
     println!("Paper headlines reproduced:");
     println!("  · most implementations < 30 % achieved occupancy;");

@@ -16,7 +16,10 @@ fn main() {
     for model in all_models() {
         let cmp = compare_model(&model, batch, &dev);
 
-        let header: Vec<String> = ["framework", "total conv ms"].iter().map(|s| s.to_string()).collect();
+        let header: Vec<String> = ["framework", "total conv ms"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut rows: Vec<Vec<String>> = cmp
             .totals
             .iter()
@@ -28,8 +31,14 @@ fn main() {
                 ]
             })
             .collect();
-        rows.push(vec!["ORACLE (best per layer)".into(), format!("{:.1}", cmp.oracle_ms())]);
-        println!("{}", text_table(&format!("=== {} ===", cmp.model), &header, &rows));
+        rows.push(vec![
+            "ORACLE (best per layer)".into(),
+            format!("{:.1}", cmp.oracle_ms()),
+        ]);
+        println!(
+            "{}",
+            text_table(&format!("=== {} ===", cmp.model), &header, &rows)
+        );
 
         if let Some((best, t)) = cmp.best_single() {
             println!(
@@ -45,7 +54,10 @@ fn main() {
                 switches += 1;
             }
         }
-        println!("layers routed to a different implementation: {switches}/{}\n", cmp.oracle.len());
+        println!(
+            "layers routed to a different implementation: {switches}/{}\n",
+            cmp.oracle.len()
+        );
         dumps.push(cmp);
     }
 

@@ -32,7 +32,15 @@ fn main() {
             Command::new(direct).status()
         } else {
             Command::new(env!("CARGO", "cargo"))
-                .args(["run", "--quiet", "--release", "-p", "gcnn-bench", "--bin", name])
+                .args([
+                    "run",
+                    "--quiet",
+                    "--release",
+                    "-p",
+                    "gcnn-bench",
+                    "--bin",
+                    name,
+                ])
                 .status()
         }
         .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
@@ -44,5 +52,8 @@ fn main() {
     if failures > 0 {
         std::process::exit(1);
     }
-    println!("\nAll {} experiments regenerated; JSON in ./results/.", BINARIES.len());
+    println!(
+        "\nAll {} experiments regenerated; JSON in ./results/.",
+        BINARIES.len()
+    );
 }

@@ -5,17 +5,26 @@ use gcnn_core::report::text_table;
 
 fn main() {
     println!("Table I — convolution configurations for benchmarking\n");
-    let header: Vec<String> = ["layer", "(b, i, f, k, s)", "channels", "output", "fwd GFLOPs"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "layer",
+        "(b, i, f, k, s)",
+        "channels",
+        "output",
+        "fwd GFLOPs",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let rows: Vec<Vec<String>> = table1_configs()
         .iter()
         .zip(TABLE1_NAMES)
         .map(|(c, name)| {
             vec![
                 name.to_string(),
-                format!("({}, {}, {}, {}, {})", c.batch, c.input, c.filters, c.kernel, c.stride),
+                format!(
+                    "({}, {}, {}, {}, {})",
+                    c.batch, c.input, c.filters, c.kernel, c.stride
+                ),
                 c.channels.to_string(),
                 format!("{0}×{0}", c.output()),
                 format!("{:.1}", c.forward_flops() as f64 / 1e9),

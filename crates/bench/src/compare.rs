@@ -1,0 +1,249 @@
+//! Regression comparison of two `BENCH_hotpaths.json` reports, plus the
+//! steady-state allocation gate over `BENCH_trace.json`.
+//!
+//! The CI bench job runs `perf_smoke`, then `bench_compare` against the
+//! committed baseline: a section whose p50 grows by more than the
+//! tolerance fails the build, as does a tracked section missing from
+//! the current report, as does a non-zero steady-state fresh-allocation
+//! count. p50 is the compared statistic — it is robust to the one-off
+//! outliers that shared CI runners produce, which mean/p95 are not.
+
+use serde_json::Value;
+
+/// Verdict for one benchmark section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionStatus {
+    /// Current p50 is lower than the baseline.
+    Improved,
+    /// Within the tolerance band.
+    Within,
+    /// Slower than baseline by more than the tolerance.
+    Regressed,
+    /// Present in the baseline but absent from the current report.
+    Missing,
+}
+
+/// One row of the comparison: a section present in the baseline.
+#[derive(Debug, Clone)]
+pub struct SectionDiff {
+    pub name: String,
+    pub base_p50_ms: f64,
+    /// `None` when the section is missing from the current report.
+    pub cur_p50_ms: Option<f64>,
+    pub status: SectionStatus,
+}
+
+impl SectionDiff {
+    /// `current / baseline`, when both sides exist.
+    pub fn ratio(&self) -> Option<f64> {
+        self.cur_p50_ms.map(|c| c / self.base_p50_ms)
+    }
+}
+
+/// Full comparison outcome.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    pub tolerance: f64,
+    pub rows: Vec<SectionDiff>,
+}
+
+impl CompareReport {
+    /// True when any section regressed or went missing.
+    pub fn regressed(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| matches!(r.status, SectionStatus::Regressed | SectionStatus::Missing))
+    }
+
+    /// Plain-text table of the comparison.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<28} {:>12} {:>12} {:>8}  verdict (tolerance {:.0}%)\n",
+            "section",
+            "base p50",
+            "cur p50",
+            "ratio",
+            self.tolerance * 100.0
+        );
+        for row in &self.rows {
+            let (cur, ratio) = match (row.cur_p50_ms, row.ratio()) {
+                (Some(c), Some(q)) => (crate::ms(c), format!("{q:.2}x")),
+                _ => ("—".to_string(), "—".to_string()),
+            };
+            let verdict = match row.status {
+                SectionStatus::Improved => "improved",
+                SectionStatus::Within => "ok",
+                SectionStatus::Regressed => "REGRESSED",
+                SectionStatus::Missing => "MISSING",
+            };
+            out.push_str(&format!(
+                "{:<28} {:>12} {:>12} {:>8}  {verdict}\n",
+                row.name,
+                crate::ms(row.base_p50_ms),
+                cur,
+                ratio,
+            ));
+        }
+        out
+    }
+}
+
+/// Extract `(name, p50_ms)` for every *measured* section (skipped
+/// sections record `iters == 0` and carry no meaningful timings).
+fn sections(report: &Value) -> Result<Vec<(String, f64)>, String> {
+    let list = report
+        .get("sections")
+        .and_then(Value::as_array)
+        .ok_or("report has no `sections` array")?;
+    let mut out = Vec::with_capacity(list.len());
+    for (i, s) in list.iter().enumerate() {
+        let name = s
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("section {i}: missing `name`"))?;
+        let iters = s.get("iters").and_then(Value::as_u64).unwrap_or(0);
+        if iters == 0 {
+            continue;
+        }
+        let p50 = s
+            .get("p50_ms")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("section `{name}`: missing `p50_ms`"))?;
+        out.push((name.to_string(), p50));
+    }
+    Ok(out)
+}
+
+/// Compare a current hotpath report against a baseline.
+///
+/// `tolerance` is the allowed fractional slowdown: 0.25 passes anything
+/// up to 1.25× the baseline p50. Baseline sections with no measurements
+/// are ignored; extra sections in the current report are ignored too
+/// (adding a benchmark is not a regression).
+pub fn diff_reports(
+    baseline: &Value,
+    current: &Value,
+    tolerance: f64,
+) -> Result<CompareReport, String> {
+    assert!(tolerance >= 0.0, "negative tolerance");
+    let base = sections(baseline)?;
+    let cur = sections(current)?;
+    let rows = base
+        .into_iter()
+        .map(|(name, base_p50)| {
+            let cur_p50 = cur.iter().find(|(n, _)| *n == name).map(|(_, p)| *p);
+            let status = match cur_p50 {
+                None => SectionStatus::Missing,
+                Some(c) if c > base_p50 * (1.0 + tolerance) => SectionStatus::Regressed,
+                Some(c) if c < base_p50 => SectionStatus::Improved,
+                Some(_) => SectionStatus::Within,
+            };
+            SectionDiff {
+                name,
+                base_p50_ms: base_p50,
+                cur_p50_ms: cur_p50,
+                status,
+            }
+        })
+        .collect();
+    Ok(CompareReport { tolerance, rows })
+}
+
+/// Steady-state fresh-allocation count from a `BENCH_trace.json`
+/// report. Zero means the arena fully absorbed the workload after
+/// warm-up — the invariant the zero-allocation hot paths guarantee.
+pub fn steady_fresh_allocs(trace: &Value) -> Result<u64, String> {
+    trace
+        .get("steady_fresh_allocs")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "trace report has no `steady_fresh_allocs`".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, u64, f64)]) -> Value {
+        let sections = entries
+            .iter()
+            .map(|(name, iters, p50)| {
+                format!(r#"{{"name":"{name}","iters":{iters},"p50_ms":{p50}}}"#)
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        serde_json::from_str(&format!(r#"{{"sections":[{sections}]}}"#)).unwrap()
+    }
+
+    #[test]
+    fn improvement_passes() {
+        let base = report(&[("sgemm", 10, 100.0)]);
+        let cur = report(&[("sgemm", 10, 60.0)]);
+        let diff = diff_reports(&base, &cur, 0.25).unwrap();
+        assert!(!diff.regressed());
+        assert_eq!(diff.rows[0].status, SectionStatus::Improved);
+        assert!((diff.rows[0].ratio().unwrap() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = report(&[("sgemm", 10, 100.0)]);
+        let cur = report(&[("sgemm", 10, 120.0)]);
+        let diff = diff_reports(&base, &cur, 0.25).unwrap();
+        assert!(!diff.regressed());
+        assert_eq!(diff.rows[0].status, SectionStatus::Within);
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_regresses() {
+        let base = report(&[("sgemm", 10, 100.0), ("fft", 10, 50.0)]);
+        let cur = report(&[("sgemm", 10, 130.0), ("fft", 10, 50.0)]);
+        let diff = diff_reports(&base, &cur, 0.25).unwrap();
+        assert!(diff.regressed());
+        assert_eq!(diff.rows[0].status, SectionStatus::Regressed);
+        assert_eq!(diff.rows[1].status, SectionStatus::Within);
+        assert!(diff.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn missing_section_regresses() {
+        let base = report(&[("sgemm", 10, 100.0), ("fft", 10, 50.0)]);
+        let cur = report(&[("sgemm", 10, 100.0)]);
+        let diff = diff_reports(&base, &cur, 0.25).unwrap();
+        assert!(diff.regressed());
+        assert_eq!(diff.rows[1].status, SectionStatus::Missing);
+        assert_eq!(diff.rows[1].cur_p50_ms, None);
+    }
+
+    #[test]
+    fn skipped_sections_are_ignored() {
+        // A baseline section with iters == 0 (e.g. Direct skipped on a
+        // small runner) must not count as missing later.
+        let base = report(&[("direct", 0, 0.0), ("sgemm", 10, 100.0)]);
+        let cur = report(&[("sgemm", 10, 100.0)]);
+        let diff = diff_reports(&base, &cur, 0.25).unwrap();
+        assert!(!diff.regressed());
+        assert_eq!(diff.rows.len(), 1);
+    }
+
+    #[test]
+    fn baseline_vs_itself_is_clean() {
+        let base = report(&[("sgemm", 10, 100.0), ("fft", 10, 50.0)]);
+        let diff = diff_reports(&base, &base, 0.0).unwrap();
+        assert!(!diff.regressed());
+        assert!(diff.rows.iter().all(|r| r.status == SectionStatus::Within));
+    }
+
+    #[test]
+    fn malformed_report_errors() {
+        let bad: Value = serde_json::from_str(r#"{"nope": 1}"#).unwrap();
+        assert!(diff_reports(&bad, &bad, 0.25).is_err());
+    }
+
+    #[test]
+    fn alloc_gate_reads_count() {
+        let t: Value = serde_json::from_str(r#"{"steady_fresh_allocs": 3}"#).unwrap();
+        assert_eq!(steady_fresh_allocs(&t).unwrap(), 3);
+        let missing: Value = serde_json::from_str("{}").unwrap();
+        assert!(steady_fresh_allocs(&missing).is_err());
+    }
+}

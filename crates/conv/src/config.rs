@@ -67,14 +67,7 @@ impl ConvConfig {
     }
 
     /// Construct with an explicit channel count.
-    pub const fn with_channels(
-        b: usize,
-        c: usize,
-        i: usize,
-        f: usize,
-        k: usize,
-        s: usize,
-    ) -> Self {
+    pub const fn with_channels(b: usize, c: usize, i: usize, f: usize, k: usize, s: usize) -> Self {
         ConvConfig {
             batch: b,
             channels: c,

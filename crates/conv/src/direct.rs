@@ -30,8 +30,17 @@ impl ConvAlgorithm for DirectConv {
     }
 
     fn forward(&self, cfg: &ConvConfig, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
-        assert_eq!(input.shape(), cfg.input_shape(), "DirectConv::forward: input");
-        assert_eq!(filters.shape(), cfg.filter_shape(), "DirectConv::forward: filters");
+        let _span = gcnn_trace::span("conv.direct.forward");
+        assert_eq!(
+            input.shape(),
+            cfg.input_shape(),
+            "DirectConv::forward: input"
+        );
+        assert_eq!(
+            filters.shape(),
+            cfg.filter_shape(),
+            "DirectConv::forward: filters"
+        );
         let o = cfg.output();
         let (k, s, p, i) = (cfg.kernel, cfg.stride, cfg.pad, cfg.input);
 
@@ -73,7 +82,12 @@ impl ConvAlgorithm for DirectConv {
     }
 
     fn backward_data(&self, cfg: &ConvConfig, grad_out: &Tensor4, filters: &Tensor4) -> Tensor4 {
-        assert_eq!(grad_out.shape(), cfg.output_shape(), "DirectConv::backward_data: grad");
+        let _span = gcnn_trace::span("conv.direct.backward_data");
+        assert_eq!(
+            grad_out.shape(),
+            cfg.output_shape(),
+            "DirectConv::backward_data: grad"
+        );
         let o = cfg.output();
         let (k, s, p, i) = (cfg.kernel, cfg.stride, cfg.pad, cfg.input);
 
@@ -117,6 +131,7 @@ impl ConvAlgorithm for DirectConv {
     }
 
     fn backward_filters(&self, cfg: &ConvConfig, input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
+        let _span = gcnn_trace::span("conv.direct.backward_filters");
         // Parallel over images with a per-thread filter-gradient
         // accumulator, reduced at the end (cuda-convnet2's
         // conv_weight_acts kernels follow the same partial-sum scheme).

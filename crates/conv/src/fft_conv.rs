@@ -49,22 +49,20 @@ fn plane_spectra_into(t: &Tensor4, n: usize, plan: &RfftPlan, out: &mut [Complex
     let planes = s.n * s.c;
     let bins = plan.spectrum_len();
     debug_assert_eq!(out.len(), planes * bins);
-    out.par_chunks_mut(bins)
-        .enumerate()
-        .for_each(|(p, chunk)| {
-            let (pn, pc) = (p / s.c, p % s.c);
-            let src = t.plane(pn, pc);
-            // Zero-pad the h×w plane into the n×n transform buffer —
-            // copied rows zero only their right margin, the bottom band
-            // is cleared wholesale (halo-only fill on reused scratch).
-            let mut buf = workspace::take_f32(n * n);
-            for h in 0..s.h {
-                buf[h * n..h * n + s.w].copy_from_slice(&src[h * s.w..(h + 1) * s.w]);
-                buf[h * n + s.w..(h + 1) * n].fill(0.0);
-            }
-            buf[s.h * n..].fill(0.0);
-            plan.forward_into(&buf, chunk);
-        });
+    out.par_chunks_mut(bins).enumerate().for_each(|(p, chunk)| {
+        let (pn, pc) = (p / s.c, p % s.c);
+        let src = t.plane(pn, pc);
+        // Zero-pad the h×w plane into the n×n transform buffer —
+        // copied rows zero only their right margin, the bottom band
+        // is cleared wholesale (halo-only fill on reused scratch).
+        let mut buf = workspace::take_f32(n * n);
+        for h in 0..s.h {
+            buf[h * n..h * n + s.w].copy_from_slice(&src[h * s.w..(h + 1) * s.w]);
+            buf[h * n + s.w..(h + 1) * n].fill(0.0);
+        }
+        buf[s.h * n..].fill(0.0);
+        plan.forward_into(&buf, chunk);
+    });
 }
 
 /// Swap the two plane axes of a plane-major spectrum buffer:
@@ -158,9 +156,15 @@ impl ConvAlgorithm for FftConv {
     }
 
     fn forward(&self, cfg: &ConvConfig, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
-        self.supports(cfg).expect("FftConv::forward: unsupported config");
+        let _span = gcnn_trace::span("conv.fft.forward");
+        self.supports(cfg)
+            .expect("FftConv::forward: unsupported config");
         assert_eq!(input.shape(), cfg.input_shape(), "FftConv::forward: input");
-        assert_eq!(filters.shape(), cfg.filter_shape(), "FftConv::forward: filters");
+        assert_eq!(
+            filters.shape(),
+            cfg.filter_shape(),
+            "FftConv::forward: filters"
+        );
 
         // Borrow the input directly when no spatial padding is needed —
         // the previous implementation cloned the whole tensor.
@@ -169,8 +173,13 @@ impl ConvAlgorithm for FftConv {
             input
         } else {
             let s = input.shape();
-            padded_storage =
-                gcnn_tensor::pad::pad_planes(input, s.h + 2 * cfg.pad, s.w + 2 * cfg.pad, cfg.pad, cfg.pad);
+            padded_storage = gcnn_tensor::pad::pad_planes(
+                input,
+                s.h + 2 * cfg.pad,
+                s.w + 2 * cfg.pad,
+                cfg.pad,
+                cfg.pad,
+            );
             &padded_storage
         };
         let ieff = cfg.input + 2 * cfg.pad;
@@ -198,7 +207,18 @@ impl ConvAlgorithm for FftConv {
         //    compute).
         let mut c_bins = workspace::take_c32(bins * f * b);
         batched_cgemm(
-            true, false, f, b, c, bins, &a_bins, f * c, &b_bins, c * b, &mut c_bins, f * b,
+            true,
+            false,
+            f,
+            b,
+            c,
+            bins,
+            &a_bins,
+            f * c,
+            &b_bins,
+            c * b,
+            &mut c_bins,
+            f * b,
         );
 
         // 4. Transpose back and 5. inverse transform + crop to (o × o).
@@ -210,8 +230,14 @@ impl ConvAlgorithm for FftConv {
     }
 
     fn backward_data(&self, cfg: &ConvConfig, grad_out: &Tensor4, filters: &Tensor4) -> Tensor4 {
-        self.supports(cfg).expect("FftConv::backward_data: unsupported config");
-        assert_eq!(grad_out.shape(), cfg.output_shape(), "FftConv::backward_data: grad");
+        let _span = gcnn_trace::span("conv.fft.backward_data");
+        self.supports(cfg)
+            .expect("FftConv::backward_data: unsupported config");
+        assert_eq!(
+            grad_out.shape(),
+            cfg.output_shape(),
+            "FftConv::backward_data: grad"
+        );
 
         let ieff = cfg.input + 2 * cfg.pad;
         let n = ieff.next_power_of_two();
@@ -237,7 +263,18 @@ impl ConvAlgorithm for FftConv {
 
         let mut c_bins = workspace::take_c32(bins * c * b);
         batched_cgemm(
-            false, false, c, b, f, bins, &a_bins, c * f, &b_bins, f * b, &mut c_bins, c * b,
+            false,
+            false,
+            c,
+            b,
+            f,
+            bins,
+            &a_bins,
+            c * f,
+            &b_bins,
+            f * b,
+            &mut c_bins,
+            c * b,
         );
 
         let mut scattered = workspace::take_c32(bins * c * b);
@@ -245,19 +282,28 @@ impl ConvAlgorithm for FftConv {
         let mut gin_spec = workspace::take_c32(bins * c * b); // [n][c][bin]
         swap_planes_into(&scattered, c, b, bins, &mut gin_spec);
         // Crop the interior when the forward pass padded the input.
-        planes_to_tensor(&gin_spec, b, c, n, &plan, cfg.input, cfg.input, cfg.pad, cfg.pad)
+        planes_to_tensor(
+            &gin_spec, b, c, n, &plan, cfg.input, cfg.input, cfg.pad, cfg.pad,
+        )
     }
 
     fn backward_filters(&self, cfg: &ConvConfig, input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
-        self.supports(cfg).expect("FftConv::backward_filters: unsupported config");
+        let _span = gcnn_trace::span("conv.fft.backward_filters");
+        self.supports(cfg)
+            .expect("FftConv::backward_filters: unsupported config");
 
         let padded_storage;
         let padded: &Tensor4 = if cfg.pad == 0 {
             input
         } else {
             let s = input.shape();
-            padded_storage =
-                gcnn_tensor::pad::pad_planes(input, s.h + 2 * cfg.pad, s.w + 2 * cfg.pad, cfg.pad, cfg.pad);
+            padded_storage = gcnn_tensor::pad::pad_planes(
+                input,
+                s.h + 2 * cfg.pad,
+                s.w + 2 * cfg.pad,
+                cfg.pad,
+                cfg.pad,
+            );
             &padded_storage
         };
         let ieff = cfg.input + 2 * cfg.pad;
@@ -282,7 +328,18 @@ impl ConvAlgorithm for FftConv {
 
         let mut c_bins = workspace::take_c32(bins * f * c);
         batched_cgemm(
-            true, false, f, c, b, bins, &a_bins, f * b, &b_bins, b * c, &mut c_bins, f * c,
+            true,
+            false,
+            f,
+            c,
+            b,
+            bins,
+            &a_bins,
+            f * b,
+            &b_bins,
+            b * c,
+            &mut c_bins,
+            f * c,
         );
 
         let mut gw_spec = workspace::take_c32(bins * f * c); // [f][c][bin]
@@ -331,7 +388,10 @@ mod tests {
             let fast = FftConv.backward_data(&cfg, &g, &w);
             let slow = reference::backward_data_ref(&cfg, &g, &w);
             let dist = fast.rel_l2_dist(&slow).unwrap();
-            assert!(dist < 1e-4, "backward_data mismatch at {cfg}: rel l2 {dist}");
+            assert!(
+                dist < 1e-4,
+                "backward_data mismatch at {cfg}: rel l2 {dist}"
+            );
         }
     }
 
@@ -343,7 +403,10 @@ mod tests {
             let fast = FftConv.backward_filters(&cfg, &x, &g);
             let slow = reference::backward_filters_ref(&cfg, &x, &g);
             let dist = fast.rel_l2_dist(&slow).unwrap();
-            assert!(dist < 1e-4, "backward_filters mismatch at {cfg}: rel l2 {dist}");
+            assert!(
+                dist < 1e-4,
+                "backward_filters mismatch at {cfg}: rel l2 {dist}"
+            );
         }
     }
 

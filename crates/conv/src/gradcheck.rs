@@ -12,7 +12,11 @@ use gcnn_tensor::Tensor4;
 
 /// Inner product of two same-shaped tensors.
 fn dot(a: &Tensor4, b: &Tensor4) -> f32 {
-    a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum()
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * y)
+        .sum()
 }
 
 /// Maximum relative error between the analytic input gradient and a
@@ -97,7 +101,11 @@ mod tests {
         let e1 = check_backward_data(algo, &cfg, &x, &w, &g, 1e-2, 12);
         assert!(e1 < 0.05, "{}: backward_data rel err {e1}", algo.strategy());
         let e2 = check_backward_filters(algo, &cfg, &x, &w, &g, 1e-2, 12);
-        assert!(e2 < 0.05, "{}: backward_filters rel err {e2}", algo.strategy());
+        assert!(
+            e2 < 0.05,
+            "{}: backward_filters rel err {e2}",
+            algo.strategy()
+        );
     }
 
     #[test]

@@ -101,7 +101,9 @@ impl ConvAlgorithm for GroupedConv {
     }
 
     fn forward(&self, cfg: &ConvConfig, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
-        self.supports(cfg).expect("GroupedConv::forward: unsupported config");
+        let _span = gcnn_trace::span("conv.grouped.forward");
+        self.supports(cfg)
+            .expect("GroupedConv::forward: unsupported config");
         let gcfg = self.group_config(cfg);
         let (cg, fg) = (gcfg.channels, gcfg.filters);
 
@@ -125,7 +127,9 @@ impl ConvAlgorithm for GroupedConv {
     }
 
     fn backward_data(&self, cfg: &ConvConfig, grad_out: &Tensor4, filters: &Tensor4) -> Tensor4 {
-        self.supports(cfg).expect("GroupedConv::backward_data: unsupported config");
+        let _span = gcnn_trace::span("conv.grouped.backward_data");
+        self.supports(cfg)
+            .expect("GroupedConv::backward_data: unsupported config");
         let gcfg = self.group_config(cfg);
         let (cg, fg) = (gcfg.channels, gcfg.filters);
 
@@ -147,7 +151,9 @@ impl ConvAlgorithm for GroupedConv {
     }
 
     fn backward_filters(&self, cfg: &ConvConfig, input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
-        self.supports(cfg).expect("GroupedConv::backward_filters: unsupported config");
+        let _span = gcnn_trace::span("conv.grouped.backward_filters");
+        self.supports(cfg)
+            .expect("GroupedConv::backward_filters: unsupported config");
         let gcfg = self.group_config(cfg);
         let (cg, fg) = (gcfg.channels, gcfg.filters);
 
@@ -207,10 +213,7 @@ mod tests {
 
             let w_full = block_diagonal_equivalent(&cfg, &w, groups);
             let want = reference::forward_ref(&cfg, &x, &w_full);
-            assert!(
-                got.rel_l2_dist(&want).unwrap() < 1e-4,
-                "groups {groups}"
-            );
+            assert!(got.rel_l2_dist(&want).unwrap() < 1e-4, "groups {groups}");
         }
     }
 

@@ -53,7 +53,10 @@ impl ConcatLayer {
     pub fn backward(&self, grad_out: &Tensor4, channel_splits: &[usize]) -> Vec<Tensor4> {
         let s = grad_out.shape();
         let total: usize = channel_splits.iter().sum();
-        assert_eq!(total, s.c, "ConcatLayer::backward: splits must cover channels");
+        assert_eq!(
+            total, s.c,
+            "ConcatLayer::backward: splits must cover channels"
+        );
 
         let mut outs: Vec<Tensor4> = channel_splits
             .iter()
@@ -90,8 +93,12 @@ mod tests {
 
     #[test]
     fn forward_backward_roundtrip() {
-        let a = Tensor4::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| (c * 4 + h * 2 + w) as f32);
-        let b = Tensor4::from_fn(Shape4::new(1, 1, 2, 2), |_, _, h, w| 100.0 + (h * 2 + w) as f32);
+        let a = Tensor4::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| {
+            (c * 4 + h * 2 + w) as f32
+        });
+        let b = Tensor4::from_fn(Shape4::new(1, 1, 2, 2), |_, _, h, w| {
+            100.0 + (h * 2 + w) as f32
+        });
         let cat = ConcatLayer.forward(&[&a, &b]);
         let parts = ConcatLayer.backward(&cat, &[2, 1]);
         assert_eq!(parts[0], a);

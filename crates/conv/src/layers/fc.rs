@@ -37,7 +37,8 @@ impl FcLayer {
     /// Construct with Xavier-initialized weights and zero bias.
     pub fn xavier(out_features: usize, in_features: usize, seed: u64) -> Self {
         let bound = (6.0 / (in_features + out_features) as f32).sqrt();
-        let weights = gcnn_tensor::init::uniform_matrix(out_features, in_features, -bound, bound, seed);
+        let weights =
+            gcnn_tensor::init::uniform_matrix(out_features, in_features, -bound, bound, seed);
         FcLayer {
             weights,
             bias: vec![0.0; out_features],
@@ -92,7 +93,11 @@ impl FcLayer {
     pub fn backward(&self, input: &Tensor4, grad_out: &Tensor4) -> FcGradients {
         let s = input.shape();
         let (in_f, out_f) = (self.in_features(), self.out_features());
-        assert_eq!(grad_out.shape(), Shape4::new(s.n, out_f, 1, 1), "FcLayer::backward: grad shape");
+        assert_eq!(
+            grad_out.shape(),
+            Shape4::new(s.n, out_f, 1, 1),
+            "FcLayer::backward: grad shape"
+        );
 
         // dX(b × in) = dY(b × out) · W(out × in)
         let mut grad_input = Tensor4::zeros(s);
@@ -259,7 +264,10 @@ mod tests {
             .zip(grads.grad_input.as_slice())
             .map(|(a, b)| a * b)
             .sum();
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

@@ -125,12 +125,7 @@ impl PoolLayer {
     }
 
     /// Backward pass: route `grad_out` back to the input positions.
-    pub fn backward(
-        &self,
-        input_shape: Shape4,
-        fwd: &PoolForward,
-        grad_out: &Tensor4,
-    ) -> Tensor4 {
+    pub fn backward(&self, input_shape: Shape4, fwd: &PoolForward, grad_out: &Tensor4) -> Tensor4 {
         let s = input_shape;
         let go = grad_out.shape();
         assert_eq!(go, fwd.output.shape(), "PoolLayer::backward: grad shape");
@@ -178,11 +173,8 @@ mod tests {
 
     #[test]
     fn max_pool_known_values() {
-        let input = Tensor4::from_vec(
-            Shape4::new(1, 1, 4, 4),
-            (0..16).map(|i| i as f32).collect(),
-        )
-        .unwrap();
+        let input = Tensor4::from_vec(Shape4::new(1, 1, 4, 4), (0..16).map(|i| i as f32).collect())
+            .unwrap();
         let layer = PoolLayer::new(PoolKind::Max, 2, 2);
         let fwd = layer.forward(&input);
         assert_eq!(fwd.output.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
@@ -191,11 +183,7 @@ mod tests {
 
     #[test]
     fn avg_pool_known_values() {
-        let input = Tensor4::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![1.0, 3.0, 5.0, 7.0],
-        )
-        .unwrap();
+        let input = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 3.0, 5.0, 7.0]).unwrap();
         let layer = PoolLayer::new(PoolKind::Average, 2, 2);
         let fwd = layer.forward(&input);
         assert_eq!(fwd.output.as_slice(), &[4.0]);
@@ -213,11 +201,7 @@ mod tests {
 
     #[test]
     fn max_backward_routes_to_argmax() {
-        let input = Tensor4::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![1.0, 9.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let input = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 9.0, 2.0, 3.0]).unwrap();
         let layer = PoolLayer::new(PoolKind::Max, 2, 2);
         let fwd = layer.forward(&input);
         let g = Tensor4::full(fwd.output.shape(), 5.0);

@@ -21,7 +21,11 @@ impl ReluLayer {
 
     /// Backward pass: gradient passes where the *input* was positive.
     pub fn backward(&self, input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
-        assert_eq!(input.shape(), grad_out.shape(), "ReluLayer::backward: shapes");
+        assert_eq!(
+            input.shape(),
+            grad_out.shape(),
+            "ReluLayer::backward: shapes"
+        );
         let data: Vec<f32> = input
             .as_slice()
             .par_iter()
@@ -39,22 +43,14 @@ mod tests {
 
     #[test]
     fn forward_clamps_negative() {
-        let x = Tensor4::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![-1.0, 2.0, 0.0, -3.5],
-        )
-        .unwrap();
+        let x = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![-1.0, 2.0, 0.0, -3.5]).unwrap();
         let y = ReluLayer.forward(&x);
         assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
     }
 
     #[test]
     fn backward_masks_by_input_sign() {
-        let x = Tensor4::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![-1.0, 2.0, 0.0, 3.0],
-        )
-        .unwrap();
+        let x = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![-1.0, 2.0, 0.0, 3.0]).unwrap();
         let g = Tensor4::full(x.shape(), 7.0);
         let gin = ReluLayer.backward(&x, &g);
         assert_eq!(gin.as_slice(), &[0.0, 7.0, 0.0, 7.0]);

@@ -24,7 +24,11 @@ pub struct SoftmaxOutput {
 /// entries `< classes`.
 pub fn softmax_cross_entropy(logits: &Tensor4, labels: &[usize]) -> SoftmaxOutput {
     let s = logits.shape();
-    assert_eq!(s.h * s.w, 1, "softmax_cross_entropy: expected (b, classes, 1, 1)");
+    assert_eq!(
+        s.h * s.w,
+        1,
+        "softmax_cross_entropy: expected (b, classes, 1, 1)"
+    );
     assert_eq!(labels.len(), s.n, "softmax_cross_entropy: label count");
     let classes = s.c;
     assert!(
@@ -99,7 +103,11 @@ mod tests {
         let out = softmax_cross_entropy(&logits, &[1, 0]);
         for n in 0..2 {
             for c in 0..3 {
-                let onehot = if (n == 0 && c == 1) || (n == 1 && c == 0) { 1.0 } else { 0.0 };
+                let onehot = if (n == 0 && c == 1) || (n == 1 && c == 0) {
+                    1.0
+                } else {
+                    0.0
+                };
                 let expect = (out.probs.get(n, c, 0, 0) - onehot) / 2.0;
                 assert!((out.grad_logits.get(n, c, 0, 0) - expect).abs() < 1e-6);
             }

@@ -11,7 +11,11 @@ use gcnn_tensor::Tensor4;
 /// Forward pass: `out[n,f,oy,ox] = Σ_{c,ky,kx} in[n,c,oy·s+ky−p,ox·s+kx−p] · w[f,c,ky,kx]`.
 pub fn forward_ref(cfg: &ConvConfig, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
     assert_eq!(input.shape(), cfg.input_shape(), "forward_ref: input shape");
-    assert_eq!(filters.shape(), cfg.filter_shape(), "forward_ref: filter shape");
+    assert_eq!(
+        filters.shape(),
+        cfg.filter_shape(),
+        "forward_ref: filter shape"
+    );
     let o = cfg.output();
     let (k, s, p) = (cfg.kernel, cfg.stride, cfg.pad);
     let i = cfg.input;
@@ -41,8 +45,16 @@ pub fn forward_ref(cfg: &ConvConfig, input: &Tensor4, filters: &Tensor4) -> Tens
 /// Backward-data pass: gradient of the loss w.r.t. the input, given the
 /// gradient w.r.t. the output.
 pub fn backward_data_ref(cfg: &ConvConfig, grad_out: &Tensor4, filters: &Tensor4) -> Tensor4 {
-    assert_eq!(grad_out.shape(), cfg.output_shape(), "backward_data_ref: grad shape");
-    assert_eq!(filters.shape(), cfg.filter_shape(), "backward_data_ref: filter shape");
+    assert_eq!(
+        grad_out.shape(),
+        cfg.output_shape(),
+        "backward_data_ref: grad shape"
+    );
+    assert_eq!(
+        filters.shape(),
+        cfg.filter_shape(),
+        "backward_data_ref: filter shape"
+    );
     let o = cfg.output();
     let (k, s, p) = (cfg.kernel, cfg.stride, cfg.pad);
 
@@ -79,8 +91,16 @@ pub fn backward_data_ref(cfg: &ConvConfig, grad_out: &Tensor4, filters: &Tensor4
 
 /// Backward-weights pass: gradient of the loss w.r.t. the filter bank.
 pub fn backward_filters_ref(cfg: &ConvConfig, input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
-    assert_eq!(input.shape(), cfg.input_shape(), "backward_filters_ref: input shape");
-    assert_eq!(grad_out.shape(), cfg.output_shape(), "backward_filters_ref: grad shape");
+    assert_eq!(
+        input.shape(),
+        cfg.input_shape(),
+        "backward_filters_ref: input shape"
+    );
+    assert_eq!(
+        grad_out.shape(),
+        cfg.output_shape(),
+        "backward_filters_ref: grad shape"
+    );
     let o = cfg.output();
     let (k, s, p) = (cfg.kernel, cfg.stride, cfg.pad);
 
@@ -186,9 +206,22 @@ mod tests {
         let y = forward_ref(&cfg, &x, &w);
         let gx = backward_data_ref(&cfg, &g, &w);
 
-        let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.as_slice().iter().zip(gx.as_slice()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        let lhs: f32 = y
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(gx.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     /// Same adjoint identity in the filter direction.
@@ -202,8 +235,21 @@ mod tests {
         let y = forward_ref(&cfg, &x, &w);
         let gw = backward_filters_ref(&cfg, &x, &g);
 
-        let lhs: f32 = y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = w.as_slice().iter().zip(gw.as_slice()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        let lhs: f32 = y
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = w
+            .as_slice()
+            .iter()
+            .zip(gw.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 }

@@ -33,8 +33,17 @@ impl ConvAlgorithm for UnrollConv {
     }
 
     fn forward(&self, cfg: &ConvConfig, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
-        assert_eq!(input.shape(), cfg.input_shape(), "UnrollConv::forward: input");
-        assert_eq!(filters.shape(), cfg.filter_shape(), "UnrollConv::forward: filters");
+        let _span = gcnn_trace::span("conv.unrolling.forward");
+        assert_eq!(
+            input.shape(),
+            cfg.input_shape(),
+            "UnrollConv::forward: input"
+        );
+        assert_eq!(
+            filters.shape(),
+            cfg.filter_shape(),
+            "UnrollConv::forward: filters"
+        );
         let geom = cfg.geometry();
         let o2 = cfg.output() * cfg.output();
         let ckk = cfg.channels * cfg.kernel * cfg.kernel;
@@ -72,7 +81,12 @@ impl ConvAlgorithm for UnrollConv {
     }
 
     fn backward_data(&self, cfg: &ConvConfig, grad_out: &Tensor4, filters: &Tensor4) -> Tensor4 {
-        assert_eq!(grad_out.shape(), cfg.output_shape(), "UnrollConv::backward_data: grad");
+        let _span = gcnn_trace::span("conv.unrolling.backward_data");
+        assert_eq!(
+            grad_out.shape(),
+            cfg.output_shape(),
+            "UnrollConv::backward_data: grad"
+        );
         let geom = cfg.geometry();
         let o2 = cfg.output() * cfg.output();
         let ckk = cfg.channels * cfg.kernel * cfg.kernel;
@@ -107,6 +121,7 @@ impl ConvAlgorithm for UnrollConv {
     }
 
     fn backward_filters(&self, cfg: &ConvConfig, input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
+        let _span = gcnn_trace::span("conv.unrolling.backward_filters");
         let geom = cfg.geometry();
         let o2 = cfg.output() * cfg.output();
         let ckk = cfg.channels * cfg.kernel * cfg.kernel;

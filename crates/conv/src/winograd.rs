@@ -82,7 +82,12 @@ fn transform_input(d: &[f32; 16]) -> [f32; 16] {
     // (Bᵀ·d)·B (4×4).
     let mut out = [0.0f32; 16];
     for row in 0..4 {
-        let (a, b, c, d4) = (bd[row * 4], bd[row * 4 + 1], bd[row * 4 + 2], bd[row * 4 + 3]);
+        let (a, b, c, d4) = (
+            bd[row * 4],
+            bd[row * 4 + 1],
+            bd[row * 4 + 2],
+            bd[row * 4 + 3],
+        );
         out[row * 4] = a - c;
         out[row * 4 + 1] = b + c;
         out[row * 4 + 2] = c - b;
@@ -104,7 +109,12 @@ fn transform_output(m: &[f32; 16]) -> [f32; 4] {
     // (Aᵀ·m)·A (2×2).
     let mut out = [0.0f32; 4];
     for row in 0..2 {
-        let (a, b, c, d) = (am[row * 4], am[row * 4 + 1], am[row * 4 + 2], am[row * 4 + 3]);
+        let (a, b, c, d) = (
+            am[row * 4],
+            am[row * 4 + 1],
+            am[row * 4 + 2],
+            am[row * 4 + 3],
+        );
         out[row * 2] = a + b + c;
         out[row * 2 + 1] = b - c - d;
     }
@@ -135,9 +145,19 @@ impl ConvAlgorithm for WinogradConv {
     }
 
     fn forward(&self, cfg: &ConvConfig, input: &Tensor4, filters: &Tensor4) -> Tensor4 {
-        self.supports(cfg).expect("WinogradConv::forward: unsupported config");
-        assert_eq!(input.shape(), cfg.input_shape(), "WinogradConv::forward: input");
-        assert_eq!(filters.shape(), cfg.filter_shape(), "WinogradConv::forward: filters");
+        let _span = gcnn_trace::span("conv.winograd.forward");
+        self.supports(cfg)
+            .expect("WinogradConv::forward: unsupported config");
+        assert_eq!(
+            input.shape(),
+            cfg.input_shape(),
+            "WinogradConv::forward: input"
+        );
+        assert_eq!(
+            filters.shape(),
+            cfg.filter_shape(),
+            "WinogradConv::forward: filters"
+        );
 
         let o = cfg.output();
         let i = cfg.input;
@@ -182,8 +202,7 @@ impl ConvAlgorithm for WinogradConv {
                                 }
                             }
                             let rec = (c * tiles + ty) * tiles + tx;
-                            v[rec * 16..(rec + 1) * 16]
-                                .copy_from_slice(&transform_input(&d));
+                            v[rec * 16..(rec + 1) * 16].copy_from_slice(&transform_input(&d));
                         }
                     }
                 }
@@ -222,12 +241,14 @@ impl ConvAlgorithm for WinogradConv {
     }
 
     fn backward_data(&self, cfg: &ConvConfig, grad_out: &Tensor4, filters: &Tensor4) -> Tensor4 {
+        let _span = gcnn_trace::span("conv.winograd.backward_data");
         // Delegate: dedicated Winograd gradient kernels postdate the
         // paper's era; frameworks fell back to im2col for wgrad/dgrad.
         UnrollConv::new().backward_data(cfg, grad_out, filters)
     }
 
     fn backward_filters(&self, cfg: &ConvConfig, input: &Tensor4, grad_out: &Tensor4) -> Tensor4 {
+        let _span = gcnn_trace::span("conv.winograd.backward_filters");
         UnrollConv::new().backward_filters(cfg, input, grad_out)
     }
 }
@@ -294,12 +315,16 @@ mod tests {
 
     #[test]
     fn rejects_non_3x3_and_strides() {
-        assert!(WinogradConv.supports(&ConvConfig::with_channels(1, 1, 8, 1, 5, 1)).is_err());
+        assert!(WinogradConv
+            .supports(&ConvConfig::with_channels(1, 1, 8, 1, 5, 1))
+            .is_err());
         assert!(matches!(
             WinogradConv.supports(&ConvConfig::with_channels(1, 1, 8, 1, 3, 2)),
             Err(Unsupported::StrideNotOne { .. })
         ));
-        assert!(WinogradConv.supports(&ConvConfig::with_channels(1, 1, 8, 1, 3, 1)).is_ok());
+        assert!(WinogradConv
+            .supports(&ConvConfig::with_channels(1, 1, 8, 1, 3, 1))
+            .is_ok());
     }
 
     #[test]

@@ -197,7 +197,11 @@ mod tests {
             values: vec![48],
         };
         let t = runtime_comparison(&sweep, &DeviceSpec::k40c());
-        let idx = t.implementations.iter().position(|n| n == "cuda-convnet2").unwrap();
+        let idx = t
+            .implementations
+            .iter()
+            .position(|n| n == "cuda-convnet2")
+            .unwrap();
         assert!(matches!(t.cells[0][idx], ComparisonCell::Unsupported(_)));
     }
 }

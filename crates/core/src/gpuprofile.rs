@@ -162,10 +162,27 @@ mod tests {
         for r in grid() {
             let m = r.metrics.as_ref().unwrap();
             if r.implementation == "cuda-convnet2" {
-                assert!(m.gld_efficiency > 50.0, "{}: gld {}", r.layer, m.gld_efficiency);
+                assert!(
+                    m.gld_efficiency > 50.0,
+                    "{}: gld {}",
+                    r.layer,
+                    m.gld_efficiency
+                );
             } else {
-                assert!(m.gld_efficiency < 30.0, "{} {}: gld {}", r.implementation, r.layer, m.gld_efficiency);
-                assert!(m.gst_efficiency < 65.0, "{} {}: gst {}", r.implementation, r.layer, m.gst_efficiency);
+                assert!(
+                    m.gld_efficiency < 30.0,
+                    "{} {}: gld {}",
+                    r.implementation,
+                    r.layer,
+                    m.gld_efficiency
+                );
+                assert!(
+                    m.gst_efficiency < 65.0,
+                    "{} {}: gst {}",
+                    r.implementation,
+                    r.layer,
+                    m.gst_efficiency
+                );
             }
         }
     }

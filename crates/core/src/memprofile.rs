@@ -70,7 +70,12 @@ pub fn memory_comparison(sweep: &Sweep) -> MemoryTable {
     let impls = all_implementations();
     let mut cells = Vec::with_capacity(sweep.values.len());
     for (_, cfg) in sweep.configs() {
-        cells.push(impls.iter().map(|imp| peak_memory(imp.as_ref(), &cfg)).collect());
+        cells.push(
+            impls
+                .iter()
+                .map(|imp| peak_memory(imp.as_ref(), &cfg))
+                .collect(),
+        );
     }
     MemoryTable {
         axis: sweep.axis.label().to_string(),
@@ -115,7 +120,14 @@ mod tests {
         let t = table_for(SweepAxis::Batch);
         for p in 0..t.values.len() {
             let fb = t.mb_of(p, "fbfft").unwrap();
-            for other in ["Caffe", "cuDNN", "Torch-cunn", "Theano-CorrMM", "cuda-convnet2", "Theano-fft"] {
+            for other in [
+                "Caffe",
+                "cuDNN",
+                "Torch-cunn",
+                "Theano-CorrMM",
+                "cuda-convnet2",
+                "Theano-fft",
+            ] {
                 if let Some(m) = t.mb_of(p, other) {
                     assert!(fb > m, "batch {}: fbfft {fb} ≤ {other} {m}", t.values[p]);
                 }
@@ -169,7 +181,10 @@ mod tests {
         assert!(jump > 2.0, "expected pow2 jump, got ×{jump:.2}");
         // Between 144 and 256 the transform stays at 256: flat spectra.
         let ratio = at(256) / at(160);
-        assert!(ratio < 2.0, "spectra should be flat within a pow2 band: ×{ratio:.2}");
+        assert!(
+            ratio < 2.0,
+            "spectra should be flat within a pow2 band: ×{ratio:.2}"
+        );
     }
 
     #[test]

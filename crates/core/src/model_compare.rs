@@ -150,7 +150,11 @@ mod tests {
         // stride rules the FFT pair out) and 3×3/stride-1 tails: the
         // oracle must not be a single implementation.
         let cmp = compare_model(&alexnet(), 32, &dev());
-        assert!(cmp.oracle_diversity() >= 2, "diversity {}", cmp.oracle_diversity());
+        assert!(
+            cmp.oracle_diversity() >= 2,
+            "diversity {}",
+            cmp.oracle_diversity()
+        );
     }
 
     #[test]
@@ -162,7 +166,7 @@ mod tests {
     }
 
     #[test]
-    fn totals_cover_all_seven(){
+    fn totals_cover_all_seven() {
         let cmp = compare_model(&googlenet(), 16, &dev());
         assert_eq!(cmp.totals.len(), 7);
         // GoogLeNet's stride-2 stem conv rules out the FFT pair for the

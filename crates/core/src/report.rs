@@ -77,7 +77,51 @@ pub fn render_memory(t: &MemoryTable) -> String {
             row
         })
         .collect();
-    text_table(&format!("peak GPU memory (MB) vs {}", t.axis), &header, &rows)
+    text_table(
+        &format!("peak GPU memory (MB) vs {}", t.axis),
+        &header,
+        &rows,
+    )
+}
+
+/// Render a [`gcnn_trace::Snapshot`] as an indented span tree followed
+/// by the counter and gauge tables. Empty sections are omitted, so the
+/// disabled-trace build renders an empty string.
+pub fn render_trace(snap: &gcnn_trace::Snapshot) -> String {
+    fn walk(node: &gcnn_trace::SpanNode, depth: usize, out: &mut String) {
+        out.push_str(&format!(
+            "{:indent$}{:<32} {:>8}  {:>10.3} ms total  {:>9.3} ms mean\n",
+            "",
+            node.name,
+            node.count,
+            node.total_ms,
+            node.mean_ms,
+            indent = 2 * depth,
+        ));
+        for child in &node.children {
+            walk(child, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        out.push_str("spans (name, count, total, mean):\n");
+        for root in &snap.spans {
+            walk(root, 1, &mut out);
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snap.counters {
+            out.push_str(&format!("  {name:<40} {value:>12}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &snap.gauges {
+            out.push_str(&format!("  {name:<40} {value:>12.3}\n"));
+        }
+    }
+    out
 }
 
 /// Percentage formatter used across the binaries.
@@ -112,6 +156,35 @@ mod tests {
     }
 
     #[test]
+    fn render_trace_sections() {
+        let empty = gcnn_trace::Snapshot::default();
+        assert_eq!(render_trace(&empty), "");
+
+        let snap = gcnn_trace::Snapshot {
+            counters: [("fft.plan_cache.hits".to_string(), 7u64)]
+                .into_iter()
+                .collect(),
+            gauges: [("steady.fresh_allocs".to_string(), 0.0f64)]
+                .into_iter()
+                .collect(),
+            spans: vec![gcnn_trace::SpanNode {
+                name: "sgemm".into(),
+                path: "sgemm".into(),
+                count: 4,
+                total_ms: 8.0,
+                mean_ms: 2.0,
+                min_ms: 1.0,
+                max_ms: 3.0,
+                children: Vec::new(),
+            }],
+        };
+        let s = render_trace(&snap);
+        assert!(s.contains("sgemm"));
+        assert!(s.contains("fft.plan_cache.hits"));
+        assert!(s.contains("steady.fresh_allocs"));
+    }
+
+    #[test]
     fn render_comparison_smoke() {
         use crate::sweep::{Sweep, SweepAxis};
         let sweep = Sweep {
@@ -121,6 +194,9 @@ mod tests {
         let t = crate::compare::runtime_comparison(&sweep, &gcnn_gpusim::DeviceSpec::k40c());
         let s = render_comparison(&t);
         assert!(s.contains("fbfft"));
-        assert!(s.contains("—"), "stride-2 FFT cells should render as dashes:\n{s}");
+        assert!(
+            s.contains("—"),
+            "stride-2 FFT cells should render as dashes:\n{s}"
+        );
     }
 }

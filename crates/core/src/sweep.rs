@@ -65,7 +65,10 @@ impl Sweep {
 
     /// All configurations of the sweep.
     pub fn configs(&self) -> Vec<(usize, ConvConfig)> {
-        self.values.iter().map(|&v| (v, self.config_at(v))).collect()
+        self.values
+            .iter()
+            .map(|&v| (v, self.config_at(v)))
+            .collect()
     }
 }
 
@@ -128,7 +131,10 @@ mod tests {
         let sweeps = paper_sweeps();
         let cfg = sweeps[0].config_at(256);
         assert_eq!(cfg.batch, 256);
-        assert_eq!((cfg.input, cfg.filters, cfg.kernel, cfg.stride), (128, 64, 11, 1));
+        assert_eq!(
+            (cfg.input, cfg.filters, cfg.kernel, cfg.stride),
+            (128, 64, 11, 1)
+        );
 
         let cfg = sweeps[3].config_at(7);
         assert_eq!(cfg.kernel, 7);

@@ -93,10 +93,7 @@ mod tests {
         for name in ["Torch-cunn", "cuda-convnet2", "Theano-fft"] {
             let r = row(&rows, name);
             let max = r.max_fraction();
-            assert!(
-                (0.005..=0.20).contains(&max),
-                "{name}: max fraction {max}"
-            );
+            assert!((0.005..=0.20).contains(&max), "{name}: max fraction {max}");
         }
     }
 

@@ -62,7 +62,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_conservation() {
-        let x: Vec<Complex32> = (0..8).map(|i| Complex32::new(i as f32, -(i as f32))).collect();
+        let x: Vec<Complex32> = (0..8)
+            .map(|i| Complex32::new(i as f32, -(i as f32)))
+            .collect();
         let f = dft(&x, Direction::Forward);
         let et: f32 = x.iter().map(|z| z.norm_sqr()).sum();
         let ef: f32 = f.iter().map(|z| z.norm_sqr()).sum::<f32>() / 8.0;

@@ -51,7 +51,11 @@ impl Fft2dPlan {
         );
         // All rows.
         for r in 0..self.rows {
-            fft_inplace(&mut plane[r * self.cols..(r + 1) * self.cols], &self.row_plan, dir);
+            fft_inplace(
+                &mut plane[r * self.cols..(r + 1) * self.cols],
+                &self.row_plan,
+                dir,
+            );
         }
         // All columns via scratch gather (arena scratch: no per-call
         // allocation in steady state).
@@ -69,7 +73,11 @@ impl Fft2dPlan {
 
     /// Transform a real plane: widen to complex, forward-transform.
     pub fn forward_real(&self, plane: &[f32]) -> Vec<Complex32> {
-        assert_eq!(plane.len(), self.rows * self.cols, "forward_real: plane size");
+        assert_eq!(
+            plane.len(),
+            self.rows * self.cols,
+            "forward_real: plane size"
+        );
         let mut buf: Vec<Complex32> = plane.iter().map(|&x| Complex32::from_real(x)).collect();
         self.transform(&mut buf, Direction::Forward);
         buf

@@ -68,7 +68,18 @@ impl FftPlan {
         static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let mut map = cache.lock().expect("FftPlan cache poisoned");
-        Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
+        match map.get(&n) {
+            Some(plan) => {
+                gcnn_trace::counter_inc("fft.plan_cache.hits");
+                Arc::clone(plan)
+            }
+            None => {
+                gcnn_trace::counter_inc("fft.plan_cache.misses");
+                let plan = Arc::new(FftPlan::new(n));
+                map.insert(n, Arc::clone(&plan));
+                plan
+            }
+        }
     }
 
     /// Transform size.

@@ -47,7 +47,18 @@ impl RfftPlan {
         static CACHE: OnceLock<Mutex<HashMap<usize, Arc<RfftPlan>>>> = OnceLock::new();
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let mut map = cache.lock().expect("RfftPlan cache poisoned");
-        Arc::clone(map.entry(n).or_insert_with(|| Arc::new(RfftPlan::new(n))))
+        match map.get(&n) {
+            Some(plan) => {
+                gcnn_trace::counter_inc("fft.rfft_plan_cache.hits");
+                Arc::clone(plan)
+            }
+            None => {
+                gcnn_trace::counter_inc("fft.rfft_plan_cache.misses");
+                let plan = Arc::new(RfftPlan::new(n));
+                map.insert(n, Arc::clone(&plan));
+                plan
+            }
+        }
     }
 
     /// Spatial size.
@@ -70,7 +81,11 @@ impl RfftPlan {
     /// Line scratch comes from the thread-local workspace arena, so
     /// steady-state calls allocate nothing.
     pub fn forward_into(&self, plane: &[f32], spec: &mut [Complex32]) {
-        assert_eq!(plane.len(), self.n * self.n, "RfftPlan::forward: plane size");
+        assert_eq!(
+            plane.len(),
+            self.n * self.n,
+            "RfftPlan::forward: plane size"
+        );
         assert_eq!(
             spec.len(),
             self.spectrum_len(),
@@ -165,12 +180,7 @@ impl RfftPlan {
 /// Pointwise half-spectrum product accumulate: `out += a·b` (or
 /// `a·conj(b)` for correlation). Works because products of Hermitian
 /// spectra stay Hermitian.
-pub fn half_pointwise_mac(
-    a: &[Complex32],
-    b: &[Complex32],
-    conj_b: bool,
-    out: &mut [Complex32],
-) {
+pub fn half_pointwise_mac(a: &[Complex32], b: &[Complex32], conj_b: bool, out: &mut [Complex32]) {
     assert_eq!(a.len(), b.len(), "half_pointwise_mac: operand lengths");
     assert_eq!(a.len(), out.len(), "half_pointwise_mac: out length");
     for ((&x, &y), o) in a.iter().zip(b).zip(out.iter_mut()) {
@@ -186,9 +196,11 @@ mod tests {
 
     fn plane(n: usize, seed: u64) -> Vec<f32> {
         (0..n * n)
-            .map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97)) % 1000) as f32
-                / 100.0
-                - 5.0)
+            .map(|i| {
+                (((i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97)) % 1000) as f32
+                    / 100.0
+                    - 5.0
+            })
             .collect()
     }
 

@@ -8,8 +8,11 @@ use gcnn_tensor::Complex32;
 use proptest::prelude::*;
 
 fn cvec(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
-    proptest::collection::vec((-4.0f32..4.0, -4.0f32..4.0), len)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex32::new(re, im)).collect())
+    proptest::collection::vec((-4.0f32..4.0, -4.0f32..4.0), len).prop_map(|v| {
+        v.into_iter()
+            .map(|(re, im)| Complex32::new(re, im))
+            .collect()
+    })
 }
 
 fn pow2(max_log: u32) -> impl Strategy<Value = usize> {

@@ -10,7 +10,7 @@
 use crate::common::{self, Sizes};
 use crate::plan::{ExecutionPlan, PlannedKernel, ResourceProfile};
 use crate::ConvImplementation;
-use gcnn_conv::{ConvAlgorithm, ConvConfig, Strategy, Unsupported, UnrollConv};
+use gcnn_conv::{ConvAlgorithm, ConvConfig, Strategy, UnrollConv, Unsupported};
 use gcnn_gpusim::{AccessPattern, Transfer, TransferDirection};
 
 /// Parameters distinguishing the three explicit-unrolling frameworks.
@@ -70,27 +70,10 @@ pub(crate) fn unrolling_plan(
     let lane_f = (f_score / 1.0) as f32;
 
     // Per-image GEMMs (×batch launches each).
-    let fwd_gemm = common::gemm_kernel(
-        "sgemm",
-        s.f,
-        s.o2,
-        s.ckk,
-        gemm_spec(tile_f, 64, lane_f),
-    );
-    let bwd_data_gemm = common::gemm_kernel(
-        "sgemm",
-        s.ckk,
-        s.o2,
-        s.f,
-        gemm_spec(64, 64, 1.0),
-    );
-    let bwd_filter_gemm = common::gemm_kernel(
-        "sgemm",
-        s.f,
-        s.ckk,
-        s.o2,
-        gemm_spec(tile_f, 64, lane_f),
-    );
+    let fwd_gemm = common::gemm_kernel("sgemm", s.f, s.o2, s.ckk, gemm_spec(tile_f, 64, lane_f));
+    let bwd_data_gemm = common::gemm_kernel("sgemm", s.ckk, s.o2, s.f, gemm_spec(64, 64, 1.0));
+    let bwd_filter_gemm =
+        common::gemm_kernel("sgemm", s.f, s.ckk, s.o2, gemm_spec(tile_f, 64, lane_f));
 
     // Reshaping kernels. im2col re-reads each input pixel k² times
     // (mostly from L2 after the first touch, but with the replayed,
@@ -220,8 +203,12 @@ mod tests {
 
     #[test]
     fn supports_any_valid_shape() {
-        assert!(Caffe.supports(&ConvConfig::with_channels(33, 3, 57, 7, 5, 3)).is_ok());
-        assert!(Caffe.supports(&ConvConfig::with_channels(1, 1, 2, 1, 5, 1)).is_err());
+        assert!(Caffe
+            .supports(&ConvConfig::with_channels(33, 3, 57, 7, 5, 3))
+            .is_ok());
+        assert!(Caffe
+            .supports(&ConvConfig::with_channels(1, 1, 2, 1, 5, 1))
+            .is_err());
     }
 
     #[test]

@@ -267,7 +267,13 @@ mod tests {
 
     #[test]
     fn reshape_kernel_is_memory_bound() {
-        let k = reshape_kernel("im2col", 1 << 20, 4 << 20, 24, AccessPattern::Strided { stride_words: 8 });
+        let k = reshape_kernel(
+            "im2col",
+            1 << 20,
+            4 << 20,
+            24,
+            AccessPattern::Strided { stride_words: 8 },
+        );
         assert_eq!(k.flops, 0);
         assert_eq!(k.gmem_load_bytes, 1 << 20);
         assert_eq!(k.gmem_store_bytes, 4 << 20);

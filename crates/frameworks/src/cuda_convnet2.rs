@@ -36,7 +36,10 @@ impl CudaConvnet2 {
     fn direct_kernel(name: &str, cfg: &ConvConfig, flops: u64, store_bytes: u64) -> KernelDesc {
         let s = Sizes::of(cfg);
         let grid = (s.b.div_ceil(128) * s.f.div_ceil(16) * s.o2.div_ceil(16)).max(1);
-        let mut k = KernelDesc::new(name, LaunchConfig::new(grid.min(u32::MAX as u64) as u32, 128));
+        let mut k = KernelDesc::new(
+            name,
+            LaunchConfig::new(grid.min(u32::MAX as u64) as u32, 128),
+        );
         k.regs_per_thread = 116;
         k.smem_per_block = 16 * 1024;
         k.flops = flops;
@@ -114,8 +117,12 @@ impl ConvImplementation for CudaConvnet2 {
 
         let fwd = Self::direct_kernel("filterActs_YxX_color", cfg, s.fwd_flops, s.output_bytes);
         let bwd_data = Self::direct_kernel("img_acts_color", cfg, s.fwd_flops, s.input_bytes);
-        let bwd_filters =
-            Self::direct_kernel("conv_weight_acts_c_preload", cfg, s.fwd_flops, s.filter_bytes);
+        let bwd_filters = Self::direct_kernel(
+            "conv_weight_acts_c_preload",
+            cfg,
+            s.fwd_flops,
+            s.filter_bytes,
+        );
 
         ExecutionPlan {
             allocations,
@@ -150,7 +157,10 @@ mod tests {
     use gcnn_gpusim::DeviceSpec;
 
     fn time_of(imp: &dyn ConvImplementation, cfg: &ConvConfig) -> f64 {
-        imp.plan(cfg).execute(&DeviceSpec::k40c(), 1).unwrap().total_ms()
+        imp.plan(cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap()
+            .total_ms()
     }
 
     #[test]
@@ -205,7 +215,10 @@ mod tests {
     fn occupancy_in_paper_band() {
         // Paper §V-C-1: cuda-convnet2 achieved occupancy 14–22 %.
         let cfg = ConvConfig::paper_base();
-        let report = CudaConvnet2.plan(&cfg).execute(&DeviceSpec::k40c(), 1).unwrap();
+        let report = CudaConvnet2
+            .plan(&cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap();
         let occ = report.weighted_metrics(3).achieved_occupancy;
         assert!((12.0..=25.0).contains(&occ), "occupancy {occ}");
     }

@@ -19,7 +19,7 @@
 use crate::common::{self, Sizes};
 use crate::plan::{ExecutionPlan, PlannedKernel, ResourceProfile};
 use crate::ConvImplementation;
-use gcnn_conv::{ConvAlgorithm, ConvConfig, Strategy, Unsupported, UnrollConv};
+use gcnn_conv::{ConvAlgorithm, ConvConfig, Strategy, UnrollConv, Unsupported};
 use gcnn_gpusim::{
     AccessPattern, KernelDesc, LaunchConfig, SharedAccessDesc, Transfer, TransferDirection,
 };
@@ -59,7 +59,10 @@ impl CuDnn {
     fn fused_kernel(name: &str, cfg: &ConvConfig, flops: u64, store_bytes: u64) -> KernelDesc {
         let s = Sizes::of(cfg);
         let tiles = (s.f.div_ceil(64) * s.o2.div_ceil(64) * s.b).max(1);
-        let mut k = KernelDesc::new(name, LaunchConfig::new(tiles.min(u32::MAX as u64) as u32, 256));
+        let mut k = KernelDesc::new(
+            name,
+            LaunchConfig::new(tiles.min(u32::MAX as u64) as u32, 256),
+        );
         k.regs_per_thread = 80;
         k.smem_per_block = (8.4 * 1024.0) as u32;
         k.flops = flops;
@@ -115,7 +118,10 @@ impl ConvImplementation for CuDnn {
         // k than the explicit unrollers' full column matrices, which is
         // why cuDNN becomes the most memory-efficient unrolling
         // implementation at large kernel sizes (Fig. 5d).
-        allocations.push(("cudnn_workspace".to_string(), col_bytes / 2 + 8 * 1024 * 1024));
+        allocations.push((
+            "cudnn_workspace".to_string(),
+            col_bytes / 2 + 8 * 1024 * 1024,
+        ));
 
         // Precompute pass: streams input + filters into staged tiles.
         // Carries all of cuDNN's (inefficient) global traffic — §V-C-2:
@@ -164,7 +170,10 @@ mod tests {
     use gcnn_gpusim::DeviceSpec;
 
     fn time_of(imp: &dyn ConvImplementation, cfg: &ConvConfig) -> f64 {
-        imp.plan(cfg).execute(&DeviceSpec::k40c(), 1).unwrap().total_ms()
+        imp.plan(cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap()
+            .total_ms()
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl ConvImplementation for Fbfft {
         allocations.push(("fft_spectra".to_string(), Self::spectrum_bytes(cfg)));
 
         let base = |name: &str, grid: u64, block: u32| {
-            let mut k = KernelDesc::new(name, LaunchConfig::new(grid.min(u32::MAX as u64) as u32, block));
+            let mut k = KernelDesc::new(
+                name,
+                LaunchConfig::new(grid.min(u32::MAX as u64) as u32, block),
+            );
             k.regs_per_thread = 106;
             k.smem_per_block = 10 * 1024;
             k.occupancy_needed = 0.20;
@@ -216,7 +219,10 @@ mod tests {
     use gcnn_gpusim::DeviceSpec;
 
     fn time_of(imp: &dyn ConvImplementation, cfg: &ConvConfig) -> f64 {
-        imp.plan(cfg).execute(&DeviceSpec::k40c(), 1).unwrap().total_ms()
+        imp.plan(cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap()
+            .total_ms()
     }
 
     #[test]

@@ -74,12 +74,9 @@ impl ExecutionPlan {
     /// Execute the plan on a fresh profiler session over `dev` for
     /// `iterations` iterations (allocations persist across iterations,
     /// as frameworks reuse their buffers; kernels and transfers repeat).
-    pub fn execute(
-        &self,
-        dev: &DeviceSpec,
-        iterations: u32,
-    ) -> Result<ProfileReport, OomError> {
-        self.execute_traced(dev, iterations).map(|(report, _)| report)
+    pub fn execute(&self, dev: &DeviceSpec, iterations: u32) -> Result<ProfileReport, OomError> {
+        self.execute_traced(dev, iterations)
+            .map(|(report, _)| report)
     }
 
     /// [`ExecutionPlan::execute`], additionally returning the execution

@@ -106,7 +106,8 @@ mod tests {
         let reference = gcnn_conv::reference::forward_ref(&cfg, &x, &w);
 
         for imp in all_implementations() {
-            imp.supports(&cfg).unwrap_or_else(|e| panic!("{}: {e}", imp.name()));
+            imp.supports(&cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", imp.name()));
             let out = imp.algorithm().forward(&cfg, &x, &w);
             let dist = out.rel_l2_dist(&reference).unwrap();
             assert!(dist < 1e-3, "{}: rel l2 {dist}", imp.name());

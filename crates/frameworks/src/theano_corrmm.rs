@@ -15,7 +15,7 @@ use crate::caffe::{unrolling_plan, UnrollingStyle};
 use crate::common::{self, Sizes};
 use crate::plan::{ExecutionPlan, ResourceProfile};
 use crate::ConvImplementation;
-use gcnn_conv::{ConvAlgorithm, ConvConfig, Strategy, Unsupported, UnrollConv};
+use gcnn_conv::{ConvAlgorithm, ConvConfig, Strategy, UnrollConv, Unsupported};
 use gcnn_gpusim::{AccessPattern, Transfer, TransferDirection};
 
 /// Batched-column-matrix size above which the model host-stages GEMM
@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn gemm_share_near_80_percent() {
         let cfg = ConvConfig::paper_base();
-        let report = TheanoCorrMM.plan(&cfg).execute(&DeviceSpec::k40c(), 1).unwrap();
+        let report = TheanoCorrMM
+            .plan(&cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap();
         let share = report.kernel_share("sgemm");
         assert!(
             (0.65..=0.90).contains(&share),
@@ -137,13 +140,18 @@ mod tests {
         // The paper's runtime-sweep base config must not trip it either.
         assert!(!TheanoCorrMM::host_stages(&ConvConfig::paper_base()));
         // Nor the small-kernel sweep point (64, 128, 64, 3, 1).
-        assert!(!TheanoCorrMM::host_stages(&ConvConfig::from_tuple(64, 128, 64, 3, 1)));
+        assert!(!TheanoCorrMM::host_stages(&ConvConfig::from_tuple(
+            64, 128, 64, 3, 1
+        )));
     }
 
     #[test]
     fn conv2_transfer_fraction_exceeds_half() {
         let conv2 = table1_configs()[1];
-        let report = TheanoCorrMM.plan(&conv2).execute(&DeviceSpec::k40c(), 1).unwrap();
+        let report = TheanoCorrMM
+            .plan(&conv2)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap();
         let f = report.transfer_fraction();
         assert!(f > 0.5, "Conv2 transfer fraction {f}, paper shows >60 %");
     }
@@ -151,7 +159,10 @@ mod tests {
     #[test]
     fn normal_configs_have_small_transfer_share() {
         let cfg = ConvConfig::paper_base();
-        let report = TheanoCorrMM.plan(&cfg).execute(&DeviceSpec::k40c(), 1).unwrap();
+        let report = TheanoCorrMM
+            .plan(&cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap();
         assert!(report.transfer_fraction() < 0.10);
     }
 
@@ -159,7 +170,10 @@ mod tests {
     fn gld_efficiency_matches_paper_band() {
         // Paper §V-C-2: Theano-CorrMM gld efficiency 11.64–15.79 %.
         let cfg = ConvConfig::paper_base();
-        let report = TheanoCorrMM.plan(&cfg).execute(&DeviceSpec::k40c(), 1).unwrap();
+        let report = TheanoCorrMM
+            .plan(&cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap();
         let m = report.weighted_metrics(5);
         assert!(
             (8.0..=20.0).contains(&m.gld_efficiency),

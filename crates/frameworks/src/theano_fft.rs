@@ -118,7 +118,10 @@ impl ConvImplementation for TheanoFft {
         // Table II resources for every Theano-fft kernel: 2 registers,
         // 4.5 KB shared.
         let base = |name: &str, grid: u64, block: u32| {
-            let mut k = KernelDesc::new(name, LaunchConfig::new(grid.min(u32::MAX as u64) as u32, block));
+            let mut k = KernelDesc::new(
+                name,
+                LaunchConfig::new(grid.min(u32::MAX as u64) as u32, block),
+            );
             k.regs_per_thread = 2;
             k.smem_per_block = (4.5 * 1024.0) as u32;
             // No ILP: needs near-full occupancy to hide anything.
@@ -216,7 +219,10 @@ mod tests {
     use gcnn_gpusim::DeviceSpec;
 
     fn time_of(imp: &dyn ConvImplementation, cfg: &ConvConfig) -> f64 {
-        imp.plan(cfg).execute(&DeviceSpec::k40c(), 1).unwrap().total_ms()
+        imp.plan(cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap()
+            .total_ms()
     }
 
     #[test]
@@ -253,7 +259,10 @@ mod tests {
         // Fig. 4g: "most of the runtime is spent on data preparation and
         // data transfer" — prep + transpose should outweigh the FFT.
         let cfg = ConvConfig::paper_base();
-        let report = TheanoFft.plan(&cfg).execute(&DeviceSpec::k40c(), 1).unwrap();
+        let report = TheanoFft
+            .plan(&cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap();
         let prep = report.kernel_share("data_preparation") + report.kernel_share("transpose_naive");
         let fft = report.kernel_share("cufft_dft");
         assert!(prep > fft, "prep {prep} vs fft {fft}");
@@ -262,7 +271,10 @@ mod tests {
     #[test]
     fn metrics_match_paper_bands() {
         let cfg = ConvConfig::paper_base();
-        let report = TheanoFft.plan(&cfg).execute(&DeviceSpec::k40c(), 1).unwrap();
+        let report = TheanoFft
+            .plan(&cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap();
         let m = report.weighted_metrics(5);
         // WEE 66–81 %.
         assert!(
@@ -287,7 +299,9 @@ mod tests {
 
     #[test]
     fn stride_restriction() {
-        assert!(TheanoFft.supports(&ConvConfig::from_tuple(64, 128, 64, 11, 2)).is_err());
+        assert!(TheanoFft
+            .supports(&ConvConfig::from_tuple(64, 128, 64, 11, 2))
+            .is_err());
     }
 
     #[test]
@@ -304,7 +318,10 @@ mod tests {
     fn transfer_share_within_band() {
         // Fig. 7: Theano-fft in the 1–15 % transfer band.
         let cfg = ConvConfig::paper_base();
-        let report = TheanoFft.plan(&cfg).execute(&DeviceSpec::k40c(), 1).unwrap();
+        let report = TheanoFft
+            .plan(&cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap();
         let f = report.transfer_fraction();
         assert!((0.005..=0.20).contains(&f), "transfer fraction {f}");
     }

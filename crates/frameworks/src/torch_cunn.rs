@@ -11,7 +11,7 @@ use crate::caffe::{unrolling_plan, UnrollingStyle};
 use crate::common::Sizes;
 use crate::plan::{ExecutionPlan, ResourceProfile};
 use crate::ConvImplementation;
-use gcnn_conv::{ConvAlgorithm, ConvConfig, Strategy, Unsupported, UnrollConv};
+use gcnn_conv::{ConvAlgorithm, ConvConfig, Strategy, UnrollConv, Unsupported};
 use gcnn_gpusim::{AccessPattern, Transfer, TransferDirection};
 
 /// The Torch-cunn implementation model.
@@ -83,7 +83,10 @@ mod tests {
     #[test]
     fn gemm_share_near_83_percent() {
         let cfg = ConvConfig::paper_base();
-        let report = TorchCunn.plan(&cfg).execute(&DeviceSpec::k40c(), 1).unwrap();
+        let report = TorchCunn
+            .plan(&cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap();
         let share = report.kernel_share("sgemm");
         assert!(
             (0.70..=0.92).contains(&share),
@@ -104,7 +107,10 @@ mod tests {
         // Paper Fig. 7: Torch-cunn in the 1–15 % band — nonzero but
         // modest.
         let cfg = ConvConfig::paper_base();
-        let report = TorchCunn.plan(&cfg).execute(&DeviceSpec::k40c(), 1).unwrap();
+        let report = TorchCunn
+            .plan(&cfg)
+            .execute(&DeviceSpec::k40c(), 1)
+            .unwrap();
         let f = report.transfer_fraction();
         assert!(f > 0.001 && f < 0.15, "transfer fraction {f}");
     }

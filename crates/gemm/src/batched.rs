@@ -179,7 +179,20 @@ mod tests {
             .map(|i| Complex32::new((i % 4) as f32, (i % 7) as f32 - 3.0))
             .collect();
         let mut c = vec![Complex32::ZERO; batch * m * n];
-        batched_cgemm(false, false, m, n, k, batch, &a, m * k, &b, k * n, &mut c, m * n);
+        batched_cgemm(
+            false,
+            false,
+            m,
+            n,
+            k,
+            batch,
+            &a,
+            m * k,
+            &b,
+            k * n,
+            &mut c,
+            m * n,
+        );
 
         for i in 0..batch {
             let mut c_ref = vec![Complex32::ZERO; m * n];

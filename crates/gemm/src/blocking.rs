@@ -66,8 +66,23 @@ mod tests {
 
     #[test]
     fn invalid_blocks_detected() {
-        assert!(!BlockSizes { mc: 0, kc: 1, nc: NR }.validate());
-        assert!(!BlockSizes { mc: MR + 1, kc: 1, nc: NR }.validate());
-        assert!(!BlockSizes { mc: MR, kc: 1, nc: NR + 1 }.validate());
+        assert!(!BlockSizes {
+            mc: 0,
+            kc: 1,
+            nc: NR
+        }
+        .validate());
+        assert!(!BlockSizes {
+            mc: MR + 1,
+            kc: 1,
+            nc: NR
+        }
+        .validate());
+        assert!(!BlockSizes {
+            mc: MR,
+            kc: 1,
+            nc: NR + 1
+        }
+        .validate());
     }
 }

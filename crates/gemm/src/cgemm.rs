@@ -34,7 +34,9 @@ pub fn cgemm(
     // Dispatch once on the conjugation flags so the kernel instantiates
     // with compile-time constants and the per-element `if`s fold away.
     match (conj_a, conj_b) {
-        (false, false) => cgemm_kernel::<false, false>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
+        (false, false) => {
+            cgemm_kernel::<false, false>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+        }
         (false, true) => cgemm_kernel::<false, true>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
         (true, false) => cgemm_kernel::<true, false>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
         (true, true) => cgemm_kernel::<true, true>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
@@ -136,7 +138,9 @@ mod tests {
             let beta = Complex32::new(0.25, 0.75);
 
             let mut c_opt = c0.clone();
-            cgemm(false, false, m, n, k, alpha, &a, k, &b, n, beta, &mut c_opt, n);
+            cgemm(
+                false, false, m, n, k, alpha, &a, k, &b, n, beta, &mut c_opt, n,
+            );
             let mut c_ref = c0;
             cgemm_ref(m, n, k, alpha, &a, k, &b, n, beta, &mut c_ref, n);
 
@@ -210,6 +214,8 @@ mod tests {
             &mut c,
             2,
         );
-        assert!(c.iter().all(|z| (*z - Complex32::new(1.0, 1.0)).abs() < 1e-6));
+        assert!(c
+            .iter()
+            .all(|z| (*z - Complex32::new(1.0, 1.0)).abs() < 1e-6));
     }
 }

@@ -26,8 +26,16 @@ pub fn sgemm_ref(
         for j in 0..n {
             let mut acc = 0.0f32;
             for p in 0..k {
-                let av = if transa { a[p * lda + i] } else { a[i * lda + p] };
-                let bv = if transb { b[j * ldb + p] } else { b[p * ldb + j] };
+                let av = if transa {
+                    a[p * lda + i]
+                } else {
+                    a[i * lda + p]
+                };
+                let bv = if transb {
+                    b[j * ldb + p]
+                } else {
+                    b[p * ldb + j]
+                };
                 acc += av * bv;
             }
             c[i * ldc + j] = alpha * acc + beta * c[i * ldc + j];
@@ -106,7 +114,19 @@ mod tests {
         let a = [i];
         let b = [i];
         let mut c = [Complex32::ZERO];
-        cgemm_ref(1, 1, 1, Complex32::ONE, &a, 1, &b, 1, Complex32::ZERO, &mut c, 1);
+        cgemm_ref(
+            1,
+            1,
+            1,
+            Complex32::ONE,
+            &a,
+            1,
+            &b,
+            1,
+            Complex32::ZERO,
+            &mut c,
+            1,
+        );
         assert_eq!(c[0], Complex32::new(-1.0, 0.0));
     }
 }

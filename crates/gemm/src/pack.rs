@@ -65,7 +65,11 @@ pub fn pack_a(
         for p in 0..kc_eff {
             for r in 0..MR {
                 let i = row_base + r;
-                buf[out] = if i < mc_eff { a.at(i0 + i, p0 + p) } else { 0.0 };
+                buf[out] = if i < mc_eff {
+                    a.at(i0 + i, p0 + p)
+                } else {
+                    0.0
+                };
                 out += 1;
             }
         }
@@ -94,7 +98,11 @@ pub fn pack_b(
         for p in 0..kc_eff {
             for c in 0..NR {
                 let j = col_base + c;
-                buf[out] = if j < nc_eff { b.at(p0 + p, j0 + j) } else { 0.0 };
+                buf[out] = if j < nc_eff {
+                    b.at(p0 + p, j0 + j)
+                } else {
+                    0.0
+                };
                 out += 1;
             }
         }

@@ -114,6 +114,9 @@ pub fn sgemm_blocked(
     assert!(ldc >= n, "sgemm: ldc {ldc} < n {n}");
     assert!(c.len() >= m.saturating_sub(1) * ldc + n || m == 0 || n == 0);
 
+    let _span = gcnn_trace::span("sgemm");
+    sgemm_calls().inc();
+
     if m == 0 || n == 0 {
         return;
     }
@@ -132,6 +135,7 @@ pub fn sgemm_blocked(
     // one task regardless of the matrix aspect ratio.
     let n_it = m.div_ceil(blocks.mc);
     let n_jt = n.div_ceil(blocks.nc);
+    macro_tiles().add((n_it * n_jt) as u64);
     let cbase = SendPtr(c.as_mut_ptr());
 
     (0..n_it * n_jt).into_par_iter().for_each(|t| {
@@ -177,9 +181,8 @@ pub fn sgemm_blocked(
         // SAFETY: tiles partition C, so row segments
         // `(i0+i)·ldc + j0 .. + nc_eff` are disjoint across tasks.
         for i in 0..mc_eff {
-            let crow = unsafe {
-                std::slice::from_raw_parts_mut(cbase.0.add((i0 + i) * ldc + j0), nc_eff)
-            };
+            let crow =
+                unsafe { std::slice::from_raw_parts_mut(cbase.0.add((i0 + i) * ldc + j0), nc_eff) };
             let trow = &ctile[i * nc_eff..(i + 1) * nc_eff];
             if beta == 0.0 {
                 crow.copy_from_slice(trow);
@@ -194,6 +197,20 @@ pub fn sgemm_blocked(
             }
         }
     });
+}
+
+/// Cached `gemm.sgemm_calls` counter: one tick per [`sgemm_blocked`].
+fn sgemm_calls() -> &'static gcnn_trace::Counter {
+    static C: std::sync::OnceLock<gcnn_trace::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| gcnn_trace::counter("gemm.sgemm_calls"))
+}
+
+/// Cached `gemm.macro_tiles` counter: macro-tile tasks scheduled on the
+/// 2-D `(it, jt)` grid — the unit of GEMM parallelism, so tiles ÷ calls
+/// is the mean task fan-out the pool sees.
+fn macro_tiles() -> &'static gcnn_trace::Counter {
+    static C: std::sync::OnceLock<gcnn_trace::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| gcnn_trace::counter("gemm.macro_tiles"))
 }
 
 /// `row ← beta·row`, honoring the BLAS convention that `beta == 0`
@@ -248,7 +265,9 @@ mod tests {
         let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
             })
             .collect()

@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn coalesced_is_one_transaction() {
-        assert_eq!(transactions_per_request(&dev(), AccessPattern::Coalesced), 1);
+        assert_eq!(
+            transactions_per_request(&dev(), AccessPattern::Coalesced),
+            1
+        );
         assert!((access_efficiency(&dev(), AccessPattern::Coalesced) - 1.0).abs() < 1e-12);
     }
 
@@ -101,7 +104,10 @@ mod tests {
 
     #[test]
     fn unaligned_costs_one_extra_transaction() {
-        assert_eq!(transactions_per_request(&dev(), AccessPattern::Unaligned), 2);
+        assert_eq!(
+            transactions_per_request(&dev(), AccessPattern::Unaligned),
+            2
+        );
         assert!((access_efficiency(&dev(), AccessPattern::Unaligned) - 0.5).abs() < 1e-12);
     }
 

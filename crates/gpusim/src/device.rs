@@ -183,7 +183,10 @@ mod tests {
         // K80 (one die): 2 × 13 × 192 × 562 MHz ≈ 2.8 TFLOP/s.
         let k80 = DeviceSpec::k80_single_die();
         assert!((k80.peak_flops() / 1e12 - 2.8).abs() < 0.1);
-        assert_eq!(k80.registers_per_sm, 2 * DeviceSpec::k40c().registers_per_sm);
+        assert_eq!(
+            k80.registers_per_sm,
+            2 * DeviceSpec::k40c().registers_per_sm
+        );
         // Titan X: 2 × 3072 × 1000 MHz ≈ 6.1 TFLOP/s.
         let tx = DeviceSpec::titan_x_maxwell();
         assert_eq!(tx.total_cores(), 3072);

@@ -61,7 +61,11 @@ impl MemoryTracker {
     }
 
     /// Allocate `bytes` under `label`.
-    pub fn alloc(&mut self, label: impl Into<String>, bytes: u64) -> Result<AllocationId, OomError> {
+    pub fn alloc(
+        &mut self,
+        label: impl Into<String>,
+        bytes: u64,
+    ) -> Result<AllocationId, OomError> {
         let label = label.into();
         if self.in_use + bytes > self.capacity {
             return Err(OomError {

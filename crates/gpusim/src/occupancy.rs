@@ -139,7 +139,7 @@ pub fn occupancy(
 mod tests {
     use super::*;
 
-    fn k40 () -> DeviceSpec {
+    fn k40() -> DeviceSpec {
         DeviceSpec::k40c()
     }
 

@@ -142,7 +142,8 @@ impl ProfilerSession {
     /// Record one kernel launch; returns the timing for the caller.
     pub fn launch(&mut self, kernel: &KernelDesc) -> TimingResult {
         let result = time_kernel(&self.dev, kernel);
-        self.timeline.push(kernel.name.clone(), SpanKind::Kernel, result.time_ms);
+        self.timeline
+            .push(kernel.name.clone(), SpanKind::Kernel, result.time_ms);
         match self.kernels.iter_mut().find(|r| r.name == kernel.name) {
             Some(rec) => {
                 // Merge metrics runtime-weighted.
@@ -264,7 +265,10 @@ mod tests {
     fn transfer_fraction_reflects_visibility() {
         let mut s = ProfilerSession::new(DeviceSpec::k40c());
         s.launch(&kernel("k", 1_000_000_000));
-        s.transfer(Transfer::prefetched(TransferDirection::HostToDevice, 1 << 30));
+        s.transfer(Transfer::prefetched(
+            TransferDirection::HostToDevice,
+            1 << 30,
+        ));
         let hidden = s.report();
         assert!(hidden.transfer_fraction() < 1e-9);
         assert!(hidden.transfer_wire_ms > 0.0);

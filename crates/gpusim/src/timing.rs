@@ -57,14 +57,18 @@ pub enum Bound {
 
 /// Estimate the runtime and metrics of one kernel launch.
 pub fn time_kernel(dev: &DeviceSpec, k: &KernelDesc) -> TimingResult {
-    let occ = occupancy(dev, k.regs_per_thread, k.smem_per_block, k.launch.block_threads);
+    let occ = occupancy(
+        dev,
+        k.regs_per_thread,
+        k.smem_per_block,
+        k.launch.block_threads,
+    );
 
     // Wave analysis: how many rounds of resident blocks the grid takes,
     // and how full the average round is.
     let blocks_per_wave = (occ.blocks_per_sm * dev.sm_count).max(1);
     let waves = k.launch.grid_blocks.div_ceil(blocks_per_wave).max(1);
-    let wave_utilization =
-        k.launch.grid_blocks as f64 / (waves as f64 * blocks_per_wave as f64);
+    let wave_utilization = k.launch.grid_blocks as f64 / (waves as f64 * blocks_per_wave as f64);
 
     // Achieved occupancy: theoretical, discounted by how full the waves
     // actually are (partial tail waves leave SMs idle).
@@ -78,17 +82,14 @@ pub fn time_kernel(dev: &DeviceSpec, k: &KernelDesc) -> TimingResult {
     let lane = k.lane_utilization.clamp(0.01, 1.0) as f64;
 
     // --- Compute roof ---
-    let eff_flops = dev.peak_flops()
-        * k.compute_efficiency.clamp(0.01, 1.0) as f64
-        * wee
-        * lane
-        * hide;
+    let eff_flops =
+        dev.peak_flops() * k.compute_efficiency.clamp(0.01, 1.0) as f64 * wee * lane * hide;
     let t_compute = k.flops as f64 / eff_flops.max(1.0);
 
     // --- Global-memory roof ---
     // Loads served by L2 never reach DRAM; stores always do.
-    let dram_loads = (k.gmem_load_bytes as f64
-        * (1.0 - k.load_cached_fraction.clamp(0.0, 1.0) as f64)) as u64;
+    let dram_loads =
+        (k.gmem_load_bytes as f64 * (1.0 - k.load_cached_fraction.clamp(0.0, 1.0) as f64)) as u64;
     let bus = coalescing::bus_bytes(dev, k.load_pattern, dram_loads)
         + coalescing::bus_bytes(dev, k.store_pattern, k.gmem_store_bytes);
     let eff_bw = dev.mem_bandwidth_bytes() * hide.max(0.1);
@@ -301,7 +302,10 @@ mod tests {
         let uncached = time_kernel(&dev(), &k).time_ms;
         k.load_cached_fraction = 0.75;
         let cached = time_kernel(&dev(), &k).time_ms;
-        assert!(cached < 0.35 * uncached, "uncached {uncached} cached {cached}");
+        assert!(
+            cached < 0.35 * uncached,
+            "uncached {uncached} cached {cached}"
+        );
         // The gld metric stays pattern-derived regardless of caching.
         assert!((time_kernel(&dev(), &k).metrics.gld_efficiency - 25.0).abs() < 1e-9);
     }
@@ -309,6 +313,10 @@ mod tests {
     #[test]
     fn ipc_in_plausible_kepler_range() {
         let r = time_kernel(&dev(), &gemm_kernel(500_000_000_000));
-        assert!(r.metrics.ipc > 0.5 && r.metrics.ipc < 8.0, "{}", r.metrics.ipc);
+        assert!(
+            r.metrics.ipc > 0.5 && r.metrics.ipc < 8.0,
+            "{}",
+            r.metrics.ipc
+        );
     }
 }

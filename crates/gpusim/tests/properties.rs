@@ -10,7 +10,14 @@ fn dev() -> DeviceSpec {
 }
 
 fn block_sizes() -> impl Strategy<Value = u32> {
-    prop_oneof![Just(32u32), Just(64), Just(128), Just(256), Just(512), Just(1024)]
+    prop_oneof![
+        Just(32u32),
+        Just(64),
+        Just(128),
+        Just(256),
+        Just(512),
+        Just(1024)
+    ]
 }
 
 proptest! {

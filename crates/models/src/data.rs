@@ -37,8 +37,7 @@ impl Dataset {
         let s = self.images.shape();
         assert!(start + len <= self.len(), "Dataset::batch: out of range");
         let img_len = s.image_len();
-        let data =
-            self.images.as_slice()[start * img_len..(start + len) * img_len].to_vec();
+        let data = self.images.as_slice()[start * img_len..(start + len) * img_len].to_vec();
         let images = Tensor4::from_vec(Shape4::new(len, s.c, s.h, s.w), data)
             .expect("batch slice matches shape");
         (images, self.labels[start..start + len].to_vec())

@@ -188,7 +188,8 @@ fn walk_sequence(
                 stride,
                 pad,
             } => {
-                let mut cfg = ConvConfig::with_channels(batch, channels, spatial, *f, *kernel, *stride);
+                let mut cfg =
+                    ConvConfig::with_channels(batch, channels, spatial, *f, *kernel, *stride);
                 cfg.pad = *pad;
                 assert!(cfg.is_valid(), "{name}: invalid conv {cfg}");
                 let o = cfg.output();
@@ -204,8 +205,16 @@ fn walk_sequence(
                 channels = *f;
                 spatial = o;
             }
-            LayerSpec::MaxPool { window, stride, pad }
-            | LayerSpec::AvgPool { window, stride, pad } => {
+            LayerSpec::MaxPool {
+                window,
+                stride,
+                pad,
+            }
+            | LayerSpec::AvgPool {
+                window,
+                stride,
+                pad,
+            } => {
                 assert!(
                     spatial + 2 * pad >= *window,
                     "{name}: pool window {window} > padded input"
@@ -308,9 +317,24 @@ mod tests {
             input_channels: 1,
             input_size: 28,
             layers: vec![
-                NamedLayer::new("conv1", LayerSpec::Conv { out: 6, kernel: 5, stride: 1, pad: 0 }),
+                NamedLayer::new(
+                    "conv1",
+                    LayerSpec::Conv {
+                        out: 6,
+                        kernel: 5,
+                        stride: 1,
+                        pad: 0,
+                    },
+                ),
                 NamedLayer::new("relu1", LayerSpec::Relu),
-                NamedLayer::new("pool1", LayerSpec::MaxPool { window: 2, stride: 2, pad: 0 }),
+                NamedLayer::new(
+                    "pool1",
+                    LayerSpec::MaxPool {
+                        window: 2,
+                        stride: 2,
+                        pad: 0,
+                    },
+                ),
                 NamedLayer::new("fc1", LayerSpec::Fc { out: 10 }),
                 NamedLayer::new("prob", LayerSpec::Softmax),
             ],
@@ -344,11 +368,21 @@ mod tests {
                     branches: vec![
                         vec![NamedLayer::new(
                             "c1",
-                            LayerSpec::Conv { out: 4, kernel: 1, stride: 1, pad: 0 },
+                            LayerSpec::Conv {
+                                out: 4,
+                                kernel: 1,
+                                stride: 1,
+                                pad: 0,
+                            },
                         )],
                         vec![NamedLayer::new(
                             "c3",
-                            LayerSpec::Conv { out: 6, kernel: 3, stride: 1, pad: 1 },
+                            LayerSpec::Conv {
+                                out: 6,
+                                kernel: 3,
+                                stride: 1,
+                                pad: 1,
+                            },
                         )],
                     ],
                 },
@@ -371,7 +405,12 @@ mod tests {
             input_size: 4,
             layers: vec![NamedLayer::new(
                 "conv",
-                LayerSpec::Conv { out: 1, kernel: 9, stride: 1, pad: 0 },
+                LayerSpec::Conv {
+                    out: 1,
+                    kernel: 9,
+                    stride: 1,
+                    pad: 0,
+                },
             )],
         };
         walk(&model, 1);

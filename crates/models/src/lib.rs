@@ -26,4 +26,4 @@ pub mod zoo;
 pub use breakdown::{model_breakdown, BreakdownRow, LayerClass, ModelBreakdown};
 pub use layer::{LayerInstance, LayerSpec, ModelSpec, NamedLayer};
 pub use network::{Network, TrainReport};
-pub use zoo::{alexnet, googlenet, lenet5, overfeat, vgg16, all_models};
+pub use zoo::{alexnet, all_models, googlenet, lenet5, overfeat, vgg16};

@@ -7,7 +7,9 @@
 //! cross-strategy equivalence the paper's whole comparison rests on.
 
 use crate::data::Dataset;
-use gcnn_conv::layers::{softmax_cross_entropy, FcLayer, PoolForward, PoolKind, PoolLayer, ReluLayer};
+use gcnn_conv::layers::{
+    softmax_cross_entropy, FcLayer, PoolForward, PoolKind, PoolLayer, ReluLayer,
+};
 use gcnn_conv::{algorithm_for, ConvConfig, Strategy};
 use gcnn_tensor::{Shape4, Tensor4, Workspace};
 
@@ -37,10 +39,20 @@ enum NetLayer {
 
 /// Per-layer forward cache for the backward pass.
 enum Cache {
-    Conv { input: Tensor4, cfg: ConvConfig },
-    Relu { input: Tensor4 },
-    MaxPool { input_shape: Shape4, fwd: PoolForward },
-    Fc { input: Tensor4 },
+    Conv {
+        input: Tensor4,
+        cfg: ConvConfig,
+    },
+    Relu {
+        input: Tensor4,
+    },
+    MaxPool {
+        input_shape: Shape4,
+        fwd: PoolForward,
+    },
+    Fc {
+        input: Tensor4,
+    },
 }
 
 /// A sequential CNN.
@@ -159,9 +171,10 @@ impl Network {
 
     /// Forward pass, returning the logits and the per-layer caches.
     fn forward_cached(&self, input: &Tensor4, ws: &mut Workspace) -> (Tensor4, Vec<Cache>) {
+        let _span = gcnn_trace::span("network.forward");
         let mut x = input.clone();
         let mut caches = Vec::with_capacity(self.layers.len());
-        for layer in &self.layers {
+        for (i, layer) in self.layers.iter().enumerate() {
             match layer {
                 NetLayer::Conv {
                     weights,
@@ -170,10 +183,10 @@ impl Network {
                     strategy,
                     ..
                 } => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.conv"));
                     let s = x.shape();
                     let w = weights.shape();
-                    let mut cfg =
-                        ConvConfig::with_channels(s.n, s.c, s.h, w.n, w.h, *stride);
+                    let mut cfg = ConvConfig::with_channels(s.n, s.c, s.h, w.n, w.h, *stride);
                     cfg.pad = *pad;
                     let algo = algorithm_for(*strategy);
                     let y = algo.forward_ws(&cfg, &x, weights, ws);
@@ -181,11 +194,13 @@ impl Network {
                     x = y;
                 }
                 NetLayer::Relu => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.relu"));
                     let y = ReluLayer.forward(&x);
                     caches.push(Cache::Relu { input: x });
                     x = y;
                 }
                 NetLayer::MaxPool { window, stride } => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.max_pool"));
                     let pool = PoolLayer::new(PoolKind::Max, *window, *stride);
                     let fwd = pool.forward(&x);
                     let y = fwd.output.clone();
@@ -196,6 +211,7 @@ impl Network {
                     x = y;
                 }
                 NetLayer::Fc { layer, .. } => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.fc"));
                     let y = layer.forward(&x);
                     caches.push(Cache::Fc { input: x });
                     x = y;
@@ -240,6 +256,7 @@ impl Network {
         labels: &[usize],
         ws: &mut Workspace,
     ) -> f32 {
+        let _span = gcnn_trace::span("network.train_batch");
         let (logits, caches) = self.forward_cached(images, ws);
         let out = softmax_cross_entropy(&logits, labels);
         let mut grad = out.grad_logits;
@@ -247,7 +264,8 @@ impl Network {
         let lr = self.learning_rate;
         let mu = self.momentum;
         let wd = self.weight_decay;
-        for (layer, cache) in self.layers.iter_mut().zip(caches).rev() {
+        let _bwd = gcnn_trace::span("network.backward");
+        for (i, (layer, cache)) in self.layers.iter_mut().zip(caches).enumerate().rev() {
             match (layer, cache) {
                 (
                     NetLayer::Conv {
@@ -258,6 +276,7 @@ impl Network {
                     },
                     Cache::Conv { input, cfg },
                 ) => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.conv"));
                     let algo = algorithm_for(*strategy);
                     let grad_w = algo.backward_filters_ws(&cfg, &input, &grad, ws);
                     grad = algo.backward_data_ws(&cfg, &grad, weights, ws);
@@ -273,9 +292,11 @@ impl Network {
                     }
                 }
                 (NetLayer::Relu, Cache::Relu { input }) => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.relu"));
                     grad = ReluLayer.backward(&input, &grad);
                 }
                 (NetLayer::MaxPool { window, stride }, Cache::MaxPool { input_shape, fwd }) => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.max_pool"));
                     let pool = PoolLayer::new(PoolKind::Max, *window, *stride);
                     grad = pool.backward(input_shape, &fwd, &grad);
                 }
@@ -287,6 +308,7 @@ impl Network {
                     },
                     Cache::Fc { input },
                 ) => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.fc"));
                     // FC expects (b, features, 1, 1) gradients.
                     let grads = layer.backward(&input, &grad);
                     for ((v, g), w) in w_velocity
@@ -322,7 +344,10 @@ impl Network {
         batch: usize,
         epochs: usize,
     ) -> TrainReport {
-        assert!(batch > 0 && batch <= train.len(), "Network::train: bad batch");
+        assert!(
+            batch > 0 && batch <= train.len(),
+            "Network::train: bad batch"
+        );
         let mut epoch_losses = Vec::with_capacity(epochs);
         let mut ws = Workspace::new();
         for _ in 0..epochs {
@@ -366,9 +391,11 @@ impl Network {
         let blobs = crate::persist::decode_blobs(bytes)?;
         let mut it = blobs.into_iter();
         let mut next = |expected: usize, what: &str| {
-            let blob = it.next().ok_or(crate::persist::PersistError::ShapeMismatch {
-                detail: format!("missing blob for {what}"),
-            })?;
+            let blob = it
+                .next()
+                .ok_or(crate::persist::PersistError::ShapeMismatch {
+                    detail: format!("missing blob for {what}"),
+                })?;
             if blob.len() != expected {
                 return Err(crate::persist::PersistError::ShapeMismatch {
                     detail: format!("{what}: expected {expected} values, got {}", blob.len()),

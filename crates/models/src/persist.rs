@@ -129,13 +129,19 @@ mod tests {
     fn rejects_bad_version() {
         let mut bytes = encode_blobs(&[&[1.0]]);
         bytes[4] = 9;
-        assert!(matches!(decode_blobs(&bytes), Err(PersistError::BadVersion(9))));
+        assert!(matches!(
+            decode_blobs(&bytes),
+            Err(PersistError::BadVersion(9))
+        ));
     }
 
     #[test]
     fn rejects_truncation() {
         let bytes = encode_blobs(&[&[1.0, 2.0, 3.0]]);
-        assert_eq!(decode_blobs(&bytes[..bytes.len() - 2]), Err(PersistError::Truncated));
+        assert_eq!(
+            decode_blobs(&bytes[..bytes.len() - 2]),
+            Err(PersistError::Truncated)
+        );
     }
 
     #[test]

@@ -3,7 +3,15 @@
 use crate::layer::{LayerSpec, ModelSpec, NamedLayer};
 
 fn conv(name: &str, out: usize, kernel: usize, stride: usize, pad: usize) -> NamedLayer {
-    NamedLayer::new(name, LayerSpec::Conv { out, kernel, stride, pad })
+    NamedLayer::new(
+        name,
+        LayerSpec::Conv {
+            out,
+            kernel,
+            stride,
+            pad,
+        },
+    )
 }
 
 fn relu(name: &str) -> NamedLayer {
@@ -11,11 +19,25 @@ fn relu(name: &str) -> NamedLayer {
 }
 
 fn maxpool(name: &str, window: usize, stride: usize, pad: usize) -> NamedLayer {
-    NamedLayer::new(name, LayerSpec::MaxPool { window, stride, pad })
+    NamedLayer::new(
+        name,
+        LayerSpec::MaxPool {
+            window,
+            stride,
+            pad,
+        },
+    )
 }
 
 fn avgpool(name: &str, window: usize, stride: usize) -> NamedLayer {
-    NamedLayer::new(name, LayerSpec::AvgPool { window, stride, pad: 0 })
+    NamedLayer::new(
+        name,
+        LayerSpec::AvgPool {
+            window,
+            stride,
+            pad: 0,
+        },
+    )
 }
 
 fn fc(name: &str, out: usize) -> NamedLayer {
@@ -170,7 +192,11 @@ fn inception(
                     conv("5x5", c5, 5, 1, 2),
                     relu("relu_5x5"),
                 ],
-                vec![maxpool("pool", 3, 1, 1), conv("pool_proj", cp, 1, 1, 0), relu("relu_pp")],
+                vec![
+                    maxpool("pool", 3, 1, 1),
+                    conv("pool_proj", cp, 1, 1, 0),
+                    relu("relu_pp"),
+                ],
             ],
         },
     )
@@ -239,7 +265,7 @@ mod tests {
         let inst = walk(&alexnet(), 1);
         let conv1 = inst[0].conv.unwrap();
         assert_eq!(conv1.output(), 55); // (227−11)/4+1
-        // fc6 consumes 256·6·6 = 9216 features.
+                                        // fc6 consumes 256·6·6 = 9216 features.
         let fc6 = inst.iter().find(|i| i.name == "fc6").unwrap();
         assert_eq!(fc6.fc, Some((9216, 4096)));
     }

@@ -13,13 +13,22 @@ fn arb_model() -> impl Strategy<Value = ModelSpec> {
         for (i, (f, k, pool)) in stages.into_iter().enumerate() {
             layers.push(NamedLayer::new(
                 format!("conv{i}"),
-                LayerSpec::Conv { out: f, kernel: 2 * k + 1, stride: 1, pad: k },
+                LayerSpec::Conv {
+                    out: f,
+                    kernel: 2 * k + 1,
+                    stride: 1,
+                    pad: k,
+                },
             ));
             layers.push(NamedLayer::new(format!("relu{i}"), LayerSpec::Relu));
             if pool {
                 layers.push(NamedLayer::new(
                     format!("pool{i}"),
-                    LayerSpec::MaxPool { window: 2, stride: 2, pad: 0 },
+                    LayerSpec::MaxPool {
+                        window: 2,
+                        stride: 2,
+                        pad: 0,
+                    },
                 ));
             }
         }

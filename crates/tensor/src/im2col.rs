@@ -96,6 +96,7 @@ const fn tap_range(out_dim: usize, in_dim: usize, kt: usize, s: usize, p: usize)
 /// without per-element bounds tests (contiguously for stride 1 — the
 /// overwhelmingly common case in the paper's configuration sweeps).
 pub fn im2col_into(image: &[f32], geom: &ConvGeometry, cols: &mut [f32]) {
+    let _span = gcnn_trace::span("im2col");
     debug_assert!(geom.is_valid(), "im2col: invalid geometry {geom:?}");
     debug_assert_eq!(image.len(), geom.channels * geom.in_h * geom.in_w);
     debug_assert_eq!(cols.len(), geom.col_rows() * geom.col_cols());
@@ -131,8 +132,9 @@ pub fn im2col_into(image: &[f32], geom: &ConvGeometry, cols: &mut [f32]) {
                     let ih = oh * s + kh - p;
                     if s == 1 {
                         let iw0 = ow_lo + kw - p;
-                        seg[ow_lo..ow_hi]
-                            .copy_from_slice(&src[ih * in_w + iw0..ih * in_w + iw0 + ow_hi - ow_lo]);
+                        seg[ow_lo..ow_hi].copy_from_slice(
+                            &src[ih * in_w + iw0..ih * in_w + iw0 + ow_hi - ow_lo],
+                        );
                     } else {
                         for (ow, slot) in seg[ow_lo..ow_hi].iter_mut().enumerate() {
                             *slot = src[ih * in_w + (ow_lo + ow) * s + kw - p];
@@ -156,6 +158,7 @@ pub fn im2col(image: &[f32], geom: &ConvGeometry, cols: &mut Matrix) {
 /// contributions — the adjoint of [`im2col`], used by the backward-data
 /// pass.
 pub fn col2im_from(cols: &[f32], geom: &ConvGeometry, image: &mut [f32]) {
+    let _span = gcnn_trace::span("col2im");
     debug_assert!(geom.is_valid(), "col2im: invalid geometry {geom:?}");
     debug_assert_eq!(image.len(), geom.channels * geom.in_h * geom.in_w);
     debug_assert_eq!(cols.len(), geom.col_rows() * geom.col_cols());

@@ -283,7 +283,9 @@ mod tests {
 
     #[test]
     fn reshape_matrix() {
-        let t = Tensor4::from_fn(Shape4::new(1, 2, 2, 3), |_, c, h, w| (c * 6 + h * 3 + w) as f32);
+        let t = Tensor4::from_fn(Shape4::new(1, 2, 2, 3), |_, c, h, w| {
+            (c * 6 + h * 3 + w) as f32
+        });
         let m = t.reshape_matrix(2, 6).unwrap();
         assert_eq!(m.get(1, 0), 6.0);
         assert!(t.reshape_matrix(5, 5).is_err());

@@ -24,6 +24,7 @@
 use crate::complex::Complex32;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Requests at or below this element count use power-of-two classes.
 const POW2_LIMIT: usize = 1 << 20;
@@ -38,6 +39,20 @@ static FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
 /// Total fresh buffer allocations made by all workspace pools so far.
 pub fn fresh_allocs() -> u64 {
     FRESH_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Registry mirror of [`FRESH_ALLOCS`] (`workspace.fresh_allocs`), so
+/// `bench_report` and the CI regression gate see pool misses without a
+/// test harness. Cached handle: no registry lookup on the hot path.
+fn fresh_alloc_counter() -> &'static gcnn_trace::Counter {
+    static C: OnceLock<gcnn_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| gcnn_trace::counter("workspace.fresh_allocs"))
+}
+
+/// Registry counter of every scratch checkout (`workspace.checkouts`).
+fn checkout_counter() -> &'static gcnn_trace::Counter {
+    static C: OnceLock<gcnn_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| gcnn_trace::counter("workspace.checkouts"))
 }
 
 /// Run `body` and return `(result, fresh allocations made inside)`.
@@ -94,6 +109,7 @@ impl<T> Pool<T> {
             Err(i) => self.classes.insert(i, (class, Vec::new())),
         }
         FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        fresh_alloc_counter().inc();
         Vec::with_capacity(class)
     }
 
@@ -205,6 +221,7 @@ impl PoolItem for Complex32 {
 /// allocation). Use when every element is written before being read,
 /// e.g. packing buffers.
 pub fn take<T: PoolItem>(len: usize) -> Scratch<T> {
+    checkout_counter().inc();
     let class = size_class(len);
     let mut buf = T::take_raw(class);
     // Resize within capacity: never reallocates, only extends the
@@ -344,6 +361,21 @@ mod tests {
             assert!(s.iter().all(|c| *c == Complex32::ZERO));
         });
         assert_eq!(misses, 0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn registry_mirrors_fresh_allocs() {
+        let before = gcnn_trace::snapshot().counter("workspace.fresh_allocs");
+        // A size class no other test uses: guaranteed fresh, then pooled.
+        let (_, misses) = alloc_scope(|| drop(take_f32(777_777)));
+        assert!(misses >= 1);
+        let after = gcnn_trace::snapshot().counter("workspace.fresh_allocs");
+        // Other test threads may allocate concurrently; the mirror must
+        // move at least as much as this thread's observed misses.
+        assert!(after - before >= 1, "registry must mirror FRESH_ALLOCS");
+        let checkouts = gcnn_trace::snapshot().counter("workspace.checkouts");
+        assert!(checkouts >= 1, "checkouts counter must tick");
     }
 
     #[test]

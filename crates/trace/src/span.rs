@@ -1,0 +1,90 @@
+//! RAII span timers with thread-local nesting (enabled mode).
+//!
+//! Each thread keeps a stack of open span paths. Opening a span pushes
+//! `parent_path + "/" + name`; dropping the guard pops it and merges
+//! the elapsed time into the global registry under that full path, so
+//! aggregation is keyed by *call context*, not just by name (the same
+//! way nvprof attributes kernel time to launch sites). Work farmed out
+//! to rayon workers opens fresh root spans on those threads — cross-
+//! thread parenthood is intentionally not tracked.
+
+use crate::registry::registry;
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of full paths of the spans currently open on this thread.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard for one open span; records elapsed time on drop.
+///
+/// Guards must drop in LIFO order on the thread that created them —
+/// the type is `!Send`, and letting guards outlive their parent scope
+/// misattributes nesting (debug builds assert against it).
+#[must_use = "a span measures nothing unless the guard lives across the timed region"]
+pub struct SpanGuard {
+    start: Instant,
+    path: String,
+    /// Pins the guard to its creating thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Open a span named `name`, nested under the innermost open span of
+/// the current thread.
+pub fn span_cow(name: Cow<'static, str>) -> SpanGuard {
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.into_owned(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    SpanGuard {
+        start: Instant::now(),
+        path,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        // Elapsed first: the stack pop and registry merge are overhead
+        // that should not count against this span.
+        let elapsed_ns = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        SPAN_STACK.with(|stack| {
+            let popped = stack.borrow_mut().pop();
+            debug_assert_eq!(
+                popped.as_deref(),
+                Some(self.path.as_str()),
+                "span guards must drop in LIFO order"
+            );
+        });
+        registry().record_span(&self.path, elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_nest_and_unwind() {
+        {
+            let _a = span_cow(Cow::Borrowed("span_test_outer"));
+            let depth_inside = SPAN_STACK.with(|s| (s.borrow().len(), s.borrow().last().cloned()));
+            assert_eq!(depth_inside.1.as_deref(), Some("span_test_outer"));
+            {
+                let _b = span_cow(Cow::Borrowed("inner"));
+                let top = SPAN_STACK.with(|s| s.borrow().last().cloned());
+                assert_eq!(top.as_deref(), Some("span_test_outer/inner"));
+            }
+        }
+        let depth_after = SPAN_STACK.with(|s| s.borrow().len());
+        assert_eq!(depth_after, 0, "stack must unwind fully");
+    }
+}

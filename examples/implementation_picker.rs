@@ -39,11 +39,23 @@ fn main() {
 
     println!("\n=== The paper's qualitative rules, recovered from the models ===\n");
     let cases = [
-        ("large kernel (k=11)", ConvConfig::from_tuple(64, 128, 64, 11, 1)),
-        ("small kernel (k=3)", ConvConfig::from_tuple(64, 128, 64, 3, 1)),
+        (
+            "large kernel (k=11)",
+            ConvConfig::from_tuple(64, 128, 64, 11, 1),
+        ),
+        (
+            "small kernel (k=3)",
+            ConvConfig::from_tuple(64, 128, 64, 3, 1),
+        ),
         ("strided (s=2)", ConvConfig::from_tuple(64, 128, 64, 11, 2)),
-        ("many filters (f=192)", ConvConfig::from_tuple(64, 128, 192, 11, 1)),
-        ("batch 128 (cc2 sweet spot)", ConvConfig::from_tuple(128, 128, 64, 11, 1)),
+        (
+            "many filters (f=192)",
+            ConvConfig::from_tuple(64, 128, 192, 11, 1),
+        ),
+        (
+            "batch 128 (cc2 sweet spot)",
+            ConvConfig::from_tuple(128, 128, 64, 11, 1),
+        ),
     ];
     for (label, cfg) in cases {
         let a = advise(&cfg, Scenario::Speed, &dev).expect("some implementation fits");

@@ -32,7 +32,10 @@ fn main() {
         "{} — modeled training iteration at batch {batch} on {} (conv via cuDNN)\n",
         b.model, dev.name
     );
-    println!("{:<34} {:>8} {:>9} {:>7}", "layer", "kind", "time ms", "share");
+    println!(
+        "{:<34} {:>8} {:>9} {:>7}",
+        "layer", "kind", "time ms", "share"
+    );
     println!("{}", "-".repeat(62));
     let total = b.total_ms();
     for row in &b.rows {

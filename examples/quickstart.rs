@@ -19,7 +19,10 @@ fn main() {
     println!("configuration: {cfg} on {}\n", dev.name);
 
     // --- 1. Performance: one modeled training iteration each. ---
-    println!("{:<15} {:>10} {:>10} {:>9}", "implementation", "time ms", "peak MB", "strategy");
+    println!(
+        "{:<15} {:>10} {:>10} {:>9}",
+        "implementation", "time ms", "peak MB", "strategy"
+    );
     println!("{}", "-".repeat(48));
     for imp in all_implementations() {
         match imp.supports(&cfg) {

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, and lint-clean clippy.
+# Tier-1 gate: release build, full test suite, lint-clean clippy,
+# canonical formatting, and a trace-disabled test pass (the observability
+# layer must compile out without breaking anything).
 # Run from anywhere; operates on the workspace containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,4 +9,10 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+cargo fmt --all -- --check
+# Explicit -p list: plain --no-default-features would also strip the
+# vendored crates' defaults.
+cargo test -q --no-default-features \
+  -p gcnn-trace -p gcnn-tensor -p gcnn-gemm -p gcnn-fft \
+  -p gcnn-conv -p gcnn-models -p gcnn-core -p gcnn-bench
 echo "verify: OK"

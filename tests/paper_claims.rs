@@ -149,7 +149,14 @@ fn fig5_memory_ordering() {
             let cc2 = m("cuda-convnet2");
             let fb = m("fbfft").unwrap();
             if let Some(cc2) = cc2 {
-                for other in ["Caffe", "cuDNN", "Torch-cunn", "Theano-CorrMM", "Theano-fft", "fbfft"] {
+                for other in [
+                    "Caffe",
+                    "cuDNN",
+                    "Torch-cunn",
+                    "Theano-CorrMM",
+                    "Theano-fft",
+                    "fbfft",
+                ] {
                     if let Some(o) = m(other) {
                         assert!(cc2 <= o, "{axis:?}[{p}]: cc2 {cc2:.0} > {other} {o:.0}");
                     }
@@ -168,7 +175,10 @@ fn fig5_memory_ordering() {
             }
             let torch = m("Torch-cunn").unwrap();
             for unroller in ["Caffe", "cuDNN", "Theano-CorrMM"] {
-                assert!(torch <= m(unroller).unwrap(), "{axis:?}[{p}]: Torch vs {unroller}");
+                assert!(
+                    torch <= m(unroller).unwrap(),
+                    "{axis:?}[{p}]: Torch vs {unroller}"
+                );
             }
         }
     }
@@ -211,7 +221,10 @@ fn fbfft_runtime_staircase_over_input() {
     };
     // Flat inside the N = 128 band (i = 80 … 128)…
     let ratio_flat = at(128) / at(80);
-    assert!((0.95..=1.05).contains(&ratio_flat), "in-band ratio {ratio_flat}");
+    assert!(
+        (0.95..=1.05).contains(&ratio_flat),
+        "in-band ratio {ratio_flat}"
+    );
     // …with a jump crossing into the N = 256 band.
     let jump = at(144) / at(128);
     assert!(jump > 2.0, "band-edge jump only ×{jump:.2}");

@@ -55,9 +55,15 @@ fn strategies_agree_after_one_step() {
         .into_iter()
         .map(|s| Network::lenet5(size, classes, s, 77))
         .collect();
-    let losses: Vec<f32> = nets.iter_mut().map(|n| n.train_batch(&imgs, &labels)).collect();
+    let losses: Vec<f32> = nets
+        .iter_mut()
+        .map(|n| n.train_batch(&imgs, &labels))
+        .collect();
     for w in losses.windows(2) {
-        assert!((w[0] - w[1]).abs() < 1e-3, "initial losses diverge: {losses:?}");
+        assert!(
+            (w[0] - w[1]).abs() < 1e-3,
+            "initial losses diverge: {losses:?}"
+        );
     }
 
     let probe = synthetic_digits(8, size, classes, 56).images;

@@ -14,7 +14,9 @@ pub mod prelude {
     //! Glob-import target mirroring `proptest::prelude`.
     pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Define property tests. Mirrors `proptest::proptest!`.
@@ -105,7 +107,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             left != right,
             "assertion failed: {} != {} (both: {:?})",
-            stringify!($a), stringify!($b), left
+            stringify!($a),
+            stringify!($b),
+            left
         );
     }};
 }
@@ -115,8 +119,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::Reject(stringify!($cond)));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
         }
     };
 }

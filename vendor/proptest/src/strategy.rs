@@ -127,7 +127,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter `{}` rejected 1000 consecutive samples", self.whence);
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive samples",
+            self.whence
+        );
     }
 }
 

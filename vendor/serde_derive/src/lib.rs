@@ -172,18 +172,14 @@ fn serialize_body(body: &Body) -> String {
                             if i > 0 {
                                 arm.push_str("__out.push(',');\n");
                             }
-                            arm.push_str(&format!(
-                                "::serde::Serialize::write_json({b}, __out);\n"
-                            ));
+                            arm.push_str(&format!("::serde::Serialize::write_json({b}, __out);\n"));
                         }
                         arm.push_str("__out.push(']');\n__out.push('}');\n}\n");
                         s.push_str(&arm);
                     }
                     Fields::Named(names) => {
-                        let binds: Vec<String> = names
-                            .iter()
-                            .map(|f| format!("{f}: __f_{f}"))
-                            .collect();
+                        let binds: Vec<String> =
+                            names.iter().map(|f| format!("{f}: __f_{f}")).collect();
                         let mut arm = format!(
                             "Self::{vname} {{ {} }} => {{\n\
                                __out.push_str(\"{{\\\"{vname}\\\":{{\");\n",
