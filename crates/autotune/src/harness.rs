@@ -1,0 +1,280 @@
+//! The measurement harness: run every candidate of a substrate at one
+//! layer configuration, aggregate with the shared trimmed-median timing
+//! util, and pick a winner subject to an optional memory constraint.
+//!
+//! Stability under CI jitter comes from three levers: warmup repetitions
+//! before any timed one, a trimmed median over N reps (a single
+//! scheduler hiccup cannot move the result), and an optional per-
+//! candidate wall-clock timeout so one pathological candidate cannot
+//! stall the whole search.
+
+use crate::policy::Constraint;
+use crate::substrate::{Direction, Substrate};
+use crate::timing::{self, Repeats};
+use gcnn_conv::{ConvConfig, Strategy};
+use serde::Serialize;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn measure_counter() -> &'static gcnn_trace::Counter {
+    static C: OnceLock<gcnn_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| gcnn_trace::counter("autotune.measure.count"))
+}
+
+fn timeout_counter() -> &'static gcnn_trace::Counter {
+    static C: OnceLock<gcnn_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| gcnn_trace::counter("autotune.reject.timeout"))
+}
+
+fn memory_counter() -> &'static gcnn_trace::Counter {
+    static C: OnceLock<gcnn_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| gcnn_trace::counter("autotune.reject.memory"))
+}
+
+/// Knobs of one measurement sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeasureParams {
+    /// Warmup + timed repetition counts.
+    pub repeats: Repeats,
+    /// Per-candidate wall-clock budget, milliseconds. A candidate whose
+    /// repetitions exceed it is rejected (its partial samples are
+    /// discarded) rather than allowed to stall the sweep.
+    pub timeout_ms: Option<f64>,
+}
+
+impl MeasureParams {
+    /// Defaults (1 warmup, 5 reps, no timeout) overridden by
+    /// `GCNN_TUNE_WARMUP`, `GCNN_TUNE_REPS` and `GCNN_TUNE_TIMEOUT_MS`.
+    pub fn from_env() -> Self {
+        let timeout_ms = std::env::var("GCNN_TUNE_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|ms| *ms > 0.0);
+        MeasureParams {
+            repeats: Repeats::from_env(1, 5),
+            timeout_ms,
+        }
+    }
+}
+
+/// How one candidate fared in a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Outcome {
+    /// The candidate completed its repetitions.
+    Measured {
+        /// Trimmed-median time over the repetitions, milliseconds.
+        time_ms: f64,
+        /// Peak workspace across the repetitions, bytes.
+        workspace_bytes: u64,
+        /// Full summary statistics of the timed samples.
+        stats: timing::Stats,
+    },
+    /// The candidate was rejected (unsupported, over budget, timed out).
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+}
+
+/// One candidate's result within a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CandidateReport {
+    /// Candidate name on the substrate.
+    pub name: String,
+    /// Its convolution strategy.
+    pub strategy: Strategy,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+impl CandidateReport {
+    /// The measured time, if the candidate completed.
+    pub fn time_ms(&self) -> Option<f64> {
+        match &self.outcome {
+            Outcome::Measured { time_ms, .. } => Some(*time_ms),
+            Outcome::Rejected { .. } => None,
+        }
+    }
+}
+
+/// Measure every candidate of `sub` at `cfg`/`direction`.
+///
+/// Runs under the `autotune.measure` span and ticks
+/// `autotune.measure.count` once per sweep. Candidates are rejected —
+/// never errored — when unsupported, when their peak workspace violates
+/// `constraint` (`autotune.reject.memory`), or when their accumulated
+/// wall clock exceeds the timeout (`autotune.reject.timeout`).
+pub fn measure_candidates(
+    sub: &dyn Substrate,
+    cfg: &ConvConfig,
+    direction: Direction,
+    params: &MeasureParams,
+    constraint: &Constraint,
+) -> Vec<CandidateReport> {
+    let _span = gcnn_trace::span("autotune.measure");
+    measure_counter().inc();
+    sub.candidates()
+        .into_iter()
+        .map(|cand| {
+            let outcome = measure_one(sub, &cand.name, cfg, direction, params, constraint);
+            CandidateReport {
+                name: cand.name,
+                strategy: cand.strategy,
+                outcome,
+            }
+        })
+        .collect()
+}
+
+fn measure_one(
+    sub: &dyn Substrate,
+    name: &str,
+    cfg: &ConvConfig,
+    direction: Direction,
+    params: &MeasureParams,
+    constraint: &Constraint,
+) -> Outcome {
+    let started = Instant::now();
+    let over_budget = |started: &Instant| {
+        params
+            .timeout_ms
+            .is_some_and(|limit| started.elapsed().as_secs_f64() * 1e3 > limit)
+    };
+
+    // Warmup (also the support probe: the first failure rejects).
+    for _ in 0..params.repeats.warmup.max(1) {
+        if let Err(reason) = sub.run_once(name, cfg, direction) {
+            return Outcome::Rejected { reason };
+        }
+        if over_budget(&started) {
+            timeout_counter().inc();
+            return Outcome::Rejected {
+                reason: format!(
+                    "timeout after {:.1} ms (warmup)",
+                    params.timeout_ms.unwrap()
+                ),
+            };
+        }
+    }
+
+    let mut samples = Vec::with_capacity(params.repeats.reps.max(1));
+    let mut peak_ws = 0u64;
+    for _ in 0..params.repeats.reps.max(1) {
+        match sub.run_once(name, cfg, direction) {
+            Ok(run) => {
+                samples.push(run.cost_ms);
+                peak_ws = peak_ws.max(run.workspace_bytes);
+            }
+            Err(reason) => return Outcome::Rejected { reason },
+        }
+        if over_budget(&started) {
+            timeout_counter().inc();
+            return Outcome::Rejected {
+                reason: format!("timeout after {:.1} ms", params.timeout_ms.unwrap()),
+            };
+        }
+    }
+
+    if !constraint.allows(peak_ws) {
+        memory_counter().inc();
+        return Outcome::Rejected {
+            reason: format!("workspace {peak_ws} B over memory budget"),
+        };
+    }
+
+    Outcome::Measured {
+        time_ms: timing::trimmed_median(&samples),
+        workspace_bytes: peak_ws,
+        stats: timing::stats(&samples),
+    }
+}
+
+/// The fastest measured candidate of a sweep, if any survived.
+pub fn pick_winner(reports: &[CandidateReport]) -> Option<&CandidateReport> {
+    reports
+        .iter()
+        .filter(|r| r.time_ms().is_some())
+        .min_by(|a, b| a.time_ms().unwrap().total_cmp(&b.time_ms().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::SimSubstrate;
+
+    fn sweep(cfg: &ConvConfig, constraint: &Constraint) -> Vec<CandidateReport> {
+        let sub = SimSubstrate::k40c();
+        let params = MeasureParams {
+            repeats: Repeats::new(1, 3),
+            timeout_ms: None,
+        };
+        measure_candidates(&sub, cfg, Direction::Training, &params, constraint)
+    }
+
+    #[test]
+    fn sweep_measures_supported_rejects_rest() {
+        // Stride 2 rules out the FFT family and Theano-legacy direct.
+        let strided = ConvConfig::from_tuple(64, 32, 64, 5, 2);
+        let reports = sweep(&strided, &Constraint::None);
+        assert_eq!(reports.len(), 7);
+        let fbfft = reports.iter().find(|r| r.name == "fbfft").unwrap();
+        assert!(matches!(fbfft.outcome, Outcome::Rejected { .. }));
+        assert!(reports.iter().any(|r| r.time_ms().is_some()));
+    }
+
+    #[test]
+    fn winner_is_min_time() {
+        let reports = sweep(&ConvConfig::paper_base(), &Constraint::None);
+        let winner = pick_winner(&reports).expect("some candidate survives");
+        let min = reports
+            .iter()
+            .filter_map(CandidateReport::time_ms)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(winner.time_ms().unwrap(), min);
+    }
+
+    #[test]
+    fn memory_budget_rejects_large_workspaces() {
+        // A 1-byte budget no candidate can satisfy: every supported one
+        // must be rejected for memory, leaving no winner.
+        let reports = sweep(&ConvConfig::paper_base(), &Constraint::SpeedWithinMemory(1));
+        assert!(pick_winner(&reports).is_none());
+        assert!(reports.iter().any(
+            |r| matches!(&r.outcome, Outcome::Rejected { reason } if reason.contains("memory"))
+        ));
+    }
+
+    #[test]
+    fn deterministic_substrate_gives_zero_spread() {
+        let reports = sweep(&ConvConfig::paper_base(), &Constraint::None);
+        for r in &reports {
+            if let Outcome::Measured { stats, .. } = &r.outcome {
+                assert_eq!(stats.iters, 3);
+                assert!(
+                    (stats.max_ms - stats.min_ms).abs() < 1e-9,
+                    "simulator must be deterministic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_timeout_rejects_everything() {
+        let sub = SimSubstrate::k40c();
+        let params = MeasureParams {
+            repeats: Repeats::new(1, 3),
+            timeout_ms: Some(0.0),
+        };
+        let reports = measure_candidates(
+            &sub,
+            &ConvConfig::paper_base(),
+            Direction::Training,
+            &params,
+            &Constraint::None,
+        );
+        assert!(pick_winner(&reports).is_none());
+        assert!(reports
+            .iter()
+            .all(|r| matches!(&r.outcome, Outcome::Rejected { .. })));
+    }
+}

@@ -1,0 +1,40 @@
+//! `gcnn-autotune` — measurement-driven per-layer algorithm selection
+//! with a persistent tuning cache.
+//!
+//! The paper's goal is to "assist practitioners identifying the
+//! implementations that best serve their CNN computation needs in
+//! different scenarios"; production stacks answer that the way cuDNN's
+//! `cudnnFindConvolutionForwardAlgorithm` does — measure the candidates
+//! on the actual substrate and cache the winner per layer shape. This
+//! crate is that subsystem, in three layers:
+//!
+//! 1. **measurement harness** ([`harness`]) — warmup + trimmed-median
+//!    timing over N reps (shared util in [`timing`]), optional per-
+//!    candidate wall-clock timeout, peak-workspace accounting;
+//! 2. **persistent cache** ([`cache`]) — versioned JSON keyed by
+//!    `(device fingerprint, ConvConfig, direction)`, atomic writes,
+//!    degrade-to-heuristics on corrupt or stale files;
+//! 3. **policy engine** ([`policy`]) — `Heuristic` / `Measure` /
+//!    `CacheOnly` plus a `SpeedWithinMemory` constraint mirroring
+//!    `gcnn-core::advisor::Scenario`.
+//!
+//! Candidates run on a [`substrate::Substrate`]: the gpusim device
+//! model (the seven framework implementations, deterministic) or the
+//! real CPU strategies (wall clock). `gcnn-models::Network::tune` walks
+//! a network through a [`policy::Tuner`] to pick each conv layer's
+//! algorithm, and the `autotune_report` bench binary compares the tuned
+//! schedule against single-framework and oracle schedules.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod harness;
+pub mod policy;
+pub mod substrate;
+pub mod timing;
+
+pub use cache::{CacheEntry, CacheKey, TuningCache, SCHEMA_VERSION};
+pub use harness::{measure_candidates, pick_winner, CandidateReport, MeasureParams, Outcome};
+pub use policy::{Constraint, Policy, Selection, SelectionSource, Tuner};
+pub use substrate::{Candidate, CpuSubstrate, Direction, RunCost, SimSubstrate, Substrate};
+pub use timing::{stats, time_wall, trimmed_median, Repeats, Stats};

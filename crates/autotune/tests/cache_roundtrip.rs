@@ -1,0 +1,226 @@
+//! Property tests for the tuning-cache file format.
+//!
+//! The encoder is the derived `Serialize` of the vendored serde; the
+//! decoder is hand-written over `serde_json::Value` (the stand-in has no
+//! typed deserialization). These round-trips are what hold the two
+//! sides to the same format, plus the degrade-don't-panic contract for
+//! truncated, garbage, and wrong-schema-version files.
+
+use gcnn_autotune::cache::{CacheEntry, CacheKey, TuningCache};
+use gcnn_autotune::substrate::Direction;
+use gcnn_conv::{ConvConfig, Strategy as ConvStrategy};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn temp_path(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gcnn_autotune_rt_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{case}.json"))
+}
+
+fn arb_direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![
+        Just(Direction::Forward),
+        Just(Direction::Backward),
+        Just(Direction::Training),
+    ]
+}
+
+fn arb_strategy() -> impl Strategy<Value = ConvStrategy> {
+    prop_oneof![
+        Just(ConvStrategy::Direct),
+        Just(ConvStrategy::Unrolling),
+        Just(ConvStrategy::Fft),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = ConvConfig> {
+    (
+        1usize..512,
+        1usize..512,
+        1usize..256,
+        1usize..1024,
+        1usize..16,
+        1usize..5,
+    )
+        .prop_map(
+            |(batch, channels, input, filters, kernel, stride)| ConvConfig {
+                batch,
+                channels,
+                input,
+                filters,
+                kernel,
+                stride,
+                pad: kernel % 3,
+            },
+        )
+}
+
+fn arb_device() -> impl Strategy<Value = String> {
+    // The vendored proptest has no string strategies; synthesize
+    // fingerprint-shaped names (including characters JSON must escape).
+    (0usize..4, 1u32..64, 100u32..2000).prop_map(|(kind, sms, clock)| {
+        let prefix = [
+            "sim/Tesla K40c",
+            "sim/GTX \"Titan\"",
+            "cpu/host",
+            "dev\\weird\npath",
+        ][kind];
+        format!("{prefix}/sm{sms}@{clock}MHz")
+    })
+}
+
+fn arb_key() -> impl Strategy<Value = CacheKey> {
+    (arb_device(), arb_config(), arb_direction()).prop_map(|(device, cfg, direction)| CacheKey {
+        device,
+        cfg,
+        direction,
+    })
+}
+
+fn arb_entry() -> impl Strategy<Value = CacheEntry> {
+    // Workspace bytes stay below 2^53: the JSON number line (f64 in the
+    // vendored Value) is exact only up to there — see the cache docs.
+    (
+        0usize..7,
+        arb_strategy(),
+        0.0f64..1e6,
+        0u64..(1 << 53),
+        1usize..32,
+    )
+        .prop_map(
+            |(imp, strategy, time_ms, workspace_bytes, reps)| CacheEntry {
+                implementation: [
+                    "Caffe",
+                    "Torch-cunn",
+                    "Theano-CorrMM",
+                    "Theano-fft",
+                    "cuDNN",
+                    "cuda-convnet2",
+                    "fbfft",
+                ][imp]
+                    .to_string(),
+                strategy,
+                time_ms,
+                workspace_bytes,
+                reps,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn save_load_identity(
+        pairs in proptest::collection::vec((arb_key(), arb_entry()), 1..20),
+        case in 0u64..u64::MAX,
+    ) {
+        let path = temp_path("identity", case);
+        let mut cache = TuningCache::new();
+        // Later duplicates of a key overwrite earlier ones, mirroring
+        // insert semantics; mimic that in the expectation map.
+        let mut expected = std::collections::HashMap::new();
+        for (key, entry) in pairs {
+            cache.insert(key.clone(), entry.clone());
+            expected.insert(key, entry);
+        }
+        cache.save(&path).expect("save");
+
+        let mut loaded = TuningCache::load(&path);
+        prop_assert!(loaded.degraded().is_none());
+        prop_assert_eq!(loaded.len(), expected.len());
+        for (key, entry) in &expected {
+            let got = loaded.lookup(key);
+            prop_assert_eq!(got.as_ref(), Some(entry));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_degrades_without_panic(
+        key in arb_key(),
+        entry in arb_entry(),
+        case in 0u64..u64::MAX,
+        cut_num in 1usize..1000,
+    ) {
+        let path = temp_path("trunc", case);
+        let mut cache = TuningCache::new();
+        cache.insert(key, entry);
+        cache.save(&path).expect("save");
+
+        let full = std::fs::read_to_string(&path).unwrap();
+        // Cut somewhere strictly inside the document.
+        let cut = 1 + cut_num % (full.len() - 1);
+        let truncated: String = full.chars().take(cut).collect();
+        std::fs::write(&path, truncated).unwrap();
+
+        let loaded = TuningCache::load(&path);
+        prop_assert!(loaded.is_empty());
+        prop_assert!(loaded.degraded().is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_file_degrades_without_panic(
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+        case in 0u64..u64::MAX,
+    ) {
+        let path = temp_path("garbage", case);
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = TuningCache::load(&path);
+        prop_assert!(loaded.is_empty());
+        // Arbitrary bytes may accidentally form valid JSON, but never a
+        // valid non-empty cache of our schema.
+        prop_assert_eq!(loaded.len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_schema_version_degrades(
+        key in arb_key(),
+        entry in arb_entry(),
+        version in 0u64..1_000_000,
+        case in 0u64..u64::MAX,
+    ) {
+        prop_assume!(version != u64::from(gcnn_autotune::SCHEMA_VERSION));
+        let path = temp_path("version", case);
+        let mut cache = TuningCache::new();
+        cache.insert(key, entry);
+        cache.save(&path).expect("save");
+
+        // Rewrite the version stamp in place; the rest stays valid.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let current = format!("\"schema_version\": {}", gcnn_autotune::SCHEMA_VERSION);
+        prop_assert!(text.contains(&current));
+        std::fs::write(&path, text.replace(&current, &format!("\"schema_version\": {version}")))
+            .unwrap();
+
+        let loaded = TuningCache::load(&path);
+        prop_assert!(loaded.is_empty());
+        prop_assert!(loaded.degraded().is_some());
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn mangled_entries_degrade_not_panic() {
+    // Hand-picked structural corruptions the fuzz above may not hit.
+    for bad in [
+        "{}",
+        "[]",
+        "null",
+        "{\"schema_version\": 1}",
+        "{\"schema_version\": 1, \"entries\": 7}",
+        "{\"schema_version\": 1, \"entries\": [7]}",
+        "{\"schema_version\": 1, \"entries\": [{\"key\": {}, \"entry\": {}}]}",
+        "{\"schema_version\": \"one\", \"entries\": []}",
+    ] {
+        let path = temp_path("mangled", bad.len() as u64);
+        std::fs::write(&path, bad).unwrap();
+        let loaded = TuningCache::load(&path);
+        assert!(loaded.is_empty(), "{bad:?} must load as empty");
+        assert!(loaded.degraded().is_some(), "{bad:?} must be degraded");
+        std::fs::remove_file(&path).ok();
+    }
+}

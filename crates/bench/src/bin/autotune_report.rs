@@ -1,0 +1,331 @@
+//! autotune_report — tune a per-layer schedule for every zoo model with
+//! `gcnn-autotune` and compare it against the single-best-framework and
+//! oracle schedules of `model_framework_comparison`, writing
+//! `results/autotune_schedule.json`.
+//!
+//! Each model is tuned twice: a **cold** pass (`Policy::Measure`, fresh
+//! cache — every layer is measured), then the cache is saved, reloaded
+//! from disk, and a **warm** pass re-tunes from the persisted file. The
+//! binary exits non-zero if the warm pass measured anything, picked a
+//! different schedule, or — the headline claim — if the tuned AlexNet
+//! schedule is slower than the best single framework or more than 5%
+//! off the oracle.
+//!
+//! `--smoke` runs the same cold/warm contract on tiny configurations
+//! (for CI): a LeNet-5 `Network::tune` round-trip plus a handful of
+//! small layer shapes, still failing on any cold/warm mismatch.
+//!
+//! Environment knobs: `GCNN_TUNE_WARMUP`, `GCNN_TUNE_REPS`,
+//! `GCNN_TUNE_TIMEOUT_MS` (measurement), `GCNN_TUNE_CACHE` (cache file,
+//! default `results/autotune_cache.json`).
+
+use gcnn_autotune::{
+    MeasureParams, Policy, Selection, SelectionSource, SimSubstrate, Substrate, Tuner, TuningCache,
+};
+use gcnn_conv::ConvConfig;
+use gcnn_core::compare_model;
+use gcnn_gpusim::DeviceSpec;
+use gcnn_models::layer::{walk, InstanceKind};
+use gcnn_models::Network;
+use gcnn_tensor::Shape4;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+const BATCH: usize = 32;
+
+#[derive(Debug, Serialize)]
+struct LayerRow {
+    layer: String,
+    cfg: ConvConfig,
+    implementation: String,
+    strategy: gcnn_conv::Strategy,
+    time_ms: f64,
+    workspace_bytes: u64,
+    cold_source: SelectionSource,
+    warm_source: SelectionSource,
+}
+
+#[derive(Debug, Serialize)]
+struct ModelRow {
+    model: String,
+    batch: usize,
+    layers: Vec<LayerRow>,
+    tuned_total_ms: f64,
+    best_single: Option<(String, f64)>,
+    oracle_total_ms: f64,
+    /// tuned / oracle; 1.0 means the tuner recovered the oracle exactly.
+    tuned_vs_oracle: f64,
+    warm_identical: bool,
+    warm_measurements: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema_version: u32,
+    device: String,
+    cache_path: String,
+    warmup: usize,
+    reps: usize,
+    models: Vec<ModelRow>,
+}
+
+fn cache_path(smoke: bool) -> PathBuf {
+    if let Ok(p) = std::env::var("GCNN_TUNE_CACHE") {
+        return PathBuf::from(p);
+    }
+    if smoke {
+        std::env::temp_dir().join(format!("gcnn_autotune_smoke_{}.json", std::process::id()))
+    } else {
+        PathBuf::from("results/autotune_cache.json")
+    }
+}
+
+/// Tune one pass over `configs`, returning each layer's selection.
+fn tune_pass(
+    tuner: &Tuner,
+    sub: &dyn Substrate,
+    cache: &mut TuningCache,
+    configs: &[(String, ConvConfig)],
+) -> Vec<(String, Selection)> {
+    configs
+        .iter()
+        .filter_map(|(name, cfg)| {
+            tuner
+                .select(sub, cache, cfg, gcnn_autotune::Direction::Training)
+                .map(|sel| (name.clone(), sel))
+        })
+        .collect()
+}
+
+/// Cold pass on a fresh cache, persist, reload, warm pass; returns the
+/// model row plus whether the cold/warm contract held.
+fn tune_model(
+    model: &gcnn_models::layer::ModelSpec,
+    sub: &SimSubstrate,
+    tuner: &Tuner,
+    path: &Path,
+) -> (ModelRow, bool) {
+    let configs: Vec<(String, ConvConfig)> = walk(model, BATCH)
+        .into_iter()
+        .filter(|inst| inst.kind == InstanceKind::Conv)
+        .map(|inst| (inst.name.clone(), inst.conv.expect("conv instance")))
+        .collect();
+
+    let mut cache = TuningCache::new();
+    let cold = tune_pass(tuner, sub, &mut cache, &configs);
+    cache.save(path).expect("persist tuning cache");
+
+    // Reload from disk: the warm pass must be answered entirely by the
+    // persisted file.
+    let mut reloaded = TuningCache::load(path);
+    assert!(reloaded.degraded().is_none(), "fresh save must load clean");
+    let before = gcnn_trace::snapshot();
+    let warm = tune_pass(tuner, sub, &mut reloaded, &configs);
+    let after = gcnn_trace::snapshot();
+
+    let warm_measurements = warm
+        .iter()
+        .filter(|(_, sel)| sel.source != SelectionSource::Cache)
+        .count();
+    let warm_identical = cold.len() == warm.len()
+        && cold
+            .iter()
+            .zip(&warm)
+            .all(|((cn, cs), (wn, ws))| cn == wn && cs.implementation == ws.implementation);
+    let mut contract_ok = warm_identical && warm_measurements == 0;
+
+    if gcnn_trace::enabled() {
+        // The counters must tell the same story as the structural check:
+        // zero sweeps during the warm pass, one cache hit per layer.
+        let sweeps =
+            after.counter("autotune.measure.count") - before.counter("autotune.measure.count");
+        let hits = after.counter("autotune.cache.hits") - before.counter("autotune.cache.hits");
+        if sweeps != 0 || hits != cold.len() as u64 {
+            eprintln!(
+                "!!! {}: warm pass ran {sweeps} sweeps, {hits} cache hits (want 0 and {})",
+                model.name,
+                cold.len()
+            );
+            contract_ok = false;
+        }
+    }
+
+    let cmp = compare_model(model, BATCH, &sub.dev);
+    let tuned_total_ms: f64 = cold.iter().map(|(_, s)| s.time_ms).sum();
+    let oracle_total_ms = cmp.oracle_ms();
+    let layers = cold
+        .iter()
+        .zip(&warm)
+        .map(|((name, c), (_, w))| LayerRow {
+            layer: name.clone(),
+            cfg: configs.iter().find(|(n, _)| n == name).unwrap().1,
+            implementation: c.implementation.clone(),
+            strategy: c.strategy,
+            time_ms: c.time_ms,
+            workspace_bytes: c.workspace_bytes,
+            cold_source: c.source,
+            warm_source: w.source,
+        })
+        .collect();
+
+    let row = ModelRow {
+        model: model.name.clone(),
+        batch: BATCH,
+        layers,
+        tuned_total_ms,
+        best_single: cmp.best_single().map(|(n, t)| (n.to_string(), t)),
+        oracle_total_ms,
+        tuned_vs_oracle: tuned_total_ms / oracle_total_ms,
+        warm_identical,
+        warm_measurements,
+    };
+    (row, contract_ok)
+}
+
+/// CI smoke: tiny shapes and a real `Network::tune` round-trip.
+fn run_smoke(sub: &SimSubstrate, tuner: &Tuner, path: &Path) -> bool {
+    let configs: Vec<(String, ConvConfig)> = [
+        ConvConfig::with_channels(32, 3, 16, 16, 3, 1),
+        ConvConfig::with_channels(32, 16, 14, 32, 5, 1),
+        ConvConfig::with_channels(32, 8, 12, 16, 3, 2),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, cfg)| (format!("smoke{i}"), cfg))
+    .collect();
+
+    let mut cache = TuningCache::new();
+    let cold = tune_pass(tuner, sub, &mut cache, &configs);
+    cache.save(path).expect("persist smoke cache");
+    let mut reloaded = TuningCache::load(path);
+    let warm = tune_pass(tuner, sub, &mut reloaded, &configs);
+
+    let mut ok = true;
+    if cold.len() != warm.len() {
+        eprintln!(
+            "!!! smoke: cold tuned {} layers, warm {}",
+            cold.len(),
+            warm.len()
+        );
+        ok = false;
+    }
+    for ((name, c), (_, w)) in cold.iter().zip(&warm) {
+        println!(
+            "{name:<8} cold {:<14} ({:?})  warm {:<14} ({:?})",
+            c.implementation, c.source, w.implementation, w.source
+        );
+        if c.implementation != w.implementation {
+            eprintln!("!!! smoke: {name} winner changed cold→warm");
+            ok = false;
+        }
+        if w.source != SelectionSource::Cache {
+            eprintln!("!!! smoke: {name} warm pass was not a cache hit");
+            ok = false;
+        }
+    }
+
+    // End-to-end through the Network: tuned LeNet-5 must still run, and
+    // a second tune from the same in-memory cache must agree.
+    let mut net = Network::lenet5(16, 4, gcnn_conv::Strategy::Direct, 7);
+    let input = Shape4::new(32, 1, 16, 16);
+    let sched = net.tune(input, tuner, sub, &mut reloaded);
+    let logits = net.forward(&gcnn_tensor::Tensor4::zeros(input));
+    if logits.shape() != Shape4::new(32, 4, 1, 1) {
+        eprintln!("!!! smoke: tuned network forward shape wrong");
+        ok = false;
+    }
+    let mut net2 = Network::lenet5(16, 4, gcnn_conv::Strategy::Direct, 7);
+    let sched2 = net2.tune(input, tuner, sub, &mut reloaded);
+    if sched
+        .iter()
+        .map(|l| &l.implementation)
+        .ne(sched2.iter().map(|l| &l.implementation))
+    {
+        eprintln!("!!! smoke: Network::tune schedule unstable across runs");
+        ok = false;
+    }
+    std::fs::remove_file(path).ok();
+    ok
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let params = MeasureParams::from_env();
+    let tuner = Tuner::new(Policy::Measure).with_params(params);
+    let sub = SimSubstrate::new(DeviceSpec::k40c());
+    let path = cache_path(smoke);
+    println!(
+        "autotune_report: device {}, warmup {}, reps {}, cache {}",
+        sub.fingerprint(),
+        params.repeats.warmup,
+        params.repeats.reps,
+        path.display()
+    );
+
+    if smoke {
+        if run_smoke(&sub, &tuner, &path) {
+            println!("autotune smoke OK: warm cache reproduced every cold winner");
+        } else {
+            eprintln!("autotune smoke FAILED");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut rows = Vec::new();
+    let mut failures = 0;
+    for model in gcnn_models::all_models() {
+        let (row, contract_ok) = tune_model(&model, &sub, &tuner, &path);
+        println!(
+            "{:<12} tuned {:>10} ms  best-single {:>10} ms ({})  oracle {:>10} ms  ratio {:.4}  warm {}",
+            row.model,
+            gcnn_bench::ms(row.tuned_total_ms),
+            gcnn_bench::ms(row.best_single.as_ref().map(|(_, t)| *t).unwrap_or(f64::NAN)),
+            row.best_single.as_ref().map(|(n, _)| n.as_str()).unwrap_or("-"),
+            gcnn_bench::ms(row.oracle_total_ms),
+            row.tuned_vs_oracle,
+            if row.warm_identical { "identical" } else { "DIVERGED" },
+        );
+        if !contract_ok {
+            eprintln!("!!! {}: cold/warm contract violated", row.model);
+            failures += 1;
+        }
+        if let Some((name, best)) = &row.best_single {
+            if row.tuned_total_ms > best + 1e-9 {
+                eprintln!(
+                    "!!! {}: tuned {} ms slower than {name} {} ms",
+                    row.model, row.tuned_total_ms, best
+                );
+                failures += 1;
+            }
+        }
+        if row.tuned_vs_oracle > 1.05 {
+            eprintln!(
+                "!!! {}: tuned schedule {:.1}% off oracle (budget 5%)",
+                row.model,
+                (row.tuned_vs_oracle - 1.0) * 100.0
+            );
+            failures += 1;
+        }
+        rows.push(row);
+    }
+
+    let report = Report {
+        schema_version: 1,
+        device: sub.fingerprint(),
+        cache_path: path.display().to_string(),
+        warmup: params.repeats.warmup,
+        reps: params.repeats.reps,
+        models: rows,
+    };
+    match gcnn_bench::write_json("autotune_schedule", &report) {
+        Ok(p) => println!("wrote {p}"),
+        Err(e) => {
+            eprintln!("failed to write autotune_schedule.json: {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,7 @@
 //! where, how often the caches hit, and whether the steady state still
 //! allocates nothing.
 
+use gcnn_autotune::timing::{stats, time_wall, Repeats, Stats};
 use gcnn_conv::{ConvAlgorithm, ConvConfig, FftConv, Strategy, UnrollConv};
 use gcnn_models::data::synthetic_digits;
 use gcnn_models::Network;
@@ -28,6 +29,10 @@ struct TraceReport {
     /// Arena pool misses during the second (post-warm-up) convolution
     /// round. The zero-allocation hot paths guarantee this is 0.
     steady_fresh_allocs: u64,
+    /// Wall-clock summary of the steady conv round, via the shared
+    /// warmup + trimmed-median util (`GCNN_TUNE_WARMUP`/`_REPS`
+    /// override the 1/5 defaults).
+    steady_round: Stats,
     /// Contents of `results/BENCH_hotpaths.json`, when present.
     hotpaths: Option<Value>,
     snapshot: gcnn_trace::Snapshot,
@@ -73,6 +78,12 @@ fn main() {
     // exactly what the zero-allocation tests guarantee.
     let (_, steady) = workspace::alloc_scope(|| conv_round(&cfg, &x, &w));
 
+    // Timed region: the same round through the shared timing util, so
+    // this report and perf_smoke summarize wall clock identically.
+    let steady_round = stats(&time_wall(Repeats::from_env(1, 5), || {
+        conv_round(&cfg, &x, &w)
+    }));
+
     // Span coverage: one more training batch per strategy (outside the
     // counted region — training legitimately allocates activations).
     for net in &mut nets {
@@ -98,6 +109,7 @@ fn main() {
              training batch per strategy at 16x16"
         ),
         steady_fresh_allocs: steady,
+        steady_round,
         hotpaths,
         snapshot,
     };

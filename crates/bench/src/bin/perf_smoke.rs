@@ -7,18 +7,25 @@
 //! `results/BENCH_hotpaths.json` with mean/p50/p95 per section so the
 //! performance trajectory is comparable across PRs.
 //!
+//! Timing goes through the shared `gcnn_autotune::timing` util (warmup
+//! then trimmed-median aggregation) — the same one `bench_report` and
+//! the autotune harness use — so every number in `results/` is produced
+//! the same way.
+//!
 //! Environment knobs:
 //! * `GCNN_PERF_ITERS` — iterations per section (default 10).
+//! * `GCNN_PERF_WARMUP` — untimed warmup iterations (default 1).
 //! * `GCNN_PERF_DIRECT_ITERS` — iterations for the `Direct` strategy
 //!   (default 2: it is the unoptimized O(n⁷) reference loop and costs
-//!   minutes per iteration at the base config on one core).
+//!   minutes per iteration at the base config on one core; it also
+//!   gets no warmup).
 
+use gcnn_autotune::timing::{env_usize, stats, time_wall, Repeats};
 use gcnn_conv::{algorithm_for, ConvConfig, Strategy};
 use gcnn_fft::RfftPlan;
 use gcnn_gemm::{gemm_flops, sgemm, Transpose};
 use gcnn_tensor::init::{uniform_tensor, xavier_filters};
 use serde::Serialize;
-use std::time::Instant;
 
 #[derive(Debug, Serialize)]
 struct Section {
@@ -40,40 +47,17 @@ struct Report {
     sections: Vec<Section>,
 }
 
-fn env_iters(var: &str, default: usize) -> usize {
-    std::env::var(var)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Run `body` `iters` times, returning per-iteration milliseconds.
-fn time_ms(iters: usize, mut body: impl FnMut()) -> Vec<f64> {
-    (0..iters)
-        .map(|_| {
-            let t = Instant::now();
-            body();
-            t.elapsed().as_secs_f64() * 1e3
-        })
-        .collect()
-}
-
 fn section(name: &str, samples: Vec<f64>, flops: Option<u64>, note: Option<String>) -> Section {
-    assert!(!samples.is_empty(), "section {name}: no samples");
-    let mut sorted = samples.clone();
-    sorted.sort_by(|a, b| a.total_cmp(b));
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let p50 = sorted[sorted.len() / 2];
-    let p95 = sorted[((sorted.len() - 1) as f64 * 0.95).ceil() as usize];
+    let st = stats(&samples);
     let s = Section {
         name: name.to_string(),
-        iters: samples.len(),
-        mean_ms: mean,
-        p50_ms: p50,
-        p95_ms: p95,
-        min_ms: sorted[0],
-        max_ms: sorted[sorted.len() - 1],
-        gflops: flops.map(|f| f as f64 / (mean * 1e6)),
+        iters: st.iters,
+        mean_ms: st.mean_ms,
+        p50_ms: st.p50_ms,
+        p95_ms: st.p95_ms,
+        min_ms: st.min_ms,
+        max_ms: st.max_ms,
+        gflops: flops.map(|f| f as f64 / (st.mean_ms * 1e6)),
         note,
     };
     println!(
@@ -107,14 +91,14 @@ fn skipped(name: &str, reason: String) -> Section {
 
 /// The im2col GEMM of the whole base-config batch: `m = f = 64`,
 /// `n = b·oh·ow = 891136`, `k = c·k² = 363`.
-fn bench_sgemm(cfg: &ConvConfig, iters: usize) -> Section {
+fn bench_sgemm(cfg: &ConvConfig, repeats: Repeats) -> Section {
     let m = cfg.filters;
     let n = cfg.batch * cfg.output() * cfg.output();
     let k = cfg.channels * cfg.kernel * cfg.kernel;
     let a = uniform_tensor(gcnn_tensor::Shape4::new(1, 1, m, k), -1.0, 1.0, 11);
     let b = uniform_tensor(gcnn_tensor::Shape4::new(1, 1, k, n), -1.0, 1.0, 12);
     let mut c = vec![0.0f32; m * n];
-    let samples = time_ms(iters, || {
+    let samples = time_wall(repeats, || {
         sgemm(
             Transpose::No,
             Transpose::No,
@@ -141,7 +125,7 @@ fn bench_sgemm(cfg: &ConvConfig, iters: usize) -> Section {
 
 /// Batched 2-D real FFT round-trip over the fft-conv input plane set
 /// (`b·c` planes, padded size = next pow2 ≥ `i + k − 1`).
-fn bench_batched_fft(cfg: &ConvConfig, iters: usize) -> Section {
+fn bench_batched_fft(cfg: &ConvConfig, repeats: Repeats) -> Section {
     let min_size = cfg.input + cfg.kernel - 1;
     let fft_n = min_size.next_power_of_two();
     let planes = cfg.batch * cfg.channels;
@@ -154,7 +138,7 @@ fn bench_batched_fft(cfg: &ConvConfig, iters: usize) -> Section {
     );
     let mut spectra = vec![gcnn_tensor::Complex32::ZERO; planes * plan.spectrum_len()];
     let mut back = vec![0.0f32; planes * fft_n * fft_n];
-    let samples = time_ms(iters, || {
+    let samples = time_wall(repeats, || {
         gcnn_fft::rfft_forward_batch(&plan, data.as_slice(), &mut spectra);
         gcnn_fft::rfft_inverse_batch(&plan, &spectra, &mut back);
         std::hint::black_box(&back);
@@ -172,22 +156,22 @@ fn bench_algo(
     cfg: &ConvConfig,
     algo: &dyn gcnn_conv::ConvAlgorithm,
     tag: &str,
-    iters: usize,
+    repeats: Repeats,
 ) -> Vec<Section> {
     if let Err(err) = algo.supports(cfg) {
         return vec![skipped(&format!("conv_{tag}"), format!("{err:?}"))];
     }
-    if iters == 0 {
+    if repeats.reps == 0 {
         return vec![skipped(&format!("conv_{tag}"), "iters = 0".to_string())];
     }
     let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 21);
     let w = xavier_filters(cfg.filter_shape(), 22);
     let y = algo.forward(cfg, &x, &w);
 
-    let fwd = time_ms(iters, || {
+    let fwd = time_wall(repeats, || {
         std::hint::black_box(algo.forward(cfg, &x, &w));
     });
-    let bwd = time_ms(iters, || {
+    let bwd = time_wall(repeats, || {
         std::hint::black_box(algo.backward_data(cfg, &y, &w));
         std::hint::black_box(algo.backward_filters(cfg, &x, &y));
     });
@@ -203,32 +187,38 @@ fn bench_algo(
 }
 
 fn main() {
-    let iters = env_iters("GCNN_PERF_ITERS", 10);
-    let direct_iters = env_iters("GCNN_PERF_DIRECT_ITERS", 2);
+    let repeats = Repeats::new(
+        env_usize("GCNN_PERF_WARMUP", 1),
+        env_usize("GCNN_PERF_ITERS", 10),
+    );
+    // Direct is minutes per iteration: no warmup, few reps.
+    let direct_repeats = Repeats::new(0, env_usize("GCNN_PERF_DIRECT_ITERS", 2));
     let cfg = ConvConfig::paper_base();
     println!(
-        "perf_smoke: base config {:?} (output {}), {iters} iters",
+        "perf_smoke: base config {:?} (output {}), {} iters after {} warmup",
         cfg,
-        cfg.output()
+        cfg.output(),
+        repeats.reps,
+        repeats.warmup
     );
 
     let mut sections = Vec::new();
-    sections.push(bench_sgemm(&cfg, iters));
-    sections.push(bench_batched_fft(&cfg, iters));
+    sections.push(bench_sgemm(&cfg, repeats));
+    sections.push(bench_batched_fft(&cfg, repeats));
     for strat in [Strategy::Unrolling, Strategy::Fft] {
         let algo = algorithm_for(strat);
         let tag = format!("{strat:?}").to_lowercase();
-        sections.extend(bench_algo(&cfg, algo.as_ref(), &tag, iters));
+        sections.extend(bench_algo(&cfg, algo.as_ref(), &tag, repeats));
     }
     // Winograd has no `Strategy` slot of its own (it rides the
     // transform-domain family) and F(2x2,3x3) needs k = 3, so it is
     // tracked at the 3x3 variant of the base config.
     let wcfg = ConvConfig { kernel: 3, ..cfg };
     let winograd = gcnn_conv::WinogradConv::new();
-    sections.extend(bench_algo(&wcfg, &winograd, "winograd_3x3", iters));
+    sections.extend(bench_algo(&wcfg, &winograd, "winograd_3x3", repeats));
     {
         let algo = algorithm_for(Strategy::Direct);
-        sections.extend(bench_algo(&cfg, algo.as_ref(), "direct", direct_iters));
+        sections.extend(bench_algo(&cfg, algo.as_ref(), "direct", direct_repeats));
     }
 
     let report = Report {

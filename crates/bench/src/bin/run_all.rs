@@ -3,7 +3,7 @@
 
 use std::process::Command;
 
-const BINARIES: [&str; 12] = [
+const BINARIES: [&str; 13] = [
     "table1_configs",
     "table2_resources",
     "fig2_model_breakdown",
@@ -15,6 +15,7 @@ const BINARIES: [&str; 12] = [
     "ablations",
     "device_sensitivity",
     "model_framework_comparison",
+    "autotune_report",
     "export_trace",
 ];
 

@@ -7,11 +7,13 @@
 //! cross-strategy equivalence the paper's whole comparison rests on.
 
 use crate::data::Dataset;
+use gcnn_autotune::{SelectionSource, Substrate, Tuner, TuningCache};
 use gcnn_conv::layers::{
     softmax_cross_entropy, FcLayer, PoolForward, PoolKind, PoolLayer, ReluLayer,
 };
 use gcnn_conv::{algorithm_for, ConvConfig, Strategy};
 use gcnn_tensor::{Shape4, Tensor4, Workspace};
+use serde::Serialize;
 
 /// A trainable layer.
 enum NetLayer {
@@ -87,6 +89,23 @@ pub struct TrainReport {
     pub epoch_losses: Vec<f32>,
     /// Accuracy on the held-out set after training.
     pub test_accuracy: f32,
+}
+
+/// One conv layer's outcome from a [`Network::tune`] pass.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TunedLayer {
+    /// Index of the layer within the network.
+    pub layer_index: usize,
+    /// The layer's shape at the tuning batch size.
+    pub cfg: ConvConfig,
+    /// Winning candidate's name on the substrate.
+    pub implementation: String,
+    /// The strategy the layer will execute from now on.
+    pub strategy: Strategy,
+    /// The winner's (measured or modeled) time, milliseconds.
+    pub time_ms: f64,
+    /// Where the decision came from (cache / measurement / heuristic).
+    pub source: SelectionSource,
 }
 
 impl Network {
@@ -167,6 +186,70 @@ impl Network {
             .fc(120, 84, seed + 3)
             .relu()
             .fc(84, classes, seed + 4)
+    }
+
+    /// Tune every conv layer's algorithm for inputs of shape `input`:
+    /// walk the network's shapes, ask the [`Tuner`] for each conv
+    /// layer's winner on `substrate` (consulting/filling `cache` as the
+    /// policy dictates), and rebind the layer's strategy to it.
+    ///
+    /// Returns one [`TunedLayer`] record per conv layer the tuner could
+    /// decide. A layer the tuner cannot decide (e.g. no candidate fits
+    /// the memory budget) keeps its current strategy and yields no
+    /// record. Runs under the `autotune.tune_network` span.
+    pub fn tune(
+        &mut self,
+        input: Shape4,
+        tuner: &Tuner,
+        substrate: &dyn Substrate,
+        cache: &mut TuningCache,
+    ) -> Vec<TunedLayer> {
+        let _span = gcnn_trace::span("autotune.tune_network");
+        let mut shape = input;
+        let mut schedule = Vec::new();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            match layer {
+                NetLayer::Conv {
+                    weights,
+                    stride,
+                    pad,
+                    strategy,
+                    ..
+                } => {
+                    let w = weights.shape();
+                    let mut cfg =
+                        ConvConfig::with_channels(shape.n, shape.c, shape.h, w.n, w.h, *stride);
+                    cfg.pad = *pad;
+                    if let Some(sel) =
+                        tuner.select(substrate, cache, &cfg, gcnn_autotune::Direction::Training)
+                    {
+                        *strategy = sel.strategy;
+                        schedule.push(TunedLayer {
+                            layer_index: i,
+                            cfg,
+                            implementation: sel.implementation,
+                            strategy: sel.strategy,
+                            time_ms: sel.time_ms,
+                            source: sel.source,
+                        });
+                    }
+                    shape = Shape4::new(shape.n, w.n, cfg.output(), cfg.output());
+                }
+                NetLayer::Relu => {}
+                NetLayer::MaxPool { window, stride } => {
+                    shape = Shape4::new(
+                        shape.n,
+                        shape.c,
+                        (shape.h - *window) / *stride + 1,
+                        (shape.w - *window) / *stride + 1,
+                    );
+                }
+                NetLayer::Fc { layer, .. } => {
+                    shape = Shape4::new(shape.n, layer.weights.rows(), 1, 1);
+                }
+            }
+        }
+        schedule
     }
 
     /// Forward pass, returning the logits and the per-layer caches.
@@ -557,6 +640,75 @@ mod tests {
         let free = norm_after(0.0);
         let decayed = norm_after(0.05);
         assert!(decayed < free, "decay {decayed} should shrink vs {free}");
+    }
+
+    #[test]
+    fn tune_rebinds_strategies_and_is_cache_stable() {
+        use gcnn_autotune::{Policy, SimSubstrate};
+
+        // Batch 32 so cuda-convnet2 (batch % 32, filters % 16) stays in
+        // play; LeNet-5's filter counts (6, 16) exclude it on layer 0
+        // regardless, which the tuner must tolerate.
+        let sub = SimSubstrate::k40c();
+        let mut cache = gcnn_autotune::TuningCache::new();
+        let tuner = Tuner::new(Policy::Measure).with_params(gcnn_autotune::MeasureParams {
+            repeats: gcnn_autotune::Repeats::new(1, 3),
+            timeout_ms: None,
+        });
+        let input = Shape4::new(32, 1, 28, 28);
+
+        let mut net = Network::lenet5(28, 10, Strategy::Direct, 1);
+        let cold = net.tune(input, &tuner, &sub, &mut cache);
+        assert_eq!(cold.len(), 2, "LeNet-5 has two conv layers");
+        assert_eq!(cold[0].cfg.input, 28);
+        assert_eq!(cold[1].cfg.input, 12, "pool halves 24 → 12");
+        assert!(cold
+            .iter()
+            .all(|l| l.source == gcnn_autotune::SelectionSource::Measured));
+
+        // The tuned strategies must actually run: forward still works.
+        let x = Tensor4::zeros(input);
+        assert_eq!(net.forward(&x).shape(), Shape4::new(32, 10, 1, 1));
+
+        // Warm pass on a fresh network: identical schedule, all hits.
+        let mut net2 = Network::lenet5(28, 10, Strategy::Direct, 1);
+        let warm = net2.tune(input, &tuner, &sub, &mut cache);
+        assert_eq!(warm.len(), cold.len());
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(w.source, gcnn_autotune::SelectionSource::Cache);
+            assert_eq!(c.implementation, w.implementation);
+            assert_eq!(c.strategy, w.strategy);
+            assert_eq!(c.cfg, w.cfg);
+        }
+    }
+
+    #[test]
+    fn tune_heuristic_matches_measured_winner_on_sim() {
+        use gcnn_autotune::{Policy, SimSubstrate};
+
+        let sub = SimSubstrate::k40c();
+        let input = Shape4::new(32, 1, 16, 16);
+        let mut a = Network::lenet5(16, 4, Strategy::Direct, 2);
+        let mut b = Network::lenet5(16, 4, Strategy::Direct, 2);
+        let measured = a.tune(
+            input,
+            &Tuner::new(Policy::Measure).with_params(gcnn_autotune::MeasureParams {
+                repeats: gcnn_autotune::Repeats::new(1, 3),
+                timeout_ms: None,
+            }),
+            &sub,
+            &mut gcnn_autotune::TuningCache::new(),
+        );
+        let heuristic = b.tune(
+            input,
+            &Tuner::new(Policy::Heuristic),
+            &sub,
+            &mut gcnn_autotune::TuningCache::new(),
+        );
+        assert_eq!(measured.len(), heuristic.len());
+        for (m, h) in measured.iter().zip(&heuristic) {
+            assert_eq!(m.implementation, h.implementation);
+        }
     }
 
     #[test]

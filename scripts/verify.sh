@@ -14,5 +14,9 @@ cargo fmt --all -- --check
 # vendored crates' defaults.
 cargo test -q --no-default-features \
   -p gcnn-trace -p gcnn-tensor -p gcnn-gemm -p gcnn-fft \
-  -p gcnn-conv -p gcnn-models -p gcnn-core -p gcnn-bench
+  -p gcnn-conv -p gcnn-autotune -p gcnn-models -p gcnn-core -p gcnn-bench
+# Autotune smoke: cold measure → persist → warm reload must reproduce
+# every winner from the cache without re-measuring.
+GCNN_TUNE_WARMUP=1 GCNN_TUNE_REPS=3 \
+  cargo run -q --release -p gcnn-bench --bin autotune_report -- --smoke
 echo "verify: OK"

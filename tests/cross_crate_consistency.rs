@@ -1,6 +1,7 @@
 //! Cross-crate consistency: the framework models, the analysis harness
 //! and the numeric substrates must tell one coherent story.
 
+use gcnn_autotune::{Direction, Policy, SimSubstrate, Tuner, TuningCache};
 use gcnn_conv::{reference, ConvConfig};
 use gcnn_core::{advise, Scenario};
 use gcnn_frameworks::all_implementations;
@@ -57,6 +58,25 @@ fn advisor_matches_brute_force() {
             }
         }
         assert_eq!(advice.implementation, best.unwrap().0, "at {cfg}");
+    }
+}
+
+/// Measurement-driven tuning on the simulator substrate recovers the
+/// advisor's analytic verdict on every Table I configuration: both
+/// rank candidates by the same modeled cost, so `Policy::Measure` and
+/// `Scenario::Speed` must name the same winner.
+#[test]
+fn autotune_measure_agrees_with_advisor_on_table1() {
+    let dev = DeviceSpec::k40c();
+    let sub = SimSubstrate::k40c();
+    let tuner = Tuner::new(Policy::Measure);
+    let mut cache = TuningCache::new();
+    for cfg in gcnn_conv::config::table1_configs() {
+        let advice = advise(&cfg, Scenario::Speed, &dev).unwrap();
+        let sel = tuner
+            .select(&sub, &mut cache, &cfg, Direction::Training)
+            .unwrap();
+        assert_eq!(sel.implementation, advice.implementation, "at {cfg}");
     }
 }
 
