@@ -172,7 +172,12 @@ impl CpuSubstrate {
 impl Substrate for CpuSubstrate {
     fn fingerprint(&self) -> String {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        format!("cpu/host/{threads}threads")
+        // The SIMD dispatch path changes what a measurement means: a
+        // verdict cached under the scalar kernels must not be trusted by
+        // a process running the AVX2/NEON ones (and vice versa), so the
+        // effective ISA is part of the device identity.
+        let isa = gcnn_tensor::simd::isa_name();
+        format!("cpu/host/{threads}threads/{isa}")
     }
 
     fn candidates(&self) -> Vec<Candidate> {
@@ -292,5 +297,14 @@ mod tests {
         assert_eq!(sim.fingerprint(), sim.fingerprint());
         assert_ne!(sim.fingerprint(), CpuSubstrate::new().fingerprint());
         assert!(sim.fingerprint().contains("Tesla K40c"));
+    }
+
+    #[test]
+    fn cpu_fingerprint_carries_isa() {
+        let fp = CpuSubstrate::new().fingerprint();
+        assert!(
+            fp.ends_with(&format!("/{}", gcnn_tensor::simd::isa_name())),
+            "fingerprint {fp} missing ISA suffix"
+        );
     }
 }

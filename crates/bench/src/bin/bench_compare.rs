@@ -4,22 +4,26 @@
 //! ```text
 //! bench_compare --baseline baseline.json [--current results/BENCH_hotpaths.json]
 //!               [--tolerance 0.25] [--trace results/BENCH_trace.json]
+//!               [--simd results/BENCH_simd.json] [--min-speedup 1.2]
 //! ```
 //!
 //! A section whose p50 exceeds `baseline · (1 + tolerance)` fails, as
 //! does a measured baseline section missing from the current report.
 //! With `--trace`, a non-zero steady-state fresh-allocation count in
-//! the trace report fails too. Exit codes: 0 clean, 1 regression,
-//! 2 usage or I/O error.
+//! the trace report fails too. With `--simd`, the scalar-vs-SIMD
+//! report must show the dispatched SGEMM kernel at least `--min-speedup`
+//! times faster than scalar (skipped on scalar-only hosts). Exit codes:
+//! 0 clean, 1 regression, 2 usage or I/O error.
 
-use gcnn_bench::compare::{diff_reports, steady_fresh_allocs};
+use gcnn_bench::compare::{diff_reports, simd_gate, steady_fresh_allocs};
 use serde_json::Value;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_compare --baseline <json> [--current <json>] \
-         [--tolerance <frac>] [--trace <json>]"
+         [--tolerance <frac>] [--trace <json>] [--simd <json>] \
+         [--min-speedup <ratio>]"
     );
     exit(2);
 }
@@ -40,6 +44,8 @@ fn main() {
     let mut current = "results/BENCH_hotpaths.json".to_string();
     let mut tolerance = 0.25f64;
     let mut trace = None;
+    let mut simd = None;
+    let mut min_speedup = 1.2f64;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -54,6 +60,13 @@ fn main() {
                 }
             }
             "--trace" => trace = Some(value()),
+            "--simd" => simd = Some(value()),
+            "--min-speedup" => {
+                min_speedup = value().parse().unwrap_or_else(|_| usage());
+                if min_speedup < 1.0 {
+                    usage();
+                }
+            }
             _ => usage(),
         }
     }
@@ -72,6 +85,19 @@ fn main() {
             Ok(n) => {
                 println!("steady-state allocations: {n} (REGRESSED — hot paths must not allocate)");
                 failed = true;
+            }
+            Err(e) => {
+                eprintln!("bench_compare: {e}");
+                exit(2);
+            }
+        }
+    }
+
+    if let Some(simd_path) = simd {
+        match simd_gate(&load(&simd_path), min_speedup) {
+            Ok(gate) => {
+                println!("{}", gate.render());
+                failed |= !gate.passed();
             }
             Err(e) => {
                 eprintln!("bench_compare: {e}");

@@ -19,6 +19,13 @@
 //!   (default 2: it is the unoptimized O(n⁷) reference loop and costs
 //!   minutes per iteration at the base config on one core; it also
 //!   gets no warmup).
+//!
+//! A second report, `results/BENCH_simd.json`, records scalar-vs-SIMD
+//! throughput of the GEMM and FFT micro-kernels: each micro-bench runs
+//! under the native dispatch table and again with the table pinned to
+//! scalar (`set_force_scalar`), and the p50 ratio is the speedup
+//! `bench_compare --simd` gates on so a silent dispatch regression to
+//! scalar fails CI.
 
 use gcnn_autotune::timing::{env_usize, stats, time_wall, Repeats};
 use gcnn_conv::{algorithm_for, ConvConfig, Strategy};
@@ -151,6 +158,95 @@ fn bench_batched_fft(cfg: &ConvConfig, repeats: Repeats) -> Section {
     )
 }
 
+/// Scalar-vs-SIMD micro-bench report (`results/BENCH_simd.json`).
+#[derive(Debug, Serialize)]
+struct SimdReport {
+    /// The natively dispatched ISA ([`gcnn_tensor::simd::isa_name`]).
+    isa: String,
+    sections: Vec<Section>,
+    /// `scalar p50 / simd p50` of the 256³ SGEMM micro-bench.
+    sgemm_speedup: f64,
+    /// `scalar p50 / simd p50` of the batched rfft round-trip.
+    rfft_speedup: f64,
+}
+
+/// Time `body` under the native dispatch table, then with the table
+/// pinned to scalar; returns the two sections and the p50 speedup.
+fn ab_scalar(
+    name: &str,
+    repeats: Repeats,
+    flops: Option<u64>,
+    mut body: impl FnMut(),
+) -> (Section, Section, f64) {
+    let simd = time_wall(repeats, &mut body);
+    gcnn_tensor::simd::set_force_scalar(true);
+    let scalar = time_wall(repeats, &mut body);
+    gcnn_tensor::simd::set_force_scalar(false);
+    let s_simd = section(&format!("{name}_simd"), simd, flops, None);
+    let s_scalar = section(&format!("{name}_scalar"), scalar, flops, None);
+    let speedup = if s_simd.p50_ms > 0.0 {
+        s_scalar.p50_ms / s_simd.p50_ms
+    } else {
+        1.0
+    };
+    (s_simd, s_scalar, speedup)
+}
+
+/// The SIMD A/B suite: the 256×256×256 SGEMM the acceptance gate tracks
+/// and a batched rfft round-trip covering butterflies + pointwise paths.
+fn bench_simd(repeats: Repeats) -> SimdReport {
+    let isa = gcnn_tensor::simd::isa_name().to_string();
+    println!("simd A/B: native isa = {isa}");
+
+    let (m, n, k) = (256usize, 256, 256);
+    let a = uniform_tensor(gcnn_tensor::Shape4::new(1, 1, m, k), -1.0, 1.0, 31);
+    let b = uniform_tensor(gcnn_tensor::Shape4::new(1, 1, k, n), -1.0, 1.0, 32);
+    let mut c = vec![0.0f32; m * n];
+    let (g_simd, g_scalar, sgemm_speedup) =
+        ab_scalar("sgemm_256", repeats, Some(gemm_flops(m, n, k)), || {
+            sgemm(
+                Transpose::No,
+                Transpose::No,
+                m,
+                n,
+                k,
+                1.0,
+                a.as_slice(),
+                k,
+                b.as_slice(),
+                n,
+                0.0,
+                &mut c,
+                n,
+            );
+        });
+
+    let fft_n = 64usize;
+    let planes = 32usize;
+    let plan = RfftPlan::cached(fft_n);
+    let data = uniform_tensor(
+        gcnn_tensor::Shape4::new(planes, 1, fft_n, fft_n),
+        -1.0,
+        1.0,
+        33,
+    );
+    let mut spectra = vec![gcnn_tensor::Complex32::ZERO; planes * plan.spectrum_len()];
+    let mut back = vec![0.0f32; planes * fft_n * fft_n];
+    let (f_simd, f_scalar, rfft_speedup) = ab_scalar("rfft_batch", repeats, None, || {
+        gcnn_fft::rfft_forward_batch(&plan, data.as_slice(), &mut spectra);
+        gcnn_fft::rfft_inverse_batch(&plan, &spectra, &mut back);
+        std::hint::black_box(&back);
+    });
+
+    println!("simd A/B: sgemm {sgemm_speedup:.2}x, rfft {rfft_speedup:.2}x over scalar");
+    SimdReport {
+        isa,
+        sections: vec![g_simd, g_scalar, f_simd, f_scalar],
+        sgemm_speedup,
+        rfft_speedup,
+    }
+}
+
 /// One forward + full backward (data + filters) for one algorithm.
 fn bench_algo(
     cfg: &ConvConfig,
@@ -228,5 +324,11 @@ fn main() {
     match gcnn_bench::write_json("BENCH_hotpaths", &report) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write BENCH_hotpaths.json: {e}"),
+    }
+
+    let simd_report = bench_simd(repeats);
+    match gcnn_bench::write_json("BENCH_simd", &simd_report) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write BENCH_simd.json: {e}"),
     }
 }

@@ -159,6 +159,81 @@ pub fn steady_fresh_allocs(trace: &Value) -> Result<u64, String> {
         .ok_or_else(|| "trace report has no `steady_fresh_allocs`".to_string())
 }
 
+/// Outcome of the SIMD dispatch gate over a `BENCH_simd.json` report.
+#[derive(Debug, Clone)]
+pub struct SimdGate {
+    /// The ISA the report was produced under.
+    pub isa: String,
+    /// `scalar p50 / simd p50` of the SGEMM micro-bench.
+    pub sgemm_speedup: f64,
+    /// `scalar p50 / simd p50` of the batched rfft round-trip.
+    pub rfft_speedup: f64,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl SimdGate {
+    /// True when the dispatched kernels met their speedup floors (or the
+    /// host is scalar-only, where the gate is vacuous).
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line summary for CI logs.
+    pub fn render(&self) -> String {
+        if self.failures.is_empty() {
+            format!(
+                "simd gate: isa {} — sgemm {:.2}x, rfft {:.2}x over scalar: ok",
+                self.isa, self.sgemm_speedup, self.rfft_speedup
+            )
+        } else {
+            format!("simd gate: isa {} — {}", self.isa, self.failures.join("; "))
+        }
+    }
+}
+
+/// Gate a `BENCH_simd.json` report: on a SIMD-capable host the
+/// dispatched SGEMM micro-kernel must beat scalar by at least
+/// `min_sgemm_speedup` and the FFT path must not have *lost* throughput
+/// (floor 0.9× — the butterflies are memory-bound, so parity is
+/// acceptable; a real dispatch regression shows up well below it).
+/// Scalar-only hosts pass trivially: there is no SIMD path to regress.
+pub fn simd_gate(report: &Value, min_sgemm_speedup: f64) -> Result<SimdGate, String> {
+    const MIN_RFFT_SPEEDUP: f64 = 0.9;
+    let isa = report
+        .get("isa")
+        .and_then(Value::as_str)
+        .ok_or("simd report has no `isa`")?
+        .to_string();
+    let field = |name: &str| {
+        report
+            .get(name)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("simd report has no `{name}`"))
+    };
+    let sgemm_speedup = field("sgemm_speedup")?;
+    let rfft_speedup = field("rfft_speedup")?;
+    let mut failures = Vec::new();
+    if isa != "scalar" {
+        if sgemm_speedup < min_sgemm_speedup {
+            failures.push(format!(
+                "sgemm speedup {sgemm_speedup:.2}x below floor {min_sgemm_speedup:.2}x"
+            ));
+        }
+        if rfft_speedup < MIN_RFFT_SPEEDUP {
+            failures.push(format!(
+                "rfft speedup {rfft_speedup:.2}x below floor {MIN_RFFT_SPEEDUP:.2}x"
+            ));
+        }
+    }
+    Ok(SimdGate {
+        isa,
+        sgemm_speedup,
+        rfft_speedup,
+        failures,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +312,49 @@ mod tests {
     fn malformed_report_errors() {
         let bad: Value = serde_json::from_str(r#"{"nope": 1}"#).unwrap();
         assert!(diff_reports(&bad, &bad, 0.25).is_err());
+    }
+
+    fn simd_report(isa: &str, sgemm: f64, rfft: f64) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"isa":"{isa}","sgemm_speedup":{sgemm},"rfft_speedup":{rfft}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn simd_gate_passes_healthy_report() {
+        let gate = simd_gate(&simd_report("avx2+fma", 2.1, 1.3), 1.2).unwrap();
+        assert!(gate.passed());
+        assert!(gate.render().contains("ok"));
+    }
+
+    #[test]
+    fn simd_gate_fails_slow_sgemm() {
+        let gate = simd_gate(&simd_report("avx2+fma", 1.05, 1.3), 1.2).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("sgemm"));
+    }
+
+    #[test]
+    fn simd_gate_fails_fft_throughput_loss() {
+        let gate = simd_gate(&simd_report("neon", 1.8, 0.5), 1.2).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("rfft"));
+    }
+
+    #[test]
+    fn simd_gate_is_vacuous_on_scalar_hosts() {
+        // A scalar-only host legitimately reports ~1.0x everywhere.
+        let gate = simd_gate(&simd_report("scalar", 1.0, 1.0), 1.2).unwrap();
+        assert!(gate.passed());
+    }
+
+    #[test]
+    fn simd_gate_rejects_malformed_report() {
+        let bad: Value = serde_json::from_str(r#"{"isa":"avx2+fma"}"#).unwrap();
+        assert!(simd_gate(&bad, 1.2).is_err());
+        let no_isa: Value = serde_json::from_str(r#"{"sgemm_speedup":2.0}"#).unwrap();
+        assert!(simd_gate(&no_isa, 1.2).is_err());
     }
 
     #[test]

@@ -19,20 +19,16 @@ pub fn dif_stages(data: &mut [Complex32], plan: &FftPlan, dir: Direction) {
         return;
     }
 
+    // One dispatch-table read for the whole transform, not per butterfly.
+    let wide = crate::simd::wide_butterflies();
+    let tw = plan.table(dir);
+
     let mut span = n / 2; // half-size of butterflies, shrinking
     while span >= 1 {
         let stride = n / (span * 2);
         for start in (0..n).step_by(span * 2) {
-            for j in 0..span {
-                let w = match dir {
-                    Direction::Forward => plan.w_forward(j * stride),
-                    Direction::Inverse => plan.w_inverse(j * stride),
-                };
-                let a = data[start + j];
-                let b = data[start + j + span];
-                data[start + j] = a + b;
-                data[start + j + span] = (a - b) * w;
-            }
+            let (a, b) = data[start..start + 2 * span].split_at_mut(span);
+            crate::simd::butterflies_dif(a, b, tw, stride, wide);
         }
         span /= 2;
     }
@@ -45,10 +41,7 @@ pub fn dif_fft_inplace(data: &mut [Complex32], plan: &FftPlan, dir: Direction) {
     dif_stages(data, plan, dir);
     plan.bitrev_permute(data);
     if matches!(dir, Direction::Inverse) {
-        let inv_n = 1.0 / plan.len().max(1) as f32;
-        for z in data.iter_mut() {
-            *z = z.scale(inv_n);
-        }
+        crate::simd::scale(data, 1.0 / plan.len().max(1) as f32);
     }
 }
 

@@ -30,29 +30,22 @@ pub fn fft_inplace(data: &mut [Complex32], plan: &FftPlan, dir: Direction) {
 
     plan.bitrev_permute(data);
 
+    // One dispatch-table read for the whole transform, not per butterfly.
+    let wide = crate::simd::wide_butterflies();
+    let tw = plan.table(dir);
+
     let mut span = 1; // half-size of the butterflies at this stage
     while span < n {
         let stride = n / (span * 2); // twiddle index stride
         for start in (0..n).step_by(span * 2) {
-            for j in 0..span {
-                let w = match dir {
-                    Direction::Forward => plan.w_forward(j * stride),
-                    Direction::Inverse => plan.w_inverse(j * stride),
-                };
-                let a = data[start + j];
-                let b = data[start + j + span] * w;
-                data[start + j] = a + b;
-                data[start + j + span] = a - b;
-            }
+            let (a, b) = data[start..start + 2 * span].split_at_mut(span);
+            crate::simd::butterflies_dit(a, b, tw, stride, wide);
         }
         span *= 2;
     }
 
     if matches!(dir, Direction::Inverse) {
-        let inv_n = 1.0 / n as f32;
-        for z in data.iter_mut() {
-            *z = z.scale(inv_n);
-        }
+        crate::simd::scale(data, 1.0 / n as f32);
     }
 }
 

@@ -98,10 +98,7 @@ impl Fft2dPlan {
 pub fn pointwise_mac(a: &[Complex32], b: &[Complex32], conj_b: bool, out: &mut [Complex32]) {
     assert_eq!(a.len(), b.len(), "pointwise_mac: length");
     assert_eq!(a.len(), out.len(), "pointwise_mac: out length");
-    for ((&x, &y), o) in a.iter().zip(b).zip(out.iter_mut()) {
-        let yy = if conj_b { y.conj() } else { y };
-        *o = o.mul_add(x, yy);
-    }
+    gcnn_tensor::simd::cmac(a, b, conj_b, out);
 }
 
 #[cfg(test)]

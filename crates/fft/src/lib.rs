@@ -30,6 +30,7 @@ pub mod dit;
 pub mod fft2d;
 pub mod plan;
 pub mod rfft;
+pub mod simd;
 
 pub use batch::{rfft_forward_batch, rfft_inverse_batch};
 pub use fft2d::Fft2dPlan;

@@ -112,6 +112,17 @@ impl FftPlan {
         self.inverse[k]
     }
 
+    /// The whole twiddle table for one direction (`k < n/2`), so stage
+    /// loops and the SIMD butterfly kernels can index it directly
+    /// instead of calling [`Self::w_forward`] per butterfly.
+    #[inline]
+    pub fn table(&self, dir: crate::Direction) -> &[Complex32] {
+        match dir {
+            crate::Direction::Forward => &self.forward,
+            crate::Direction::Inverse => &self.inverse,
+        }
+    }
+
     /// Apply the bit-reversal permutation in place.
     pub fn bitrev_permute(&self, data: &mut [Complex32]) {
         debug_assert_eq!(data.len(), self.n, "bitrev_permute: length");

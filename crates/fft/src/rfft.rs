@@ -183,10 +183,7 @@ impl RfftPlan {
 pub fn half_pointwise_mac(a: &[Complex32], b: &[Complex32], conj_b: bool, out: &mut [Complex32]) {
     assert_eq!(a.len(), b.len(), "half_pointwise_mac: operand lengths");
     assert_eq!(a.len(), out.len(), "half_pointwise_mac: out length");
-    for ((&x, &y), o) in a.iter().zip(b).zip(out.iter_mut()) {
-        let yy = if conj_b { y.conj() } else { y };
-        *o = o.mul_add(x, yy);
-    }
+    gcnn_tensor::simd::cmac(a, b, conj_b, out);
 }
 
 #[cfg(test)]

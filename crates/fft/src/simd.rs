@@ -1,0 +1,266 @@
+//! SIMD butterfly kernels for the DIT/DIF stage loops.
+//!
+//! A radix-2 stage applies the same twiddle schedule to every block of
+//! `2·span` elements; [`butterflies_dit`] / [`butterflies_dif`] run one
+//! block given its two half-slices. The AVX2+FMA bodies process four
+//! butterflies (eight interleaved `f32` lanes) per iteration using the
+//! classic `addsub(moveldup·x, movehdup·swap(x))` complex multiply; the
+//! scalar bodies are the fallback and the oracle the SIMD paths are
+//! tested against. NEON butterflies are deliberately not implemented
+//! yet (the microkernel and slice primitives carry AArch64 for now —
+//! see ROADMAP "Open items"); non-AVX2 hosts take the scalar path.
+//!
+//! The `wide` flag is resolved once per transform by the caller (one
+//! dispatch-table read per `fft_inplace`, not one per butterfly).
+
+use gcnn_tensor::simd::Isa;
+use gcnn_tensor::Complex32;
+
+/// Resolve the dispatch decision for a whole transform: true when the
+/// AVX2+FMA butterfly bodies should run.
+#[inline]
+pub fn wide_butterflies() -> bool {
+    matches!(gcnn_tensor::simd::isa(), Isa::Avx2Fma)
+}
+
+/// One DIT block: `a[j], b[j] ← a[j] + w·b[j], a[j] − w·b[j]` with
+/// `w = tw[j·stride]`. `a` and `b` are the two half-slices of the block
+/// (each `span` long).
+#[inline]
+pub fn butterflies_dit(
+    a: &mut [Complex32],
+    b: &mut [Complex32],
+    tw: &[Complex32],
+    stride: usize,
+    wide: bool,
+) {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if wide && a.len() >= 4 {
+        // SAFETY: `wide` is only true after runtime AVX2+FMA detection.
+        unsafe { butterflies_dit_avx2(a, b, tw, stride) };
+        return;
+    }
+    let _ = wide;
+    butterflies_dit_scalar(a, b, tw, stride);
+}
+
+/// Scalar oracle for [`butterflies_dit`].
+#[inline]
+pub fn butterflies_dit_scalar(
+    a: &mut [Complex32],
+    b: &mut [Complex32],
+    tw: &[Complex32],
+    stride: usize,
+) {
+    for (j, (aj, bj)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+        let w = tw[j * stride];
+        let x = *aj;
+        let y = *bj * w;
+        *aj = x + y;
+        *bj = x - y;
+    }
+}
+
+/// One DIF block: `a[j], b[j] ← a[j] + b[j], (a[j] − b[j])·w` with
+/// `w = tw[j·stride]`.
+#[inline]
+pub fn butterflies_dif(
+    a: &mut [Complex32],
+    b: &mut [Complex32],
+    tw: &[Complex32],
+    stride: usize,
+    wide: bool,
+) {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if wide && a.len() >= 4 {
+        // SAFETY: `wide` is only true after runtime AVX2+FMA detection.
+        unsafe { butterflies_dif_avx2(a, b, tw, stride) };
+        return;
+    }
+    let _ = wide;
+    butterflies_dif_scalar(a, b, tw, stride);
+}
+
+/// Scalar oracle for [`butterflies_dif`].
+#[inline]
+pub fn butterflies_dif_scalar(
+    a: &mut [Complex32],
+    b: &mut [Complex32],
+    tw: &[Complex32],
+    stride: usize,
+) {
+    for (j, (aj, bj)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+        let w = tw[j * stride];
+        let x = *aj;
+        let y = *bj;
+        *aj = x + y;
+        *bj = (x - y) * w;
+    }
+}
+
+/// Scale a complex slice by a real factor (the `1/n` of an inverse
+/// transform) through the f32 SIMD table.
+#[inline]
+pub fn scale(data: &mut [Complex32], s: f32) {
+    // SAFETY of the view: Complex32 is repr(C) { re: f32, im: f32 }.
+    let floats =
+        unsafe { std::slice::from_raw_parts_mut(data.as_mut_ptr() as *mut f32, 2 * data.len()) };
+    gcnn_tensor::simd::sscal(s, floats);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::Complex32;
+    use std::arch::x86_64::*;
+
+    /// `x · w` for four packed complex values per operand:
+    /// `addsub(re(w)·x, im(w)·swap(x))`.
+    #[inline]
+    unsafe fn cmul4(x: __m256, w: __m256) -> __m256 {
+        let wre = _mm256_moveldup_ps(w);
+        let wim = _mm256_movehdup_ps(w);
+        let xswap = _mm256_permute_ps(x, 0b1011_0001);
+        _mm256_addsub_ps(_mm256_mul_ps(wre, x), _mm256_mul_ps(wim, xswap))
+    }
+
+    /// Four consecutive twiddles `tw[j·stride..]` as one vector:
+    /// a contiguous load when `stride == 1`, otherwise assembled on the
+    /// stack (strided stages are the short early/late ones).
+    #[inline]
+    unsafe fn load_tw(tw: &[Complex32], j: usize, stride: usize) -> __m256 {
+        if stride == 1 {
+            _mm256_loadu_ps(tw.as_ptr().add(j) as *const f32)
+        } else {
+            let g = [
+                tw[j * stride],
+                tw[(j + 1) * stride],
+                tw[(j + 2) * stride],
+                tw[(j + 3) * stride],
+            ];
+            _mm256_loadu_ps(g.as_ptr() as *const f32)
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn butterflies_dit_avx2(
+        a: &mut [Complex32],
+        b: &mut [Complex32],
+        tw: &[Complex32],
+        stride: usize,
+    ) {
+        let span = a.len().min(b.len());
+        let ap = a.as_mut_ptr() as *mut f32;
+        let bp = b.as_mut_ptr() as *mut f32;
+        let mut j = 0;
+        while j + 4 <= span {
+            let wv = load_tw(tw, j, stride);
+            let av = _mm256_loadu_ps(ap.add(2 * j));
+            let bv = _mm256_loadu_ps(bp.add(2 * j));
+            let bw = cmul4(bv, wv);
+            _mm256_storeu_ps(ap.add(2 * j), _mm256_add_ps(av, bw));
+            _mm256_storeu_ps(bp.add(2 * j), _mm256_sub_ps(av, bw));
+            j += 4;
+        }
+        if j < span {
+            super::butterflies_dit_scalar(
+                &mut a[j..span],
+                &mut b[j..span],
+                &tw[j * stride..],
+                stride,
+            );
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn butterflies_dif_avx2(
+        a: &mut [Complex32],
+        b: &mut [Complex32],
+        tw: &[Complex32],
+        stride: usize,
+    ) {
+        let span = a.len().min(b.len());
+        let ap = a.as_mut_ptr() as *mut f32;
+        let bp = b.as_mut_ptr() as *mut f32;
+        let mut j = 0;
+        while j + 4 <= span {
+            let wv = load_tw(tw, j, stride);
+            let av = _mm256_loadu_ps(ap.add(2 * j));
+            let bv = _mm256_loadu_ps(bp.add(2 * j));
+            let d = _mm256_sub_ps(av, bv);
+            _mm256_storeu_ps(ap.add(2 * j), _mm256_add_ps(av, bv));
+            _mm256_storeu_ps(bp.add(2 * j), cmul4(d, wv));
+            j += 4;
+        }
+        if j < span {
+            super::butterflies_dif_scalar(
+                &mut a[j..span],
+                &mut b[j..span],
+                &tw[j * stride..],
+                stride,
+            );
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{butterflies_dif_avx2, butterflies_dit_avx2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FftPlan;
+    use crate::Direction;
+
+    fn signal(n: usize, seed: f32) -> Vec<Complex32> {
+        (0..n)
+            .map(|i| Complex32::new((i as f32 * seed).sin(), (i as f32 * (seed + 0.7)).cos()))
+            .collect()
+    }
+
+    /// Wide and scalar butterfly bodies must agree on every span and
+    /// stride a radix-2 schedule produces, including the scalar tail
+    /// (span not a multiple of 4 only happens at span < 4, but the
+    /// kernels accept any length).
+    #[test]
+    fn wide_matches_scalar_all_stages() {
+        let n = 64;
+        let plan = FftPlan::new(n);
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let tw = plan.table(dir);
+            let mut span = 1;
+            while span < n {
+                let stride = n / (span * 2);
+                for dif in [false, true] {
+                    let mut a = signal(span, 0.31);
+                    let mut b = signal(span, 0.47);
+                    let mut ar = a.clone();
+                    let mut br = b.clone();
+                    if dif {
+                        butterflies_dif(&mut a, &mut b, tw, stride, wide_butterflies());
+                        butterflies_dif_scalar(&mut ar, &mut br, tw, stride);
+                    } else {
+                        butterflies_dit(&mut a, &mut b, tw, stride, wide_butterflies());
+                        butterflies_dit_scalar(&mut ar, &mut br, tw, stride);
+                    }
+                    for j in 0..span {
+                        assert!(
+                            (a[j] - ar[j]).abs() < 1e-5 && (b[j] - br[j]).abs() < 1e-5,
+                            "span {span} stride {stride} dif {dif} j {j}"
+                        );
+                    }
+                }
+                span *= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn scale_matches_per_element() {
+        let mut x = signal(13, 0.9);
+        let expect: Vec<Complex32> = x.iter().map(|z| z.scale(0.25)).collect();
+        scale(&mut x, 0.25);
+        assert_eq!(x, expect);
+    }
+}

@@ -1,10 +1,18 @@
 //! Cache-blocking parameters for the BLIS-style GEMM.
+//!
+//! The register micro-tile is sized per ISA: the AVX2+FMA kernel holds a
+//! 6×16 tile in twelve 256-bit accumulators (plus two B loads and one A
+//! broadcast — 15 of 16 ymm registers), while NEON and the scalar
+//! fallback use the original 8×8 tile (sixteen 128-bit accumulators on
+//! AArch64). The constants are resolved at compile time from the target
+//! architecture; runtime dispatch then only chooses *which kernel body*
+//! fills that fixed tile shape, so the packing layout stays ISA-agnostic.
 
 /// Register micro-tile height (rows of C computed per micro-kernel call).
-pub const MR: usize = 8;
+pub const MR: usize = if cfg!(target_arch = "x86_64") { 6 } else { 8 };
 /// Register micro-tile width (columns of C computed per micro-kernel
 /// call).
-pub const NR: usize = 8;
+pub const NR: usize = if cfg!(target_arch = "x86_64") { 16 } else { 8 };
 
 /// Cache-level blocking sizes.
 ///
@@ -24,12 +32,14 @@ pub struct BlockSizes {
 
 impl BlockSizes {
     /// Sizes tuned for typical x86 cache hierarchies; good defaults for
-    /// every matrix in this workspace.
+    /// every matrix in this workspace. `mc`/`nc` round the nominal
+    /// 128/1024 targets down to the nearest [`MR`]/[`NR`] multiple so the
+    /// packing invariants hold for every ISA's tile shape.
     pub const fn default_sizes() -> Self {
         BlockSizes {
-            mc: 128,
+            mc: (128 / MR) * MR,
             kc: 256,
-            nc: 1024,
+            nc: (1024 / NR) * NR,
         }
     }
 
@@ -62,6 +72,15 @@ mod tests {
     fn defaults_are_valid() {
         assert!(BlockSizes::default_sizes().validate());
         assert!(BlockSizes::tiny().validate());
+    }
+
+    #[test]
+    fn tile_matches_arch() {
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!((MR, NR), (6, 16));
+        } else {
+            assert_eq!((MR, NR), (8, 8));
+        }
     }
 
     #[test]

@@ -31,34 +31,6 @@ pub fn cgemm(
     c: &mut [Complex32],
     ldc: usize,
 ) {
-    // Dispatch once on the conjugation flags so the kernel instantiates
-    // with compile-time constants and the per-element `if`s fold away.
-    match (conj_a, conj_b) {
-        (false, false) => {
-            cgemm_kernel::<false, false>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
-        }
-        (false, true) => cgemm_kernel::<false, true>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
-        (true, false) => cgemm_kernel::<true, false>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
-        (true, true) => cgemm_kernel::<true, true>(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc),
-    }
-}
-
-/// The monomorphized body of [`cgemm`]: `CONJ_A`/`CONJ_B` are const so
-/// conjugation costs nothing on the `(false, false)` forward path.
-#[allow(clippy::too_many_arguments)]
-fn cgemm_kernel<const CONJ_A: bool, const CONJ_B: bool>(
-    m: usize,
-    n: usize,
-    k: usize,
-    alpha: Complex32,
-    a: &[Complex32],
-    lda: usize,
-    b: &[Complex32],
-    ldb: usize,
-    beta: Complex32,
-    c: &mut [Complex32],
-    ldc: usize,
-) {
     // Scale C by beta first, then accumulate the product.
     if beta != Complex32::ONE {
         for i in 0..m {
@@ -71,6 +43,40 @@ fn cgemm_kernel<const CONJ_A: bool, const CONJ_B: bool>(
         return;
     }
 
+    #[cfg(target_arch = "x86_64")]
+    if gcnn_tensor::simd::isa() == gcnn_tensor::simd::Isa::Avx2Fma {
+        // SAFETY: reached only after runtime AVX2+FMA detection.
+        unsafe { cgemm_rows_avx2(conj_a, conj_b, m, n, k, alpha, a, lda, b, ldb, c, ldc) };
+        return;
+    }
+
+    // Dispatch once on the conjugation flags so the kernel instantiates
+    // with compile-time constants and the per-element `if`s fold away.
+    match (conj_a, conj_b) {
+        (false, false) => cgemm_kernel::<false, false>(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+        (false, true) => cgemm_kernel::<false, true>(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+        (true, false) => cgemm_kernel::<true, false>(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+        (true, true) => cgemm_kernel::<true, true>(m, n, k, alpha, a, lda, b, ldb, c, ldc),
+    }
+}
+
+/// The monomorphized scalar body of [`cgemm`] (product accumulation only
+/// — `beta` is already applied by the caller): `CONJ_A`/`CONJ_B` are
+/// const so conjugation costs nothing on the `(false, false)` forward
+/// path. Also the property-test oracle for the AVX2 path.
+#[allow(clippy::too_many_arguments)]
+fn cgemm_kernel<const CONJ_A: bool, const CONJ_B: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: Complex32,
+    a: &[Complex32],
+    lda: usize,
+    b: &[Complex32],
+    ldb: usize,
+    c: &mut [Complex32],
+    ldc: usize,
+) {
     // Register-tile over 4 columns at a time; complex FMA in the inner
     // loop. Operand conjugation is folded into the load.
     const JT: usize = 4;
@@ -104,6 +110,98 @@ fn cgemm_kernel<const CONJ_A: bool, const CONJ_B: bool>(
                 acc = acc.mul_add(av, bv);
             }
             c[i * ldc + j] += alpha * acc;
+        }
+    }
+}
+
+/// AVX2+FMA body of [`cgemm`]: interleaved complex MAC over row tiles of
+/// 16 bins (four ymm accumulators of 4 complex each). Per `p` it
+/// broadcasts `a.re`/`±a.im` once and runs the classic
+/// `addsub(fmadd(re, b, acc), im·swap(b))` complex-FMA pattern;
+/// conjugation of B is an odd-lane sign flip folded into the load.
+/// `beta` is already applied by the caller.
+///
+/// # Safety
+/// Caller must have verified AVX2 and FMA at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn cgemm_rows_avx2(
+    conj_a: bool,
+    conj_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: Complex32,
+    a: &[Complex32],
+    lda: usize,
+    b: &[Complex32],
+    ldb: usize,
+    c: &mut [Complex32],
+    ldc: usize,
+) {
+    use std::arch::x86_64::*;
+    // 4 complex bins per 256-bit vector, 4 vectors per j-tile.
+    const LANES: usize = 4;
+    const JT: usize = 4 * LANES;
+
+    // Flips the sign of the imaginary (odd) lanes → conjugates 4 packed
+    // Complex32 (sound to view as interleaved f32: Complex32 is repr(C)).
+    let conj_mask = _mm256_setr_ps(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);
+    let bp = b.as_ptr() as *const f32;
+    let cp = c.as_mut_ptr() as *mut f32;
+    let alre = _mm256_set1_ps(alpha.re);
+    let alim = _mm256_set1_ps(alpha.im);
+
+    for i in 0..m {
+        let arow = &a[i * lda..i * lda + k];
+        let crow = cp.add(2 * i * ldc);
+        let mut j0 = 0;
+        while j0 + JT <= n {
+            let mut acc = [_mm256_setzero_ps(); LANES];
+            for (p, &araw) in arow.iter().enumerate() {
+                let are = _mm256_set1_ps(araw.re);
+                let aim = _mm256_set1_ps(if conj_a { -araw.im } else { araw.im });
+                let brow = bp.add(2 * (p * ldb + j0));
+                for (t, acc_t) in acc.iter_mut().enumerate() {
+                    let mut bv = _mm256_loadu_ps(brow.add(8 * t));
+                    if conj_b {
+                        bv = _mm256_xor_ps(bv, conj_mask);
+                    }
+                    // acc.re += ar·br − ai·bi ; acc.im += ar·bi + ai·br
+                    let bswap = _mm256_permute_ps(bv, 0b1011_0001);
+                    *acc_t = _mm256_addsub_ps(
+                        _mm256_fmadd_ps(are, bv, *acc_t),
+                        _mm256_mul_ps(aim, bswap),
+                    );
+                }
+            }
+            // c += alpha · acc, same complex-FMA pattern with alpha.
+            for (t, &v) in acc.iter().enumerate() {
+                let cptr = crow.add(2 * j0 + 8 * t);
+                let cv = _mm256_loadu_ps(cptr);
+                let vswap = _mm256_permute_ps(v, 0b1011_0001);
+                let out =
+                    _mm256_addsub_ps(_mm256_fmadd_ps(alre, v, cv), _mm256_mul_ps(alim, vswap));
+                _mm256_storeu_ps(cptr, out);
+            }
+            j0 += JT;
+        }
+        // Scalar tail columns, written through the same raw pointer the
+        // vector loop uses so no fresh `&mut c` borrow is created.
+        for j in j0..n {
+            let mut acc = Complex32::ZERO;
+            for (p, &araw) in arow.iter().enumerate() {
+                let av = if conj_a { araw.conj() } else { araw };
+                let bv = if conj_b {
+                    b[p * ldb + j].conj()
+                } else {
+                    b[p * ldb + j]
+                };
+                acc = acc.mul_add(av, bv);
+            }
+            let slot = crow.add(2 * j) as *mut Complex32;
+            *slot += alpha * acc;
         }
     }
 }

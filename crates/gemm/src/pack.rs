@@ -124,29 +124,37 @@ mod tests {
         assert_eq!(vt.at(0, 1), 4.0);
     }
 
+    /// An `MR`- (or `NR`-) length group whose first entries are `head`
+    /// and the rest zero padding.
+    fn padded(head: &[f32], group: usize) -> Vec<f32> {
+        let mut v = head.to_vec();
+        v.resize(group, 0.0);
+        v
+    }
+
     #[test]
     fn pack_a_layout_and_padding() {
-        // 3x2 logical block packed with MR=8: one strip, rows 3..8 padded.
+        // 3x2 logical block: one strip, rows 3..MR padded.
         let data: Vec<f32> = (1..=6).map(|x| x as f32).collect(); // 3x2
         let a = OperandView::new(&data, 2, false);
         let mut buf = vec![-1.0; MR * 2];
         pack_a(&a, 0, 0, 3, 2, &mut buf);
-        // k=0 group: column 0 of the block = [1, 3, 5, 0, 0, 0, 0, 0]
-        assert_eq!(&buf[..MR], &[1.0, 3.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
-        // k=1 group: column 1 of the block = [2, 4, 6, 0...]
-        assert_eq!(&buf[MR..2 * MR], &[2.0, 4.0, 6.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        // k=0 group: column 0 of the block = [1, 3, 5, 0, …]
+        assert_eq!(buf[..MR], padded(&[1.0, 3.0, 5.0], MR));
+        // k=1 group: column 1 of the block = [2, 4, 6, 0, …]
+        assert_eq!(buf[MR..2 * MR], padded(&[2.0, 4.0, 6.0], MR));
     }
 
     #[test]
     fn pack_b_layout_and_padding() {
-        // 2x3 logical panel packed with NR=8: one strip, cols 3..8 padded.
+        // 2x3 logical panel: one strip, cols 3..NR padded.
         let data: Vec<f32> = (1..=6).map(|x| x as f32).collect(); // 2x3
         let b = OperandView::new(&data, 3, false);
         let mut buf = vec![-1.0; NR * 2];
         pack_b(&b, 0, 0, 2, 3, &mut buf);
-        // p=0 group: row 0 = [1, 2, 3, 0, 0, 0, 0, 0]
-        assert_eq!(&buf[..NR], &[1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
-        assert_eq!(&buf[NR..2 * NR], &[4.0, 5.0, 6.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        // p=0 group: row 0 = [1, 2, 3, 0, …]
+        assert_eq!(buf[..NR], padded(&[1.0, 2.0, 3.0], NR));
+        assert_eq!(buf[NR..2 * NR], padded(&[4.0, 5.0, 6.0], NR));
     }
 
     #[test]

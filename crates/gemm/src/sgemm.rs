@@ -178,23 +178,22 @@ pub fn sgemm_blocked(
         }
 
         // Fused beta-scale + writeback: the only pass over this C tile.
+        // The row base pointer is hoisted and advanced by ldc per row;
+        // the row ops dispatch through the SIMD table.
         // SAFETY: tiles partition C, so row segments
         // `(i0+i)·ldc + j0 .. + nc_eff` are disjoint across tasks.
+        let mut rowptr = unsafe { cbase.0.add(i0 * ldc + j0) };
         for i in 0..mc_eff {
-            let crow =
-                unsafe { std::slice::from_raw_parts_mut(cbase.0.add((i0 + i) * ldc + j0), nc_eff) };
+            let crow = unsafe { std::slice::from_raw_parts_mut(rowptr, nc_eff) };
             let trow = &ctile[i * nc_eff..(i + 1) * nc_eff];
             if beta == 0.0 {
                 crow.copy_from_slice(trow);
             } else if beta == 1.0 {
-                for (cv, &tv) in crow.iter_mut().zip(trow) {
-                    *cv += tv;
-                }
+                gcnn_tensor::simd::add_assign(crow, trow);
             } else {
-                for (cv, &tv) in crow.iter_mut().zip(trow) {
-                    *cv = beta * *cv + tv;
-                }
+                gcnn_tensor::simd::scale_add(beta, crow, trow);
             }
+            rowptr = unsafe { rowptr.add(ldc) };
         }
     });
 }

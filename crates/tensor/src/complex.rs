@@ -10,7 +10,12 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number with `f32` real and imaginary parts.
+///
+/// `#[repr(C)]` guarantees the `[re, im]` field order and no padding, so
+/// a `&[Complex32]` can be soundly viewed as interleaved `f32` pairs by
+/// the SIMD kernels in [`crate::simd`] and `gcnn-fft`.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Complex32 {
     /// Real part.
     pub re: f32,

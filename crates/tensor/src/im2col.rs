@@ -186,12 +186,10 @@ pub fn col2im_from(cols: &[f32], geom: &ConvGeometry, image: &mut [f32]) {
                     let srow = &src[oh * out_w + ow_lo..oh * out_w + ow_hi];
                     if s == 1 {
                         let iw0 = ow_lo + kw - p;
-                        for (drow, v) in dst[ih * in_w + iw0..ih * in_w + iw0 + ow_hi - ow_lo]
-                            .iter_mut()
-                            .zip(srow)
-                        {
-                            *drow += v;
-                        }
+                        crate::simd::add_assign(
+                            &mut dst[ih * in_w + iw0..ih * in_w + iw0 + ow_hi - ow_lo],
+                            srow,
+                        );
                     } else {
                         for (ow, v) in srow.iter().enumerate() {
                             dst[ih * in_w + (ow_lo + ow) * s + kw - p] += v;

@@ -30,6 +30,7 @@ pub mod matrix;
 pub mod ops;
 pub mod pad;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 pub mod workspace;
 

@@ -5,27 +5,24 @@ use crate::tensor::Tensor4;
 use rayon::prelude::*;
 
 /// `y ← alpha·x + y` over raw slices (lengths must match).
+/// Dispatches to the SIMD path selected by [`crate::simd::isa`].
 #[inline]
 pub fn saxpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    crate::simd::saxpy(alpha, x, y);
 }
 
 /// `x ← alpha·x` over a raw slice.
+/// Dispatches to the SIMD path selected by [`crate::simd::isa`].
 #[inline]
 pub fn sscal(alpha: f32, x: &mut [f32]) {
-    for xi in x.iter_mut() {
-        *xi *= alpha;
-    }
+    crate::simd::sscal(alpha, x);
 }
 
 /// Dot product of two slices.
+/// Dispatches to the SIMD path selected by [`crate::simd::isa`].
 #[inline]
 pub fn sdot(x: &[f32], y: &[f32]) -> f32 {
-    debug_assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    crate::simd::sdot(x, y)
 }
 
 /// Parallel elementwise map over a tensor, in place.
