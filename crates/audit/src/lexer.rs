@@ -1,0 +1,338 @@
+//! A minimal hand-rolled Rust lexer — just enough token structure for
+//! the audit lints, with line numbers on every token.
+//!
+//! The workspace vendors no parsing crates (no `syn`), so the auditor
+//! tokenises source itself. The lexer understands the constructs that
+//! would otherwise produce false positives in a plain text search:
+//! line and (nested) block comments, string/raw-string/byte-string
+//! literals, char literals vs. lifetimes, and numeric literals. It
+//! deliberately does *not* build a syntax tree; the lints pattern-match
+//! short token sequences instead.
+
+/// Token categories distinguished by the lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `Vec`, ...).
+    Ident,
+    /// Single punctuation character (`{`, `:`, `!`, ...).
+    Punct,
+    /// String literal of any flavour; `text` holds the *content*
+    /// (quotes and raw-string hashes stripped).
+    Str,
+    /// Char literal (`'a'`, `'\n'`); `text` holds the raw spelling.
+    Char,
+    /// Lifetime (`'a`, `'static`); `text` includes the leading `'`.
+    Lifetime,
+    /// Numeric literal, suffix included.
+    Num,
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Tok {
+    /// True when the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when the token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// Tokenise `src`, discarding comments and whitespace.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                // Block comments nest in Rust.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start = line;
+                let (content, ni, nl) = scan_string(&b, i + 1, line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: start,
+                });
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if raw_or_byte_string_start(&b, i) => {
+                let start = line;
+                let (content, ni, nl) = scan_raw_or_byte(&b, i, line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: start,
+                });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && b[i + 1] != '\\'
+                    && !(i + 2 < b.len() && b[i + 2] == '\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    if j < b.len() && b[j] == '\\' {
+                        j += 2; // escape + escaped char
+                                // Longer escapes (\u{...}, \x41) run to the quote.
+                        while j < b.len() && b[j] != '\'' {
+                            j += 1;
+                        }
+                    } else {
+                        while j < b.len() && b[j] != '\'' {
+                            j += 1;
+                        }
+                    }
+                    j = (j + 1).min(b.len()); // closing quote
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                // A dot continues the number only when followed by a
+                // digit, so `1.0` is one token but `1.max(…)` is not.
+                if j + 1 < b.len() && b[j] == '.' && b[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Scan a regular `"…"` string body starting just past the opening
+/// quote. Returns (content, next index, next line).
+fn scan_string(b: &[char], mut i: usize, mut line: usize) -> (String, usize, usize) {
+    let mut out = String::new();
+    while i < b.len() {
+        match b[i] {
+            '\\' if i + 1 < b.len() => {
+                out.push(b[i]);
+                out.push(b[i + 1]);
+                if b[i + 1] == '\n' {
+                    line += 1;
+                }
+                i += 2;
+            }
+            '"' => return (out, i + 1, line),
+            '\n' => {
+                out.push('\n');
+                line += 1;
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, i, line)
+}
+
+/// True when position `i` starts a raw string (`r"`, `r#"`), byte
+/// string (`b"`), or raw byte string (`br#"` / `rb…` is not Rust).
+fn raw_or_byte_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < b.len() && b[j] == 'r' {
+            j += 1;
+        }
+    } else if b[j] == 'r' {
+        j += 1;
+    } else {
+        return false;
+    }
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+/// Scan `r#"…"#` / `b"…"` / `br#"…"#` starting at the prefix char.
+fn scan_raw_or_byte(b: &[char], mut i: usize, mut line: usize) -> (String, usize, usize) {
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let mut out = String::new();
+    while i < b.len() {
+        if b[i] == '\n' {
+            line += 1;
+        }
+        if !raw && b[i] == '\\' && i + 1 < b.len() {
+            out.push(b[i]);
+            out.push(b[i + 1]);
+            i += 2;
+            continue;
+        }
+        if b[i] == '"' {
+            // A raw string only closes when followed by `hashes` #s.
+            let mut k = i + 1;
+            let mut seen = 0;
+            while k < b.len() && b[k] == '#' && seen < hashes {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return (out, k, line);
+            }
+        }
+        out.push(b[i]);
+        i += 1;
+    }
+    (out, i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_not_idents() {
+        let toks = lex("// unsafe in comment\nlet s = \"unsafe\"; /* unsafe /* nested */ */");
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_with_quotes_inside() {
+        let toks = lex("let s = r#\"say \"hi\" unsafe\"#; fn g() {}");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("say \"hi\"")));
+        assert!(toks.iter().any(|t| t.is_ident("g")));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let toks = lex("let x = 1.max(2); let y = 1.5;");
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Workspace soundness auditor entry point.
+//!
+//! `cargo run -p gcnn-audit [workspace-root]` — audits every `.rs`
+//! file under `crates/` and `vendor/`, prints `path:line: [lint]
+//! message` diagnostics, and exits non-zero if any policy is violated.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use gcnn_audit::{audit_workspace, AuditConfig};
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let report = match audit_workspace(&root, &AuditConfig::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "gcnn-audit: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        println!(
+            "gcnn-audit: OK — {} files across {} crates, 0 violations",
+            report.files_scanned, report.crates_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "gcnn-audit: {} violation(s) in {} files across {} crates",
+            report.diagnostics.len(),
+            report.files_scanned,
+            report.crates_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,124 @@
+//! Fixture-file tests: each file under `tests/fixtures/` exercises one
+//! lint with deliberate violations (or their absence). The fixtures are
+//! plain text to the auditor — cargo never compiles them.
+
+use std::path::Path;
+
+use gcnn_audit::{audit_file, AuditConfig, Lint};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn cfg() -> AuditConfig {
+    AuditConfig::default()
+}
+
+#[test]
+fn missing_safety_flags_fn_block_and_impl() {
+    let src = fixture("missing_safety.rs");
+    let d = audit_file(
+        "crates/tensor/src/fix.rs",
+        &src,
+        "gcnn-tensor",
+        false,
+        &cfg(),
+    );
+    let safety: Vec<_> = d.iter().filter(|x| x.lint == Lint::SafetyComment).collect();
+    assert_eq!(safety.len(), 3, "{d:?}");
+    let msgs: Vec<&str> = safety.iter().map(|x| x.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("`unsafe fn`")));
+    assert!(msgs.iter().any(|m| m.contains("`unsafe` block")));
+    assert!(msgs.iter().any(|m| m.contains("`unsafe impl`")));
+}
+
+#[test]
+fn documented_safety_is_clean() {
+    let src = fixture("documented_safety.rs");
+    let d = audit_file(
+        "crates/tensor/src/fix.rs",
+        &src,
+        "gcnn-tensor",
+        false,
+        &cfg(),
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn arena_violations_are_reported_per_site_with_lines() {
+    let src = fixture("arena_violation.rs");
+    // The fixture impersonates the unroll hot path via its audit path.
+    let d = audit_file(
+        "crates/conv/src/unroll.rs",
+        &src,
+        "gcnn-conv",
+        false,
+        &cfg(),
+    );
+    let arena: Vec<_> = d
+        .iter()
+        .filter(|x| x.lint == Lint::ArenaDiscipline)
+        .collect();
+    assert_eq!(arena.len(), 4, "{d:?}");
+    assert!(arena.iter().any(|x| x.message.contains("`Vec::new`")));
+    assert!(arena.iter().any(|x| x.message.contains("`vec!` macro")));
+    assert!(arena.iter().any(|x| x.message.contains("`.to_vec()`")));
+    assert!(arena.iter().any(|x| x.message.contains("`Box::new`")));
+    // `cold_path`'s to_vec and the test module's vec! are exempt, and
+    // every reported line falls inside `fn forward`'s body.
+    assert!(
+        arena.iter().all(|x| (7..=11).contains(&x.line)),
+        "{arena:?}"
+    );
+}
+
+#[test]
+fn trace_bad_names_flagged_good_names_and_tests_exempt() {
+    let src = fixture("trace_bad_name.rs");
+    let d = audit_file("crates/core/src/fix.rs", &src, "gcnn-core", false, &cfg());
+    let trace: Vec<_> = d.iter().filter(|x| x.lint == Lint::TraceNaming).collect();
+    assert_eq!(trace.len(), 3, "{d:?}");
+    assert!(trace.iter().any(|x| x.message.contains("\"sgemm\"")));
+    assert!(trace.iter().any(|x| x.message.contains("\"Cache.Hits\"")));
+    assert!(trace.iter().any(|x| x.message.contains("\"mem\"")));
+}
+
+#[test]
+fn containment_rejects_even_documented_unsafe() {
+    let src = fixture("forbidden_unsafe.rs");
+    let d = audit_file("crates/conv/src/fix.rs", &src, "gcnn-conv", false, &cfg());
+    let cont: Vec<_> = d
+        .iter()
+        .filter(|x| x.lint == Lint::UnsafeContainment)
+        .collect();
+    assert_eq!(cont.len(), 1, "{d:?}");
+    assert!(cont[0].message.contains("gcnn-conv"));
+    // The same file inside a kernel crate is fine.
+    let ok = audit_file(
+        "crates/tensor/src/fix.rs",
+        &src,
+        "gcnn-tensor",
+        false,
+        &cfg(),
+    );
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn crate_root_without_forbid_is_flagged_only_outside_allowlist() {
+    let src = fixture("missing_forbid_root.rs");
+    let d = audit_file("crates/conv/src/lib.rs", &src, "gcnn-conv", true, &cfg());
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].lint, Lint::UnsafeContainment);
+    assert!(d[0].message.contains("#![forbid(unsafe_code)]"));
+    // Kernel crates are exempt from the root requirement…
+    let kernel = audit_file("crates/fft/src/lib.rs", &src, "gcnn-fft", true, &cfg());
+    assert!(kernel.is_empty(), "{kernel:?}");
+    // …and non-root files of non-kernel crates don't need the attr.
+    let nonroot = audit_file("crates/conv/src/other.rs", &src, "gcnn-conv", false, &cfg());
+    assert!(nonroot.is_empty(), "{nonroot:?}");
+}

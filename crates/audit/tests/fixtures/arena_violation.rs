@@ -1,0 +1,23 @@
+// Fixture: a hot-path function (matched as `forward` when the file is
+// audited under the suffix `conv/src/unroll.rs`) that allocates four
+// different banned ways, plus a cold function that may allocate freely
+// and a test module that is exempt.
+
+pub fn forward(xs: &[f32]) -> usize {
+    let a: Vec<f32> = Vec::new();
+    let b = vec![0.0f32; 8];
+    let c = xs.to_vec();
+    let d = Box::new(1.0f32);
+    a.len() + b.len() + c.len() + (*d as usize)
+}
+
+pub fn cold_path(xs: &[f32]) -> Vec<f32> {
+    xs.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn forward() -> Vec<f32> {
+        vec![1.0]
+    }
+}

@@ -1,0 +1,35 @@
+// Fixture: fully documented unsafe — the auditor must accept all of it.
+
+/// # Safety
+/// Caller must pass a pointer valid for reads.
+pub unsafe fn with_doc(p: *const u8) -> u8 {
+    // SAFETY: validity is the caller's documented obligation.
+    unsafe { *p }
+}
+
+pub fn block(p: *const u8) -> u8 {
+    // SAFETY: p comes from a live reference in the only caller.
+    unsafe { *p }
+}
+
+pub fn wrapped_statement(p: *mut f32, n: usize) -> usize {
+    // SAFETY: the caller owns [p, p+n) exclusively; the slice borrow
+    // ends before this function returns.
+    let view =
+        unsafe { std::slice::from_raw_parts_mut(p, n) };
+    view.len()
+}
+
+pub fn dispatch_arm(x: u8) -> u8 {
+    match x {
+        // SAFETY: gated variant is only reached after detection.
+        #[cfg(target_arch = "x86_64")]
+        7 => unsafe { core::hint::unreachable_unchecked() },
+        other => other,
+    }
+}
+
+struct Wrapper(*mut u8);
+
+// SAFETY: Wrapper's pointer is only dereferenced on the owning thread.
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,7 @@
+// Fixture: unsafe in a crate outside the kernel allowlist. Even a
+// documented site must be rejected by the containment lint.
+
+pub fn sneaky(p: *const u8) -> u8 {
+    // SAFETY: documented, but this crate may not use unsafe at all.
+    unsafe { *p }
+}

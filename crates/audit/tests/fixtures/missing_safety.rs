@@ -1,0 +1,15 @@
+// Fixture: three undocumented unsafe sites — a block, a fn, an impl.
+// Not compiled by cargo (tests/ subdirectories are ignored); read as
+// text by tests/audit_fixtures.rs.
+
+pub unsafe fn no_doc(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,16 @@
+// Fixture: trace-naming violations alongside conforming names.
+
+pub fn run() {
+    let _a = gcnn_trace::span("sgemm"); // bad: single segment
+    let _b = gcnn_trace::span("gemm.sgemm"); // good
+    gcnn_trace::counter_add("Cache.Hits", 1); // bad: uppercase
+    gcnn_trace::counter_add("autotune.cache.hits", 1); // good
+    gcnn_trace::gauge_set("mem", 1.0); // bad: single segment
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn short_names_are_fine_here() {
+        let _t = gcnn_trace::span("t");
+    }
+}

@@ -1,0 +1,34 @@
+//! The auditor's acceptance test: the workspace that ships the auditor
+//! must itself audit clean. Any new undocumented unsafe, containment
+//! leak, hot-path allocation, or off-convention trace name fails this
+//! test (and `scripts/verify.sh`, and the CI `audit` job).
+
+use std::path::Path;
+
+use gcnn_audit::{audit_workspace, AuditConfig};
+
+#[test]
+fn workspace_audits_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = audit_workspace(&root, &AuditConfig::default()).expect("walk workspace");
+    assert!(
+        report.crates_scanned >= 19,
+        "expected the full workspace, scanned only {} crates",
+        report.crates_scanned
+    );
+    assert!(
+        report.files_scanned >= 100,
+        "expected the full workspace, scanned only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must audit clean:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

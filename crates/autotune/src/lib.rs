@@ -25,6 +25,7 @@
 //! algorithm, and the `autotune_report` bench binary compares the tuned
 //! schedule against single-framework and oracle schedules.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -10,6 +10,8 @@
 //!    optimization the conclusion points toward), including the real CPU
 //!    algorithm from `gcnn-conv::winograd`.
 
+#![forbid(unsafe_code)]
+
 use gcnn_conv::{table1_configs, ConvConfig, WinogradConv};
 use gcnn_core::report::text_table;
 use gcnn_frameworks::cuda_convnet2::CudaConvnet2;

@@ -19,6 +19,8 @@
 //! `GCNN_TUNE_TIMEOUT_MS` (measurement), `GCNN_TUNE_CACHE` (cache file,
 //! default `results/autotune_cache.json`).
 
+#![forbid(unsafe_code)]
+
 use gcnn_autotune::{
     MeasureParams, Policy, Selection, SelectionSource, SimSubstrate, Substrate, Tuner, TuningCache,
 };

@@ -15,6 +15,8 @@
 //! times faster than scalar (skipped on scalar-only hosts). Exit codes:
 //! 0 clean, 1 regression, 2 usage or I/O error.
 
+#![forbid(unsafe_code)]
+
 use gcnn_bench::compare::{diff_reports, simd_gate, steady_fresh_allocs};
 use serde_json::Value;
 use std::process::exit;

@@ -12,6 +12,8 @@
 //! where, how often the caches hit, and whether the steady state still
 //! allocates nothing.
 
+#![forbid(unsafe_code)]
+
 use gcnn_autotune::timing::{stats, time_wall, Repeats, Stats};
 use gcnn_conv::{ConvAlgorithm, ConvConfig, FftConv, Strategy, UnrollConv};
 use gcnn_models::data::synthetic_digits;

@@ -8,6 +8,8 @@
 //! clock, bigger shared memory) — to show which findings are
 //! device-robust and which are K40-specific.
 
+#![forbid(unsafe_code)]
+
 use gcnn_conv::ConvConfig;
 use gcnn_core::report::text_table;
 use gcnn_frameworks::{all_implementations, implementation_by_name};

@@ -2,6 +2,8 @@
 //! configuration as a Chrome trace (`chrome://tracing` / Perfetto /
 //! speedscope) — the visual counterpart of Fig. 4's hotspot shares.
 
+#![forbid(unsafe_code)]
+
 use gcnn_conv::ConvConfig;
 use gcnn_frameworks::all_implementations;
 use gcnn_gpusim::DeviceSpec;

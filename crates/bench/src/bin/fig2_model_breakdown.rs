@@ -4,6 +4,8 @@
 //! Paper result: convolutional layers consume 86 %, 89 %, 90 % and 94 %
 //! of the respective models' training-iteration time.
 
+#![forbid(unsafe_code)]
+
 use gcnn_core::report::{pct, text_table};
 use gcnn_frameworks::cudnn::CuDnn;
 use gcnn_gpusim::DeviceSpec;

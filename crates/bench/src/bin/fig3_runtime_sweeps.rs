@@ -2,6 +2,8 @@
 //! with varying configurations (the five sweeps around the base tuple
 //! `(64, 128, 64, 11, 1)`).
 
+#![forbid(unsafe_code)]
+
 use gcnn_core::report::render_comparison;
 use gcnn_core::{paper_sweeps, runtime_comparison};
 use gcnn_gpusim::DeviceSpec;

@@ -2,6 +2,8 @@
 //! implementations (hotspot kernels) at the representative configuration
 //! `(64, 128, 64, 11, 1)`.
 
+#![forbid(unsafe_code)]
+
 use gcnn_conv::ConvConfig;
 use gcnn_core::hotspot::all_hotspots;
 use gcnn_core::report::pct;

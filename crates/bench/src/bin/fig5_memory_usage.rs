@@ -1,6 +1,8 @@
 //! Fig. 5 — peak GPU memory for the seven implementations over the five
 //! sweeps.
 
+#![forbid(unsafe_code)]
+
 use gcnn_core::memprofile::memory_comparison;
 use gcnn_core::paper_sweeps;
 use gcnn_core::report::render_memory;

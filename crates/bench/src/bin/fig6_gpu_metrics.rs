@@ -3,6 +3,8 @@
 //! efficiency, IPC, shared memory efficiency) of each implementation's
 //! top kernels over the Table I configurations.
 
+#![forbid(unsafe_code)]
+
 use gcnn_core::gpuprofile::gpu_profile;
 use gcnn_core::report::text_table;
 use gcnn_gpusim::DeviceSpec;

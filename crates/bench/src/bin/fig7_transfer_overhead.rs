@@ -1,6 +1,8 @@
 //! Fig. 7 — data-transfer overheads of different implementations over
 //! the five Table I configurations.
 
+#![forbid(unsafe_code)]
+
 use gcnn_core::report::{pct, text_table};
 use gcnn_core::transfer_overheads;
 use gcnn_gpusim::DeviceSpec;

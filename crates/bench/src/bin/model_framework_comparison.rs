@@ -2,6 +2,8 @@
 //! per-layer oracle — the paper's "no single implementation is the best
 //! for all scenarios" (§VI), cashed out at model granularity.
 
+#![forbid(unsafe_code)]
+
 use gcnn_core::compare_model;
 use gcnn_core::report::text_table;
 use gcnn_gpusim::DeviceSpec;

@@ -27,6 +27,8 @@
 //! `bench_compare --simd` gates on so a silent dispatch regression to
 //! scalar fails CI.
 
+#![forbid(unsafe_code)]
+
 use gcnn_autotune::timing::{env_usize, stats, time_wall, Repeats};
 use gcnn_conv::{algorithm_for, ConvConfig, Strategy};
 use gcnn_fft::RfftPlan;

@@ -1,6 +1,8 @@
 //! Regenerate every table and figure of the paper in one run, writing
 //! the JSON data behind EXPERIMENTS.md into `results/`.
 
+#![forbid(unsafe_code)]
+
 use std::process::Command;
 
 const BINARIES: [&str; 13] = [

@@ -1,5 +1,7 @@
 //! Table I — convolution configurations for benchmarking.
 
+#![forbid(unsafe_code)]
+
 use gcnn_conv::{table1_configs, TABLE1_NAMES};
 use gcnn_core::report::text_table;
 

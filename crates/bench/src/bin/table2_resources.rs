@@ -2,6 +2,8 @@
 //! block of different implementations, plus the occupancy consequences
 //! the paper derives from them (§V-C-1).
 
+#![forbid(unsafe_code)]
+
 use gcnn_core::report::text_table;
 use gcnn_frameworks::all_implementations;
 use gcnn_gpusim::occupancy::warps_by_registers;

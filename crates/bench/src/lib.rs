@@ -20,6 +20,8 @@
 //! numbers for this repository's own kernels, complementing the modeled
 //! GPU numbers the figure binaries report.
 
+#![forbid(unsafe_code)]
+
 pub mod compare;
 
 use std::io::Write;

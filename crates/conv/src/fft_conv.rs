@@ -106,7 +106,7 @@ fn scatter_bins_into(binmat: &[Complex32], planes: usize, bins: usize, out: &mut
 /// Inverse-transform plane-major half-spectra and crop each plane to
 /// `out_h×out_w` at offset `(top, left)`, writing into a fresh tensor of
 /// shape `(d0, d1, out_h, out_w)`.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // plane geometry is passed unpacked on the hot path
 fn planes_to_tensor(
     spec: &[Complex32],
     d0: usize,

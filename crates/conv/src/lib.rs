@@ -17,6 +17,8 @@
 //! * [`ConvAlgorithm`] — the strategy trait, with implementations
 //!   [`DirectConv`], [`UnrollConv`] and [`FftConv`].
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod direct;
 pub mod fft_conv;

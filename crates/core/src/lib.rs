@@ -26,6 +26,8 @@
 //! needs in different scenarios") as an executable decision procedure —
 //! and [`report`], plain-text/JSON renderers for every table.
 
+#![forbid(unsafe_code)]
+
 pub mod advisor;
 pub mod compare;
 pub mod gpuprofile;

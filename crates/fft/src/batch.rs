@@ -16,7 +16,7 @@ use rayon::prelude::*;
 /// contiguous half-spectra. `planes.len()` must be `count·n²` and
 /// `spectra.len()` must be `count·spectrum_len`; `count` is inferred.
 pub fn rfft_forward_batch(plan: &RfftPlan, planes: &[f32], spectra: &mut [Complex32]) {
-    let _span = gcnn_trace::span("rfft_forward_batch");
+    let _span = gcnn_trace::span("fft.rfft_forward");
     let plane_len = plan.n() * plan.n();
     let spec_len = plan.spectrum_len();
     assert_eq!(planes.len() % plane_len, 0, "forward_batch: plane size");
@@ -36,7 +36,7 @@ pub fn rfft_forward_batch(plan: &RfftPlan, planes: &[f32], spectra: &mut [Comple
 /// Inverse-transform `count` contiguous half-spectra into `count`
 /// contiguous `n×n` real planes. Sizes as in [`rfft_forward_batch`].
 pub fn rfft_inverse_batch(plan: &RfftPlan, spectra: &[Complex32], planes: &mut [f32]) {
-    let _span = gcnn_trace::span("rfft_inverse_batch");
+    let _span = gcnn_trace::span("fft.rfft_inverse");
     let plane_len = plan.n() * plan.n();
     let spec_len = plan.spectrum_len();
     assert_eq!(spectra.len() % spec_len, 0, "inverse_batch: spectra size");

@@ -34,7 +34,15 @@ pub fn butterflies_dit(
     stride: usize,
     wide: bool,
 ) {
-    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(
+        a.len(),
+        b.len(),
+        "butterflies_dit: half-slice length mismatch"
+    );
+    debug_assert!(
+        a.is_empty() || tw.len() > (a.len() - 1) * stride,
+        "butterflies_dit: twiddle table short"
+    );
     #[cfg(target_arch = "x86_64")]
     if wide && a.len() >= 4 {
         // SAFETY: `wide` is only true after runtime AVX2+FMA detection.
@@ -72,7 +80,15 @@ pub fn butterflies_dif(
     stride: usize,
     wide: bool,
 ) {
-    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(
+        a.len(),
+        b.len(),
+        "butterflies_dif: half-slice length mismatch"
+    );
+    debug_assert!(
+        a.is_empty() || tw.len() > (a.len() - 1) * stride,
+        "butterflies_dif: twiddle table short"
+    );
     #[cfg(target_arch = "x86_64")]
     if wide && a.len() >= 4 {
         // SAFETY: `wide` is only true after runtime AVX2+FMA detection.
@@ -104,7 +120,11 @@ pub fn butterflies_dif_scalar(
 /// transform) through the f32 SIMD table.
 #[inline]
 pub fn scale(data: &mut [Complex32], s: f32) {
-    // SAFETY of the view: Complex32 is repr(C) { re: f32, im: f32 }.
+    // SAFETY: Complex32 is `#[repr(C)] { re: f32, im: f32 }` with size
+    // 8 and align 4 (const-asserted next to the type), so `data`'s
+    // allocation holds exactly `2 · len` properly-aligned f32 values;
+    // the view borrows `data` mutably for its whole lifetime, so no
+    // aliasing `&mut [Complex32]` exists while the f32 slice is live.
     let floats =
         unsafe { std::slice::from_raw_parts_mut(data.as_mut_ptr() as *mut f32, 2 * data.len()) };
     gcnn_tensor::simd::sscal(s, floats);
@@ -117,8 +137,16 @@ mod avx2 {
 
     /// `x · w` for four packed complex values per operand:
     /// `addsub(re(w)·x, im(w)·swap(x))`.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime (guaranteed by
+    /// every caller being itself `avx2,fma` target-feature gated).
+    #[target_feature(enable = "avx2,fma")]
     #[inline]
     unsafe fn cmul4(x: __m256, w: __m256) -> __m256 {
+        // Pure register arithmetic: these intrinsics are safe to call
+        // inside an `avx2,fma` target-feature fn; no inner unsafe is
+        // needed.
         let wre = _mm256_moveldup_ps(w);
         let wim = _mm256_movehdup_ps(w);
         let xswap = _mm256_permute_ps(x, 0b1011_0001);
@@ -128,10 +156,22 @@ mod avx2 {
     /// Four consecutive twiddles `tw[j·stride..]` as one vector:
     /// a contiguous load when `stride == 1`, otherwise assembled on the
     /// stack (strided stages are the short early/late ones).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime and must pass
+    /// `tw.len() >= (j + 3)·stride + 1`.
+    #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn load_tw(tw: &[Complex32], j: usize, stride: usize) -> __m256 {
+        debug_assert!(
+            tw.len() > (j + 3) * stride.max(1),
+            "load_tw: twiddle table short"
+        );
         if stride == 1 {
-            _mm256_loadu_ps(tw.as_ptr().add(j) as *const f32)
+            // SAFETY: `tw[j..j+4]` is in bounds (debug-asserted above,
+            // guaranteed by the radix-2 schedule), and the interleaved
+            // f32 view of `repr(C)` Complex32 is sound.
+            unsafe { _mm256_loadu_ps(tw.as_ptr().add(j) as *const f32) }
         } else {
             let g = [
                 tw[j * stride],
@@ -139,10 +179,15 @@ mod avx2 {
                 tw[(j + 2) * stride],
                 tw[(j + 3) * stride],
             ];
-            _mm256_loadu_ps(g.as_ptr() as *const f32)
+            // SAFETY: `g` is a live stack array of 4 Complex32 == 8 f32.
+            unsafe { _mm256_loadu_ps(g.as_ptr() as *const f32) }
         }
     }
 
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime and must pass
+    /// a twiddle table covering `(span − 1)·stride` (the radix-2 stage
+    /// schedule guarantees both).
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn butterflies_dit_avx2(
         a: &mut [Complex32],
@@ -150,29 +195,47 @@ mod avx2 {
         tw: &[Complex32],
         stride: usize,
     ) {
+        debug_assert_eq!(a.len(), b.len(), "butterflies_dit_avx2: half-slices");
         let span = a.len().min(b.len());
-        let ap = a.as_mut_ptr() as *mut f32;
-        let bp = b.as_mut_ptr() as *mut f32;
-        let mut j = 0;
-        while j + 4 <= span {
-            let wv = load_tw(tw, j, stride);
-            let av = _mm256_loadu_ps(ap.add(2 * j));
-            let bv = _mm256_loadu_ps(bp.add(2 * j));
-            let bw = cmul4(bv, wv);
-            _mm256_storeu_ps(ap.add(2 * j), _mm256_add_ps(av, bw));
-            _mm256_storeu_ps(bp.add(2 * j), _mm256_sub_ps(av, bw));
-            j += 4;
-        }
-        if j < span {
-            super::butterflies_dit_scalar(
-                &mut a[j..span],
-                &mut b[j..span],
-                &tw[j * stride..],
-                stride,
-            );
+        debug_assert!(
+            span == 0 || tw.len() > (span - 1) * stride,
+            "butterflies_dit_avx2: twiddle table short"
+        );
+        // SAFETY: reached only after runtime AVX2+FMA detection. The
+        // interleaved f32 views of `a`/`b` are sound (`repr(C)`
+        // Complex32, const-asserted layout); the 4-butterfly loop
+        // touches f32 offsets `[2j, 2j + 8)` of each half-slice only
+        // while `j + 4 <= span`, and `load_tw`'s reads are covered by
+        // the twiddle-table precondition. The scalar tail re-borrows
+        // `a`/`b` safely after the last raw-pointer access.
+        unsafe {
+            let ap = a.as_mut_ptr() as *mut f32;
+            let bp = b.as_mut_ptr() as *mut f32;
+            let mut j = 0;
+            while j + 4 <= span {
+                let wv = load_tw(tw, j, stride);
+                let av = _mm256_loadu_ps(ap.add(2 * j));
+                let bv = _mm256_loadu_ps(bp.add(2 * j));
+                let bw = cmul4(bv, wv);
+                _mm256_storeu_ps(ap.add(2 * j), _mm256_add_ps(av, bw));
+                _mm256_storeu_ps(bp.add(2 * j), _mm256_sub_ps(av, bw));
+                j += 4;
+            }
+            if j < span {
+                super::butterflies_dit_scalar(
+                    &mut a[j..span],
+                    &mut b[j..span],
+                    &tw[j * stride..],
+                    stride,
+                );
+            }
         }
     }
 
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime and must pass
+    /// a twiddle table covering `(span − 1)·stride` (the radix-2 stage
+    /// schedule guarantees both).
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn butterflies_dif_avx2(
         a: &mut [Complex32],
@@ -180,26 +243,36 @@ mod avx2 {
         tw: &[Complex32],
         stride: usize,
     ) {
+        debug_assert_eq!(a.len(), b.len(), "butterflies_dif_avx2: half-slices");
         let span = a.len().min(b.len());
-        let ap = a.as_mut_ptr() as *mut f32;
-        let bp = b.as_mut_ptr() as *mut f32;
-        let mut j = 0;
-        while j + 4 <= span {
-            let wv = load_tw(tw, j, stride);
-            let av = _mm256_loadu_ps(ap.add(2 * j));
-            let bv = _mm256_loadu_ps(bp.add(2 * j));
-            let d = _mm256_sub_ps(av, bv);
-            _mm256_storeu_ps(ap.add(2 * j), _mm256_add_ps(av, bv));
-            _mm256_storeu_ps(bp.add(2 * j), cmul4(d, wv));
-            j += 4;
-        }
-        if j < span {
-            super::butterflies_dif_scalar(
-                &mut a[j..span],
-                &mut b[j..span],
-                &tw[j * stride..],
-                stride,
-            );
+        debug_assert!(
+            span == 0 || tw.len() > (span - 1) * stride,
+            "butterflies_dif_avx2: twiddle table short"
+        );
+        // SAFETY: same argument as `butterflies_dit_avx2` — post-
+        // detection execution, sound interleaved views, loop bounded by
+        // `j + 4 <= span`, twiddle reads covered by the precondition.
+        unsafe {
+            let ap = a.as_mut_ptr() as *mut f32;
+            let bp = b.as_mut_ptr() as *mut f32;
+            let mut j = 0;
+            while j + 4 <= span {
+                let wv = load_tw(tw, j, stride);
+                let av = _mm256_loadu_ps(ap.add(2 * j));
+                let bv = _mm256_loadu_ps(bp.add(2 * j));
+                let d = _mm256_sub_ps(av, bv);
+                _mm256_storeu_ps(ap.add(2 * j), _mm256_add_ps(av, bv));
+                _mm256_storeu_ps(bp.add(2 * j), cmul4(d, wv));
+                j += 4;
+            }
+            if j < span {
+                super::butterflies_dif_scalar(
+                    &mut a[j..span],
+                    &mut b[j..span],
+                    &tw[j * stride..],
+                    stride,
+                );
+            }
         }
     }
 }

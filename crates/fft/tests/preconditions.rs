@@ -1,0 +1,46 @@
+//! Debug-build precondition tests for the butterfly dispatchers:
+//! mismatched half-slices or a short twiddle table must trip the
+//! `debug_assert!` guards before any butterfly runs. Gated on
+//! `debug_assertions` because release CI compiles the asserts away.
+
+#![cfg(debug_assertions)]
+
+use gcnn_fft::simd::{butterflies_dif, butterflies_dit, wide_butterflies};
+use gcnn_tensor::complex::Complex32;
+
+#[test]
+#[should_panic]
+fn dit_rejects_half_slice_mismatch() {
+    let mut a = [Complex32::ZERO; 8];
+    let mut b = [Complex32::ZERO; 6];
+    let tw = [Complex32::ONE; 8];
+    butterflies_dit(&mut a, &mut b, &tw, 1, wide_butterflies());
+}
+
+#[test]
+#[should_panic]
+fn dit_rejects_short_twiddle_table() {
+    let mut a = [Complex32::ZERO; 8];
+    let mut b = [Complex32::ZERO; 8];
+    let tw = [Complex32::ONE; 4];
+    butterflies_dit(&mut a, &mut b, &tw, 1, wide_butterflies());
+}
+
+#[test]
+#[should_panic]
+fn dif_rejects_half_slice_mismatch() {
+    let mut a = [Complex32::ZERO; 8];
+    let mut b = [Complex32::ZERO; 6];
+    let tw = [Complex32::ONE; 8];
+    butterflies_dif(&mut a, &mut b, &tw, 1, wide_butterflies());
+}
+
+#[test]
+#[should_panic]
+fn dif_rejects_strided_short_twiddle_table() {
+    let mut a = [Complex32::ZERO; 8];
+    let mut b = [Complex32::ZERO; 8];
+    // stride 2 needs tw coverage past (span − 1)·2 = 14.
+    let tw = [Complex32::ONE; 8];
+    butterflies_dif(&mut a, &mut b, &tw, 2, wide_butterflies());
+}

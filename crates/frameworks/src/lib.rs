@@ -25,6 +25,8 @@
 //! *mechanisms* — not its numbers — drive the predictions; see
 //! DESIGN.md §4.3 for the mechanism-by-mechanism accounting.
 
+#![forbid(unsafe_code)]
+
 pub mod caffe;
 pub mod common;
 pub mod cuda_convnet2;

@@ -85,7 +85,7 @@ pub fn batched_sgemm(
 
 /// Batched complex GEMM: one `m×k · k×n` product per instance, instances
 /// in parallel. Used per frequency bin by the FFT convolution.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn batched_cgemm(
     conj_a: bool,
     conj_b: bool,

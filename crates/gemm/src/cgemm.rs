@@ -15,7 +15,7 @@ use gcnn_tensor::Complex32;
 /// exactly the variant the backward FFT-convolution passes need, where
 /// correlation in the spatial domain is conjugation in the Fourier
 /// domain.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn cgemm(
     conj_a: bool,
     conj_b: bool,
@@ -45,7 +45,8 @@ pub fn cgemm(
 
     #[cfg(target_arch = "x86_64")]
     if gcnn_tensor::simd::isa() == gcnn_tensor::simd::Isa::Avx2Fma {
-        // SAFETY: reached only after runtime AVX2+FMA detection.
+        // SAFETY: reached only after runtime AVX2+FMA detection; the
+        // operand-extent preconditions are debug-asserted inside.
         unsafe { cgemm_rows_avx2(conj_a, conj_b, m, n, k, alpha, a, lda, b, ldb, c, ldc) };
         return;
     }
@@ -64,7 +65,7 @@ pub fn cgemm(
 /// — `beta` is already applied by the caller): `CONJ_A`/`CONJ_B` are
 /// const so conjugation costs nothing on the `(false, false)` forward
 /// path. Also the property-test oracle for the AVX2 path.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 fn cgemm_kernel<const CONJ_A: bool, const CONJ_B: bool>(
     m: usize,
     n: usize,
@@ -125,7 +126,7 @@ fn cgemm_kernel<const CONJ_A: bool, const CONJ_B: bool>(
 /// Caller must have verified AVX2 and FMA at runtime.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 unsafe fn cgemm_rows_avx2(
     conj_a: bool,
     conj_b: bool,
@@ -145,63 +146,86 @@ unsafe fn cgemm_rows_avx2(
     const LANES: usize = 4;
     const JT: usize = 4 * LANES;
 
-    // Flips the sign of the imaginary (odd) lanes → conjugates 4 packed
-    // Complex32 (sound to view as interleaved f32: Complex32 is repr(C)).
-    let conj_mask = _mm256_setr_ps(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);
-    let bp = b.as_ptr() as *const f32;
-    let cp = c.as_mut_ptr() as *mut f32;
-    let alre = _mm256_set1_ps(alpha.re);
-    let alim = _mm256_set1_ps(alpha.im);
+    debug_assert!(
+        m == 0 || a.len() >= (m - 1) * lda + k,
+        "cgemm_rows_avx2: A short"
+    );
+    debug_assert!(
+        k == 0 || b.len() >= (k - 1) * ldb + n,
+        "cgemm_rows_avx2: B short"
+    );
+    debug_assert!(
+        m == 0 || c.len() >= (m - 1) * ldc + n,
+        "cgemm_rows_avx2: C short"
+    );
+    // SAFETY: reached only after runtime AVX2+FMA detection. Viewing
+    // B/C as interleaved f32 is sound because Complex32 is `#[repr(C)]
+    // { re: f32, im: f32 }` with size 8 and align 4 (const-asserted
+    // next to the type) — every complex index `q` maps to f32 offsets
+    // `2q` and `2q + 1`. The vector loop touches complex columns
+    // `[j0, j0 + JT)` of rows `p < k` (B) and `i < m` (C) only while
+    // `j0 + JT <= n`, and the scalar tail writes through the same raw
+    // C pointer, so no `&mut c` borrow coexists with the raw stores.
+    unsafe {
+        // Flips the sign of the imaginary (odd) lanes → conjugates 4
+        // packed Complex32.
+        let conj_mask = _mm256_setr_ps(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);
+        let bp = b.as_ptr() as *const f32;
+        let cp = c.as_mut_ptr() as *mut f32;
+        let alre = _mm256_set1_ps(alpha.re);
+        let alim = _mm256_set1_ps(alpha.im);
 
-    for i in 0..m {
-        let arow = &a[i * lda..i * lda + k];
-        let crow = cp.add(2 * i * ldc);
-        let mut j0 = 0;
-        while j0 + JT <= n {
-            let mut acc = [_mm256_setzero_ps(); LANES];
-            for (p, &araw) in arow.iter().enumerate() {
-                let are = _mm256_set1_ps(araw.re);
-                let aim = _mm256_set1_ps(if conj_a { -araw.im } else { araw.im });
-                let brow = bp.add(2 * (p * ldb + j0));
-                for (t, acc_t) in acc.iter_mut().enumerate() {
-                    let mut bv = _mm256_loadu_ps(brow.add(8 * t));
-                    if conj_b {
-                        bv = _mm256_xor_ps(bv, conj_mask);
+        for i in 0..m {
+            let arow = &a[i * lda..i * lda + k];
+            let crow = cp.add(2 * i * ldc);
+            let mut j0 = 0;
+            while j0 + JT <= n {
+                let mut acc = [_mm256_setzero_ps(); LANES];
+                for (p, &araw) in arow.iter().enumerate() {
+                    let are = _mm256_set1_ps(araw.re);
+                    let aim = _mm256_set1_ps(if conj_a { -araw.im } else { araw.im });
+                    let brow = bp.add(2 * (p * ldb + j0));
+                    for (t, acc_t) in acc.iter_mut().enumerate() {
+                        let mut bv = _mm256_loadu_ps(brow.add(8 * t));
+                        if conj_b {
+                            bv = _mm256_xor_ps(bv, conj_mask);
+                        }
+                        // acc.re += ar·br − ai·bi ; acc.im += ar·bi + ai·br
+                        let bswap = _mm256_permute_ps(bv, 0b1011_0001);
+                        *acc_t = _mm256_addsub_ps(
+                            _mm256_fmadd_ps(are, bv, *acc_t),
+                            _mm256_mul_ps(aim, bswap),
+                        );
                     }
-                    // acc.re += ar·br − ai·bi ; acc.im += ar·bi + ai·br
-                    let bswap = _mm256_permute_ps(bv, 0b1011_0001);
-                    *acc_t = _mm256_addsub_ps(
-                        _mm256_fmadd_ps(are, bv, *acc_t),
-                        _mm256_mul_ps(aim, bswap),
-                    );
                 }
+                // c += alpha · acc, same complex-FMA pattern with alpha.
+                for (t, &v) in acc.iter().enumerate() {
+                    let cptr = crow.add(2 * j0 + 8 * t);
+                    let cv = _mm256_loadu_ps(cptr);
+                    let vswap = _mm256_permute_ps(v, 0b1011_0001);
+                    let out =
+                        _mm256_addsub_ps(_mm256_fmadd_ps(alre, v, cv), _mm256_mul_ps(alim, vswap));
+                    _mm256_storeu_ps(cptr, out);
+                }
+                j0 += JT;
             }
-            // c += alpha · acc, same complex-FMA pattern with alpha.
-            for (t, &v) in acc.iter().enumerate() {
-                let cptr = crow.add(2 * j0 + 8 * t);
-                let cv = _mm256_loadu_ps(cptr);
-                let vswap = _mm256_permute_ps(v, 0b1011_0001);
-                let out =
-                    _mm256_addsub_ps(_mm256_fmadd_ps(alre, v, cv), _mm256_mul_ps(alim, vswap));
-                _mm256_storeu_ps(cptr, out);
+            // Scalar tail columns, written through the same raw pointer
+            // the vector loop uses so no fresh `&mut c` borrow is
+            // created.
+            for j in j0..n {
+                let mut acc = Complex32::ZERO;
+                for (p, &araw) in arow.iter().enumerate() {
+                    let av = if conj_a { araw.conj() } else { araw };
+                    let bv = if conj_b {
+                        b[p * ldb + j].conj()
+                    } else {
+                        b[p * ldb + j]
+                    };
+                    acc = acc.mul_add(av, bv);
+                }
+                let slot = crow.add(2 * j) as *mut Complex32;
+                *slot += alpha * acc;
             }
-            j0 += JT;
-        }
-        // Scalar tail columns, written through the same raw pointer the
-        // vector loop uses so no fresh `&mut c` borrow is created.
-        for j in j0..n {
-            let mut acc = Complex32::ZERO;
-            for (p, &araw) in arow.iter().enumerate() {
-                let av = if conj_a { araw.conj() } else { araw };
-                let bv = if conj_b {
-                    b[p * ldb + j].conj()
-                } else {
-                    b[p * ldb + j]
-                };
-                acc = acc.mul_add(av, bv);
-            }
-            let slot = crow.add(2 * j) as *mut Complex32;
-            *slot += alpha * acc;
         }
     }
 }

@@ -31,8 +31,13 @@ pub fn microkernel(kc: usize, alpha: f32, a_strip: &[f32], b_strip: &[f32], acc:
     debug_assert_eq!(acc.len(), MR * NR);
     match simd::isa() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only selected after runtime AVX2+FMA
+        // detection; strip/acc lengths are debug-asserted above and
+        // guaranteed by `pack` and the blocked driver.
         Isa::Avx2Fma => unsafe { microkernel_avx2(kc, alpha, a_strip, b_strip, acc) },
         #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` is only selected on AArch64, where NEON is a
+        // baseline feature; same length guarantees as above.
         Isa::Neon => unsafe { microkernel_neon(kc, alpha, a_strip, b_strip, acc) },
         _ => microkernel_scalar(kc, alpha, a_strip, b_strip, acc),
     }
@@ -83,6 +88,11 @@ mod x86 {
     /// AVX2+FMA body: a 6×16 tile held in twelve ymm accumulators
     /// (two 8-lane halves per row), two B loads and six A broadcasts per
     /// `p` — 12 FMAs per iteration with no loop-carried memory traffic.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime and must pass
+    /// `a_strip.len() >= kc·MR`, `b_strip.len() >= kc·NR`,
+    /// `acc.len() == MR·NR` (the dispatch wrapper debug-asserts these).
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn microkernel_avx2(
         kc: usize,
@@ -91,28 +101,38 @@ mod x86 {
         b_strip: &[f32],
         acc: &mut [f32],
     ) {
-        let ap = a_strip.as_ptr();
-        let bp = b_strip.as_ptr();
-        let mut lo = [_mm256_setzero_ps(); MR];
-        let mut hi = [_mm256_setzero_ps(); MR];
-        for p in 0..kc {
-            let b0 = _mm256_loadu_ps(bp.add(p * NR));
-            let b1 = _mm256_loadu_ps(bp.add(p * NR + 8));
-            let arow = ap.add(p * MR);
-            for i in 0..MR {
-                let av = _mm256_broadcast_ss(&*arow.add(i));
-                lo[i] = _mm256_fmadd_ps(av, b0, lo[i]);
-                hi[i] = _mm256_fmadd_ps(av, b1, hi[i]);
+        debug_assert!(a_strip.len() >= kc * MR, "microkernel_avx2: A strip short");
+        debug_assert!(b_strip.len() >= kc * NR, "microkernel_avx2: B strip short");
+        debug_assert_eq!(acc.len(), MR * NR, "microkernel_avx2: acc size");
+        // SAFETY: reached only after runtime AVX2+FMA detection. Loads
+        // stay in bounds: per `p < kc` the B loads cover
+        // `[p·NR, p·NR + 16) ⊆ [0, kc·NR)` (NR == 16) and the A reads
+        // `[p·MR, p·MR + MR) ⊆ [0, kc·MR)`; the writeback touches
+        // `[i·NR, i·NR + 16)` for `i < MR`, within `acc`'s MR·NR floats.
+        unsafe {
+            let ap = a_strip.as_ptr();
+            let bp = b_strip.as_ptr();
+            let mut lo = [_mm256_setzero_ps(); MR];
+            let mut hi = [_mm256_setzero_ps(); MR];
+            for p in 0..kc {
+                let b0 = _mm256_loadu_ps(bp.add(p * NR));
+                let b1 = _mm256_loadu_ps(bp.add(p * NR + 8));
+                let arow = ap.add(p * MR);
+                for i in 0..MR {
+                    let av = _mm256_broadcast_ss(&*arow.add(i));
+                    lo[i] = _mm256_fmadd_ps(av, b0, lo[i]);
+                    hi[i] = _mm256_fmadd_ps(av, b1, hi[i]);
+                }
             }
-        }
-        // acc += alpha * local, fused per 8-lane half.
-        let av = _mm256_set1_ps(alpha);
-        let cp = acc.as_mut_ptr();
-        for i in 0..MR {
-            let c0 = cp.add(i * NR);
-            let c1 = cp.add(i * NR + 8);
-            _mm256_storeu_ps(c0, _mm256_fmadd_ps(av, lo[i], _mm256_loadu_ps(c0)));
-            _mm256_storeu_ps(c1, _mm256_fmadd_ps(av, hi[i], _mm256_loadu_ps(c1)));
+            // acc += alpha * local, fused per 8-lane half.
+            let av = _mm256_set1_ps(alpha);
+            let cp = acc.as_mut_ptr();
+            for i in 0..MR {
+                let c0 = cp.add(i * NR);
+                let c1 = cp.add(i * NR + 8);
+                _mm256_storeu_ps(c0, _mm256_fmadd_ps(av, lo[i], _mm256_loadu_ps(c0)));
+                _mm256_storeu_ps(c1, _mm256_fmadd_ps(av, hi[i], _mm256_loadu_ps(c1)));
+            }
         }
     }
 }
@@ -130,6 +150,11 @@ mod arm {
     /// NEON body: an 8×8 tile held in sixteen q-register accumulators
     /// (two 4-lane halves per row); A columns are loaded as two vectors
     /// and broadcast lane-wise via `vfmaq_laneq_f32`.
+    ///
+    /// # Safety
+    /// Caller must be on an AArch64 host and must pass
+    /// `a_strip.len() >= kc·MR`, `b_strip.len() >= kc·NR`,
+    /// `acc.len() == MR·NR` (the dispatch wrapper debug-asserts these).
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn microkernel_neon(
         kc: usize,
@@ -138,39 +163,49 @@ mod arm {
         b_strip: &[f32],
         acc: &mut [f32],
     ) {
-        let ap = a_strip.as_ptr();
-        let bp = b_strip.as_ptr();
-        let mut lo = [vdupq_n_f32(0.0); MR];
-        let mut hi = [vdupq_n_f32(0.0); MR];
-        for p in 0..kc {
-            let b0 = vld1q_f32(bp.add(p * NR));
-            let b1 = vld1q_f32(bp.add(p * NR + 4));
-            let a0 = vld1q_f32(ap.add(p * MR));
-            let a1 = vld1q_f32(ap.add(p * MR + 4));
-            lo[0] = vfmaq_laneq_f32(lo[0], b0, a0, 0);
-            hi[0] = vfmaq_laneq_f32(hi[0], b1, a0, 0);
-            lo[1] = vfmaq_laneq_f32(lo[1], b0, a0, 1);
-            hi[1] = vfmaq_laneq_f32(hi[1], b1, a0, 1);
-            lo[2] = vfmaq_laneq_f32(lo[2], b0, a0, 2);
-            hi[2] = vfmaq_laneq_f32(hi[2], b1, a0, 2);
-            lo[3] = vfmaq_laneq_f32(lo[3], b0, a0, 3);
-            hi[3] = vfmaq_laneq_f32(hi[3], b1, a0, 3);
-            lo[4] = vfmaq_laneq_f32(lo[4], b0, a1, 0);
-            hi[4] = vfmaq_laneq_f32(hi[4], b1, a1, 0);
-            lo[5] = vfmaq_laneq_f32(lo[5], b0, a1, 1);
-            hi[5] = vfmaq_laneq_f32(hi[5], b1, a1, 1);
-            lo[6] = vfmaq_laneq_f32(lo[6], b0, a1, 2);
-            hi[6] = vfmaq_laneq_f32(hi[6], b1, a1, 2);
-            lo[7] = vfmaq_laneq_f32(lo[7], b0, a1, 3);
-            hi[7] = vfmaq_laneq_f32(hi[7], b1, a1, 3);
-        }
-        let av = vdupq_n_f32(alpha);
-        let cp = acc.as_mut_ptr();
-        for i in 0..MR {
-            let c0 = cp.add(i * NR);
-            let c1 = cp.add(i * NR + 4);
-            vst1q_f32(c0, vfmaq_f32(vld1q_f32(c0), av, lo[i]));
-            vst1q_f32(c1, vfmaq_f32(vld1q_f32(c1), av, hi[i]));
+        debug_assert!(a_strip.len() >= kc * MR, "microkernel_neon: A strip short");
+        debug_assert!(b_strip.len() >= kc * NR, "microkernel_neon: B strip short");
+        debug_assert_eq!(acc.len(), MR * NR, "microkernel_neon: acc size");
+        // SAFETY: NEON is an AArch64 baseline feature. Per `p < kc` the
+        // B loads cover `[p·NR, p·NR + 8) ⊆ [0, kc·NR)` (NR == 8) and
+        // the A loads `[p·MR, p·MR + 8) ⊆ [0, kc·MR)` (MR == 8); the
+        // writeback touches `[i·NR, i·NR + 8)` for `i < MR`, within
+        // `acc`'s MR·NR floats.
+        unsafe {
+            let ap = a_strip.as_ptr();
+            let bp = b_strip.as_ptr();
+            let mut lo = [vdupq_n_f32(0.0); MR];
+            let mut hi = [vdupq_n_f32(0.0); MR];
+            for p in 0..kc {
+                let b0 = vld1q_f32(bp.add(p * NR));
+                let b1 = vld1q_f32(bp.add(p * NR + 4));
+                let a0 = vld1q_f32(ap.add(p * MR));
+                let a1 = vld1q_f32(ap.add(p * MR + 4));
+                lo[0] = vfmaq_laneq_f32(lo[0], b0, a0, 0);
+                hi[0] = vfmaq_laneq_f32(hi[0], b1, a0, 0);
+                lo[1] = vfmaq_laneq_f32(lo[1], b0, a0, 1);
+                hi[1] = vfmaq_laneq_f32(hi[1], b1, a0, 1);
+                lo[2] = vfmaq_laneq_f32(lo[2], b0, a0, 2);
+                hi[2] = vfmaq_laneq_f32(hi[2], b1, a0, 2);
+                lo[3] = vfmaq_laneq_f32(lo[3], b0, a0, 3);
+                hi[3] = vfmaq_laneq_f32(hi[3], b1, a0, 3);
+                lo[4] = vfmaq_laneq_f32(lo[4], b0, a1, 0);
+                hi[4] = vfmaq_laneq_f32(hi[4], b1, a1, 0);
+                lo[5] = vfmaq_laneq_f32(lo[5], b0, a1, 1);
+                hi[5] = vfmaq_laneq_f32(hi[5], b1, a1, 1);
+                lo[6] = vfmaq_laneq_f32(lo[6], b0, a1, 2);
+                hi[6] = vfmaq_laneq_f32(hi[6], b1, a1, 2);
+                lo[7] = vfmaq_laneq_f32(lo[7], b0, a1, 3);
+                hi[7] = vfmaq_laneq_f32(hi[7], b1, a1, 3);
+            }
+            let av = vdupq_n_f32(alpha);
+            let cp = acc.as_mut_ptr();
+            for i in 0..MR {
+                let c0 = cp.add(i * NR);
+                let c1 = cp.add(i * NR + 4);
+                vst1q_f32(c0, vfmaq_f32(vld1q_f32(c0), av, lo[i]));
+                vst1q_f32(c1, vfmaq_f32(vld1q_f32(c1), av, hi[i]));
+            }
         }
     }
 }

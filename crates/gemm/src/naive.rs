@@ -6,7 +6,7 @@ use gcnn_tensor::Complex32;
 /// Reference real GEMM: `C ← alpha·op(A)·op(B) + beta·C`, all matrices
 /// row-major with the given leading dimensions, `op` controlled by the
 /// transpose flags.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn sgemm_ref(
     transa: bool,
     transb: bool,
@@ -45,7 +45,7 @@ pub fn sgemm_ref(
 
 /// Reference complex GEMM: `C ← alpha·A·B + beta·C` (no transpose
 /// variants; the FFT path conjugates operands explicitly instead).
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn cgemm_ref(
     m: usize,
     n: usize,

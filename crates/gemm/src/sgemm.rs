@@ -23,7 +23,12 @@ use rayon::prelude::*;
 /// `it·mc..` × columns `jt·nc..` of C, and tiles are pairwise disjoint.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f32);
+// SAFETY: the pointer is only ever offset into pairwise-disjoint
+// `(it, jt)` C tiles (see the writeback below), so concurrent tasks
+// never alias a byte of C.
 unsafe impl Send for SendPtr {}
+// SAFETY: same disjoint-tile argument as `Send` — shared references to
+// the wrapper only hand out tile-local raw offsets.
 unsafe impl Sync for SendPtr {}
 
 /// Transpose flag for a GEMM operand.
@@ -57,7 +62,7 @@ impl Transpose {
 ///       1.0, &a, 3, &b, 2, 0.0, &mut c, 2);
 /// assert_eq!(c, [4.0, 5.0, 10.0, 11.0]);
 /// ```
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn sgemm(
     transa: Transpose,
     transb: Transpose,
@@ -93,7 +98,7 @@ pub fn sgemm(
 
 /// [`sgemm`] with explicit block sizes (exposed so tests can force edge
 /// tiles and benches can sweep blocking).
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn sgemm_blocked(
     transa: Transpose,
     transb: Transpose,
@@ -114,7 +119,7 @@ pub fn sgemm_blocked(
     assert!(ldc >= n, "sgemm: ldc {ldc} < n {n}");
     assert!(c.len() >= m.saturating_sub(1) * ldc + n || m == 0 || n == 0);
 
-    let _span = gcnn_trace::span("sgemm");
+    let _span = gcnn_trace::span("gemm.sgemm");
     sgemm_calls().inc();
 
     if m == 0 || n == 0 {
@@ -180,11 +185,21 @@ pub fn sgemm_blocked(
         // Fused beta-scale + writeback: the only pass over this C tile.
         // The row base pointer is hoisted and advanced by ldc per row;
         // the row ops dispatch through the SIMD table.
-        // SAFETY: tiles partition C, so row segments
-        // `(i0+i)·ldc + j0 .. + nc_eff` are disjoint across tasks.
-        let mut rowptr = unsafe { cbase.0.add(i0 * ldc + j0) };
+        // (The previous version advanced a hoisted row pointer by `ldc`
+        // after every row; past the tile's last row that lands beyond
+        // one-past-the-end of C whenever `j0 > 0`, which `ptr::add` is
+        // not allowed to compute. Offsetting per row from the base stays
+        // in bounds for every row actually written.)
+        let tile_base = i0 * ldc + j0;
         for i in 0..mc_eff {
-            let crow = unsafe { std::slice::from_raw_parts_mut(rowptr, nc_eff) };
+            // SAFETY: row `i0 + i <= m − 1` and `j0 + nc_eff <= n <=
+            // ldc`, so `[tile_base + i·ldc, + nc_eff)` lies inside C
+            // (whose length covers `(m−1)·ldc + n`, asserted at entry).
+            // Tiles partition C, so the segment is owned exclusively by
+            // this tile task and no `&mut c` borrow coexists with it
+            // inside the parallel loop.
+            let crow =
+                unsafe { std::slice::from_raw_parts_mut(cbase.0.add(tile_base + i * ldc), nc_eff) };
             let trow = &ctile[i * nc_eff..(i + 1) * nc_eff];
             if beta == 0.0 {
                 crow.copy_from_slice(trow);
@@ -193,7 +208,6 @@ pub fn sgemm_blocked(
             } else {
                 gcnn_tensor::simd::scale_add(beta, crow, trow);
             }
-            rowptr = unsafe { rowptr.add(ldc) };
         }
     });
 }
@@ -272,7 +286,7 @@ mod tests {
             .collect()
     }
 
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // BLAS-style signature
     fn check(
         transa: Transpose,
         transb: Transpose,

@@ -1,0 +1,39 @@
+//! Debug-build precondition tests for the GEMM micro-kernel: short
+//! packed strips or a wrong-sized accumulator must trip the
+//! `debug_assert!` guards before the kernel touches memory. Gated on
+//! `debug_assertions` because release CI compiles the asserts away.
+
+#![cfg(debug_assertions)]
+
+use gcnn_gemm::blocking::{MR, NR};
+use gcnn_gemm::kernel::microkernel;
+
+#[test]
+#[should_panic]
+fn microkernel_rejects_short_a_strip() {
+    let kc = 4;
+    let a = vec![0.0f32; kc * MR - 1];
+    let b = vec![0.0f32; kc * NR];
+    let mut acc = vec![0.0f32; MR * NR];
+    microkernel(kc, 1.0, &a, &b, &mut acc);
+}
+
+#[test]
+#[should_panic]
+fn microkernel_rejects_short_b_strip() {
+    let kc = 4;
+    let a = vec![0.0f32; kc * MR];
+    let b = vec![0.0f32; kc * NR - 1];
+    let mut acc = vec![0.0f32; MR * NR];
+    microkernel(kc, 1.0, &a, &b, &mut acc);
+}
+
+#[test]
+#[should_panic]
+fn microkernel_rejects_wrong_accumulator_size() {
+    let kc = 4;
+    let a = vec![0.0f32; kc * MR];
+    let b = vec![0.0f32; kc * NR];
+    let mut acc = vec![0.0f32; MR * NR - 1];
+    microkernel(kc, 1.0, &a, &b, &mut acc);
+}

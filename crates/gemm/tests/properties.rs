@@ -154,7 +154,7 @@ fn repeated_sgemm_is_steady_state_allocation_free() {
     let mut c = vec![0.0f32; m * n];
     let blocks = BlockSizes::default_sizes();
 
-    let mut run = |c: &mut [f32]| {
+    let run = |c: &mut [f32]| {
         sgemm_blocked(
             Transpose::No,
             Transpose::No,

@@ -32,6 +32,8 @@
 //!   launches and produces runtime-weighted top-kernel metric
 //!   aggregates exactly as §V-C describes.
 
+#![forbid(unsafe_code)]
+
 pub mod banks;
 pub mod coalescing;
 pub mod device;

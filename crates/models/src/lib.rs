@@ -16,6 +16,8 @@
 //!   `gcnn-conv`) with SGD training.
 //! * [`data`] — deterministic synthetic datasets.
 
+#![forbid(unsafe_code)]
+
 pub mod breakdown;
 pub mod data;
 pub mod layer;

@@ -23,6 +23,12 @@ pub struct Complex32 {
     pub im: f32,
 }
 
+// The interleaved-f32 reinterpretation used by the SIMD kernels is only
+// sound while `Complex32` is exactly two packed f32s; a compile error
+// here means a field or attribute change broke that contract.
+const _: () = assert!(std::mem::size_of::<Complex32>() == 2 * std::mem::size_of::<f32>());
+const _: () = assert!(std::mem::align_of::<Complex32>() == std::mem::align_of::<f32>());
+
 impl Complex32 {
     /// The additive identity.
     pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };

@@ -96,7 +96,7 @@ const fn tap_range(out_dim: usize, in_dim: usize, kt: usize, s: usize, p: usize)
 /// without per-element bounds tests (contiguously for stride 1 — the
 /// overwhelmingly common case in the paper's configuration sweeps).
 pub fn im2col_into(image: &[f32], geom: &ConvGeometry, cols: &mut [f32]) {
-    let _span = gcnn_trace::span("im2col");
+    let _span = gcnn_trace::span("tensor.im2col");
     debug_assert!(geom.is_valid(), "im2col: invalid geometry {geom:?}");
     debug_assert_eq!(image.len(), geom.channels * geom.in_h * geom.in_w);
     debug_assert_eq!(cols.len(), geom.col_rows() * geom.col_cols());
@@ -158,7 +158,7 @@ pub fn im2col(image: &[f32], geom: &ConvGeometry, cols: &mut Matrix) {
 /// contributions — the adjoint of [`im2col`], used by the backward-data
 /// pass.
 pub fn col2im_from(cols: &[f32], geom: &ConvGeometry, image: &mut [f32]) {
-    let _span = gcnn_trace::span("col2im");
+    let _span = gcnn_trace::span("tensor.col2im");
     debug_assert!(geom.is_valid(), "col2im: invalid geometry {geom:?}");
     debug_assert_eq!(image.len(), geom.channels * geom.in_h * geom.in_w);
     debug_assert_eq!(cols.len(), geom.col_rows() * geom.col_cols());

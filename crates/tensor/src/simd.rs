@@ -100,7 +100,7 @@ fn detect() -> Isa {
         // NEON is a baseline feature of AArch64.
         return Isa::Neon;
     }
-    #[allow(unreachable_code)]
+    #[allow(unreachable_code)] // fallback is unreachable only on aarch64 builds
     Isa::Scalar
 }
 
@@ -147,8 +147,12 @@ pub fn saxpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len());
     match isa() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only selected after runtime
+        // AVX2+FMA detection (see [`detect`]).
         Isa::Avx2Fma => unsafe { saxpy_avx2(alpha, x, y) },
         #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` is only selected on AArch64, where NEON
+        // is a baseline feature.
         Isa::Neon => unsafe { saxpy_neon(alpha, x, y) },
         _ => saxpy_scalar(alpha, x, y),
     }
@@ -176,8 +180,12 @@ pub fn scale_add(beta: f32, y: &mut [f32], x: &[f32]) {
     debug_assert_eq!(x.len(), y.len());
     match isa() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only selected after runtime
+        // AVX2+FMA detection (see [`detect`]).
         Isa::Avx2Fma => unsafe { scale_add_avx2(beta, y, x) },
         #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` is only selected on AArch64, where NEON
+        // is a baseline feature.
         Isa::Neon => unsafe { scale_add_neon(beta, y, x) },
         _ => scale_add_scalar(beta, y, x),
     }
@@ -196,8 +204,12 @@ pub fn scale_add_scalar(beta: f32, y: &mut [f32], x: &[f32]) {
 pub fn sscal(alpha: f32, x: &mut [f32]) {
     match isa() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only selected after runtime
+        // AVX2+FMA detection (see [`detect`]).
         Isa::Avx2Fma => unsafe { sscal_avx2(alpha, x) },
         #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` is only selected on AArch64, where NEON
+        // is a baseline feature.
         Isa::Neon => unsafe { sscal_neon(alpha, x) },
         _ => sscal_scalar(alpha, x),
     }
@@ -219,8 +231,12 @@ pub fn sdot(x: &[f32], y: &[f32]) -> f32 {
     debug_assert_eq!(x.len(), y.len());
     match isa() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only selected after runtime
+        // AVX2+FMA detection (see [`detect`]).
         Isa::Avx2Fma => unsafe { sdot_avx2(x, y) },
         #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` is only selected on AArch64, where NEON
+        // is a baseline feature.
         Isa::Neon => unsafe { sdot_neon(x, y) },
         _ => sdot_scalar(x, y),
     }
@@ -246,8 +262,12 @@ pub fn cmac(a: &[Complex32], b: &[Complex32], conj_b: bool, out: &mut [Complex32
     debug_assert_eq!(a.len(), out.len());
     match isa() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only selected after runtime
+        // AVX2+FMA detection (see [`detect`]).
         Isa::Avx2Fma => unsafe { cmac_avx2(a, b, conj_b, out) },
         #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` is only selected on AArch64, where NEON
+        // is a baseline feature.
         Isa::Neon => unsafe { cmac_neon(a, b, conj_b, out) },
         _ => cmac_scalar(a, b, conj_b, out),
     }
@@ -271,112 +291,162 @@ mod avx2 {
     use super::Complex32;
     use std::arch::x86_64::*;
 
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime; the dispatch
+    /// table ([`super::isa`]) is the only caller.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn saxpy_avx2(alpha: f32, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len(), "saxpy_avx2: length mismatch");
         let n = x.len().min(y.len());
-        let av = _mm256_set1_ps(alpha);
-        let xp = x.as_ptr();
-        let yp = y.as_mut_ptr();
-        let mut i = 0;
-        while i + 8 <= n {
-            let yv = _mm256_loadu_ps(yp.add(i));
-            let xv = _mm256_loadu_ps(xp.add(i));
-            _mm256_storeu_ps(yp.add(i), _mm256_fmadd_ps(av, xv, yv));
-            i += 8;
-        }
-        for j in i..n {
-            *yp.add(j) += alpha * *xp.add(j);
+        // SAFETY: intrinsics are executable because this fn only runs
+        // after runtime AVX2+FMA detection. All pointer offsets stay in
+        // bounds: the vector loop reads/writes `[i, i+8)` only while
+        // `i + 8 <= n`, the scalar tail covers `[i, n)`, and
+        // `n <= x.len(), y.len()` by construction.
+        unsafe {
+            let av = _mm256_set1_ps(alpha);
+            let xp = x.as_ptr();
+            let yp = y.as_mut_ptr();
+            let mut i = 0;
+            while i + 8 <= n {
+                let yv = _mm256_loadu_ps(yp.add(i));
+                let xv = _mm256_loadu_ps(xp.add(i));
+                _mm256_storeu_ps(yp.add(i), _mm256_fmadd_ps(av, xv, yv));
+                i += 8;
+            }
+            for j in i..n {
+                *yp.add(j) += alpha * *xp.add(j);
+            }
         }
     }
 
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime; the dispatch
+    /// table ([`super::isa`]) is the only caller.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn scale_add_avx2(beta: f32, y: &mut [f32], x: &[f32]) {
+        debug_assert_eq!(x.len(), y.len(), "scale_add_avx2: length mismatch");
         let n = x.len().min(y.len());
-        let bv = _mm256_set1_ps(beta);
-        let xp = x.as_ptr();
-        let yp = y.as_mut_ptr();
-        let mut i = 0;
-        while i + 8 <= n {
-            let yv = _mm256_loadu_ps(yp.add(i));
-            let xv = _mm256_loadu_ps(xp.add(i));
-            _mm256_storeu_ps(yp.add(i), _mm256_fmadd_ps(bv, yv, xv));
-            i += 8;
-        }
-        for j in i..n {
-            *yp.add(j) = beta * *yp.add(j) + *xp.add(j);
+        // SAFETY: runs only after runtime AVX2+FMA detection; offsets
+        // stay inside `x[..n]` / `y[..n]` exactly as in `saxpy_avx2`
+        // (8-lane loop guarded by `i + 8 <= n`, scalar tail to `n`).
+        unsafe {
+            let bv = _mm256_set1_ps(beta);
+            let xp = x.as_ptr();
+            let yp = y.as_mut_ptr();
+            let mut i = 0;
+            while i + 8 <= n {
+                let yv = _mm256_loadu_ps(yp.add(i));
+                let xv = _mm256_loadu_ps(xp.add(i));
+                _mm256_storeu_ps(yp.add(i), _mm256_fmadd_ps(bv, yv, xv));
+                i += 8;
+            }
+            for j in i..n {
+                *yp.add(j) = beta * *yp.add(j) + *xp.add(j);
+            }
         }
     }
 
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime; the dispatch
+    /// table ([`super::isa`]) is the only caller.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn sscal_avx2(alpha: f32, x: &mut [f32]) {
         let n = x.len();
-        let av = _mm256_set1_ps(alpha);
-        let xp = x.as_mut_ptr();
-        let mut i = 0;
-        while i + 8 <= n {
-            _mm256_storeu_ps(xp.add(i), _mm256_mul_ps(av, _mm256_loadu_ps(xp.add(i))));
-            i += 8;
-        }
-        for j in i..n {
-            *xp.add(j) *= alpha;
+        // SAFETY: runs only after runtime AVX2+FMA detection; the
+        // 8-lane loop touches `[i, i+8)` only while `i + 8 <= n` and
+        // the scalar tail stops at `n == x.len()`.
+        unsafe {
+            let av = _mm256_set1_ps(alpha);
+            let xp = x.as_mut_ptr();
+            let mut i = 0;
+            while i + 8 <= n {
+                _mm256_storeu_ps(xp.add(i), _mm256_mul_ps(av, _mm256_loadu_ps(xp.add(i))));
+                i += 8;
+            }
+            for j in i..n {
+                *xp.add(j) *= alpha;
+            }
         }
     }
 
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime; the dispatch
+    /// table ([`super::isa`]) is the only caller.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn sdot_avx2(x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len(), "sdot_avx2: length mismatch");
         let n = x.len().min(y.len());
-        let xp = x.as_ptr();
-        let yp = y.as_ptr();
-        // Four independent accumulator chains hide FMA latency.
-        let mut acc0 = _mm256_setzero_ps();
-        let mut acc1 = _mm256_setzero_ps();
-        let mut acc2 = _mm256_setzero_ps();
-        let mut acc3 = _mm256_setzero_ps();
-        let mut i = 0;
-        while i + 32 <= n {
-            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
-            acc1 = _mm256_fmadd_ps(
-                _mm256_loadu_ps(xp.add(i + 8)),
-                _mm256_loadu_ps(yp.add(i + 8)),
-                acc1,
-            );
-            acc2 = _mm256_fmadd_ps(
-                _mm256_loadu_ps(xp.add(i + 16)),
-                _mm256_loadu_ps(yp.add(i + 16)),
-                acc2,
-            );
-            acc3 = _mm256_fmadd_ps(
-                _mm256_loadu_ps(xp.add(i + 24)),
-                _mm256_loadu_ps(yp.add(i + 24)),
-                acc3,
-            );
-            i += 32;
+        // SAFETY: runs only after runtime AVX2+FMA detection. The
+        // 32-lane loop reads `[i, i+32)` while `i + 32 <= n`, the
+        // 8-lane cleanup reads `[i, i+8)` while `i + 8 <= n`, and the
+        // scalar tail stops at `n` — all within both slices.
+        unsafe {
+            let xp = x.as_ptr();
+            let yp = y.as_ptr();
+            // Four independent accumulator chains hide FMA latency.
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            let mut i = 0;
+            while i + 32 <= n {
+                acc0 =
+                    _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
+                acc1 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(xp.add(i + 8)),
+                    _mm256_loadu_ps(yp.add(i + 8)),
+                    acc1,
+                );
+                acc2 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(xp.add(i + 16)),
+                    _mm256_loadu_ps(yp.add(i + 16)),
+                    acc2,
+                );
+                acc3 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(xp.add(i + 24)),
+                    _mm256_loadu_ps(yp.add(i + 24)),
+                    acc3,
+                );
+                i += 32;
+            }
+            while i + 8 <= n {
+                acc0 =
+                    _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
+                i += 8;
+            }
+            let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+            // Horizontal sum: fold 256 → 128 → scalar.
+            let lo = _mm256_castps256_ps128(acc);
+            let hi = _mm256_extractf128_ps(acc, 1);
+            let s128 = _mm_add_ps(lo, hi);
+            let s64 = _mm_add_ps(s128, _mm_movehl_ps(s128, s128));
+            let s32 = _mm_add_ss(s64, _mm_shuffle_ps(s64, s64, 0b01));
+            let mut total = _mm_cvtss_f32(s32);
+            for j in i..n {
+                total += *xp.add(j) * *yp.add(j);
+            }
+            total
         }
-        while i + 8 <= n {
-            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
-            i += 8;
-        }
-        let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
-        // Horizontal sum: fold 256 → 128 → scalar.
-        let lo = _mm256_castps256_ps128(acc);
-        let hi = _mm256_extractf128_ps(acc, 1);
-        let s128 = _mm_add_ps(lo, hi);
-        let s64 = _mm_add_ps(s128, _mm_movehl_ps(s128, s128));
-        let s32 = _mm_add_ss(s64, _mm_shuffle_ps(s64, s64, 0b01));
-        let mut total = _mm_cvtss_f32(s32);
-        for j in i..n {
-            total += *xp.add(j) * *yp.add(j);
-        }
-        total
     }
 
     /// Sign mask flipping the imaginary (odd) lanes — xor-ing with it
     /// conjugates four packed [`Complex32`] values.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX at runtime (guaranteed by every
+    /// caller being itself `avx2,fma` target-feature gated).
+    #[target_feature(enable = "avx2")]
     #[inline]
     unsafe fn conj_mask() -> __m256 {
+        // Pure register constant: safe to call inside an `avx2`
+        // target-feature fn; no inner unsafe is needed.
         _mm256_setr_ps(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0)
     }
 
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime; the dispatch
+    /// table ([`super::isa`]) is the only caller.
     #[target_feature(enable = "avx2,fma")]
     pub(super) unsafe fn cmac_avx2(
         a: &[Complex32],
@@ -384,30 +454,41 @@ mod avx2 {
         conj_b: bool,
         out: &mut [Complex32],
     ) {
+        debug_assert_eq!(a.len(), b.len(), "cmac_avx2: length mismatch");
+        debug_assert_eq!(a.len(), out.len(), "cmac_avx2: length mismatch");
         let n = a.len().min(b.len()).min(out.len());
-        let ap = a.as_ptr() as *const f32;
-        let bp = b.as_ptr() as *const f32;
-        let op = out.as_mut_ptr() as *mut f32;
-        let mask = conj_mask();
-        let mut i = 0; // complex index
-        while i + 4 <= n {
-            let av = _mm256_loadu_ps(ap.add(2 * i));
-            let mut bv = _mm256_loadu_ps(bp.add(2 * i));
-            if conj_b {
-                bv = _mm256_xor_ps(bv, mask);
+        // SAFETY: runs only after runtime AVX2+FMA detection. Viewing
+        // `&[Complex32]` as interleaved f32 is sound because Complex32
+        // is `#[repr(C)] { re: f32, im: f32 }` with size 8 and align 4
+        // (const-asserted next to the type); `2 * n` f32 elements span
+        // exactly `n` complex elements. The 4-complex (8-f32) loop
+        // reads/writes f32 offsets `[2i, 2i+8)` only while `i + 4 <= n`,
+        // and the scalar tail handles `[i, n)` through safe subslices.
+        unsafe {
+            let ap = a.as_ptr() as *const f32;
+            let bp = b.as_ptr() as *const f32;
+            let op = out.as_mut_ptr() as *mut f32;
+            let mask = conj_mask();
+            let mut i = 0; // complex index
+            while i + 4 <= n {
+                let av = _mm256_loadu_ps(ap.add(2 * i));
+                let mut bv = _mm256_loadu_ps(bp.add(2 * i));
+                if conj_b {
+                    bv = _mm256_xor_ps(bv, mask);
+                }
+                let ov = _mm256_loadu_ps(op.add(2 * i));
+                // With b = [br, bi, …]: even lanes need +br·are − bi·aim,
+                // odd lanes +br·aim + bi·are (a swapped within pairs).
+                let bre = _mm256_moveldup_ps(bv); // [br, br, …]
+                let bim = _mm256_movehdup_ps(bv); // [bi, bi, …]
+                let aswap = _mm256_permute_ps(av, 0b1011_0001); // [ai, ar, …]
+                let res = _mm256_fmadd_ps(bre, av, ov);
+                let res = _mm256_addsub_ps(res, _mm256_mul_ps(bim, aswap));
+                _mm256_storeu_ps(op.add(2 * i), res);
+                i += 4;
             }
-            let ov = _mm256_loadu_ps(op.add(2 * i));
-            // With b = [br, bi, …]: even lanes need +br·are − bi·aim,
-            // odd lanes +br·aim + bi·are (a swapped within pairs).
-            let bre = _mm256_moveldup_ps(bv); // [br, br, …]
-            let bim = _mm256_movehdup_ps(bv); // [bi, bi, …]
-            let aswap = _mm256_permute_ps(av, 0b1011_0001); // [ai, ar, …]
-            let res = _mm256_fmadd_ps(bre, av, ov);
-            let res = _mm256_addsub_ps(res, _mm256_mul_ps(bim, aswap));
-            _mm256_storeu_ps(op.add(2 * i), res);
-            i += 4;
+            super::cmac_scalar(&a[i..n], &b[i..n], conj_b, &mut out[i..n]);
         }
-        super::cmac_scalar(&a[i..n], &b[i..n], conj_b, &mut out[i..n]);
     }
 }
 
@@ -423,86 +504,126 @@ mod neon {
     use super::Complex32;
     use std::arch::aarch64::*;
 
+    /// # Safety
+    /// Caller must be on an AArch64 host (NEON is baseline there); the
+    /// dispatch table ([`super::isa`]) is the only caller.
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn saxpy_neon(alpha: f32, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len(), "saxpy_neon: length mismatch");
         let n = x.len().min(y.len());
-        let av = vdupq_n_f32(alpha);
-        let xp = x.as_ptr();
-        let yp = y.as_mut_ptr();
-        let mut i = 0;
-        while i + 4 <= n {
-            let yv = vld1q_f32(yp.add(i));
-            let xv = vld1q_f32(xp.add(i));
-            vst1q_f32(yp.add(i), vfmaq_f32(yv, av, xv));
-            i += 4;
-        }
-        for j in i..n {
-            *yp.add(j) += alpha * *xp.add(j);
+        // SAFETY: NEON is an AArch64 baseline feature. All pointer
+        // offsets stay in bounds: the 4-lane loop touches `[i, i+4)`
+        // only while `i + 4 <= n`, the scalar tail stops at `n`, and
+        // `n <= x.len(), y.len()` by construction.
+        unsafe {
+            let av = vdupq_n_f32(alpha);
+            let xp = x.as_ptr();
+            let yp = y.as_mut_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let yv = vld1q_f32(yp.add(i));
+                let xv = vld1q_f32(xp.add(i));
+                vst1q_f32(yp.add(i), vfmaq_f32(yv, av, xv));
+                i += 4;
+            }
+            for j in i..n {
+                *yp.add(j) += alpha * *xp.add(j);
+            }
         }
     }
 
+    /// # Safety
+    /// Caller must be on an AArch64 host (NEON is baseline there); the
+    /// dispatch table ([`super::isa`]) is the only caller.
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn scale_add_neon(beta: f32, y: &mut [f32], x: &[f32]) {
+        debug_assert_eq!(x.len(), y.len(), "scale_add_neon: length mismatch");
         let n = x.len().min(y.len());
-        let bv = vdupq_n_f32(beta);
-        let xp = x.as_ptr();
-        let yp = y.as_mut_ptr();
-        let mut i = 0;
-        while i + 4 <= n {
-            let yv = vld1q_f32(yp.add(i));
-            let xv = vld1q_f32(xp.add(i));
-            vst1q_f32(yp.add(i), vfmaq_f32(xv, bv, yv));
-            i += 4;
-        }
-        for j in i..n {
-            *yp.add(j) = beta * *yp.add(j) + *xp.add(j);
+        // SAFETY: NEON is an AArch64 baseline feature; offsets stay
+        // inside `x[..n]` / `y[..n]` (4-lane loop guarded by
+        // `i + 4 <= n`, scalar tail to `n`).
+        unsafe {
+            let bv = vdupq_n_f32(beta);
+            let xp = x.as_ptr();
+            let yp = y.as_mut_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let yv = vld1q_f32(yp.add(i));
+                let xv = vld1q_f32(xp.add(i));
+                vst1q_f32(yp.add(i), vfmaq_f32(xv, bv, yv));
+                i += 4;
+            }
+            for j in i..n {
+                *yp.add(j) = beta * *yp.add(j) + *xp.add(j);
+            }
         }
     }
 
+    /// # Safety
+    /// Caller must be on an AArch64 host (NEON is baseline there); the
+    /// dispatch table ([`super::isa`]) is the only caller.
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn sscal_neon(alpha: f32, x: &mut [f32]) {
         let n = x.len();
-        let av = vdupq_n_f32(alpha);
-        let xp = x.as_mut_ptr();
-        let mut i = 0;
-        while i + 4 <= n {
-            vst1q_f32(xp.add(i), vmulq_f32(av, vld1q_f32(xp.add(i))));
-            i += 4;
-        }
-        for j in i..n {
-            *xp.add(j) *= alpha;
+        // SAFETY: NEON is an AArch64 baseline feature; the 4-lane loop
+        // touches `[i, i+4)` only while `i + 4 <= n` and the scalar
+        // tail stops at `n == x.len()`.
+        unsafe {
+            let av = vdupq_n_f32(alpha);
+            let xp = x.as_mut_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                vst1q_f32(xp.add(i), vmulq_f32(av, vld1q_f32(xp.add(i))));
+                i += 4;
+            }
+            for j in i..n {
+                *xp.add(j) *= alpha;
+            }
         }
     }
 
+    /// # Safety
+    /// Caller must be on an AArch64 host (NEON is baseline there); the
+    /// dispatch table ([`super::isa`]) is the only caller.
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn sdot_neon(x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len(), "sdot_neon: length mismatch");
         let n = x.len().min(y.len());
-        let xp = x.as_ptr();
-        let yp = y.as_ptr();
-        let mut acc0 = vdupq_n_f32(0.0);
-        let mut acc1 = vdupq_n_f32(0.0);
-        let mut acc2 = vdupq_n_f32(0.0);
-        let mut acc3 = vdupq_n_f32(0.0);
-        let mut i = 0;
-        while i + 16 <= n {
-            acc0 = vfmaq_f32(acc0, vld1q_f32(xp.add(i)), vld1q_f32(yp.add(i)));
-            acc1 = vfmaq_f32(acc1, vld1q_f32(xp.add(i + 4)), vld1q_f32(yp.add(i + 4)));
-            acc2 = vfmaq_f32(acc2, vld1q_f32(xp.add(i + 8)), vld1q_f32(yp.add(i + 8)));
-            acc3 = vfmaq_f32(acc3, vld1q_f32(xp.add(i + 12)), vld1q_f32(yp.add(i + 12)));
-            i += 16;
+        // SAFETY: NEON is an AArch64 baseline feature. The 16-lane loop
+        // reads `[i, i+16)` while `i + 16 <= n`, the 4-lane cleanup
+        // reads `[i, i+4)` while `i + 4 <= n`, and the scalar tail
+        // stops at `n` — all within both slices.
+        unsafe {
+            let xp = x.as_ptr();
+            let yp = y.as_ptr();
+            let mut acc0 = vdupq_n_f32(0.0);
+            let mut acc1 = vdupq_n_f32(0.0);
+            let mut acc2 = vdupq_n_f32(0.0);
+            let mut acc3 = vdupq_n_f32(0.0);
+            let mut i = 0;
+            while i + 16 <= n {
+                acc0 = vfmaq_f32(acc0, vld1q_f32(xp.add(i)), vld1q_f32(yp.add(i)));
+                acc1 = vfmaq_f32(acc1, vld1q_f32(xp.add(i + 4)), vld1q_f32(yp.add(i + 4)));
+                acc2 = vfmaq_f32(acc2, vld1q_f32(xp.add(i + 8)), vld1q_f32(yp.add(i + 8)));
+                acc3 = vfmaq_f32(acc3, vld1q_f32(xp.add(i + 12)), vld1q_f32(yp.add(i + 12)));
+                i += 16;
+            }
+            while i + 4 <= n {
+                acc0 = vfmaq_f32(acc0, vld1q_f32(xp.add(i)), vld1q_f32(yp.add(i)));
+                i += 4;
+            }
+            let acc = vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3));
+            let mut total = vaddvq_f32(acc);
+            for j in i..n {
+                total += *xp.add(j) * *yp.add(j);
+            }
+            total
         }
-        while i + 4 <= n {
-            acc0 = vfmaq_f32(acc0, vld1q_f32(xp.add(i)), vld1q_f32(yp.add(i)));
-            i += 4;
-        }
-        let acc = vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3));
-        let mut total = vaddvq_f32(acc);
-        for j in i..n {
-            total += *xp.add(j) * *yp.add(j);
-        }
-        total
     }
 
+    /// # Safety
+    /// Caller must be on an AArch64 host (NEON is baseline there); the
+    /// dispatch table ([`super::isa`]) is the only caller.
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn cmac_neon(
         a: &[Complex32],
@@ -510,33 +631,43 @@ mod neon {
         conj_b: bool,
         out: &mut [Complex32],
     ) {
+        debug_assert_eq!(a.len(), b.len(), "cmac_neon: length mismatch");
+        debug_assert_eq!(a.len(), out.len(), "cmac_neon: length mismatch");
         let n = a.len().min(b.len()).min(out.len());
-        let ap = a.as_ptr() as *const f32;
-        let bp = b.as_ptr() as *const f32;
-        let op = out.as_mut_ptr() as *mut f32;
-        // Flips the sign of the imaginary (odd) lanes.
-        let conj = vreinterpretq_u32_f32(vld1q_f32([0.0f32, -0.0, 0.0, -0.0].as_ptr()));
-        // Flips the sign of the real (even) lanes — used to realize the
-        // addsub pattern: out += [−bi·ai, +bi·ar].
-        let negeven = vreinterpretq_u32_f32(vld1q_f32([-0.0f32, 0.0, -0.0, 0.0].as_ptr()));
-        let mut i = 0; // complex index
-        while i + 2 <= n {
-            let av = vld1q_f32(ap.add(2 * i));
-            let mut bv = vld1q_f32(bp.add(2 * i));
-            if conj_b {
-                bv = vreinterpretq_f32_u32(veorq_u32(vreinterpretq_u32_f32(bv), conj));
+        // SAFETY: NEON is an AArch64 baseline feature. Viewing
+        // `&[Complex32]` as interleaved f32 is sound because Complex32
+        // is `#[repr(C)] { re: f32, im: f32 }` with size 8 and align 4
+        // (const-asserted next to the type). The 2-complex (4-f32) loop
+        // reads/writes f32 offsets `[2i, 2i+4)` only while `i + 2 <= n`,
+        // and the scalar tail handles `[i, n)` through safe subslices.
+        unsafe {
+            let ap = a.as_ptr() as *const f32;
+            let bp = b.as_ptr() as *const f32;
+            let op = out.as_mut_ptr() as *mut f32;
+            // Flips the sign of the imaginary (odd) lanes.
+            let conj = vreinterpretq_u32_f32(vld1q_f32([0.0f32, -0.0, 0.0, -0.0].as_ptr()));
+            // Flips the sign of the real (even) lanes — used to realize
+            // the addsub pattern: out += [−bi·ai, +bi·ar].
+            let negeven = vreinterpretq_u32_f32(vld1q_f32([-0.0f32, 0.0, -0.0, 0.0].as_ptr()));
+            let mut i = 0; // complex index
+            while i + 2 <= n {
+                let av = vld1q_f32(ap.add(2 * i));
+                let mut bv = vld1q_f32(bp.add(2 * i));
+                if conj_b {
+                    bv = vreinterpretq_f32_u32(veorq_u32(vreinterpretq_u32_f32(bv), conj));
+                }
+                let ov = vld1q_f32(op.add(2 * i));
+                let bre = vtrn1q_f32(bv, bv); // [br, br, …]
+                let bim = vtrn2q_f32(bv, bv); // [bi, bi, …]
+                let aswap = vrev64q_f32(av); // [ai, ar, …]
+                let cross = vmulq_f32(bim, aswap); // [bi·ai, bi·ar]
+                let cross = vreinterpretq_f32_u32(veorq_u32(vreinterpretq_u32_f32(cross), negeven));
+                let res = vfmaq_f32(ov, bre, av);
+                vst1q_f32(op.add(2 * i), vaddq_f32(res, cross));
+                i += 2;
             }
-            let ov = vld1q_f32(op.add(2 * i));
-            let bre = vtrn1q_f32(bv, bv); // [br, br, …]
-            let bim = vtrn2q_f32(bv, bv); // [bi, bi, …]
-            let aswap = vrev64q_f32(av); // [ai, ar, …]
-            let cross = vmulq_f32(bim, aswap); // [bi·ai, bi·ar]
-            let cross = vreinterpretq_f32_u32(veorq_u32(vreinterpretq_u32_f32(cross), negeven));
-            let res = vfmaq_f32(ov, bre, av);
-            vst1q_f32(op.add(2 * i), vaddq_f32(res, cross));
-            i += 2;
+            super::cmac_scalar(&a[i..n], &b[i..n], conj_b, &mut out[i..n]);
         }
-        super::cmac_scalar(&a[i..n], &b[i..n], conj_b, &mut out[i..n]);
     }
 }
 

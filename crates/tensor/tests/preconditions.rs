@@ -1,0 +1,53 @@
+//! Debug-build precondition tests for the SIMD dispatchers: mismatched
+//! buffer lengths must trip the `debug_assert!` guards *before* any
+//! pointer arithmetic runs. The whole file is gated on
+//! `debug_assertions` because release CI compiles the asserts away
+//! (the guards are defense-in-depth, not release-mode bounds checks —
+//! see DESIGN.md "Soundness auditing").
+
+#![cfg(debug_assertions)]
+
+use gcnn_tensor::complex::Complex32;
+use gcnn_tensor::simd;
+
+#[test]
+#[should_panic]
+fn saxpy_rejects_length_mismatch() {
+    let x = [1.0f32; 8];
+    let mut y = [0.0f32; 7];
+    simd::saxpy(2.0, &x, &mut y);
+}
+
+#[test]
+#[should_panic]
+fn scale_add_rejects_length_mismatch() {
+    let x = [1.0f32; 5];
+    let mut y = [0.0f32; 9];
+    simd::scale_add(0.5, &mut y, &x);
+}
+
+#[test]
+#[should_panic]
+fn sdot_rejects_length_mismatch() {
+    let x = [1.0f32; 16];
+    let y = [1.0f32; 12];
+    let _ = simd::sdot(&x, &y);
+}
+
+#[test]
+#[should_panic]
+fn cmac_rejects_operand_length_mismatch() {
+    let a = [Complex32::ZERO; 8];
+    let b = [Complex32::ZERO; 6];
+    let mut out = [Complex32::ZERO; 8];
+    simd::cmac(&a, &b, false, &mut out);
+}
+
+#[test]
+#[should_panic]
+fn cmac_rejects_output_length_mismatch() {
+    let a = [Complex32::ZERO; 8];
+    let b = [Complex32::ZERO; 8];
+    let mut out = [Complex32::ZERO; 4];
+    simd::cmac(&a, &b, false, &mut out);
+}

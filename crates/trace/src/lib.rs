@@ -19,10 +19,15 @@
 //!
 //! ## Use
 //!
+//! Span and counter names follow the `subsystem.verb` convention
+//! enforced by `gcnn-audit` (lowercase dot-separated segments, e.g.
+//! `gemm.sgemm`, `tensor.im2col`, `autotune.cache.hits`):
+//!
 //! ```
-//! let _outer = gcnn_trace::span("layer");
+//! let _outer = gcnn_trace::span("network.layer");
 //! {
-//!     let _inner = gcnn_trace::span("gemm"); // aggregates as "layer/gemm"
+//!     // aggregates as "network.layer/gemm.sgemm"
+//!     let _inner = gcnn_trace::span("gemm.sgemm");
 //!     gcnn_trace::counter_add("gemm.calls", 1);
 //! }
 //! let snap = gcnn_trace::snapshot();
@@ -30,6 +35,8 @@
 //!     assert!(snap.counter("gemm.calls") >= 1);
 //! }
 //! ```
+
+#![forbid(unsafe_code)]
 
 mod snapshot;
 

@@ -10,6 +10,9 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --all -- --check
+# Soundness audit: SAFETY comments, unsafe containment, arena
+# discipline on hot paths, trace naming (see crates/audit).
+cargo run -q -p gcnn-audit
 # Explicit -p list: plain --no-default-features would also strip the
 # vendored crates' defaults.
 cargo test -q --no-default-features \

@@ -7,6 +7,8 @@
 //! comparison baselines — the workspace's tracked numbers come from the
 //! `perf_smoke` binary instead.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -6,6 +6,8 @@
 //! no shrinking (a failing case reports its assertion message only),
 //! no persistence file, and value distributions are plain uniforms.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

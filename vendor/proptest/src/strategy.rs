@@ -274,7 +274,7 @@ macro_rules! impl_tuple_strategy {
     ($(($($name:ident),+))*) => {$(
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
+            #[allow(non_snake_case)] // macro binds tuple fields to their type-parameter names
             fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.sample_value(rng),)+)

@@ -9,6 +9,8 @@
 //! differ from real `rand`'s (the workspace only relies on determinism
 //! per seed, not on specific sequences).
 
+#![forbid(unsafe_code)]
+
 /// Core random source: 64 bits at a time.
 pub trait RngCore {
     /// Next raw 64-bit value.

@@ -17,6 +17,8 @@
 //!   [`current_num_threads`], so code that branches on pool size behaves
 //!   as if a pool of that size existed.
 
+#![forbid(unsafe_code)]
+
 use std::cell::Cell;
 use std::fmt;
 

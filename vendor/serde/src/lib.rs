@@ -12,6 +12,8 @@
 //! but only ever *parses* into `serde_json::Value`, never into typed
 //! structs.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// A value that can render itself as compact JSON.

@@ -17,6 +17,8 @@
 //! `#[serde(...)]` attributes are not supported and there are none in
 //! the workspace.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]

@@ -3,6 +3,8 @@
 //! trait, [`from_str`] into a dynamic [`Value`], and the `Value`
 //! accessors / index / comparison operators the tests exercise.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::fmt;
 
