@@ -175,9 +175,12 @@ impl Substrate for CpuSubstrate {
         // The SIMD dispatch path changes what a measurement means: a
         // verdict cached under the scalar kernels must not be trusted by
         // a process running the AVX2/NEON ones (and vice versa), so the
-        // effective ISA is part of the device identity.
+        // effective ISA is part of the device identity. The `v2`
+        // generation tag invalidates verdicts measured before the
+        // split-complex FFT path: the FFT strategy's cost profile moved
+        // enough that old winners are stale.
         let isa = gcnn_tensor::simd::isa_name();
-        format!("cpu/host/{threads}threads/{isa}")
+        format!("cpu/host/v2/{threads}threads/{isa}")
     }
 
     fn candidates(&self) -> Vec<Candidate> {
@@ -305,6 +308,10 @@ mod tests {
         assert!(
             fp.ends_with(&format!("/{}", gcnn_tensor::simd::isa_name())),
             "fingerprint {fp} missing ISA suffix"
+        );
+        assert!(
+            fp.contains("/v2/"),
+            "fingerprint {fp} missing the split-FFT generation tag"
         );
     }
 }

@@ -5,6 +5,7 @@
 //! bench_compare --baseline baseline.json [--current results/BENCH_hotpaths.json]
 //!               [--tolerance 0.25] [--trace results/BENCH_trace.json]
 //!               [--simd results/BENCH_simd.json] [--min-speedup 1.2]
+//!               [--fft results/BENCH_fft.json] [--fft-min-speedup 2.0]
 //! ```
 //!
 //! A section whose p50 exceeds `baseline · (1 + tolerance)` fails, as
@@ -12,12 +13,15 @@
 //! With `--trace`, a non-zero steady-state fresh-allocation count in
 //! the trace report fails too. With `--simd`, the scalar-vs-SIMD
 //! report must show the dispatched SGEMM kernel at least `--min-speedup`
-//! times faster than scalar (skipped on scalar-only hosts). Exit codes:
-//! 0 clean, 1 regression, 2 usage or I/O error.
+//! times faster than scalar (skipped on scalar-only hosts). With
+//! `--fft`, the per-size rfft sweep must show a geomean speedup of at
+//! least `--fft-min-speedup` with no cell below its floor (also skipped
+//! on scalar-only hosts). Exit codes: 0 clean, 1 regression, 2 usage or
+//! I/O error.
 
 #![forbid(unsafe_code)]
 
-use gcnn_bench::compare::{diff_reports, simd_gate, steady_fresh_allocs};
+use gcnn_bench::compare::{diff_reports, fft_gate, simd_gate, steady_fresh_allocs};
 use serde_json::Value;
 use std::process::exit;
 
@@ -48,6 +52,8 @@ fn main() {
     let mut trace = None;
     let mut simd = None;
     let mut min_speedup = 1.2f64;
+    let mut fft = None;
+    let mut fft_min_speedup = 2.0f64;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -66,6 +72,13 @@ fn main() {
             "--min-speedup" => {
                 min_speedup = value().parse().unwrap_or_else(|_| usage());
                 if min_speedup < 1.0 {
+                    usage();
+                }
+            }
+            "--fft" => fft = Some(value()),
+            "--fft-min-speedup" => {
+                fft_min_speedup = value().parse().unwrap_or_else(|_| usage());
+                if fft_min_speedup < 1.0 {
                     usage();
                 }
             }
@@ -97,6 +110,19 @@ fn main() {
 
     if let Some(simd_path) = simd {
         match simd_gate(&load(&simd_path), min_speedup) {
+            Ok(gate) => {
+                println!("{}", gate.render());
+                failed |= !gate.passed();
+            }
+            Err(e) => {
+                eprintln!("bench_compare: {e}");
+                exit(2);
+            }
+        }
+    }
+
+    if let Some(fft_path) = fft {
+        match fft_gate(&load(&fft_path), fft_min_speedup) {
             Ok(gate) => {
                 println!("{}", gate.render());
                 failed |= !gate.passed();

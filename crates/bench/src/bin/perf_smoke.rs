@@ -26,6 +26,10 @@
 //! scalar (`set_force_scalar`), and the p50 ratio is the speedup
 //! `bench_compare --simd` gates on so a silent dispatch regression to
 //! scalar fails CI.
+//!
+//! A third, `results/BENCH_fft.json`, is the rfft A/B broken out per
+//! transform size × batch count (the aggregate in `BENCH_simd` is its
+//! geometric mean); `bench_compare --fft` gates on it.
 
 #![forbid(unsafe_code)]
 
@@ -168,8 +172,97 @@ struct SimdReport {
     sections: Vec<Section>,
     /// `scalar p50 / simd p50` of the 256³ SGEMM micro-bench.
     sgemm_speedup: f64,
-    /// `scalar p50 / simd p50` of the batched rfft round-trip.
+    /// Geometric mean of the per-size×batch rfft sweep speedups (the
+    /// per-entry breakdown lives in `results/BENCH_fft.json`).
     rfft_speedup: f64,
+}
+
+/// One cell of the rfft A/B sweep: a `n×n` round-trip at one batch
+/// count, dispatched natively and with the table pinned to scalar.
+#[derive(Debug, Serialize)]
+struct FftEntry {
+    n: usize,
+    batch: usize,
+    simd_p50_ms: f64,
+    scalar_p50_ms: f64,
+    /// `scalar p50 / simd p50` for this cell.
+    speedup: f64,
+}
+
+/// Per-size × batch rfft A/B report (`results/BENCH_fft.json`). A
+/// single aggregate number hid size-dependent regressions (small
+/// transforms are shuffle-bound, large ones bandwidth-bound); the sweep
+/// exposes every cell and the gate enforces both the geomean and a
+/// per-cell floor.
+#[derive(Debug, Serialize)]
+struct FftReport {
+    /// The natively dispatched ISA ([`gcnn_tensor::simd::isa_name`]).
+    isa: String,
+    entries: Vec<FftEntry>,
+    /// Geometric mean of the per-entry speedups — the number
+    /// `bench_compare --fft` gates on.
+    overall_speedup: f64,
+}
+
+/// A/B the batched rfft round-trip over transform sizes × batch counts.
+fn bench_fft_sweep(repeats: Repeats) -> FftReport {
+    let isa = gcnn_tensor::simd::isa_name().to_string();
+    println!("fft A/B sweep: native isa = {isa}");
+    let mut entries = Vec::new();
+    for n in [16usize, 32, 64, 128] {
+        for batch in [1usize, 8, 32] {
+            let plan = RfftPlan::cached(n);
+            let data = uniform_tensor(
+                gcnn_tensor::Shape4::new(batch, 1, n, n),
+                -1.0,
+                1.0,
+                (n * 131 + batch) as u64,
+            );
+            let mut spectra = vec![gcnn_tensor::Complex32::ZERO; batch * plan.spectrum_len()];
+            let mut back = vec![0.0f32; batch * n * n];
+            let mut round_trip = || {
+                gcnn_fft::rfft_forward_batch(&plan, data.as_slice(), &mut spectra);
+                gcnn_fft::rfft_inverse_batch(&plan, &spectra, &mut back);
+                std::hint::black_box(&back);
+            };
+            // A small-n round-trip runs in a few µs — below clock
+            // jitter when timed one call at a time. Calibrate an
+            // inner-repetition count so each timed sample spans ≥ ~2 ms
+            // (per-call times are recovered by dividing), sized off the
+            // dispatched path so the slower scalar arm only gets a
+            // wider window.
+            round_trip();
+            let t = std::time::Instant::now();
+            round_trip();
+            let est_ms = t.elapsed().as_secs_f64() * 1e3;
+            let inner = ((2.0 / est_ms.max(1e-6)).ceil() as usize).clamp(1, 65536);
+            let (s_simd, s_scalar, speedup) =
+                ab_scalar(&format!("rfft_{n}x{n}_b{batch}"), repeats, None, || {
+                    for _ in 0..inner {
+                        round_trip();
+                    }
+                });
+            entries.push(FftEntry {
+                n,
+                batch,
+                simd_p50_ms: s_simd.p50_ms / inner as f64,
+                scalar_p50_ms: s_scalar.p50_ms / inner as f64,
+                speedup,
+            });
+        }
+    }
+    let overall_speedup = (entries
+        .iter()
+        .map(|e| e.speedup.max(1e-12).ln())
+        .sum::<f64>()
+        / entries.len() as f64)
+        .exp();
+    println!("fft A/B sweep: overall {overall_speedup:.2}x over scalar (geomean)");
+    FftReport {
+        isa,
+        entries,
+        overall_speedup,
+    }
 }
 
 /// Time `body` under the native dispatch table, then with the table
@@ -194,9 +287,10 @@ fn ab_scalar(
     (s_simd, s_scalar, speedup)
 }
 
-/// The SIMD A/B suite: the 256×256×256 SGEMM the acceptance gate tracks
-/// and a batched rfft round-trip covering butterflies + pointwise paths.
-fn bench_simd(repeats: Repeats) -> SimdReport {
+/// The SIMD A/B suite: the 256×256×256 SGEMM the acceptance gate tracks;
+/// the FFT number is the geomean of the per-size sweep in `fft_report`
+/// (the old single-cell aggregate hid size-dependent regressions).
+fn bench_simd(repeats: Repeats, fft_report: &FftReport) -> SimdReport {
     let isa = gcnn_tensor::simd::isa_name().to_string();
     println!("simd A/B: native isa = {isa}");
 
@@ -223,27 +317,11 @@ fn bench_simd(repeats: Repeats) -> SimdReport {
             );
         });
 
-    let fft_n = 64usize;
-    let planes = 32usize;
-    let plan = RfftPlan::cached(fft_n);
-    let data = uniform_tensor(
-        gcnn_tensor::Shape4::new(planes, 1, fft_n, fft_n),
-        -1.0,
-        1.0,
-        33,
-    );
-    let mut spectra = vec![gcnn_tensor::Complex32::ZERO; planes * plan.spectrum_len()];
-    let mut back = vec![0.0f32; planes * fft_n * fft_n];
-    let (f_simd, f_scalar, rfft_speedup) = ab_scalar("rfft_batch", repeats, None, || {
-        gcnn_fft::rfft_forward_batch(&plan, data.as_slice(), &mut spectra);
-        gcnn_fft::rfft_inverse_batch(&plan, &spectra, &mut back);
-        std::hint::black_box(&back);
-    });
-
+    let rfft_speedup = fft_report.overall_speedup;
     println!("simd A/B: sgemm {sgemm_speedup:.2}x, rfft {rfft_speedup:.2}x over scalar");
     SimdReport {
         isa,
-        sections: vec![g_simd, g_scalar, f_simd, f_scalar],
+        sections: vec![g_simd, g_scalar],
         sgemm_speedup,
         rfft_speedup,
     }
@@ -328,7 +406,13 @@ fn main() {
         Err(e) => eprintln!("failed to write BENCH_hotpaths.json: {e}"),
     }
 
-    let simd_report = bench_simd(repeats);
+    let fft_report = bench_fft_sweep(repeats);
+    match gcnn_bench::write_json("BENCH_fft", &fft_report) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write BENCH_fft.json: {e}"),
+    }
+
+    let simd_report = bench_simd(repeats, &fft_report);
     match gcnn_bench::write_json("BENCH_simd", &simd_report) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write BENCH_simd.json: {e}"),

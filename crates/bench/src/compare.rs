@@ -234,6 +234,87 @@ pub fn simd_gate(report: &Value, min_sgemm_speedup: f64) -> Result<SimdGate, Str
     })
 }
 
+/// Outcome of the FFT speedup gate over a `BENCH_fft.json` report.
+#[derive(Debug, Clone)]
+pub struct FftGate {
+    /// The ISA the report was produced under.
+    pub isa: String,
+    /// Geometric mean of the per-entry speedups.
+    pub overall_speedup: f64,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl FftGate {
+    /// True when the sweep met its floors (or the host is scalar-only,
+    /// where the gate is vacuous).
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line summary for CI logs.
+    pub fn render(&self) -> String {
+        if self.failures.is_empty() {
+            format!(
+                "fft gate: isa {} — {:.2}x over scalar (geomean): ok",
+                self.isa, self.overall_speedup
+            )
+        } else {
+            format!("fft gate: isa {} — {}", self.isa, self.failures.join("; "))
+        }
+    }
+}
+
+/// Gate a `BENCH_fft.json` sweep: on a SIMD-capable host the geometric
+/// mean of the per-size×batch speedups must reach `min_overall_speedup`,
+/// and no single cell may have *lost* throughput (floor 0.75× — small
+/// single-plane transforms are latency-bound and noisy, but a genuine
+/// dispatch regression lands far below that). Scalar-only hosts pass
+/// trivially.
+pub fn fft_gate(report: &Value, min_overall_speedup: f64) -> Result<FftGate, String> {
+    const MIN_ENTRY_SPEEDUP: f64 = 0.75;
+    let isa = report
+        .get("isa")
+        .and_then(Value::as_str)
+        .ok_or("fft report has no `isa`")?
+        .to_string();
+    let overall_speedup = report
+        .get("overall_speedup")
+        .and_then(Value::as_f64)
+        .ok_or("fft report has no `overall_speedup`")?;
+    let entries = report
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or("fft report has no `entries` array")?;
+    let mut failures = Vec::new();
+    if isa != "scalar" {
+        if overall_speedup < min_overall_speedup {
+            failures.push(format!(
+                "overall speedup {overall_speedup:.2}x below floor {min_overall_speedup:.2}x"
+            ));
+        }
+        for (i, e) in entries.iter().enumerate() {
+            let speedup = e
+                .get("speedup")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("fft entry {i}: missing `speedup`"))?;
+            if speedup < MIN_ENTRY_SPEEDUP {
+                let n = e.get("n").and_then(Value::as_u64).unwrap_or(0);
+                let batch = e.get("batch").and_then(Value::as_u64).unwrap_or(0);
+                failures.push(format!(
+                    "rfft {n}x{n} batch {batch}: {speedup:.2}x below per-cell floor \
+                     {MIN_ENTRY_SPEEDUP:.2}x"
+                ));
+            }
+        }
+    }
+    Ok(FftGate {
+        isa,
+        overall_speedup,
+        failures,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +436,59 @@ mod tests {
         assert!(simd_gate(&bad, 1.2).is_err());
         let no_isa: Value = serde_json::from_str(r#"{"sgemm_speedup":2.0}"#).unwrap();
         assert!(simd_gate(&no_isa, 1.2).is_err());
+    }
+
+    fn fft_report(isa: &str, overall: f64, cells: &[(u64, u64, f64)]) -> Value {
+        let entries = cells
+            .iter()
+            .map(|(n, b, s)| format!(r#"{{"n":{n},"batch":{b},"speedup":{s}}}"#))
+            .collect::<Vec<_>>()
+            .join(",");
+        serde_json::from_str(&format!(
+            r#"{{"isa":"{isa}","overall_speedup":{overall},"entries":[{entries}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn fft_gate_passes_healthy_sweep() {
+        let rep = fft_report("avx2+fma", 4.2, &[(16, 1, 1.8), (64, 32, 6.0)]);
+        let gate = fft_gate(&rep, 2.0).unwrap();
+        assert!(gate.passed());
+        assert!(gate.render().contains("ok"));
+    }
+
+    #[test]
+    fn fft_gate_fails_low_overall() {
+        let rep = fft_report("avx2+fma", 1.4, &[(16, 1, 1.3), (64, 32, 1.5)]);
+        let gate = fft_gate(&rep, 2.0).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("overall"));
+    }
+
+    #[test]
+    fn fft_gate_fails_regressed_cell_despite_good_overall() {
+        let rep = fft_report("avx2+fma", 3.0, &[(16, 1, 0.5), (64, 32, 9.0)]);
+        let gate = fft_gate(&rep, 2.0).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("16x16 batch 1"));
+    }
+
+    #[test]
+    fn fft_gate_is_vacuous_on_scalar_hosts() {
+        let rep = fft_report("scalar", 1.0, &[(16, 1, 1.0)]);
+        assert!(fft_gate(&rep, 2.0).unwrap().passed());
+    }
+
+    #[test]
+    fn fft_gate_rejects_malformed_report() {
+        let bad: Value = serde_json::from_str(r#"{"isa":"avx2+fma"}"#).unwrap();
+        assert!(fft_gate(&bad, 2.0).is_err());
+        let no_speedup: Value = serde_json::from_str(
+            r#"{"isa":"avx2+fma","overall_speedup":3.0,"entries":[{"n":16,"batch":1}]}"#,
+        )
+        .unwrap();
+        assert!(fft_gate(&no_speedup, 2.0).is_err());
     }
 
     #[test]

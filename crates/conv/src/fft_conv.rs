@@ -23,8 +23,8 @@
 
 use crate::config::ConvConfig;
 use crate::strategy::{ConvAlgorithm, Strategy, Unsupported};
-use gcnn_fft::RfftPlan;
-use gcnn_gemm::batched::batched_cgemm;
+use gcnn_fft::{split_enabled, RfftPlan};
+use gcnn_gemm::batched::{batched_cgemm, batched_cgemm_split};
 use gcnn_tensor::{workspace, Complex32, Shape4, Tensor4};
 use rayon::prelude::*;
 
@@ -136,6 +136,337 @@ fn planes_to_tensor(
     out
 }
 
+/// Split-complex variant of [`plane_spectra_into`]: forward-transform
+/// every plane straight into separate re/im spectrum planes
+/// (`sre/sim[plane · bins + bin]`) — the layout the batch-major lane
+/// engine emits natively, so no interleaved [`Complex32`] is built.
+fn plane_spectra_split_into(
+    t: &Tensor4,
+    n: usize,
+    plan: &RfftPlan,
+    sre: &mut [f32],
+    sim: &mut [f32],
+) {
+    let s = t.shape();
+    let bins = plan.spectrum_len();
+    debug_assert_eq!(sre.len(), s.n * s.c * bins);
+    debug_assert_eq!(sim.len(), sre.len());
+    sre.par_chunks_mut(bins)
+        .zip(sim.par_chunks_mut(bins))
+        .enumerate()
+        .for_each(|(p, (re, im))| {
+            let (pn, pc) = (p / s.c, p % s.c);
+            let src = t.plane(pn, pc);
+            let mut buf = workspace::take_f32(n * n);
+            for h in 0..s.h {
+                buf[h * n..h * n + s.w].copy_from_slice(&src[h * s.w..(h + 1) * s.w]);
+                buf[h * n + s.w..(h + 1) * n].fill(0.0);
+            }
+            buf[s.h * n..].fill(0.0);
+            plan.forward_split_into(&buf, re, im);
+        });
+}
+
+/// Fused plane-swap + bin gather over one split spectrum plane:
+/// `out[bin · d0·d1 + i1·d0 + i0] = spec[(i0·d1 + i1) · bins + bin]`.
+/// One pass replaces the interleaved path's `swap_planes_into` +
+/// `gather_bins_into` pair — the intermediate swapped buffer never
+/// materializes. Call once per re/im plane.
+fn gather_bins_swapped_split(spec: &[f32], d0: usize, d1: usize, bins: usize, out: &mut [f32]) {
+    debug_assert_eq!(spec.len(), d0 * d1 * bins);
+    debug_assert_eq!(out.len(), spec.len());
+    out.par_chunks_mut(d0 * d1)
+        .enumerate()
+        .for_each(|(bin, chunk)| {
+            for i0 in 0..d0 {
+                for i1 in 0..d1 {
+                    chunk[i1 * d0 + i0] = spec[(i0 * d1 + i1) * bins + bin];
+                }
+            }
+        });
+}
+
+/// Plane-major → bin-major gather over one split spectrum plane (no
+/// axis swap): `out[bin · planes + p] = spec[p · bins + bin]`.
+fn gather_bins_split(spec: &[f32], planes: usize, bins: usize, out: &mut [f32]) {
+    debug_assert_eq!(spec.len(), planes * bins);
+    debug_assert_eq!(out.len(), spec.len());
+    out.par_chunks_mut(planes)
+        .enumerate()
+        .for_each(|(bin, chunk)| {
+            for (p, slot) in chunk.iter_mut().enumerate() {
+                *slot = spec[p * bins + bin];
+            }
+        });
+}
+
+/// Bin-major → plane-major scatter (inverse of [`gather_bins_split`]).
+fn scatter_bins_split(binmat: &[f32], planes: usize, bins: usize, out: &mut [f32]) {
+    debug_assert_eq!(binmat.len(), planes * bins);
+    debug_assert_eq!(out.len(), binmat.len());
+    out.par_chunks_mut(bins).enumerate().for_each(|(p, chunk)| {
+        for (bin, slot) in chunk.iter_mut().enumerate() {
+            *slot = binmat[bin * planes + p];
+        }
+    });
+}
+
+/// Fused bin scatter + plane swap, the inverse-side mirror of
+/// [`gather_bins_swapped_split`]: the bin-major product row `i0·d1 + i1`
+/// lands at plane `i1·d0 + i0`, so
+/// `out[(i1·d0 + i0) · bins + bin] = binmat[bin · d0·d1 + i0·d1 + i1]`.
+fn scatter_bins_swapped_split(binmat: &[f32], d0: usize, d1: usize, bins: usize, out: &mut [f32]) {
+    debug_assert_eq!(binmat.len(), d0 * d1 * bins);
+    debug_assert_eq!(out.len(), binmat.len());
+    out.par_chunks_mut(bins).enumerate().for_each(|(q, chunk)| {
+        let (i1, i0) = (q / d0, q % d0);
+        for (bin, slot) in chunk.iter_mut().enumerate() {
+            *slot = binmat[bin * d0 * d1 + i0 * d1 + i1];
+        }
+    });
+}
+
+/// Split-complex variant of [`planes_to_tensor`]: inverse-transform
+/// plane-major split half-spectra and crop. Takes the spectra mutably
+/// and runs [`RfftPlan::inverse_split_inplace`] on each plane — the
+/// callers own the (arena-backed) spectrum scratch and never read it
+/// again, so the in-place column pass saves a defensive spectrum copy
+/// per plane.
+#[allow(clippy::too_many_arguments)] // plane geometry is passed unpacked on the hot path
+fn planes_to_tensor_split(
+    sre: &mut [f32],
+    sim: &mut [f32],
+    d0: usize,
+    d1: usize,
+    n: usize,
+    plan: &RfftPlan,
+    out_h: usize,
+    out_w: usize,
+    top: usize,
+    left: usize,
+) -> Tensor4 {
+    let bins = plan.spectrum_len();
+    let mut out = Tensor4::zeros(Shape4::new(d0, d1, out_h, out_w));
+    let plane_len = out_h * out_w;
+    out.as_mut_slice()
+        .par_chunks_mut(plane_len)
+        .zip(sre.par_chunks_mut(bins).zip(sim.par_chunks_mut(bins)))
+        .for_each(|(dst, (pre, pim))| {
+            let mut real = workspace::take_f32(n * n);
+            plan.inverse_split_inplace(pre, pim, &mut real);
+            for h in 0..out_h {
+                for w in 0..out_w {
+                    dst[h * out_w + w] = real[(h + top) * n + (w + left)];
+                }
+            }
+        });
+    out
+}
+
+/// Split-complex forward pipeline (taken whenever SIMD dispatch is
+/// active): batch-major lane transforms → fused swap+gather into
+/// bin-major split planes → split-complex batched CGEMM → fused
+/// scatter+swap → split inverse + crop. Interleaved [`Complex32`] never
+/// materializes between the transforms and the product, and every
+/// intermediate lives in the workspace arena.
+fn forward_split(
+    cfg: &ConvConfig,
+    padded: &Tensor4,
+    filters: &Tensor4,
+    n: usize,
+    plan: &RfftPlan,
+) -> Tensor4 {
+    let _span = gcnn_trace::span("conv.fft.split.forward");
+    let bins = plan.spectrum_len();
+    let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
+
+    // 1. Forward transforms straight into split spectrum planes.
+    let mut in_re = workspace::take_f32(b * c * bins); // [n][c][bin]
+    let mut in_im = workspace::take_f32(b * c * bins);
+    plane_spectra_split_into(padded, n, plan, &mut in_re, &mut in_im);
+    let mut ft_re = workspace::take_f32(f * c * bins); // [f][c][bin]
+    let mut ft_im = workspace::take_f32(f * c * bins);
+    plane_spectra_split_into(filters, n, plan, &mut ft_re, &mut ft_im);
+
+    // 2. Fused BDHW → HWBD transpose (swap+gather in one pass).
+    let mut b_re = workspace::take_f32(b * c * bins); // [bin][c×b]
+    let mut b_im = workspace::take_f32(b * c * bins);
+    gather_bins_swapped_split(&in_re, b, c, bins, &mut b_re);
+    gather_bins_swapped_split(&in_im, b, c, bins, &mut b_im);
+    let mut a_re = workspace::take_f32(f * c * bins); // [bin][f×c]
+    let mut a_im = workspace::take_f32(f * c * bins);
+    gather_bins_split(&ft_re, f * c, bins, &mut a_re);
+    gather_bins_split(&ft_im, f * c, bins, &mut a_im);
+
+    // 3. One split-complex [f×c]·[c×b] GEMM per bin (conjugated filters
+    //    → correlation).
+    let mut c_re = workspace::take_f32(bins * f * b);
+    let mut c_im = workspace::take_f32(bins * f * b);
+    batched_cgemm_split(
+        true,
+        false,
+        f,
+        b,
+        c,
+        bins,
+        &a_re,
+        &a_im,
+        f * c,
+        &b_re,
+        &b_im,
+        c * b,
+        &mut c_re,
+        &mut c_im,
+        f * b,
+    );
+
+    // 4. Fused transpose back, 5. split inverse + crop.
+    let mut out_re = workspace::take_f32(bins * f * b); // [b][f][bin]
+    let mut out_im = workspace::take_f32(bins * f * b);
+    scatter_bins_swapped_split(&c_re, f, b, bins, &mut out_re);
+    scatter_bins_swapped_split(&c_im, f, b, bins, &mut out_im);
+    planes_to_tensor_split(
+        &mut out_re,
+        &mut out_im,
+        b,
+        f,
+        n,
+        plan,
+        cfg.output(),
+        cfg.output(),
+        0,
+        0,
+    )
+}
+
+/// Split-complex data-gradient pipeline — mirror of [`forward_split`]
+/// with un-conjugated filters (true convolution) and an interior crop
+/// when the forward pass padded.
+fn backward_data_split(
+    cfg: &ConvConfig,
+    grad_out: &Tensor4,
+    filters: &Tensor4,
+    n: usize,
+    plan: &RfftPlan,
+) -> Tensor4 {
+    let _span = gcnn_trace::span("conv.fft.split.backward_data");
+    let bins = plan.spectrum_len();
+    let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
+
+    let mut g_re = workspace::take_f32(b * f * bins); // [n][f][bin]
+    let mut g_im = workspace::take_f32(b * f * bins);
+    plane_spectra_split_into(grad_out, n, plan, &mut g_re, &mut g_im);
+    let mut ft_re = workspace::take_f32(f * c * bins); // [f][c][bin]
+    let mut ft_im = workspace::take_f32(f * c * bins);
+    plane_spectra_split_into(filters, n, plan, &mut ft_re, &mut ft_im);
+
+    // gin[c,n] = Σ_f filt[c,f] · gout[f,n] per bin.
+    let mut a_re = workspace::take_f32(f * c * bins); // [bin][c×f]
+    let mut a_im = workspace::take_f32(f * c * bins);
+    gather_bins_swapped_split(&ft_re, f, c, bins, &mut a_re);
+    gather_bins_swapped_split(&ft_im, f, c, bins, &mut a_im);
+    let mut b_re = workspace::take_f32(b * f * bins); // [bin][f×b]
+    let mut b_im = workspace::take_f32(b * f * bins);
+    gather_bins_swapped_split(&g_re, b, f, bins, &mut b_re);
+    gather_bins_swapped_split(&g_im, b, f, bins, &mut b_im);
+
+    let mut c_re = workspace::take_f32(bins * c * b);
+    let mut c_im = workspace::take_f32(bins * c * b);
+    batched_cgemm_split(
+        false,
+        false,
+        c,
+        b,
+        f,
+        bins,
+        &a_re,
+        &a_im,
+        c * f,
+        &b_re,
+        &b_im,
+        f * b,
+        &mut c_re,
+        &mut c_im,
+        c * b,
+    );
+
+    let mut out_re = workspace::take_f32(bins * c * b); // [b][c][bin]
+    let mut out_im = workspace::take_f32(bins * c * b);
+    scatter_bins_swapped_split(&c_re, c, b, bins, &mut out_re);
+    scatter_bins_swapped_split(&c_im, c, b, bins, &mut out_im);
+    planes_to_tensor_split(
+        &mut out_re,
+        &mut out_im,
+        b,
+        c,
+        n,
+        plan,
+        cfg.input,
+        cfg.input,
+        cfg.pad,
+        cfg.pad,
+    )
+}
+
+/// Split-complex filter-gradient pipeline: correlation of the (padded)
+/// input with the output gradient, reduced over the batch axis.
+fn backward_filters_split(
+    cfg: &ConvConfig,
+    padded: &Tensor4,
+    grad_out: &Tensor4,
+    n: usize,
+    plan: &RfftPlan,
+) -> Tensor4 {
+    let _span = gcnn_trace::span("conv.fft.split.backward_filters");
+    let bins = plan.spectrum_len();
+    let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
+
+    let mut in_re = workspace::take_f32(b * c * bins); // [n][c][bin]
+    let mut in_im = workspace::take_f32(b * c * bins);
+    plane_spectra_split_into(padded, n, plan, &mut in_re, &mut in_im);
+    let mut g_re = workspace::take_f32(b * f * bins); // [n][f][bin]
+    let mut g_im = workspace::take_f32(b * f * bins);
+    plane_spectra_split_into(grad_out, n, plan, &mut g_re, &mut g_im);
+
+    // gw[f,c] = Σ_n conj(gout[f,n]) · in[n,c] per bin.
+    let mut a_re = workspace::take_f32(b * f * bins); // [bin][f×b]
+    let mut a_im = workspace::take_f32(b * f * bins);
+    gather_bins_swapped_split(&g_re, b, f, bins, &mut a_re);
+    gather_bins_swapped_split(&g_im, b, f, bins, &mut a_im);
+    let mut b_re = workspace::take_f32(b * c * bins); // [bin][b×c]
+    let mut b_im = workspace::take_f32(b * c * bins);
+    gather_bins_split(&in_re, b * c, bins, &mut b_re);
+    gather_bins_split(&in_im, b * c, bins, &mut b_im);
+
+    let mut c_re = workspace::take_f32(bins * f * c);
+    let mut c_im = workspace::take_f32(bins * f * c);
+    batched_cgemm_split(
+        true,
+        false,
+        f,
+        c,
+        b,
+        bins,
+        &a_re,
+        &a_im,
+        f * b,
+        &b_re,
+        &b_im,
+        b * c,
+        &mut c_re,
+        &mut c_im,
+        f * c,
+    );
+
+    let mut gw_re = workspace::take_f32(bins * f * c); // [f][c][bin]
+    let mut gw_im = workspace::take_f32(bins * f * c);
+    scatter_bins_split(&c_re, f * c, bins, &mut gw_re);
+    scatter_bins_split(&c_im, f * c, bins, &mut gw_im);
+    planes_to_tensor_split(
+        &mut gw_re, &mut gw_im, f, c, n, plan, cfg.kernel, cfg.kernel, 0, 0,
+    )
+}
+
 impl ConvAlgorithm for FftConv {
     fn strategy(&self) -> Strategy {
         Strategy::Fft
@@ -187,6 +518,10 @@ impl ConvAlgorithm for FftConv {
         let plan = RfftPlan::cached(n);
         let bins = plan.spectrum_len();
         let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
+
+        if split_enabled() {
+            return forward_split(cfg, padded, filters, n, &plan);
+        }
 
         // 1. Forward transforms (fbfft's decimateInFrequency).
         let mut in_spec = workspace::take_c32(b * c * bins); // [n][c][bin]
@@ -244,6 +579,10 @@ impl ConvAlgorithm for FftConv {
         let plan = RfftPlan::cached(n);
         let bins = plan.spectrum_len();
         let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
+
+        if split_enabled() {
+            return backward_data_split(cfg, grad_out, filters, n, &plan);
+        }
 
         let mut gout_spec = workspace::take_c32(b * f * bins); // [n][f][bin]
         plane_spectra_into(grad_out, n, &plan, &mut gout_spec);
@@ -311,6 +650,10 @@ impl ConvAlgorithm for FftConv {
         let plan = RfftPlan::cached(n);
         let bins = plan.spectrum_len();
         let (b, c, f) = (cfg.batch, cfg.channels, cfg.filters);
+
+        if split_enabled() {
+            return backward_filters_split(cfg, padded, grad_out, n, &plan);
+        }
 
         let mut in_spec = workspace::take_c32(b * c * bins); // [n][c][bin]
         plane_spectra_into(padded, n, &plan, &mut in_spec);

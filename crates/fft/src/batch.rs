@@ -27,6 +27,11 @@ pub fn rfft_forward_batch(plan: &RfftPlan, planes: &[f32], spectra: &mut [Comple
         count * spec_len,
         "forward_batch: spectra size for {count} planes"
     );
+    if count == 1 {
+        // Single plane: skip the rayon fork/join machinery, whose
+        // fixed cost rivals a small transform.
+        return plan.forward_into(planes, spectra);
+    }
     spectra
         .par_chunks_mut(spec_len)
         .zip(planes.par_chunks(plane_len))
@@ -47,10 +52,145 @@ pub fn rfft_inverse_batch(plan: &RfftPlan, spectra: &[Complex32], planes: &mut [
         count * plane_len,
         "inverse_batch: planes size for {count} spectra"
     );
+    if count == 1 {
+        return plan.inverse_into(spectra, planes);
+    }
     planes
         .par_chunks_mut(plane_len)
         .zip(spectra.par_chunks(spec_len))
         .for_each(|(plane, spec)| plan.inverse_into(spec, plane));
+}
+
+/// Forward-transform `count` `n×n` real planes laid out at a stride:
+/// plane `p` starts at `p·plane_stride`, its spectrum at
+/// `p·spec_stride`. Strides may exceed the dense sizes (non-contiguous
+/// batches — planes embedded in a larger tensor, aligned spectra);
+/// the gap bytes are never read or written.
+pub fn rfft_forward_batch_strided(
+    plan: &RfftPlan,
+    planes: &[f32],
+    plane_stride: usize,
+    spectra: &mut [Complex32],
+    spec_stride: usize,
+    count: usize,
+) {
+    let _span = gcnn_trace::span("fft.rfft_forward");
+    let plane_len = plan.n() * plan.n();
+    let spec_len = plan.spectrum_len();
+    assert!(plane_stride >= plane_len, "forward_strided: plane stride");
+    assert!(spec_stride >= spec_len, "forward_strided: spectrum stride");
+    if count == 0 {
+        return;
+    }
+    assert!(
+        planes.len() >= (count - 1) * plane_stride + plane_len,
+        "forward_strided: planes size for {count} planes"
+    );
+    assert!(
+        spectra.len() >= (count - 1) * spec_stride + spec_len,
+        "forward_strided: spectra size for {count} planes"
+    );
+    gcnn_trace::counter_add("fft.batch_planes", count as u64);
+    if count == 1 {
+        return plan.forward_into(&planes[..plane_len], &mut spectra[..spec_len]);
+    }
+    spectra
+        .par_chunks_mut(spec_stride)
+        .zip(planes.par_chunks(plane_stride))
+        .take(count)
+        .for_each(|(spec, plane)| plan.forward_into(&plane[..plane_len], &mut spec[..spec_len]));
+}
+
+/// Inverse-transform `count` strided half-spectra into strided real
+/// planes. Strides as in [`rfft_forward_batch_strided`].
+pub fn rfft_inverse_batch_strided(
+    plan: &RfftPlan,
+    spectra: &[Complex32],
+    spec_stride: usize,
+    planes: &mut [f32],
+    plane_stride: usize,
+    count: usize,
+) {
+    let _span = gcnn_trace::span("fft.rfft_inverse");
+    let plane_len = plan.n() * plan.n();
+    let spec_len = plan.spectrum_len();
+    assert!(plane_stride >= plane_len, "inverse_strided: plane stride");
+    assert!(spec_stride >= spec_len, "inverse_strided: spectrum stride");
+    if count == 0 {
+        return;
+    }
+    assert!(
+        spectra.len() >= (count - 1) * spec_stride + spec_len,
+        "inverse_strided: spectra size for {count} spectra"
+    );
+    assert!(
+        planes.len() >= (count - 1) * plane_stride + plane_len,
+        "inverse_strided: planes size for {count} spectra"
+    );
+    gcnn_trace::counter_add("fft.batch_planes", count as u64);
+    if count == 1 {
+        return plan.inverse_into(&spectra[..spec_len], &mut planes[..plane_len]);
+    }
+    planes
+        .par_chunks_mut(plane_stride)
+        .zip(spectra.par_chunks(spec_stride))
+        .take(count)
+        .for_each(|(plane, spec)| plan.inverse_into(&spec[..spec_len], &mut plane[..plane_len]));
+}
+
+/// Forward-transform contiguous planes straight into **split-complex**
+/// spectrum planes (`re`/`im` separate, `spectrum_len` floats per
+/// plane) — the batch-major entry point of the fbfft-style pipeline:
+/// no interleaved [`Complex32`] materializes between transform and the
+/// frequency-domain product.
+pub fn rfft_forward_batch_split(plan: &RfftPlan, planes: &[f32], sre: &mut [f32], sim: &mut [f32]) {
+    let _span = gcnn_trace::span("fft.split.forward_batch");
+    let plane_len = plan.n() * plan.n();
+    let spec_len = plan.spectrum_len();
+    assert_eq!(planes.len() % plane_len, 0, "forward_split: plane size");
+    let count = planes.len() / plane_len;
+    gcnn_trace::counter_add("fft.batch_planes", count as u64);
+    assert_eq!(
+        sre.len(),
+        count * spec_len,
+        "forward_split: re size for {count} planes"
+    );
+    assert_eq!(
+        sim.len(),
+        count * spec_len,
+        "forward_split: im size for {count} planes"
+    );
+    if count == 1 {
+        return plan.forward_split_into(planes, sre, sim);
+    }
+    sre.par_chunks_mut(spec_len)
+        .zip(sim.par_chunks_mut(spec_len))
+        .zip(planes.par_chunks(plane_len))
+        .for_each(|((re, im), plane)| plan.forward_split_into(plane, re, im));
+}
+
+/// Inverse-transform contiguous **split-complex** spectra into real
+/// planes — mirror of [`rfft_forward_batch_split`].
+pub fn rfft_inverse_batch_split(plan: &RfftPlan, sre: &[f32], sim: &[f32], planes: &mut [f32]) {
+    let _span = gcnn_trace::span("fft.split.inverse_batch");
+    let plane_len = plan.n() * plan.n();
+    let spec_len = plan.spectrum_len();
+    assert_eq!(sre.len() % spec_len, 0, "inverse_split: spectra size");
+    let count = sre.len() / spec_len;
+    gcnn_trace::counter_add("fft.batch_planes", count as u64);
+    assert_eq!(sim.len(), sre.len(), "inverse_split: im size");
+    assert_eq!(
+        planes.len(),
+        count * plane_len,
+        "inverse_split: planes size for {count} spectra"
+    );
+    if count == 1 {
+        return plan.inverse_split_into(sre, sim, planes);
+    }
+    planes
+        .par_chunks_mut(plane_len)
+        .zip(sre.par_chunks(spec_len).zip(sim.par_chunks(spec_len)))
+        .for_each(|(plane, (re, im))| plan.inverse_split_into(re, im, plane));
 }
 
 #[cfg(test)]
@@ -95,6 +235,96 @@ mod tests {
         let mut back = vec![0.0f32; count * n * n];
         rfft_inverse_batch(&plan, &spectra, &mut back);
 
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// Strided entry points with stride == dense size equal the
+    /// contiguous batch exactly; padded strides leave the gaps intact.
+    #[test]
+    fn strided_matches_contiguous_and_skips_gaps() {
+        let n = 8;
+        let count = 3;
+        let plan = RfftPlan::cached(n);
+        let plane_len = n * n;
+        let spec_len = plan.spectrum_len();
+        let x = planes(count, n);
+
+        let mut dense = vec![Complex32::ZERO; count * spec_len];
+        rfft_forward_batch(&plan, &x, &mut dense);
+
+        // Planes embedded at a +13 stride, spectra at a +7 stride.
+        let (ps, ss) = (plane_len + 13, spec_len + 7);
+        let mut gapped_planes = vec![9.0f32; (count - 1) * ps + plane_len];
+        for p in 0..count {
+            gapped_planes[p * ps..p * ps + plane_len]
+                .copy_from_slice(&x[p * plane_len..(p + 1) * plane_len]);
+        }
+        let sentinel = Complex32::new(-77.0, 77.0);
+        let mut gapped_spectra = vec![sentinel; (count - 1) * ss + spec_len];
+        rfft_forward_batch_strided(&plan, &gapped_planes, ps, &mut gapped_spectra, ss, count);
+        for p in 0..count {
+            for k in 0..spec_len {
+                assert_eq!(
+                    gapped_spectra[p * ss + k],
+                    dense[p * spec_len + k],
+                    "plane {p} bin {k}"
+                );
+            }
+            if p + 1 < count {
+                for g in spec_len..ss {
+                    assert_eq!(gapped_spectra[p * ss + g], sentinel, "gap written at {p}");
+                }
+            }
+        }
+
+        // And back, through the strided inverse.
+        let mut gapped_out = vec![-3.0f32; (count - 1) * ps + plane_len];
+        rfft_inverse_batch_strided(&plan, &gapped_spectra, ss, &mut gapped_out, ps, count);
+        for p in 0..count {
+            for i in 0..plane_len {
+                let a = gapped_out[p * ps + i];
+                let b = x[p * plane_len + i];
+                assert!((a - b).abs() < 1e-3, "plane {p}[{i}]: {a} vs {b}");
+            }
+            if p + 1 < count {
+                for g in plane_len..ps {
+                    assert_eq!(gapped_out[p * ps + g], -3.0, "gap written at {p}");
+                }
+            }
+        }
+    }
+
+    /// The split batch entry points round-trip and agree with the
+    /// interleaved batch bin for bin.
+    #[test]
+    fn split_batch_matches_interleaved_batch() {
+        let n = 16;
+        let count = 4;
+        let plan = RfftPlan::cached(n);
+        let spec_len = plan.spectrum_len();
+        let x = planes(count, n);
+
+        let mut spectra = vec![Complex32::ZERO; count * spec_len];
+        rfft_forward_batch(&plan, &x, &mut spectra);
+
+        let mut sre = vec![0.0f32; count * spec_len];
+        let mut sim = vec![0.0f32; count * spec_len];
+        rfft_forward_batch_split(&plan, &x, &mut sre, &mut sim);
+        for k in 0..count * spec_len {
+            let z = spectra[k];
+            let tol = 1e-3 * (1.0 + z.abs());
+            assert!(
+                (sre[k] - z.re).abs() < tol && (sim[k] - z.im).abs() < tol,
+                "bin {k}: ({}, {}) vs {z:?}",
+                sre[k],
+                sim[k]
+            );
+        }
+
+        let mut back = vec![0.0f32; x.len()];
+        rfft_inverse_batch_split(&plan, &sre, &sim, &mut back);
         for (a, b) in x.iter().zip(&back) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }

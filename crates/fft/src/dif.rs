@@ -45,6 +45,45 @@ pub fn dif_fft_inplace(data: &mut [Complex32], plan: &FftPlan, dir: Direction) {
     }
 }
 
+/// DIF butterfly stages over **split-complex** planes: natural-order
+/// input → bit-reversed output, no scaling. The fbfft schedule with the
+/// twiddle multiply as pure FMA from the plan's split tables.
+pub fn dif_split_stages(re: &mut [f32], im: &mut [f32], plan: &FftPlan, dir: Direction) {
+    let n = plan.len();
+    assert_eq!(re.len(), n, "dif_split_stages: re length");
+    assert_eq!(im.len(), n, "dif_split_stages: im length");
+    if n <= 1 {
+        return;
+    }
+
+    let isa = crate::simd::split_isa();
+    let (tw_re, tw_im) = plan.table_split();
+    let conj_w = matches!(dir, Direction::Inverse);
+
+    let mut span = n / 2;
+    while span >= 1 {
+        let stride = n / (span * 2);
+        for start in (0..n).step_by(span * 2) {
+            let (ar, br) = re[start..start + 2 * span].split_at_mut(span);
+            let (ai, bi) = im[start..start + 2 * span].split_at_mut(span);
+            crate::simd::butterflies_dif_split(ar, ai, br, bi, tw_re, tw_im, stride, conj_w, isa);
+        }
+        span /= 2;
+    }
+}
+
+/// Full natural-order split-plane DIF FFT: stages + bit-reversal,
+/// inverse scaled by `1/n`.
+pub fn dif_fft_split_inplace(re: &mut [f32], im: &mut [f32], plan: &FftPlan, dir: Direction) {
+    dif_split_stages(re, im, plan, dir);
+    crate::split::bitrev_rows(re, im, plan, 1);
+    if matches!(dir, Direction::Inverse) {
+        let s = 1.0 / plan.len().max(1) as f32;
+        gcnn_tensor::simd::sscal(s, re);
+        gcnn_tensor::simd::sscal(s, im);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +133,29 @@ mod tests {
         dif_fft_inplace(&mut buf, &plan, Direction::Forward);
         dif_fft_inplace(&mut buf, &plan, Direction::Inverse);
         assert!(close(&buf, &x, 1e-4 * (n as f32).sqrt()));
+    }
+
+    /// The split-plane DIF equals the interleaved DIF on the same data.
+    #[test]
+    fn split_dif_matches_interleaved() {
+        for n in [1usize, 4, 32, 128] {
+            let plan = FftPlan::new(n);
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let x = signal(n);
+                let mut interleaved = x.clone();
+                dif_fft_inplace(&mut interleaved, &plan, dir);
+                let mut re: Vec<f32> = x.iter().map(|z| z.re).collect();
+                let mut im: Vec<f32> = x.iter().map(|z| z.im).collect();
+                dif_fft_split_inplace(&mut re, &mut im, &plan, dir);
+                for k in 0..n {
+                    let got = Complex32::new(re[k], im[k]);
+                    assert!(
+                        (got - interleaved[k]).abs() < 1e-3 * (n as f32).max(1.0),
+                        "n {n} {dir:?} bin {k}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -49,6 +49,45 @@ pub fn fft_inplace(data: &mut [Complex32], plan: &FftPlan, dir: Direction) {
     }
 }
 
+/// In-place radix-2 DIT FFT over **split-complex** planes (`re`/`im`
+/// separate). Same schedule as [`fft_inplace`], but every butterfly
+/// block runs through [`crate::simd::butterflies_dit_split`], which
+/// loads twiddles straight from the plan's split tables — the twiddle
+/// multiply is pure FMA with no per-element shuffle. Natural order in
+/// and out; inverse scaled by `1/n`.
+pub fn fft_split_inplace(re: &mut [f32], im: &mut [f32], plan: &FftPlan, dir: Direction) {
+    let n = plan.len();
+    assert_eq!(re.len(), n, "fft_split_inplace: re length");
+    assert_eq!(im.len(), n, "fft_split_inplace: im length");
+    if n <= 1 {
+        return;
+    }
+
+    // A single transform is the lanes = 1 case of the row permutation.
+    crate::split::bitrev_rows(re, im, plan, 1);
+
+    let isa = crate::simd::split_isa();
+    let (tw_re, tw_im) = plan.table_split();
+    let conj_w = matches!(dir, Direction::Inverse);
+
+    let mut span = 1;
+    while span < n {
+        let stride = n / (span * 2);
+        for start in (0..n).step_by(span * 2) {
+            let (ar, br) = re[start..start + 2 * span].split_at_mut(span);
+            let (ai, bi) = im[start..start + 2 * span].split_at_mut(span);
+            crate::simd::butterflies_dit_split(ar, ai, br, bi, tw_re, tw_im, stride, conj_w, isa);
+        }
+        span *= 2;
+    }
+
+    if conj_w {
+        let s = 1.0 / n as f32;
+        gcnn_tensor::simd::sscal(s, re);
+        gcnn_tensor::simd::sscal(s, im);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +173,29 @@ mod tests {
         let plan = FftPlan::new(8);
         let mut data = vec![Complex32::ZERO; 4];
         fft_inplace(&mut data, &plan, Direction::Forward);
+    }
+
+    /// The split-plane transform equals the interleaved one on the same
+    /// data, both directions.
+    #[test]
+    fn split_matches_interleaved() {
+        for n in [1usize, 2, 8, 64, 256] {
+            let plan = FftPlan::new(n);
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let x = signal(n);
+                let mut interleaved = x.clone();
+                fft_inplace(&mut interleaved, &plan, dir);
+                let mut re: Vec<f32> = x.iter().map(|z| z.re).collect();
+                let mut im: Vec<f32> = x.iter().map(|z| z.im).collect();
+                fft_split_inplace(&mut re, &mut im, &plan, dir);
+                for k in 0..n {
+                    let got = Complex32::new(re[k], im[k]);
+                    assert!(
+                        (got - interleaved[k]).abs() < 1e-3 * (n as f32).max(1.0),
+                        "n {n} {dir:?} bin {k}"
+                    );
+                }
+            }
+        }
     }
 }

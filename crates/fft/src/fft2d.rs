@@ -101,9 +101,66 @@ pub fn pointwise_mac(a: &[Complex32], b: &[Complex32], conj_b: bool, out: &mut [
     gcnn_tensor::simd::cmac(a, b, conj_b, out);
 }
 
+/// Split-plane spectrum product: `out += a·b` (or `a·conj(b)`) with all
+/// operands as separate re/im planes — the frequency-domain stage of
+/// the batch-major pipeline. Pure FMA, no shuffle, and no interleaved
+/// [`Complex32`] between the transform and the product: the layout the
+/// transforms emit is the layout this consumes.
+#[allow(clippy::too_many_arguments)]
+pub fn pointwise_mac_split(
+    a_re: &[f32],
+    a_im: &[f32],
+    b_re: &[f32],
+    b_im: &[f32],
+    conj_b: bool,
+    out_re: &mut [f32],
+    out_im: &mut [f32],
+) {
+    assert_eq!(a_re.len(), b_re.len(), "pointwise_mac_split: length");
+    assert_eq!(a_re.len(), out_re.len(), "pointwise_mac_split: out length");
+    crate::simd::cmac_split(
+        a_re,
+        a_im,
+        b_re,
+        b_im,
+        conj_b,
+        out_re,
+        out_im,
+        crate::simd::split_isa(),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The split pointwise stage equals the interleaved one on the same
+    /// spectra.
+    #[test]
+    fn pointwise_split_matches_interleaved() {
+        let n = 37;
+        let a: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.3).sin(), (i as f32 * 0.7).cos()))
+            .collect();
+        let b: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.9).cos(), (i as f32 * 0.4).sin()))
+            .collect();
+        for conj_b in [false, true] {
+            let mut out = vec![Complex32::new(0.5, -0.5); n];
+            pointwise_mac(&a, &b, conj_b, &mut out);
+            let (a_re, a_im): (Vec<f32>, Vec<f32>) = a.iter().map(|z| (z.re, z.im)).unzip();
+            let (b_re, b_im): (Vec<f32>, Vec<f32>) = b.iter().map(|z| (z.re, z.im)).unzip();
+            let mut o_re = vec![0.5f32; n];
+            let mut o_im = vec![-0.5f32; n];
+            pointwise_mac_split(&a_re, &a_im, &b_re, &b_im, conj_b, &mut o_re, &mut o_im);
+            for k in 0..n {
+                assert!(
+                    (o_re[k] - out[k].re).abs() < 1e-5 && (o_im[k] - out[k].im).abs() < 1e-5,
+                    "conj {conj_b} bin {k}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn roundtrip_2d() {

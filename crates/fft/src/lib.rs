@@ -14,6 +14,11 @@
 //! * [`dit`] — iterative decimation-in-time transform (used by the
 //!   Theano-fft model, which delegates to a generic cuFFT-style plan).
 //! * [`dif`] — decimation-in-frequency transform (the fbfft path).
+//! * [`split`] — **batch-major split-complex** transforms: separate
+//!   re/im planes, many transforms per pass, broadcast-twiddle FMA
+//!   butterflies with no shuffles. The SIMD-dispatched rfft and FFT
+//!   convolution path run on this engine; the interleaved modules stay
+//!   the scalar reference.
 //! * [`fft2d`] — row-column 2-D transforms over [`Complex32`] planes.
 //! * [`dft`] — the O(n²) reference every fast path is tested against.
 //!
@@ -31,11 +36,16 @@ pub mod fft2d;
 pub mod plan;
 pub mod rfft;
 pub mod simd;
+pub mod split;
 
-pub use batch::{rfft_forward_batch, rfft_inverse_batch};
+pub use batch::{
+    rfft_forward_batch, rfft_forward_batch_split, rfft_forward_batch_strided, rfft_inverse_batch,
+    rfft_inverse_batch_split, rfft_inverse_batch_strided,
+};
 pub use fft2d::Fft2dPlan;
 pub use plan::FftPlan;
 pub use rfft::RfftPlan;
+pub use split::{fft_lanes_inplace, split_enabled};
 
 /// Direction of a transform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

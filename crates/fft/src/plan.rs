@@ -4,12 +4,23 @@ use gcnn_tensor::Complex32;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// Upper bound on distinct plan sizes each process-wide cache retains.
+/// Convolution workloads use a handful of transform sizes; a service
+/// that sweeps many shapes must not grow plan memory without bound, so
+/// the caches evict least-recently-used entries past this count.
+pub const PLAN_CACHE_CAP: usize = 32;
+
 /// Precomputed tables for a radix-2 FFT of one power-of-two size.
 ///
-/// Holds forward twiddles `W_n^k = e^(−2πik/n)` for `k < n/2`, their
-/// conjugates for the inverse transform, and the bit-reversal
-/// permutation. Creating a plan is `O(n)`; transforms reuse it, the same
-/// way cuFFT/fbfft plans are created once per layer shape.
+/// Holds forward twiddles `W_n^k = e^(−2πik/n)` for `k < n/2` in two
+/// layouts generated from a single table pass: interleaved
+/// [`Complex32`] (plus conjugates for the inverse) for the legacy
+/// butterflies, and **split-complex** planes (`re[k]`, `im[k]`) for the
+/// batch-major kernels, where the twiddle multiply is pure FMA with no
+/// per-element shuffle. The inverse split twiddle is derived in the
+/// kernels by negating `im` — no second table. Creating a plan is
+/// `O(n)`; transforms reuse it, the same way cuFFT/fbfft plans are
+/// created once per layer shape.
 #[derive(Debug, Clone)]
 pub struct FftPlan {
     n: usize,
@@ -18,6 +29,11 @@ pub struct FftPlan {
     forward: Vec<Complex32>,
     /// Conjugate twiddles for the inverse transform.
     inverse: Vec<Complex32>,
+    /// Split-complex real plane of the forward table: `cos(−2πk/n)`.
+    tw_re: Vec<f32>,
+    /// Split-complex imaginary plane of the forward table:
+    /// `sin(−2πk/n)`. The inverse table is this negated.
+    tw_im: Vec<f32>,
     /// `bitrev[i]` = bit-reversed `i` over `log2n` bits.
     bitrev: Vec<u32>,
 }
@@ -31,13 +47,19 @@ impl FftPlan {
         assert!(n.is_power_of_two(), "FftPlan: size {n} not a power of two");
         let log2n = n.trailing_zeros();
         let half = n / 2;
+        // One generation pass feeds every table: interleaved forward,
+        // conjugate inverse, and the split re/im planes.
         let mut forward = Vec::with_capacity(half.max(1));
         let mut inverse = Vec::with_capacity(half.max(1));
+        let mut tw_re = Vec::with_capacity(half.max(1));
+        let mut tw_im = Vec::with_capacity(half.max(1));
         for k in 0..half.max(1) {
             let theta = -2.0 * std::f32::consts::PI * k as f32 / n as f32;
             let w = Complex32::from_polar_unit(theta);
             forward.push(w);
             inverse.push(w.conj());
+            tw_re.push(w.re);
+            tw_im.push(w.im);
         }
         let mut bitrev = vec![0u32; n];
         for (i, slot) in bitrev.iter_mut().enumerate() {
@@ -51,6 +73,8 @@ impl FftPlan {
             log2n,
             forward,
             inverse,
+            tw_re,
+            tw_im,
             bitrev,
         }
     }
@@ -63,20 +87,23 @@ impl FftPlan {
     /// and executing it per plane. This is the same split: `cached` is
     /// the plan-creation step, [`crate::dit::fft_inplace`] the execute
     /// step. Lock is held only for the map lookup/insert; the `O(n)`
-    /// table build happens outside any per-transform path.
+    /// table build happens outside any per-transform path. Entries are
+    /// LRU-bounded at [`PLAN_CACHE_CAP`].
     pub fn cached(n: usize) -> Arc<FftPlan> {
-        static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        let mut map = cache.lock().expect("FftPlan cache poisoned");
-        match map.get(&n) {
+        static CACHE: OnceLock<Mutex<PlanLru<Arc<FftPlan>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(PlanLru::new(PLAN_CACHE_CAP)));
+        let mut lru = cache.lock().expect("FftPlan cache poisoned");
+        match lru.get(n) {
             Some(plan) => {
                 gcnn_trace::counter_inc("fft.plan_cache.hits");
-                Arc::clone(plan)
+                plan
             }
             None => {
                 gcnn_trace::counter_inc("fft.plan_cache.misses");
                 let plan = Arc::new(FftPlan::new(n));
-                map.insert(n, Arc::clone(&plan));
+                if lru.insert(n, Arc::clone(&plan)) {
+                    gcnn_trace::counter_inc("fft.plan_cache.evictions");
+                }
                 plan
             }
         }
@@ -123,6 +150,15 @@ impl FftPlan {
         }
     }
 
+    /// The split-complex **forward** twiddle planes `(re, im)`,
+    /// `k < n/2`. Inverse-direction kernels negate `im` on the fly
+    /// (a sign flip folds into FMA operands; no second table and no
+    /// shuffle), so only the forward planes are stored.
+    #[inline]
+    pub fn table_split(&self) -> (&[f32], &[f32]) {
+        (&self.tw_re, &self.tw_im)
+    }
+
     /// Apply the bit-reversal permutation in place.
     pub fn bitrev_permute(&self, data: &mut [Complex32]) {
         debug_assert_eq!(data.len(), self.n, "bitrev_permute: length");
@@ -132,6 +168,75 @@ impl FftPlan {
                 data.swap(i, j);
             }
         }
+    }
+
+    /// The raw bit-reversal table (`bitrev[i]` = reversed `i`), for the
+    /// batch-major row permutation in [`crate::split`].
+    #[inline]
+    pub fn bitrev_table(&self) -> &[u32] {
+        &self.bitrev
+    }
+}
+
+/// A bounded least-recently-used map from transform size to plan. Kept
+/// deliberately tiny: the plan caches see at most a few dozen distinct
+/// power-of-two sizes, so a stamp scan on eviction is cheaper than a
+/// linked-list LRU and has no unsafe.
+#[derive(Debug)]
+pub(crate) struct PlanLru<V: Clone> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<usize, (V, u64)>,
+}
+
+impl<V: Clone> PlanLru<V> {
+    pub(crate) fn new(cap: usize) -> Self {
+        assert!(cap > 0, "PlanLru: zero capacity");
+        PlanLru {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency stamp on hit.
+    pub(crate) fn get(&mut self, key: usize) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|(v, stamp)| {
+            *stamp = tick;
+            v.clone()
+        })
+    }
+
+    /// Insert `key`, evicting the least-recently-used entry when at
+    /// capacity. Returns true when an eviction happened.
+    pub(crate) fn insert(&mut self, key: usize, value: V) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some(&oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+                evicted = true;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+        evicted
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    #[cfg(test)]
+    fn contains(&self, key: usize) -> bool {
+        self.map.contains_key(&key)
     }
 }
 
@@ -156,6 +261,22 @@ mod tests {
         // W^0 = 1, W^{n/4} = −i for forward.
         assert!((p.w_forward(0) - Complex32::ONE).abs() < 1e-6);
         assert!((p.w_forward(4) - Complex32::new(0.0, -1.0)).abs() < 1e-6);
+    }
+
+    /// The split planes are the same values as the interleaved table —
+    /// one generation pass, two layouts.
+    #[test]
+    fn split_tables_match_interleaved() {
+        let p = FftPlan::new(64);
+        let (re, im) = p.table_split();
+        assert_eq!(re.len(), 32);
+        assert_eq!(im.len(), 32);
+        for k in 0..32 {
+            assert_eq!(re[k], p.w_forward(k).re, "re[{k}]");
+            assert_eq!(im[k], p.w_forward(k).im, "im[{k}]");
+            // Inverse = negated imaginary plane, exactly.
+            assert_eq!(-im[k], p.w_inverse(k).im, "inv im[{k}]");
+        }
     }
 
     #[test]
@@ -195,5 +316,43 @@ mod tests {
         let mut data = [Complex32::ONE];
         p.bitrev_permute(&mut data);
         assert_eq!(data[0], Complex32::ONE);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = PlanLru::new(2);
+        assert!(!lru.insert(8, "a"));
+        assert!(!lru.insert(16, "b"));
+        // Touch 8 so 16 becomes the eviction victim.
+        assert_eq!(lru.get(8), Some("a"));
+        assert!(lru.insert(32, "c"));
+        assert_eq!(lru.len(), 2);
+        assert!(lru.contains(8));
+        assert!(!lru.contains(16));
+        assert!(lru.contains(32));
+    }
+
+    #[test]
+    fn lru_reinsert_does_not_evict() {
+        let mut lru = PlanLru::new(2);
+        lru.insert(8, 1);
+        lru.insert(16, 2);
+        // Overwriting a resident key must not evict the other entry.
+        assert!(!lru.insert(8, 3));
+        assert_eq!(lru.get(8), Some(3));
+        assert_eq!(lru.get(16), Some(2));
+    }
+
+    #[test]
+    fn lru_bounds_entry_count() {
+        let mut lru = PlanLru::new(4);
+        let mut evictions = 0;
+        for k in 0..10usize {
+            if lru.insert(1 << k, k) {
+                evictions += 1;
+            }
+        }
+        assert_eq!(lru.len(), 4);
+        assert_eq!(evictions, 6);
     }
 }

@@ -10,12 +10,25 @@
 //! Layout: an `n×n` real plane transforms to `n` rows × `(n/2 + 1)`
 //! columns of [`Complex32`], row-major. Row transforms run first
 //! (real → half row spectrum), then full complex column transforms.
+//!
+//! Two engines implement that contract. With SIMD dispatch active the
+//! plane goes through the **batch-major split-complex** engine
+//! ([`crate::split`]): a blocked transpose loads the plane into lane
+//! layout, one [`crate::split::fft_lanes_inplace`] pass transforms all
+//! `n` rows at once, a second transpose + lane pass transforms the
+//! `n/2 + 1` retained columns — every butterfly a broadcast-twiddle FMA
+//! over contiguous lanes. The split-plane spectrum (`re`/`im` at
+//! `[r·half + c]`) is the native product format; the interleaved
+//! [`Complex32`] API converts at the boundary only. Under scalar
+//! dispatch (`GCNN_FORCE_SCALAR=1` or no SIMD) the original
+//! line-at-a-time interleaved path runs instead — it is the reference
+//! implementation and the forced-scalar oracle, selected at the same
+//! `isa()` dispatch point as every other kernel in the workspace.
 
 use crate::dit::fft_inplace;
-use crate::plan::FftPlan;
-use crate::Direction;
+use crate::plan::{FftPlan, PlanLru, PLAN_CACHE_CAP};
+use crate::{simd, split, Direction};
 use gcnn_tensor::{workspace, Complex32};
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Plan for `n×n` real-input transforms (power-of-two `n`).
@@ -43,19 +56,23 @@ impl RfftPlan {
 
     /// Fetch the shared plan for `n×n` planes from the process-wide
     /// cache — the cuFFT `cufftPlan2d`-once / execute-many split.
+    /// Entries are LRU-bounded at [`PLAN_CACHE_CAP`] so plan memory
+    /// stays bounded under many-size workloads.
     pub fn cached(n: usize) -> Arc<RfftPlan> {
-        static CACHE: OnceLock<Mutex<HashMap<usize, Arc<RfftPlan>>>> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        let mut map = cache.lock().expect("RfftPlan cache poisoned");
-        match map.get(&n) {
+        static CACHE: OnceLock<Mutex<PlanLru<Arc<RfftPlan>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(PlanLru::new(PLAN_CACHE_CAP)));
+        let mut lru = cache.lock().expect("RfftPlan cache poisoned");
+        match lru.get(n) {
             Some(plan) => {
                 gcnn_trace::counter_inc("fft.rfft_plan_cache.hits");
-                Arc::clone(plan)
+                plan
             }
             None => {
                 gcnn_trace::counter_inc("fft.rfft_plan_cache.misses");
                 let plan = Arc::new(RfftPlan::new(n));
-                map.insert(n, Arc::clone(&plan));
+                if lru.insert(n, Arc::clone(&plan)) {
+                    gcnn_trace::counter_inc("fft.rfft_plan_cache.evictions");
+                }
                 plan
             }
         }
@@ -78,8 +95,10 @@ impl RfftPlan {
 
     /// Forward transform of a row-major `n×n` real plane into the
     /// half-spectrum layout, writing into caller-provided storage.
-    /// Line scratch comes from the thread-local workspace arena, so
-    /// steady-state calls allocate nothing.
+    /// Scratch comes from the thread-local workspace arena, so
+    /// steady-state calls allocate nothing. Routes through the
+    /// batch-major split engine under SIMD dispatch, the interleaved
+    /// reference path under scalar dispatch.
     pub fn forward_into(&self, plane: &[f32], spec: &mut [Complex32]) {
         assert_eq!(
             plane.len(),
@@ -91,6 +110,21 @@ impl RfftPlan {
             self.spectrum_len(),
             "RfftPlan::forward: spectrum size"
         );
+        if split::split_enabled() {
+            // One checkout for both planes: the per-checkout arena cost
+            // is measurable against a small transform.
+            let mut planes2 = workspace::take_f32(2 * self.spectrum_len());
+            let (sre, sim) = planes2.split_at_mut(self.spectrum_len());
+            self.forward_split_into(plane, sre, sim);
+            simd::interleave(sre, sim, spec, simd::split_isa());
+        } else {
+            self.forward_into_interleaved(plane, spec);
+        }
+    }
+
+    /// The interleaved line-at-a-time forward path: reference
+    /// implementation and forced-scalar oracle.
+    fn forward_into_interleaved(&self, plane: &[f32], spec: &mut [Complex32]) {
         let (n, half) = (self.n, self.half);
 
         // Row transforms: full complex FFT per row, keep half+1 bins.
@@ -115,6 +149,55 @@ impl RfftPlan {
         }
     }
 
+    /// Forward transform straight into **split-complex** spectrum
+    /// planes (`re`/`im` at `[r·half + c]`) — the native format of the
+    /// frequency-domain product stage; no interleaved [`Complex32`]
+    /// materializes. Two lane-engine passes joined by blocked SIMD
+    /// transposes:
+    ///
+    /// 1. transpose the real plane into bin-major lane layout
+    ///    (`buf[c·n + r]`), imaginary plane zero;
+    /// 2. one [`split::fft_lanes_inplace`] pass = all `n` row
+    ///    transforms at once (bins `c`, lanes `r`);
+    /// 3. keep bins `c < half` — a contiguous prefix in this layout —
+    ///    and transpose them into `[r·half + c]`;
+    /// 4. a second lane pass = all `half` column transforms (bins `r`,
+    ///    lanes `c`).
+    pub fn forward_split_into(&self, plane: &[f32], sre: &mut [f32], sim: &mut [f32]) {
+        assert_eq!(
+            plane.len(),
+            self.n * self.n,
+            "RfftPlan::forward_split: plane size"
+        );
+        assert_eq!(
+            sre.len(),
+            self.spectrum_len(),
+            "RfftPlan::forward_split: re plane size"
+        );
+        assert_eq!(
+            sim.len(),
+            self.spectrum_len(),
+            "RfftPlan::forward_split: im plane size"
+        );
+        // No per-plane trace span: at small n the span bookkeeping is a
+        // measurable fraction of the whole transform, and every caller
+        // is already inside a batch-level `fft.*` span.
+        let (n, half) = (self.n, self.half);
+        let isa = simd::split_isa();
+
+        let mut bufs2 = workspace::take_f32(2 * n * n);
+        let (buf_re, buf_im) = bufs2.split_at_mut(n * n);
+        simd::transpose_f32(plane, n, n, buf_re, isa);
+        buf_im.fill(0.0);
+        split::fft_lanes_inplace(buf_re, buf_im, &self.plan, Direction::Forward, n);
+
+        // Bins c < half are the first half·n floats — the Hermitian
+        // truncation is free in lane layout.
+        simd::transpose_f32(&buf_re[..half * n], half, n, sre, isa);
+        simd::transpose_f32(&buf_im[..half * n], half, n, sim, isa);
+        split::fft_lanes_inplace(sre, sim, &self.plan, Direction::Forward, half);
+    }
+
     /// Forward transform returning a freshly allocated spectrum.
     pub fn forward(&self, plane: &[f32]) -> Vec<Complex32> {
         let mut spec = vec![Complex32::ZERO; self.spectrum_len()];
@@ -123,8 +206,8 @@ impl RfftPlan {
     }
 
     /// Inverse transform of a half-spectrum into a caller-provided real
-    /// plane. The spectrum copy and line scratch come from the
-    /// thread-local workspace arena.
+    /// plane. Scratch comes from the thread-local workspace arena.
+    /// Routes like [`Self::forward_into`].
     pub fn inverse_into(&self, spectrum: &[Complex32], out: &mut [f32]) {
         assert_eq!(
             spectrum.len(),
@@ -132,6 +215,22 @@ impl RfftPlan {
             "RfftPlan::inverse: spectrum size"
         );
         assert_eq!(out.len(), self.n * self.n, "RfftPlan::inverse: plane size");
+        if split::split_enabled() {
+            let mut planes2 = workspace::take_f32(2 * self.spectrum_len());
+            let (sre, sim) = planes2.split_at_mut(self.spectrum_len());
+            simd::deinterleave(spectrum, sre, sim, simd::split_isa());
+            // The deinterleaved scratch is ours: run the column pass in
+            // place instead of paying `inverse_split_into`'s defensive
+            // spectrum copy.
+            self.inverse_split_inplace(sre, sim, out);
+        } else {
+            self.inverse_into_interleaved(spectrum, out);
+        }
+    }
+
+    /// The interleaved line-at-a-time inverse path: reference
+    /// implementation and forced-scalar oracle.
+    fn inverse_into_interleaved(&self, spectrum: &[Complex32], out: &mut [f32]) {
         let (n, half) = (self.n, self.half);
 
         // Inverse column transforms on the stored columns (on a scratch
@@ -167,6 +266,91 @@ impl RfftPlan {
                 out[r * n + c] = line[c].re;
             }
         }
+    }
+
+    /// Inverse transform from **split-complex** spectrum planes into a
+    /// real plane — the mirror of [`Self::forward_split_into`]: a lane
+    /// pass inverts the `half` stored columns, Hermitian symmetry
+    /// reconstructs the missing bins as whole-row block copies (bin
+    /// `c ≥ half` of a row is `conj` of bin `n − c`, which in lane
+    /// layout is a contiguous `n`-float row with the imaginary plane
+    /// negated), a second lane pass inverts all `n` rows, and a final
+    /// transpose drops the (numerically zero) imaginary plane.
+    pub fn inverse_split_into(&self, sre: &[f32], sim: &[f32], out: &mut [f32]) {
+        assert_eq!(
+            sre.len(),
+            self.spectrum_len(),
+            "RfftPlan::inverse_split: re plane size"
+        );
+        assert_eq!(
+            sim.len(),
+            self.spectrum_len(),
+            "RfftPlan::inverse_split: im plane size"
+        );
+        assert_eq!(
+            out.len(),
+            self.n * self.n,
+            "RfftPlan::inverse_split: plane size"
+        );
+        // Column inverses run on a scratch copy — the caller's spectrum
+        // is borrowed immutably. Callers that own their spectrum planes
+        // (the interleaved wrapper, the conv pipelines) use
+        // [`Self::inverse_split_inplace`] and skip this copy.
+        let mut cols2 = workspace::take_f32(2 * self.spectrum_len());
+        let (col_re, col_im) = cols2.split_at_mut(self.spectrum_len());
+        col_re.copy_from_slice(sre);
+        col_im.copy_from_slice(sim);
+        self.inverse_split_inplace(col_re, col_im, out);
+    }
+
+    /// [`Self::inverse_split_into`] minus the defensive spectrum copy:
+    /// the column lane pass runs **in place** on the caller's spectrum
+    /// planes, destroying them. For callers whose split spectra are
+    /// scratch they own anyway, this removes a `2·n·(n/2+1)`-float copy
+    /// per plane from the hot path.
+    pub fn inverse_split_inplace(&self, sre: &mut [f32], sim: &mut [f32], out: &mut [f32]) {
+        assert_eq!(
+            sre.len(),
+            self.spectrum_len(),
+            "RfftPlan::inverse_split: re plane size"
+        );
+        assert_eq!(
+            sim.len(),
+            self.spectrum_len(),
+            "RfftPlan::inverse_split: im plane size"
+        );
+        assert_eq!(
+            out.len(),
+            self.n * self.n,
+            "RfftPlan::inverse_split: plane size"
+        );
+        // No per-plane trace span — same reasoning as the forward path.
+        let (n, half) = (self.n, self.half);
+        let isa = simd::split_isa();
+
+        // Column inverses in place: bins r over lanes c.
+        split::fft_lanes_inplace(sre, sim, &self.plan, Direction::Inverse, half);
+
+        // Rebuild full rows in lane layout (bins c over lanes r).
+        let mut rows2 = workspace::take_f32(2 * n * n);
+        let (row_re, row_im) = rows2.split_at_mut(n * n);
+        simd::transpose_f32(sre, n, half, &mut row_re[..half * n], isa);
+        simd::transpose_f32(sim, n, half, &mut row_im[..half * n], isa);
+        for c in half..n {
+            // After the column inverse each row is a real signal's
+            // spectrum again, hence Hermitian within the row:
+            // T[r][c] = conj(T[r][n − c]).
+            let src = (n - c) * n;
+            let dst = c * n;
+            row_re.copy_within(src..src + n, dst);
+            row_im.copy_within(src..src + n, dst);
+            gcnn_tensor::simd::sscal(-1.0, &mut row_im[dst..dst + n]);
+        }
+        split::fft_lanes_inplace(row_re, row_im, &self.plan, Direction::Inverse, n);
+
+        // Back to row-major; the imaginary plane is zero up to fp noise
+        // and is simply not transposed out.
+        simd::transpose_f32(row_re, n, n, out, isa);
     }
 
     /// Inverse transform returning a freshly allocated plane.

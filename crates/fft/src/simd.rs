@@ -6,9 +6,33 @@
 //! butterflies (eight interleaved `f32` lanes) per iteration using the
 //! classic `addsub(moveldup·x, movehdup·swap(x))` complex multiply; the
 //! scalar bodies are the fallback and the oracle the SIMD paths are
-//! tested against. NEON butterflies are deliberately not implemented
-//! yet (the microkernel and slice primitives carry AArch64 for now —
-//! see ROADMAP "Open items"); non-AVX2 hosts take the scalar path.
+//! tested against.
+//!
+//! The interleaved kernels pay a shuffle per complex multiply and fall
+//! scalar below four butterflies, which is why the rfft path measured
+//! only 1.26× SIMD speedup. The **split-complex** kernel family below
+//! removes both costs (the fbfft layout, PAPERS.md arXiv:1412.7580):
+//!
+//! * [`lane_butterflies_dit`] / [`lane_butterflies_dif`] — batch-major
+//!   butterflies: one scalar twiddle broadcast across `lanes`
+//!   contiguous transforms, pure FMA, no shuffle, vectorized at every
+//!   stage including span 1.
+//! * [`butterflies_dit_split`] / [`butterflies_dif_split`] — split-
+//!   layout butterflies across the butterfly index of one transform,
+//!   loading twiddles straight from the plan's split tables
+//!   ([`crate::FftPlan::table_split`]) so the twiddle multiply is pure
+//!   FMA with no per-element re/im extraction.
+//! * [`interleave`] / [`deinterleave`] / [`transpose_f32`] — layout
+//!   conversions (AVX2 shuffle recipes; NEON `vld2q/vst2q` and
+//!   `vtrn1q/vtrn2q` lane shuffles).
+//! * [`cmac_split`] — frequency-domain pointwise multiply-accumulate
+//!   on split planes.
+//!
+//! The split family dispatches on [`Isa`] resolved once per transform,
+//! carries NEON bodies (the interleaved kernels never did), and every
+//! kernel keeps a scalar body that is both the non-SIMD fallback and
+//! the property-test oracle; `GCNN_FORCE_SCALAR=1` routes every
+//! dispatcher to it bit-identically.
 //!
 //! The `wide` flag is resolved once per transform by the caller (one
 //! dispatch-table read per `fft_inplace`, not one per butterfly).
@@ -280,6 +304,1974 @@ mod avx2 {
 #[cfg(target_arch = "x86_64")]
 use avx2::{butterflies_dif_avx2, butterflies_dit_avx2};
 
+/// AVX2+FMA bodies for the split-complex kernel family. Split layout
+/// means every complex multiply is plain FMA over two f32 vectors —
+/// the only shuffles left in this module are the explicit layout
+/// conversions (`interleave`/`deinterleave`/`transpose`), which is the
+/// point of the rework.
+#[cfg(target_arch = "x86_64")]
+mod avx2_split {
+    use super::Complex32;
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime and pass four
+    /// equal-length planes.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn lane_butterflies_dit_avx2(
+        ar: &mut [f32],
+        ai: &mut [f32],
+        br: &mut [f32],
+        bi: &mut [f32],
+        wre: f32,
+        wim: f32,
+    ) {
+        let n = ar.len();
+        // SAFETY: reached only after runtime AVX2+FMA detection; the
+        // vector loop touches lanes `[l, l + 8)` of each plane only
+        // while `l + 8 <= n` and the planes are equal length (checked
+        // by the dispatching wrapper); the scalar tail re-borrows the
+        // slices after the last raw-pointer access.
+        unsafe {
+            let wr = _mm256_set1_ps(wre);
+            let wi = _mm256_set1_ps(wim);
+            let arp = ar.as_mut_ptr();
+            let aip = ai.as_mut_ptr();
+            let brp = br.as_mut_ptr();
+            let bip = bi.as_mut_ptr();
+            let mut l = 0;
+            while l + 8 <= n {
+                let brv = _mm256_loadu_ps(brp.add(l));
+                let biv = _mm256_loadu_ps(bip.add(l));
+                // y = w·b: yr = br·wr − bi·wi, yi = br·wi + bi·wr.
+                let yr = _mm256_fmsub_ps(brv, wr, _mm256_mul_ps(biv, wi));
+                let yi = _mm256_fmadd_ps(brv, wi, _mm256_mul_ps(biv, wr));
+                let arv = _mm256_loadu_ps(arp.add(l));
+                let aiv = _mm256_loadu_ps(aip.add(l));
+                _mm256_storeu_ps(arp.add(l), _mm256_add_ps(arv, yr));
+                _mm256_storeu_ps(aip.add(l), _mm256_add_ps(aiv, yi));
+                _mm256_storeu_ps(brp.add(l), _mm256_sub_ps(arv, yr));
+                _mm256_storeu_ps(bip.add(l), _mm256_sub_ps(aiv, yi));
+                l += 8;
+            }
+            if l < n {
+                super::lane_butterflies_dit_scalar(
+                    &mut ar[l..],
+                    &mut ai[l..],
+                    &mut br[l..],
+                    &mut bi[l..],
+                    wre,
+                    wim,
+                );
+            }
+        }
+    }
+
+    /// One whole radix-2 DIT stage over the bin-major planes: every
+    /// `(start, j)` butterfly row pair of the stage schedule runs inside
+    /// this single `target_feature` call, so the per-row cost is the
+    /// vector loop alone — no dispatch, no call, no pointer-prologue per
+    /// row (the per-row kernel above pays all three, which dominates
+    /// when a row is only `lanes/8` vectors long). The `k == 0` twiddle
+    /// is always `1 + 0i`, so that row skips the complex multiply
+    /// entirely: pure add/sub.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime, pass planes
+    /// covering `n·lanes`, twiddle tables covering `(span − 1)·stride`,
+    /// and a valid radix-2 stage geometry (`span·2 ≤ n`, `n` a multiple
+    /// of `span·2`).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn lane_stage_dit_avx2(
+        re: &mut [f32],
+        im: &mut [f32],
+        n: usize,
+        lanes: usize,
+        span: usize,
+        stride: usize,
+        tw_re: &[f32],
+        tw_im: &[f32],
+        conj_w: bool,
+    ) {
+        // SAFETY: post-detection execution. For every (start, j) the
+        // stage schedule gives `start + j + span ≤ n − 1`, so rows `a`
+        // and `b` live inside the `n·lanes` extent the caller
+        // guarantees; the vector loop stays in `[l, l + 8)` while
+        // `l + 8 <= lv ≤ lanes` and the per-element tails stay below
+        // `lanes`, all through the two raw plane pointers (no safe
+        // re-borrow aliases them while they are live). Twiddle reads at
+        // `j·stride` are covered by the caller's table precondition.
+        unsafe {
+            let rp = re.as_mut_ptr();
+            let ip = im.as_mut_ptr();
+            let lv = lanes / 8 * 8;
+            let mut start = 0;
+            while start < n {
+                for j in 0..span {
+                    let a = (start + j) * lanes;
+                    let b = (start + j + span) * lanes;
+                    let arp = rp.add(a);
+                    let aip = ip.add(a);
+                    let brp = rp.add(b);
+                    let bip = ip.add(b);
+                    let k = j * stride;
+                    if k == 0 {
+                        // w = 1: a, b ← a + b, a − b.
+                        let mut l = 0;
+                        while l < lv {
+                            let arv = _mm256_loadu_ps(arp.add(l));
+                            let brv = _mm256_loadu_ps(brp.add(l));
+                            _mm256_storeu_ps(arp.add(l), _mm256_add_ps(arv, brv));
+                            _mm256_storeu_ps(brp.add(l), _mm256_sub_ps(arv, brv));
+                            let aiv = _mm256_loadu_ps(aip.add(l));
+                            let biv = _mm256_loadu_ps(bip.add(l));
+                            _mm256_storeu_ps(aip.add(l), _mm256_add_ps(aiv, biv));
+                            _mm256_storeu_ps(bip.add(l), _mm256_sub_ps(aiv, biv));
+                            l += 8;
+                        }
+                        while l < lanes {
+                            let (x, y) = (*arp.add(l), *brp.add(l));
+                            *arp.add(l) = x + y;
+                            *brp.add(l) = x - y;
+                            let (x, y) = (*aip.add(l), *bip.add(l));
+                            *aip.add(l) = x + y;
+                            *bip.add(l) = x - y;
+                            l += 1;
+                        }
+                        continue;
+                    }
+                    let wre = tw_re[k];
+                    let wim = if conj_w { -tw_im[k] } else { tw_im[k] };
+                    let wr = _mm256_set1_ps(wre);
+                    let wi = _mm256_set1_ps(wim);
+                    let mut l = 0;
+                    while l < lv {
+                        let brv = _mm256_loadu_ps(brp.add(l));
+                        let biv = _mm256_loadu_ps(bip.add(l));
+                        // y = w·b: yr = br·wr − bi·wi, yi = br·wi + bi·wr.
+                        let yr = _mm256_fmsub_ps(brv, wr, _mm256_mul_ps(biv, wi));
+                        let yi = _mm256_fmadd_ps(brv, wi, _mm256_mul_ps(biv, wr));
+                        let arv = _mm256_loadu_ps(arp.add(l));
+                        let aiv = _mm256_loadu_ps(aip.add(l));
+                        _mm256_storeu_ps(arp.add(l), _mm256_add_ps(arv, yr));
+                        _mm256_storeu_ps(aip.add(l), _mm256_add_ps(aiv, yi));
+                        _mm256_storeu_ps(brp.add(l), _mm256_sub_ps(arv, yr));
+                        _mm256_storeu_ps(bip.add(l), _mm256_sub_ps(aiv, yi));
+                        l += 8;
+                    }
+                    while l < lanes {
+                        // Same Complex32 arithmetic as the scalar
+                        // oracle's per-lane body.
+                        let y = Complex32::new(*brp.add(l), *bip.add(l)) * Complex32::new(wre, wim);
+                        let (xr, xi) = (*arp.add(l), *aip.add(l));
+                        *arp.add(l) = xr + y.re;
+                        *aip.add(l) = xi + y.im;
+                        *brp.add(l) = xr - y.re;
+                        *bip.add(l) = xi - y.im;
+                        l += 1;
+                    }
+                }
+                start += span * 2;
+            }
+        }
+    }
+
+    /// Two consecutive radix-2 DIT stages (spans `s` and `2s`) fused
+    /// into one pass over the planes — the radix-4 data flow. Each
+    /// group of four rows (`start + j`, `+s`, `+2s`, `+3s`) is loaded
+    /// once, carried through both butterfly levels in registers, and
+    /// stored once, halving the load/store traffic of the store-port-
+    /// bound single-stage kernel. Twiddles stay broadcast scalars:
+    /// stage A uses `tw[j·stride_a]` (shared by both of its pairs),
+    /// stage B uses `tw[j·stride_b]` and `tw[(j + s)·stride_b]`.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime, pass planes
+    /// covering `n·lanes`, twiddle tables covering
+    /// `(2s − 1)·stride_b`, and a valid fused geometry (`4s ≤ n`, `n` a
+    /// multiple of `4s`, `stride_a = n/(2s)`, `stride_b = n/(4s)`).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn lane_stage2_dit_avx2(
+        re: &mut [f32],
+        im: &mut [f32],
+        n: usize,
+        lanes: usize,
+        s: usize,
+        stride_a: usize,
+        stride_b: usize,
+        tw_re: &[f32],
+        tw_im: &[f32],
+        conj_w: bool,
+    ) {
+        // SAFETY: post-detection execution. The fused schedule keeps
+        // `start + j + 3s ≤ n − 1`, so all four rows live inside the
+        // caller-guaranteed `n·lanes` extent; the vector loop stays in
+        // `[l, l + 8)` while `l + 8 <= lv ≤ lanes` and the per-element
+        // tails stay below `lanes`, all through the two raw plane
+        // pointers. Twiddle reads at `j·stride_a`, `j·stride_b` and
+        // `(j + s)·stride_b` are covered by the caller's table
+        // precondition.
+        unsafe {
+            let rp = re.as_mut_ptr();
+            let ip = im.as_mut_ptr();
+            let lv = lanes / 8 * 8;
+            let mut start = 0;
+            while start < n {
+                for j in 0..s {
+                    let r0 = (start + j) * lanes;
+                    let r1 = (start + j + s) * lanes;
+                    let r2 = (start + j + 2 * s) * lanes;
+                    let r3 = (start + j + 3 * s) * lanes;
+                    let (p0r, p0i) = (rp.add(r0), ip.add(r0));
+                    let (p1r, p1i) = (rp.add(r1), ip.add(r1));
+                    let (p2r, p2i) = (rp.add(r2), ip.add(r2));
+                    let (p3r, p3i) = (rp.add(r3), ip.add(r3));
+                    if j == 0 {
+                        // wa = wb1 = 1, but the second stage-B pair's
+                        // twiddle is tw[s·stride_b] = tw[n/4] = ∓i, so
+                        // s1 = ∓i·u3 is a swap-and-negate, not a
+                        // multiply: forward s1 = (u3i, −u3r), inverse
+                        // (conj) s1 = (−u3i, u3r).
+                        let mut l = 0;
+                        while l < lv {
+                            let a_r = _mm256_loadu_ps(p0r.add(l));
+                            let a_i = _mm256_loadu_ps(p0i.add(l));
+                            let b_r = _mm256_loadu_ps(p1r.add(l));
+                            let b_i = _mm256_loadu_ps(p1i.add(l));
+                            let c_r = _mm256_loadu_ps(p2r.add(l));
+                            let c_i = _mm256_loadu_ps(p2i.add(l));
+                            let d_r = _mm256_loadu_ps(p3r.add(l));
+                            let d_i = _mm256_loadu_ps(p3i.add(l));
+                            let u0r = _mm256_add_ps(a_r, b_r);
+                            let u0i = _mm256_add_ps(a_i, b_i);
+                            let u1r = _mm256_sub_ps(a_r, b_r);
+                            let u1i = _mm256_sub_ps(a_i, b_i);
+                            let u2r = _mm256_add_ps(c_r, d_r);
+                            let u2i = _mm256_add_ps(c_i, d_i);
+                            let u3r = _mm256_sub_ps(c_r, d_r);
+                            let u3i = _mm256_sub_ps(c_i, d_i);
+                            _mm256_storeu_ps(p0r.add(l), _mm256_add_ps(u0r, u2r));
+                            _mm256_storeu_ps(p0i.add(l), _mm256_add_ps(u0i, u2i));
+                            _mm256_storeu_ps(p2r.add(l), _mm256_sub_ps(u0r, u2r));
+                            _mm256_storeu_ps(p2i.add(l), _mm256_sub_ps(u0i, u2i));
+                            let (s1r, s1i) = if conj_w {
+                                // +i·u3 = (−u3i, u3r)
+                                (_mm256_sub_ps(_mm256_setzero_ps(), u3i), u3r)
+                            } else {
+                                // −i·u3 = (u3i, −u3r)
+                                (u3i, _mm256_sub_ps(_mm256_setzero_ps(), u3r))
+                            };
+                            _mm256_storeu_ps(p1r.add(l), _mm256_add_ps(u1r, s1r));
+                            _mm256_storeu_ps(p1i.add(l), _mm256_add_ps(u1i, s1i));
+                            _mm256_storeu_ps(p3r.add(l), _mm256_sub_ps(u1r, s1r));
+                            _mm256_storeu_ps(p3i.add(l), _mm256_sub_ps(u1i, s1i));
+                            l += 8;
+                        }
+                        while l < lanes {
+                            let (ar, ai) = (*p0r.add(l), *p0i.add(l));
+                            let (br, bi) = (*p1r.add(l), *p1i.add(l));
+                            let (cr, ci) = (*p2r.add(l), *p2i.add(l));
+                            let (dr, di) = (*p3r.add(l), *p3i.add(l));
+                            let (u0r, u0i) = (ar + br, ai + bi);
+                            let (u1r, u1i) = (ar - br, ai - bi);
+                            let (u2r, u2i) = (cr + dr, ci + di);
+                            let (u3r, u3i) = (cr - dr, ci - di);
+                            *p0r.add(l) = u0r + u2r;
+                            *p0i.add(l) = u0i + u2i;
+                            *p2r.add(l) = u0r - u2r;
+                            *p2i.add(l) = u0i - u2i;
+                            let (s1r, s1i) = if conj_w { (-u3i, u3r) } else { (u3i, -u3r) };
+                            *p1r.add(l) = u1r + s1r;
+                            *p1i.add(l) = u1i + s1i;
+                            *p3r.add(l) = u1r - s1r;
+                            *p3i.add(l) = u1i - s1i;
+                            l += 1;
+                        }
+                        continue;
+                    }
+                    let ka = j * stride_a;
+                    let kb1 = j * stride_b;
+                    let kb2 = (j + s) * stride_b;
+                    let (war, mut wai) = (tw_re[ka], tw_im[ka]);
+                    let (wb1r, mut wb1i) = (tw_re[kb1], tw_im[kb1]);
+                    let (wb2r, mut wb2i) = (tw_re[kb2], tw_im[kb2]);
+                    if conj_w {
+                        wai = -wai;
+                        wb1i = -wb1i;
+                        wb2i = -wb2i;
+                    }
+                    let war_v = _mm256_set1_ps(war);
+                    let wai_v = _mm256_set1_ps(wai);
+                    let wb1r_v = _mm256_set1_ps(wb1r);
+                    let wb1i_v = _mm256_set1_ps(wb1i);
+                    let wb2r_v = _mm256_set1_ps(wb2r);
+                    let wb2i_v = _mm256_set1_ps(wb2i);
+                    let mut l = 0;
+                    while l < lv {
+                        let b_r = _mm256_loadu_ps(p1r.add(l));
+                        let b_i = _mm256_loadu_ps(p1i.add(l));
+                        let d_r = _mm256_loadu_ps(p3r.add(l));
+                        let d_i = _mm256_loadu_ps(p3i.add(l));
+                        // Stage A: t1 = wa·b, t2 = wa·d.
+                        let t1r = _mm256_fmsub_ps(b_r, war_v, _mm256_mul_ps(b_i, wai_v));
+                        let t1i = _mm256_fmadd_ps(b_r, wai_v, _mm256_mul_ps(b_i, war_v));
+                        let t2r = _mm256_fmsub_ps(d_r, war_v, _mm256_mul_ps(d_i, wai_v));
+                        let t2i = _mm256_fmadd_ps(d_r, wai_v, _mm256_mul_ps(d_i, war_v));
+                        let a_r = _mm256_loadu_ps(p0r.add(l));
+                        let a_i = _mm256_loadu_ps(p0i.add(l));
+                        let c_r = _mm256_loadu_ps(p2r.add(l));
+                        let c_i = _mm256_loadu_ps(p2i.add(l));
+                        let u0r = _mm256_add_ps(a_r, t1r);
+                        let u0i = _mm256_add_ps(a_i, t1i);
+                        let u1r = _mm256_sub_ps(a_r, t1r);
+                        let u1i = _mm256_sub_ps(a_i, t1i);
+                        let u2r = _mm256_add_ps(c_r, t2r);
+                        let u2i = _mm256_add_ps(c_i, t2i);
+                        let u3r = _mm256_sub_ps(c_r, t2r);
+                        let u3i = _mm256_sub_ps(c_i, t2i);
+                        // Stage B: s0 = wb1·u2, s1 = wb2·u3.
+                        let s0r = _mm256_fmsub_ps(u2r, wb1r_v, _mm256_mul_ps(u2i, wb1i_v));
+                        let s0i = _mm256_fmadd_ps(u2r, wb1i_v, _mm256_mul_ps(u2i, wb1r_v));
+                        let s1r = _mm256_fmsub_ps(u3r, wb2r_v, _mm256_mul_ps(u3i, wb2i_v));
+                        let s1i = _mm256_fmadd_ps(u3r, wb2i_v, _mm256_mul_ps(u3i, wb2r_v));
+                        _mm256_storeu_ps(p0r.add(l), _mm256_add_ps(u0r, s0r));
+                        _mm256_storeu_ps(p0i.add(l), _mm256_add_ps(u0i, s0i));
+                        _mm256_storeu_ps(p2r.add(l), _mm256_sub_ps(u0r, s0r));
+                        _mm256_storeu_ps(p2i.add(l), _mm256_sub_ps(u0i, s0i));
+                        _mm256_storeu_ps(p1r.add(l), _mm256_add_ps(u1r, s1r));
+                        _mm256_storeu_ps(p1i.add(l), _mm256_add_ps(u1i, s1i));
+                        _mm256_storeu_ps(p3r.add(l), _mm256_sub_ps(u1r, s1r));
+                        _mm256_storeu_ps(p3i.add(l), _mm256_sub_ps(u1i, s1i));
+                        l += 8;
+                    }
+                    while l < lanes {
+                        let a = Complex32::new(*p0r.add(l), *p0i.add(l));
+                        let b = Complex32::new(*p1r.add(l), *p1i.add(l));
+                        let c = Complex32::new(*p2r.add(l), *p2i.add(l));
+                        let d = Complex32::new(*p3r.add(l), *p3i.add(l));
+                        let wa = Complex32::new(war, wai);
+                        let t1 = b * wa;
+                        let t2 = d * wa;
+                        let (u0, u1) = (a + t1, a - t1);
+                        let (u2, u3) = (c + t2, c - t2);
+                        let s0 = u2 * Complex32::new(wb1r, wb1i);
+                        let s1 = u3 * Complex32::new(wb2r, wb2i);
+                        let (v0, v2) = (u0 + s0, u0 - s0);
+                        let (v1, v3) = (u1 + s1, u1 - s1);
+                        *p0r.add(l) = v0.re;
+                        *p0i.add(l) = v0.im;
+                        *p1r.add(l) = v1.re;
+                        *p1i.add(l) = v1.im;
+                        *p2r.add(l) = v2.re;
+                        *p2i.add(l) = v2.im;
+                        *p3r.add(l) = v3.re;
+                        *p3i.add(l) = v3.im;
+                        l += 1;
+                    }
+                }
+                start += s * 4;
+            }
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime and pass four
+    /// equal-length planes.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn lane_butterflies_dif_avx2(
+        ar: &mut [f32],
+        ai: &mut [f32],
+        br: &mut [f32],
+        bi: &mut [f32],
+        wre: f32,
+        wim: f32,
+    ) {
+        let n = ar.len();
+        // SAFETY: same argument as `lane_butterflies_dit_avx2`.
+        unsafe {
+            let wr = _mm256_set1_ps(wre);
+            let wi = _mm256_set1_ps(wim);
+            let arp = ar.as_mut_ptr();
+            let aip = ai.as_mut_ptr();
+            let brp = br.as_mut_ptr();
+            let bip = bi.as_mut_ptr();
+            let mut l = 0;
+            while l + 8 <= n {
+                let arv = _mm256_loadu_ps(arp.add(l));
+                let aiv = _mm256_loadu_ps(aip.add(l));
+                let brv = _mm256_loadu_ps(brp.add(l));
+                let biv = _mm256_loadu_ps(bip.add(l));
+                let dr = _mm256_sub_ps(arv, brv);
+                let di = _mm256_sub_ps(aiv, biv);
+                _mm256_storeu_ps(arp.add(l), _mm256_add_ps(arv, brv));
+                _mm256_storeu_ps(aip.add(l), _mm256_add_ps(aiv, biv));
+                // (a − b)·w in split form.
+                _mm256_storeu_ps(brp.add(l), _mm256_fmsub_ps(dr, wr, _mm256_mul_ps(di, wi)));
+                _mm256_storeu_ps(bip.add(l), _mm256_fmadd_ps(dr, wi, _mm256_mul_ps(di, wr)));
+                l += 8;
+            }
+            if l < n {
+                super::lane_butterflies_dif_scalar(
+                    &mut ar[l..],
+                    &mut ai[l..],
+                    &mut br[l..],
+                    &mut bi[l..],
+                    wre,
+                    wim,
+                );
+            }
+        }
+    }
+
+    /// Eight split twiddles starting at `j·stride` as a `(re, im)`
+    /// vector pair: contiguous loads when `stride == 1`, otherwise
+    /// assembled on the stack.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime and pass tables
+    /// covering `(j + 7)·stride`.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn load_tw_split(
+        tw_re: &[f32],
+        tw_im: &[f32],
+        j: usize,
+        stride: usize,
+    ) -> (__m256, __m256) {
+        debug_assert!(
+            tw_re.len() > (j + 7) * stride.max(1),
+            "load_tw_split: twiddle table short"
+        );
+        if stride == 1 {
+            // SAFETY: `tw_re[j..j+8]` / `tw_im[j..j+8]` are in bounds
+            // (debug-asserted above, guaranteed by the radix-2
+            // schedule).
+            unsafe {
+                (
+                    _mm256_loadu_ps(tw_re.as_ptr().add(j)),
+                    _mm256_loadu_ps(tw_im.as_ptr().add(j)),
+                )
+            }
+        } else {
+            let mut gr = [0.0f32; 8];
+            let mut gi = [0.0f32; 8];
+            for (t, slot) in gr.iter_mut().enumerate() {
+                *slot = tw_re[(j + t) * stride];
+            }
+            for (t, slot) in gi.iter_mut().enumerate() {
+                *slot = tw_im[(j + t) * stride];
+            }
+            // SAFETY: `gr`/`gi` are live 8-element stack arrays.
+            unsafe { (_mm256_loadu_ps(gr.as_ptr()), _mm256_loadu_ps(gi.as_ptr())) }
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime and pass a
+    /// twiddle table covering `(len − 1)·stride`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn butterflies_dit_split_avx2(
+        ar: &mut [f32],
+        ai: &mut [f32],
+        br: &mut [f32],
+        bi: &mut [f32],
+        tw_re: &[f32],
+        tw_im: &[f32],
+        stride: usize,
+        conj_w: bool,
+    ) {
+        let span = ar.len();
+        // SAFETY: post-detection execution; the vector loop stays in
+        // `[j, j + 8)` while `j + 8 <= span` over equal-length planes,
+        // twiddle reads are covered by the caller's table precondition,
+        // and the scalar tail re-borrows the slices.
+        unsafe {
+            let neg0 = _mm256_set1_ps(-0.0);
+            let arp = ar.as_mut_ptr();
+            let aip = ai.as_mut_ptr();
+            let brp = br.as_mut_ptr();
+            let bip = bi.as_mut_ptr();
+            let mut j = 0;
+            while j + 8 <= span {
+                let (wr, mut wi) = load_tw_split(tw_re, tw_im, j, stride);
+                if conj_w {
+                    // Inverse direction: negate the imaginary twiddle
+                    // plane — a sign-bit xor, not a shuffle.
+                    wi = _mm256_xor_ps(wi, neg0);
+                }
+                let brv = _mm256_loadu_ps(brp.add(j));
+                let biv = _mm256_loadu_ps(bip.add(j));
+                let yr = _mm256_fmsub_ps(brv, wr, _mm256_mul_ps(biv, wi));
+                let yi = _mm256_fmadd_ps(brv, wi, _mm256_mul_ps(biv, wr));
+                let arv = _mm256_loadu_ps(arp.add(j));
+                let aiv = _mm256_loadu_ps(aip.add(j));
+                _mm256_storeu_ps(arp.add(j), _mm256_add_ps(arv, yr));
+                _mm256_storeu_ps(aip.add(j), _mm256_add_ps(aiv, yi));
+                _mm256_storeu_ps(brp.add(j), _mm256_sub_ps(arv, yr));
+                _mm256_storeu_ps(bip.add(j), _mm256_sub_ps(aiv, yi));
+                j += 8;
+            }
+            if j < span {
+                super::butterflies_dit_split_scalar(
+                    &mut ar[j..],
+                    &mut ai[j..],
+                    &mut br[j..],
+                    &mut bi[j..],
+                    &tw_re[j * stride..],
+                    &tw_im[j * stride..],
+                    stride,
+                    conj_w,
+                );
+            }
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime and pass a
+    /// twiddle table covering `(len − 1)·stride`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn butterflies_dif_split_avx2(
+        ar: &mut [f32],
+        ai: &mut [f32],
+        br: &mut [f32],
+        bi: &mut [f32],
+        tw_re: &[f32],
+        tw_im: &[f32],
+        stride: usize,
+        conj_w: bool,
+    ) {
+        let span = ar.len();
+        // SAFETY: same argument as `butterflies_dit_split_avx2`.
+        unsafe {
+            let neg0 = _mm256_set1_ps(-0.0);
+            let arp = ar.as_mut_ptr();
+            let aip = ai.as_mut_ptr();
+            let brp = br.as_mut_ptr();
+            let bip = bi.as_mut_ptr();
+            let mut j = 0;
+            while j + 8 <= span {
+                let (wr, mut wi) = load_tw_split(tw_re, tw_im, j, stride);
+                if conj_w {
+                    wi = _mm256_xor_ps(wi, neg0);
+                }
+                let arv = _mm256_loadu_ps(arp.add(j));
+                let aiv = _mm256_loadu_ps(aip.add(j));
+                let brv = _mm256_loadu_ps(brp.add(j));
+                let biv = _mm256_loadu_ps(bip.add(j));
+                let dr = _mm256_sub_ps(arv, brv);
+                let di = _mm256_sub_ps(aiv, biv);
+                _mm256_storeu_ps(arp.add(j), _mm256_add_ps(arv, brv));
+                _mm256_storeu_ps(aip.add(j), _mm256_add_ps(aiv, biv));
+                _mm256_storeu_ps(brp.add(j), _mm256_fmsub_ps(dr, wr, _mm256_mul_ps(di, wi)));
+                _mm256_storeu_ps(bip.add(j), _mm256_fmadd_ps(dr, wi, _mm256_mul_ps(di, wr)));
+                j += 8;
+            }
+            if j < span {
+                super::butterflies_dif_split_scalar(
+                    &mut ar[j..],
+                    &mut ai[j..],
+                    &mut br[j..],
+                    &mut bi[j..],
+                    &tw_re[j * stride..],
+                    &tw_im[j * stride..],
+                    stride,
+                    conj_w,
+                );
+            }
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime and pass equal-length
+    /// slices.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn deinterleave_avx2(src: &[Complex32], re: &mut [f32], im: &mut [f32]) {
+        let n = src.len();
+        // SAFETY: post-detection execution; the interleaved f32 view of
+        // `repr(C)` Complex32 is sound, the loop reads f32 offsets
+        // `[2l, 2l + 16)` of `src` and writes `[l, l + 8)` of `re`/`im`
+        // only while `l + 8 <= n`, and lengths match per the wrapper's
+        // debug assert. The scalar tail re-borrows the slices.
+        unsafe {
+            // Lane-corrector: shuffle_ps below yields [0 1 4 5 | 2 3 6 7]
+            // element order; this permute restores ascending order.
+            let idx = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+            let sp = src.as_ptr() as *const f32;
+            let rp = re.as_mut_ptr();
+            let ip = im.as_mut_ptr();
+            let mut l = 0;
+            while l + 8 <= n {
+                let lo = _mm256_loadu_ps(sp.add(2 * l)); // c0..c3
+                let hi = _mm256_loadu_ps(sp.add(2 * l + 8)); // c4..c7
+                let re_sh = _mm256_shuffle_ps(lo, hi, 0b10_00_10_00);
+                let im_sh = _mm256_shuffle_ps(lo, hi, 0b11_01_11_01);
+                _mm256_storeu_ps(rp.add(l), _mm256_permutevar8x32_ps(re_sh, idx));
+                _mm256_storeu_ps(ip.add(l), _mm256_permutevar8x32_ps(im_sh, idx));
+                l += 8;
+            }
+            if l < n {
+                super::deinterleave_scalar(&src[l..], &mut re[l..], &mut im[l..]);
+            }
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime and pass equal-length
+    /// slices.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn interleave_avx2(re: &[f32], im: &[f32], out: &mut [Complex32]) {
+        let n = out.len();
+        // SAFETY: mirror of `deinterleave_avx2` — reads `[l, l + 8)` of
+        // `re`/`im` and writes f32 offsets `[2l, 2l + 16)` of `out`
+        // only while `l + 8 <= n`; sound interleaved view; scalar tail
+        // re-borrows.
+        unsafe {
+            let rp = re.as_ptr();
+            let ip = im.as_ptr();
+            let op = out.as_mut_ptr() as *mut f32;
+            let mut l = 0;
+            while l + 8 <= n {
+                let rv = _mm256_loadu_ps(rp.add(l));
+                let iv = _mm256_loadu_ps(ip.add(l));
+                let lo = _mm256_unpacklo_ps(rv, iv); // r0 i0 r1 i1 | r4 i4 r5 i5
+                let hi = _mm256_unpackhi_ps(rv, iv); // r2 i2 r3 i3 | r6 i6 r7 i7
+                _mm256_storeu_ps(op.add(2 * l), _mm256_permute2f128_ps(lo, hi, 0x20));
+                _mm256_storeu_ps(op.add(2 * l + 8), _mm256_permute2f128_ps(lo, hi, 0x31));
+                l += 8;
+            }
+            if l < n {
+                super::interleave_scalar(&re[l..], &im[l..], &mut out[l..]);
+            }
+        }
+    }
+
+    /// In-register 8×8 f32 transpose (classic unpack → shuffle →
+    /// permute2f128 ladder).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn transpose8x8(v: [__m256; 8]) -> [__m256; 8] {
+        // Pure register arithmetic inside a target-feature fn.
+        let t0 = _mm256_unpacklo_ps(v[0], v[1]);
+        let t1 = _mm256_unpackhi_ps(v[0], v[1]);
+        let t2 = _mm256_unpacklo_ps(v[2], v[3]);
+        let t3 = _mm256_unpackhi_ps(v[2], v[3]);
+        let t4 = _mm256_unpacklo_ps(v[4], v[5]);
+        let t5 = _mm256_unpackhi_ps(v[4], v[5]);
+        let t6 = _mm256_unpacklo_ps(v[6], v[7]);
+        let t7 = _mm256_unpackhi_ps(v[6], v[7]);
+        let s0 = _mm256_shuffle_ps(t0, t2, 0x44);
+        let s1 = _mm256_shuffle_ps(t0, t2, 0xEE);
+        let s2 = _mm256_shuffle_ps(t1, t3, 0x44);
+        let s3 = _mm256_shuffle_ps(t1, t3, 0xEE);
+        let s4 = _mm256_shuffle_ps(t4, t6, 0x44);
+        let s5 = _mm256_shuffle_ps(t4, t6, 0xEE);
+        let s6 = _mm256_shuffle_ps(t5, t7, 0x44);
+        let s7 = _mm256_shuffle_ps(t5, t7, 0xEE);
+        [
+            _mm256_permute2f128_ps(s0, s4, 0x20),
+            _mm256_permute2f128_ps(s1, s5, 0x20),
+            _mm256_permute2f128_ps(s2, s6, 0x20),
+            _mm256_permute2f128_ps(s3, s7, 0x20),
+            _mm256_permute2f128_ps(s0, s4, 0x31),
+            _mm256_permute2f128_ps(s1, s5, 0x31),
+            _mm256_permute2f128_ps(s2, s6, 0x31),
+            _mm256_permute2f128_ps(s3, s7, 0x31),
+        ]
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime and pass slices
+    /// covering `rows·cols`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn transpose_f32_avx2(
+        src: &[f32],
+        rows: usize,
+        cols: usize,
+        dst: &mut [f32],
+    ) {
+        let rb = rows / 8 * 8;
+        let cb = cols / 8 * 8;
+        // SAFETY: post-detection execution. Block loads read
+        // `src[(r + k)·cols + c .. + 8]` and stores write
+        // `dst[(c + k)·rows + r .. + 8]` with `r + 8 <= rb <= rows` and
+        // `c + 8 <= cb <= cols`, all inside the `rows·cols` extent the
+        // caller guarantees; edge elements are handled through safe
+        // indexing after the last raw-pointer access.
+        unsafe {
+            let sp = src.as_ptr();
+            let dp = dst.as_mut_ptr();
+            let mut r = 0;
+            while r < rb {
+                let mut c = 0;
+                while c < cb {
+                    let block = [
+                        _mm256_loadu_ps(sp.add(r * cols + c)),
+                        _mm256_loadu_ps(sp.add((r + 1) * cols + c)),
+                        _mm256_loadu_ps(sp.add((r + 2) * cols + c)),
+                        _mm256_loadu_ps(sp.add((r + 3) * cols + c)),
+                        _mm256_loadu_ps(sp.add((r + 4) * cols + c)),
+                        _mm256_loadu_ps(sp.add((r + 5) * cols + c)),
+                        _mm256_loadu_ps(sp.add((r + 6) * cols + c)),
+                        _mm256_loadu_ps(sp.add((r + 7) * cols + c)),
+                    ];
+                    let t = transpose8x8(block);
+                    for (k, row) in t.iter().enumerate() {
+                        _mm256_storeu_ps(dp.add((c + k) * rows + r), *row);
+                    }
+                    c += 8;
+                }
+                c = cb;
+                while c < cols {
+                    for k in 0..8 {
+                        dst[c * rows + r + k] = src[(r + k) * cols + c];
+                    }
+                    c += 1;
+                }
+                r += 8;
+            }
+            while r < rows {
+                for c in 0..cols {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+                r += 1;
+            }
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA at runtime and pass six
+    /// equal-length planes.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn cmac_split_avx2(
+        ar: &[f32],
+        ai: &[f32],
+        br: &[f32],
+        bi: &[f32],
+        conj_b: bool,
+        or_: &mut [f32],
+        oi: &mut [f32],
+    ) {
+        let n = ar.len();
+        // SAFETY: post-detection execution; the loop stays in
+        // `[l, l + 8)` while `l + 8 <= n` over equal-length planes
+        // (wrapper debug assert); scalar tail re-borrows.
+        unsafe {
+            let neg0 = _mm256_set1_ps(-0.0);
+            let arp = ar.as_ptr();
+            let aip = ai.as_ptr();
+            let brp = br.as_ptr();
+            let bip = bi.as_ptr();
+            let orp = or_.as_mut_ptr();
+            let oip = oi.as_mut_ptr();
+            let mut l = 0;
+            while l + 8 <= n {
+                let arv = _mm256_loadu_ps(arp.add(l));
+                let aiv = _mm256_loadu_ps(aip.add(l));
+                let brv = _mm256_loadu_ps(brp.add(l));
+                let mut biv = _mm256_loadu_ps(bip.add(l));
+                if conj_b {
+                    // conj(b) = (br, −bi): the sign flip is the whole
+                    // conjugation in split layout.
+                    biv = _mm256_xor_ps(biv, neg0);
+                }
+                let orv = _mm256_loadu_ps(orp.add(l));
+                let oiv = _mm256_loadu_ps(oip.add(l));
+                // out += a·b: re += ar·br − ai·bi, im += ar·bi + ai·br.
+                let rc = _mm256_fmadd_ps(arv, brv, orv);
+                _mm256_storeu_ps(orp.add(l), _mm256_fnmadd_ps(aiv, biv, rc));
+                let ic = _mm256_fmadd_ps(arv, biv, oiv);
+                _mm256_storeu_ps(oip.add(l), _mm256_fmadd_ps(aiv, brv, ic));
+                l += 8;
+            }
+            if l < n {
+                super::cmac_split_scalar(
+                    &ar[l..],
+                    &ai[l..],
+                    &br[l..],
+                    &bi[l..],
+                    conj_b,
+                    &mut or_[l..],
+                    &mut oi[l..],
+                );
+            }
+        }
+    }
+}
+
+/// NEON bodies for the split-complex kernel family — the first
+/// vectorized AArch64 path in this crate (the interleaved butterflies
+/// never grew one). Butterflies are `vfmaq/vfmsq` over broadcast or
+/// contiguous twiddles; the layout conversions use `vld2q/vst2q`
+/// de/interleaving loads and `vtrn1q/vtrn2q` lane shuffles for the 4×4
+/// transpose blocks.
+#[cfg(target_arch = "aarch64")]
+mod neon_split {
+    use super::Complex32;
+    use std::arch::aarch64::*;
+
+    /// # Safety
+    /// NEON must be available (baseline on AArch64); planes must be
+    /// equal length.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn lane_butterflies_dit_neon(
+        ar: &mut [f32],
+        ai: &mut [f32],
+        br: &mut [f32],
+        bi: &mut [f32],
+        wre: f32,
+        wim: f32,
+    ) {
+        let n = ar.len();
+        // SAFETY: NEON is baseline on AArch64; the vector loop touches
+        // lanes `[l, l + 4)` of each equal-length plane only while
+        // `l + 4 <= n`; the scalar tail re-borrows the slices.
+        unsafe {
+            let wr = vdupq_n_f32(wre);
+            let wi = vdupq_n_f32(wim);
+            let arp = ar.as_mut_ptr();
+            let aip = ai.as_mut_ptr();
+            let brp = br.as_mut_ptr();
+            let bip = bi.as_mut_ptr();
+            let mut l = 0;
+            while l + 4 <= n {
+                let brv = vld1q_f32(brp.add(l));
+                let biv = vld1q_f32(bip.add(l));
+                // y = w·b: yr = br·wr − bi·wi, yi = br·wi + bi·wr.
+                let yr = vfmsq_f32(vmulq_f32(brv, wr), biv, wi);
+                let yi = vfmaq_f32(vmulq_f32(biv, wr), brv, wi);
+                let arv = vld1q_f32(arp.add(l));
+                let aiv = vld1q_f32(aip.add(l));
+                vst1q_f32(arp.add(l), vaddq_f32(arv, yr));
+                vst1q_f32(aip.add(l), vaddq_f32(aiv, yi));
+                vst1q_f32(brp.add(l), vsubq_f32(arv, yr));
+                vst1q_f32(bip.add(l), vsubq_f32(aiv, yi));
+                l += 4;
+            }
+            if l < n {
+                super::lane_butterflies_dit_scalar(
+                    &mut ar[l..],
+                    &mut ai[l..],
+                    &mut br[l..],
+                    &mut bi[l..],
+                    wre,
+                    wim,
+                );
+            }
+        }
+    }
+
+    /// One whole radix-2 DIT stage inside a single `target_feature`
+    /// call — NEON mirror of the AVX2 stage kernel, including the
+    /// multiply-free `k == 0` (`w = 1`) row.
+    ///
+    /// # Safety
+    /// NEON must be available; planes must cover `n·lanes`, twiddle
+    /// tables `(span − 1)·stride`, and the stage geometry must be a
+    /// valid radix-2 schedule (`span·2 ≤ n`, `n` a multiple of
+    /// `span·2`).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn lane_stage_dit_neon(
+        re: &mut [f32],
+        im: &mut [f32],
+        n: usize,
+        lanes: usize,
+        span: usize,
+        stride: usize,
+        tw_re: &[f32],
+        tw_im: &[f32],
+        conj_w: bool,
+    ) {
+        // SAFETY: the stage schedule keeps `start + j + span ≤ n − 1`,
+        // so rows `a`/`b` are inside the caller-guaranteed `n·lanes`
+        // extent; the vector loop stays in `[l, l + 4)` while
+        // `l + 4 <= lv ≤ lanes` and the per-element tails stay below
+        // `lanes`, all through the raw plane pointers. Twiddle reads at
+        // `j·stride` are covered by the caller's table precondition.
+        unsafe {
+            let rp = re.as_mut_ptr();
+            let ip = im.as_mut_ptr();
+            let lv = lanes / 4 * 4;
+            let mut start = 0;
+            while start < n {
+                for j in 0..span {
+                    let a = (start + j) * lanes;
+                    let b = (start + j + span) * lanes;
+                    let arp = rp.add(a);
+                    let aip = ip.add(a);
+                    let brp = rp.add(b);
+                    let bip = ip.add(b);
+                    let k = j * stride;
+                    if k == 0 {
+                        // w = 1: a, b ← a + b, a − b.
+                        let mut l = 0;
+                        while l < lv {
+                            let arv = vld1q_f32(arp.add(l));
+                            let brv = vld1q_f32(brp.add(l));
+                            vst1q_f32(arp.add(l), vaddq_f32(arv, brv));
+                            vst1q_f32(brp.add(l), vsubq_f32(arv, brv));
+                            let aiv = vld1q_f32(aip.add(l));
+                            let biv = vld1q_f32(bip.add(l));
+                            vst1q_f32(aip.add(l), vaddq_f32(aiv, biv));
+                            vst1q_f32(bip.add(l), vsubq_f32(aiv, biv));
+                            l += 4;
+                        }
+                        while l < lanes {
+                            let (x, y) = (*arp.add(l), *brp.add(l));
+                            *arp.add(l) = x + y;
+                            *brp.add(l) = x - y;
+                            let (x, y) = (*aip.add(l), *bip.add(l));
+                            *aip.add(l) = x + y;
+                            *bip.add(l) = x - y;
+                            l += 1;
+                        }
+                        continue;
+                    }
+                    let wre = tw_re[k];
+                    let wim = if conj_w { -tw_im[k] } else { tw_im[k] };
+                    let wr = vdupq_n_f32(wre);
+                    let wi = vdupq_n_f32(wim);
+                    let mut l = 0;
+                    while l < lv {
+                        let brv = vld1q_f32(brp.add(l));
+                        let biv = vld1q_f32(bip.add(l));
+                        // y = w·b: yr = br·wr − bi·wi, yi = br·wi + bi·wr.
+                        let yr = vfmsq_f32(vmulq_f32(brv, wr), biv, wi);
+                        let yi = vfmaq_f32(vmulq_f32(biv, wr), brv, wi);
+                        let arv = vld1q_f32(arp.add(l));
+                        let aiv = vld1q_f32(aip.add(l));
+                        vst1q_f32(arp.add(l), vaddq_f32(arv, yr));
+                        vst1q_f32(aip.add(l), vaddq_f32(aiv, yi));
+                        vst1q_f32(brp.add(l), vsubq_f32(arv, yr));
+                        vst1q_f32(bip.add(l), vsubq_f32(aiv, yi));
+                        l += 4;
+                    }
+                    while l < lanes {
+                        // Same Complex32 arithmetic as the scalar
+                        // oracle's per-lane body.
+                        let y = Complex32::new(*brp.add(l), *bip.add(l)) * Complex32::new(wre, wim);
+                        let (xr, xi) = (*arp.add(l), *aip.add(l));
+                        *arp.add(l) = xr + y.re;
+                        *aip.add(l) = xi + y.im;
+                        *brp.add(l) = xr - y.re;
+                        *bip.add(l) = xi - y.im;
+                        l += 1;
+                    }
+                }
+                start += span * 2;
+            }
+        }
+    }
+
+    /// # Safety
+    /// NEON must be available (baseline on AArch64); planes must be
+    /// equal length.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn lane_butterflies_dif_neon(
+        ar: &mut [f32],
+        ai: &mut [f32],
+        br: &mut [f32],
+        bi: &mut [f32],
+        wre: f32,
+        wim: f32,
+    ) {
+        let n = ar.len();
+        // SAFETY: same argument as `lane_butterflies_dit_neon`.
+        unsafe {
+            let wr = vdupq_n_f32(wre);
+            let wi = vdupq_n_f32(wim);
+            let arp = ar.as_mut_ptr();
+            let aip = ai.as_mut_ptr();
+            let brp = br.as_mut_ptr();
+            let bip = bi.as_mut_ptr();
+            let mut l = 0;
+            while l + 4 <= n {
+                let arv = vld1q_f32(arp.add(l));
+                let aiv = vld1q_f32(aip.add(l));
+                let brv = vld1q_f32(brp.add(l));
+                let biv = vld1q_f32(bip.add(l));
+                let dr = vsubq_f32(arv, brv);
+                let di = vsubq_f32(aiv, biv);
+                vst1q_f32(arp.add(l), vaddq_f32(arv, brv));
+                vst1q_f32(aip.add(l), vaddq_f32(aiv, biv));
+                vst1q_f32(brp.add(l), vfmsq_f32(vmulq_f32(dr, wr), di, wi));
+                vst1q_f32(bip.add(l), vfmaq_f32(vmulq_f32(di, wr), dr, wi));
+                l += 4;
+            }
+            if l < n {
+                super::lane_butterflies_dif_scalar(
+                    &mut ar[l..],
+                    &mut ai[l..],
+                    &mut br[l..],
+                    &mut bi[l..],
+                    wre,
+                    wim,
+                );
+            }
+        }
+    }
+
+    /// Four split twiddles from `j·stride`, contiguous or gathered.
+    ///
+    /// # Safety
+    /// Tables must cover `(j + 3)·stride`.
+    #[target_feature(enable = "neon")]
+    #[inline]
+    unsafe fn load_tw_split(
+        tw_re: &[f32],
+        tw_im: &[f32],
+        j: usize,
+        stride: usize,
+        conj_w: bool,
+    ) -> (float32x4_t, float32x4_t) {
+        // SAFETY: contiguous loads are bounds-covered by the caller's
+        // table precondition; the gather path uses safe indexing into
+        // live stack arrays.
+        unsafe {
+            let (wr, wi) = if stride == 1 {
+                (
+                    vld1q_f32(tw_re.as_ptr().add(j)),
+                    vld1q_f32(tw_im.as_ptr().add(j)),
+                )
+            } else {
+                let gr = [
+                    tw_re[j * stride],
+                    tw_re[(j + 1) * stride],
+                    tw_re[(j + 2) * stride],
+                    tw_re[(j + 3) * stride],
+                ];
+                let gi = [
+                    tw_im[j * stride],
+                    tw_im[(j + 1) * stride],
+                    tw_im[(j + 2) * stride],
+                    tw_im[(j + 3) * stride],
+                ];
+                (vld1q_f32(gr.as_ptr()), vld1q_f32(gi.as_ptr()))
+            };
+            (wr, if conj_w { vnegq_f32(wi) } else { wi })
+        }
+    }
+
+    /// # Safety
+    /// NEON must be available; twiddle tables must cover
+    /// `(len − 1)·stride`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn butterflies_dit_split_neon(
+        ar: &mut [f32],
+        ai: &mut [f32],
+        br: &mut [f32],
+        bi: &mut [f32],
+        tw_re: &[f32],
+        tw_im: &[f32],
+        stride: usize,
+        conj_w: bool,
+    ) {
+        let span = ar.len();
+        // SAFETY: the loop stays in `[j, j + 4)` while `j + 4 <= span`
+        // over equal-length planes; twiddle reads covered by the
+        // caller's precondition; scalar tail re-borrows.
+        unsafe {
+            let arp = ar.as_mut_ptr();
+            let aip = ai.as_mut_ptr();
+            let brp = br.as_mut_ptr();
+            let bip = bi.as_mut_ptr();
+            let mut j = 0;
+            while j + 4 <= span {
+                let (wr, wi) = load_tw_split(tw_re, tw_im, j, stride, conj_w);
+                let brv = vld1q_f32(brp.add(j));
+                let biv = vld1q_f32(bip.add(j));
+                let yr = vfmsq_f32(vmulq_f32(brv, wr), biv, wi);
+                let yi = vfmaq_f32(vmulq_f32(biv, wr), brv, wi);
+                let arv = vld1q_f32(arp.add(j));
+                let aiv = vld1q_f32(aip.add(j));
+                vst1q_f32(arp.add(j), vaddq_f32(arv, yr));
+                vst1q_f32(aip.add(j), vaddq_f32(aiv, yi));
+                vst1q_f32(brp.add(j), vsubq_f32(arv, yr));
+                vst1q_f32(bip.add(j), vsubq_f32(aiv, yi));
+                j += 4;
+            }
+            if j < span {
+                super::butterflies_dit_split_scalar(
+                    &mut ar[j..],
+                    &mut ai[j..],
+                    &mut br[j..],
+                    &mut bi[j..],
+                    &tw_re[j * stride..],
+                    &tw_im[j * stride..],
+                    stride,
+                    conj_w,
+                );
+            }
+        }
+    }
+
+    /// # Safety
+    /// NEON must be available; twiddle tables must cover
+    /// `(len − 1)·stride`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn butterflies_dif_split_neon(
+        ar: &mut [f32],
+        ai: &mut [f32],
+        br: &mut [f32],
+        bi: &mut [f32],
+        tw_re: &[f32],
+        tw_im: &[f32],
+        stride: usize,
+        conj_w: bool,
+    ) {
+        let span = ar.len();
+        // SAFETY: same argument as `butterflies_dit_split_neon`.
+        unsafe {
+            let arp = ar.as_mut_ptr();
+            let aip = ai.as_mut_ptr();
+            let brp = br.as_mut_ptr();
+            let bip = bi.as_mut_ptr();
+            let mut j = 0;
+            while j + 4 <= span {
+                let (wr, wi) = load_tw_split(tw_re, tw_im, j, stride, conj_w);
+                let arv = vld1q_f32(arp.add(j));
+                let aiv = vld1q_f32(aip.add(j));
+                let brv = vld1q_f32(brp.add(j));
+                let biv = vld1q_f32(bip.add(j));
+                let dr = vsubq_f32(arv, brv);
+                let di = vsubq_f32(aiv, biv);
+                vst1q_f32(arp.add(j), vaddq_f32(arv, brv));
+                vst1q_f32(aip.add(j), vaddq_f32(aiv, biv));
+                vst1q_f32(brp.add(j), vfmsq_f32(vmulq_f32(dr, wr), di, wi));
+                vst1q_f32(bip.add(j), vfmaq_f32(vmulq_f32(di, wr), dr, wi));
+                j += 4;
+            }
+            if j < span {
+                super::butterflies_dif_split_scalar(
+                    &mut ar[j..],
+                    &mut ai[j..],
+                    &mut br[j..],
+                    &mut bi[j..],
+                    &tw_re[j * stride..],
+                    &tw_im[j * stride..],
+                    stride,
+                    conj_w,
+                );
+            }
+        }
+    }
+
+    /// # Safety
+    /// NEON must be available; slices must be equal length.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn deinterleave_neon(src: &[Complex32], re: &mut [f32], im: &mut [f32]) {
+        let n = src.len();
+        // SAFETY: the `vld2q` reads f32 offsets `[2l, 2l + 8)` of the
+        // sound interleaved view of `src` only while `l + 4 <= n`;
+        // writes stay in `[l, l + 4)`; scalar tail re-borrows.
+        unsafe {
+            let sp = src.as_ptr() as *const f32;
+            let rp = re.as_mut_ptr();
+            let ip = im.as_mut_ptr();
+            let mut l = 0;
+            while l + 4 <= n {
+                // vld2q de-interleaves: .0 = even (re), .1 = odd (im).
+                let z = vld2q_f32(sp.add(2 * l));
+                vst1q_f32(rp.add(l), z.0);
+                vst1q_f32(ip.add(l), z.1);
+                l += 4;
+            }
+            if l < n {
+                super::deinterleave_scalar(&src[l..], &mut re[l..], &mut im[l..]);
+            }
+        }
+    }
+
+    /// # Safety
+    /// NEON must be available; slices must be equal length.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn interleave_neon(re: &[f32], im: &[f32], out: &mut [Complex32]) {
+        let n = out.len();
+        // SAFETY: mirror of `deinterleave_neon`.
+        unsafe {
+            let rp = re.as_ptr();
+            let ip = im.as_ptr();
+            let op = out.as_mut_ptr() as *mut f32;
+            let mut l = 0;
+            while l + 4 <= n {
+                let z = float32x4x2_t(vld1q_f32(rp.add(l)), vld1q_f32(ip.add(l)));
+                vst2q_f32(op.add(2 * l), z);
+                l += 4;
+            }
+            if l < n {
+                super::interleave_scalar(&re[l..], &im[l..], &mut out[l..]);
+            }
+        }
+    }
+
+    /// In-register 4×4 f32 transpose via the `vtrn1q/vtrn2q` lane
+    /// shuffles (f32 pairs, then f64-reinterpreted quads).
+    ///
+    /// # Safety
+    /// NEON must be available.
+    #[target_feature(enable = "neon")]
+    #[inline]
+    unsafe fn transpose4x4(
+        a: float32x4_t,
+        b: float32x4_t,
+        c: float32x4_t,
+        d: float32x4_t,
+    ) -> (float32x4_t, float32x4_t, float32x4_t, float32x4_t) {
+        // Pure register arithmetic inside a target-feature fn.
+        let ab0 = vtrn1q_f32(a, b); // a0 b0 a2 b2
+        let ab1 = vtrn2q_f32(a, b); // a1 b1 a3 b3
+        let cd0 = vtrn1q_f32(c, d);
+        let cd1 = vtrn2q_f32(c, d);
+        let col0 = vreinterpretq_f32_f64(vtrn1q_f64(
+            vreinterpretq_f64_f32(ab0),
+            vreinterpretq_f64_f32(cd0),
+        ));
+        let col2 = vreinterpretq_f32_f64(vtrn2q_f64(
+            vreinterpretq_f64_f32(ab0),
+            vreinterpretq_f64_f32(cd0),
+        ));
+        let col1 = vreinterpretq_f32_f64(vtrn1q_f64(
+            vreinterpretq_f64_f32(ab1),
+            vreinterpretq_f64_f32(cd1),
+        ));
+        let col3 = vreinterpretq_f32_f64(vtrn2q_f64(
+            vreinterpretq_f64_f32(ab1),
+            vreinterpretq_f64_f32(cd1),
+        ));
+        (col0, col1, col2, col3)
+    }
+
+    /// # Safety
+    /// NEON must be available; slices must cover `rows·cols`.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn transpose_f32_neon(
+        src: &[f32],
+        rows: usize,
+        cols: usize,
+        dst: &mut [f32],
+    ) {
+        let rb = rows / 4 * 4;
+        let cb = cols / 4 * 4;
+        // SAFETY: block loads read `src[(r + k)·cols + c .. + 4]` and
+        // stores write `dst[(c + k)·rows + r .. + 4]` with
+        // `r + 4 <= rb <= rows`, `c + 4 <= cb <= cols`, inside the
+        // caller-guaranteed `rows·cols` extent; edges use safe
+        // indexing.
+        unsafe {
+            let sp = src.as_ptr();
+            let dp = dst.as_mut_ptr();
+            let mut r = 0;
+            while r < rb {
+                let mut c = 0;
+                while c < cb {
+                    let (c0, c1, c2, c3) = transpose4x4(
+                        vld1q_f32(sp.add(r * cols + c)),
+                        vld1q_f32(sp.add((r + 1) * cols + c)),
+                        vld1q_f32(sp.add((r + 2) * cols + c)),
+                        vld1q_f32(sp.add((r + 3) * cols + c)),
+                    );
+                    vst1q_f32(dp.add(c * rows + r), c0);
+                    vst1q_f32(dp.add((c + 1) * rows + r), c1);
+                    vst1q_f32(dp.add((c + 2) * rows + r), c2);
+                    vst1q_f32(dp.add((c + 3) * rows + r), c3);
+                    c += 4;
+                }
+                c = cb;
+                while c < cols {
+                    for k in 0..4 {
+                        dst[c * rows + r + k] = src[(r + k) * cols + c];
+                    }
+                    c += 1;
+                }
+                r += 4;
+            }
+            while r < rows {
+                for c in 0..cols {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+                r += 1;
+            }
+        }
+    }
+
+    /// # Safety
+    /// NEON must be available; planes must be equal length.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn cmac_split_neon(
+        ar: &[f32],
+        ai: &[f32],
+        br: &[f32],
+        bi: &[f32],
+        conj_b: bool,
+        or_: &mut [f32],
+        oi: &mut [f32],
+    ) {
+        let n = ar.len();
+        // SAFETY: the loop stays in `[l, l + 4)` while `l + 4 <= n`
+        // over equal-length planes; scalar tail re-borrows.
+        unsafe {
+            let arp = ar.as_ptr();
+            let aip = ai.as_ptr();
+            let brp = br.as_ptr();
+            let bip = bi.as_ptr();
+            let orp = or_.as_mut_ptr();
+            let oip = oi.as_mut_ptr();
+            let mut l = 0;
+            while l + 4 <= n {
+                let arv = vld1q_f32(arp.add(l));
+                let aiv = vld1q_f32(aip.add(l));
+                let brv = vld1q_f32(brp.add(l));
+                let mut biv = vld1q_f32(bip.add(l));
+                if conj_b {
+                    biv = vnegq_f32(biv);
+                }
+                let orv = vld1q_f32(orp.add(l));
+                let oiv = vld1q_f32(oip.add(l));
+                let rc = vfmaq_f32(orv, arv, brv);
+                vst1q_f32(orp.add(l), vfmsq_f32(rc, aiv, biv));
+                let ic = vfmaq_f32(oiv, arv, biv);
+                vst1q_f32(oip.add(l), vfmaq_f32(ic, aiv, brv));
+                l += 4;
+            }
+            if l < n {
+                super::cmac_split_scalar(
+                    &ar[l..],
+                    &ai[l..],
+                    &br[l..],
+                    &bi[l..],
+                    conj_b,
+                    &mut or_[l..],
+                    &mut oi[l..],
+                );
+            }
+        }
+    }
+}
+
+/// Resolve the dispatch decision for a whole split-layout transform.
+/// One dispatch-table read per transform; the split kernels then branch
+/// on the returned [`Isa`] without touching atomics again.
+#[inline]
+pub fn split_isa() -> Isa {
+    gcnn_tensor::simd::isa()
+}
+
+/// One batch-major DIT butterfly row pair across `lanes` transforms:
+/// for every lane `l`, with `a = ar[l] + i·ai[l]`, `b = br[l] + i·bi[l]`
+/// and the *same* twiddle `w = wre + i·wim`,
+/// `a, b ← a + w·b, a − w·b`.
+///
+/// The twiddle is a broadcast scalar, so the complex multiply is four
+/// FMAs over contiguous f32 lanes — no shuffle, and no scalar fallback
+/// at small spans (the span lives in the row index, not the lane
+/// index).
+#[inline]
+pub fn lane_butterflies_dit(
+    ar: &mut [f32],
+    ai: &mut [f32],
+    br: &mut [f32],
+    bi: &mut [f32],
+    wre: f32,
+    wim: f32,
+    isa: Isa,
+) {
+    debug_assert!(
+        ar.len() == ai.len() && ar.len() == br.len() && ar.len() == bi.len(),
+        "lane_butterflies_dit: plane length mismatch"
+    );
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => {
+            // SAFETY: Avx2Fma is only returned after runtime AVX2+FMA
+            // detection.
+            unsafe { avx2_split::lane_butterflies_dit_avx2(ar, ai, br, bi, wre, wim) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => {
+            // SAFETY: NEON is baseline on AArch64 (dispatch never
+            // returns Neon elsewhere).
+            unsafe { neon_split::lane_butterflies_dit_neon(ar, ai, br, bi, wre, wim) }
+        }
+        _ => lane_butterflies_dit_scalar(ar, ai, br, bi, wre, wim),
+    }
+}
+
+/// Scalar oracle for [`lane_butterflies_dit`]: per-lane [`Complex32`]
+/// arithmetic, the same ops the interleaved scalar butterfly performs.
+#[inline]
+pub fn lane_butterflies_dit_scalar(
+    ar: &mut [f32],
+    ai: &mut [f32],
+    br: &mut [f32],
+    bi: &mut [f32],
+    wre: f32,
+    wim: f32,
+) {
+    let w = Complex32::new(wre, wim);
+    for l in 0..ar.len() {
+        let a = Complex32::new(ar[l], ai[l]);
+        let y = Complex32::new(br[l], bi[l]) * w;
+        let s = a + y;
+        let d = a - y;
+        ar[l] = s.re;
+        ai[l] = s.im;
+        br[l] = d.re;
+        bi[l] = d.im;
+    }
+}
+
+/// One batch-major DIF butterfly row pair across `lanes` transforms:
+/// `a, b ← a + b, (a − b)·w` per lane with a broadcast twiddle.
+#[inline]
+pub fn lane_butterflies_dif(
+    ar: &mut [f32],
+    ai: &mut [f32],
+    br: &mut [f32],
+    bi: &mut [f32],
+    wre: f32,
+    wim: f32,
+    isa: Isa,
+) {
+    debug_assert!(
+        ar.len() == ai.len() && ar.len() == br.len() && ar.len() == bi.len(),
+        "lane_butterflies_dif: plane length mismatch"
+    );
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => {
+            // SAFETY: Avx2Fma is only returned after runtime AVX2+FMA
+            // detection.
+            unsafe { avx2_split::lane_butterflies_dif_avx2(ar, ai, br, bi, wre, wim) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => {
+            // SAFETY: NEON is baseline on AArch64.
+            unsafe { neon_split::lane_butterflies_dif_neon(ar, ai, br, bi, wre, wim) }
+        }
+        _ => lane_butterflies_dif_scalar(ar, ai, br, bi, wre, wim),
+    }
+}
+
+/// Scalar oracle for [`lane_butterflies_dif`].
+#[inline]
+pub fn lane_butterflies_dif_scalar(
+    ar: &mut [f32],
+    ai: &mut [f32],
+    br: &mut [f32],
+    bi: &mut [f32],
+    wre: f32,
+    wim: f32,
+) {
+    let w = Complex32::new(wre, wim);
+    for l in 0..ar.len() {
+        let a = Complex32::new(ar[l], ai[l]);
+        let b = Complex32::new(br[l], bi[l]);
+        let s = a + b;
+        let d = (a - b) * w;
+        ar[l] = s.re;
+        ai[l] = s.im;
+        br[l] = d.re;
+        bi[l] = d.im;
+    }
+}
+
+/// One whole radix-2 DIT stage over bin-major split planes: for every
+/// block `start` (step `2·span`) and butterfly row `j < span`, apply
+/// [`lane_butterflies_dit`]'s update to rows `start + j` and
+/// `start + j + span` with the twiddle `tw[j·stride]` (conjugated when
+/// `conj_w`).
+///
+/// This is the transform hot loop hoisted *inside* the dispatch
+/// boundary: the per-row kernel pays a dispatch match, an un-inlinable
+/// `target_feature` call and a pointer prologue per `lanes`-float row,
+/// which rivals the row's own FMA work for the row lengths the 2-D
+/// rfft produces. Here the whole stage schedule — including the
+/// multiply-free `w = 1` row every block starts with — runs as one
+/// call per stage.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn lane_stage_dit(
+    re: &mut [f32],
+    im: &mut [f32],
+    n: usize,
+    lanes: usize,
+    span: usize,
+    stride: usize,
+    tw_re: &[f32],
+    tw_im: &[f32],
+    conj_w: bool,
+    isa: Isa,
+) {
+    debug_assert!(
+        re.len() == n * lanes && im.len() == n * lanes,
+        "lane_stage_dit: plane extent mismatch"
+    );
+    debug_assert!(
+        span * 2 <= n && n % (span * 2) == 0,
+        "lane_stage_dit: invalid stage geometry"
+    );
+    debug_assert!(
+        span == 0 || tw_re.len() > (span - 1) * stride && tw_im.len() > (span - 1) * stride,
+        "lane_stage_dit: twiddle table short"
+    );
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => {
+            // SAFETY: Avx2Fma is only returned after runtime AVX2+FMA
+            // detection; extents, table coverage and stage geometry are
+            // debug-asserted above and guaranteed by the radix-2
+            // schedule in `fft_lanes_inplace`.
+            unsafe {
+                avx2_split::lane_stage_dit_avx2(
+                    re, im, n, lanes, span, stride, tw_re, tw_im, conj_w,
+                )
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => {
+            // SAFETY: NEON is baseline on AArch64; same precondition
+            // argument as the AVX2 arm.
+            unsafe {
+                neon_split::lane_stage_dit_neon(
+                    re, im, n, lanes, span, stride, tw_re, tw_im, conj_w,
+                )
+            }
+        }
+        _ => lane_stage_dit_scalar(re, im, n, lanes, span, stride, tw_re, tw_im, conj_w),
+    }
+}
+
+/// Scalar oracle for [`lane_stage_dit`]: the stage schedule driving
+/// [`lane_butterflies_dit_scalar`] row pair by row pair — exactly the
+/// loop the transform ran before the stage was hoisted inside the
+/// dispatch boundary.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn lane_stage_dit_scalar(
+    re: &mut [f32],
+    im: &mut [f32],
+    n: usize,
+    lanes: usize,
+    span: usize,
+    stride: usize,
+    tw_re: &[f32],
+    tw_im: &[f32],
+    conj_w: bool,
+) {
+    let mut start = 0;
+    while start < n {
+        for j in 0..span {
+            let k = j * stride;
+            let wre = tw_re[k];
+            let wim = if conj_w { -tw_im[k] } else { tw_im[k] };
+            let a = (start + j) * lanes;
+            let b = (start + j + span) * lanes;
+            let (re_lo, re_hi) = re.split_at_mut(b);
+            let (im_lo, im_hi) = im.split_at_mut(b);
+            lane_butterflies_dit_scalar(
+                &mut re_lo[a..a + lanes],
+                &mut im_lo[a..a + lanes],
+                &mut re_hi[..lanes],
+                &mut im_hi[..lanes],
+                wre,
+                wim,
+            );
+        }
+        start += span * 2;
+    }
+}
+
+/// Two consecutive radix-2 DIT stages (spans `s` and `2s`) over
+/// bin-major split planes, fused into one pass — the radix-4 data
+/// flow: each group of four rows is loaded once, carried through both
+/// butterfly levels in registers, and stored once. The single-stage
+/// kernel is store-port bound, so halving the pass count is worth more
+/// than the (unchanged) FMA count suggests.
+///
+/// Equivalent to `lane_stage_dit(span = s)` followed by
+/// `lane_stage_dit(span = 2s)` up to floating-point rounding (the
+/// fused form keeps intermediates in registers and resolves the
+/// `tw[n/4] = ∓i` twiddle as a swap-and-negate). The AVX2 body fuses;
+/// other ISAs run the two stages through their single-stage kernels,
+/// which keeps the scalar arm bit-identical to the unfused schedule.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn lane_stage2_dit(
+    re: &mut [f32],
+    im: &mut [f32],
+    n: usize,
+    lanes: usize,
+    s: usize,
+    stride_a: usize,
+    stride_b: usize,
+    tw_re: &[f32],
+    tw_im: &[f32],
+    conj_w: bool,
+    isa: Isa,
+) {
+    debug_assert!(
+        re.len() == n * lanes && im.len() == n * lanes,
+        "lane_stage2_dit: plane extent mismatch"
+    );
+    debug_assert!(
+        s * 4 <= n && n % (s * 4) == 0,
+        "lane_stage2_dit: invalid fused geometry"
+    );
+    debug_assert!(
+        stride_a == n / (s * 2) && stride_b == n / (s * 4),
+        "lane_stage2_dit: stride mismatch"
+    );
+    debug_assert!(
+        tw_re.len() > (2 * s - 1) * stride_b && tw_im.len() > (2 * s - 1) * stride_b,
+        "lane_stage2_dit: twiddle table short"
+    );
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => {
+            // SAFETY: Avx2Fma is only returned after runtime AVX2+FMA
+            // detection; extents, table coverage and the fused stage
+            // geometry are debug-asserted above and guaranteed by the
+            // radix-2 schedule in `fft_lanes_inplace`.
+            unsafe {
+                avx2_split::lane_stage2_dit_avx2(
+                    re, im, n, lanes, s, stride_a, stride_b, tw_re, tw_im, conj_w,
+                )
+            }
+        }
+        _ => {
+            lane_stage_dit(re, im, n, lanes, s, stride_a, tw_re, tw_im, conj_w, isa);
+            lane_stage_dit(re, im, n, lanes, s * 2, stride_b, tw_re, tw_im, conj_w, isa);
+        }
+    }
+}
+
+/// One split-layout DIT block across the butterfly index `j` of a
+/// single transform: `a[j], b[j] ← a[j] + w_j·b[j], a[j] − w_j·b[j]`
+/// with `w_j` read from the plan's split twiddle planes at `j·stride`.
+/// `conj_w` negates the imaginary twiddle plane on the fly (the inverse
+/// direction) — a sign flip folded into the FMA operands, not a second
+/// table and not a shuffle.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn butterflies_dit_split(
+    ar: &mut [f32],
+    ai: &mut [f32],
+    br: &mut [f32],
+    bi: &mut [f32],
+    tw_re: &[f32],
+    tw_im: &[f32],
+    stride: usize,
+    conj_w: bool,
+    isa: Isa,
+) {
+    debug_assert!(
+        ar.len() == ai.len() && ar.len() == br.len() && ar.len() == bi.len(),
+        "butterflies_dit_split: plane length mismatch"
+    );
+    debug_assert!(
+        ar.is_empty() || tw_re.len() > (ar.len() - 1) * stride,
+        "butterflies_dit_split: twiddle table short"
+    );
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma if ar.len() >= 8 => {
+            // SAFETY: Avx2Fma is only returned after runtime AVX2+FMA
+            // detection; the table covers (len−1)·stride per the debug
+            // assert and the radix-2 schedule.
+            unsafe {
+                avx2_split::butterflies_dit_split_avx2(ar, ai, br, bi, tw_re, tw_im, stride, conj_w)
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon if ar.len() >= 4 => {
+            // SAFETY: NEON is baseline on AArch64.
+            unsafe {
+                neon_split::butterflies_dit_split_neon(ar, ai, br, bi, tw_re, tw_im, stride, conj_w)
+            }
+        }
+        _ => butterflies_dit_split_scalar(ar, ai, br, bi, tw_re, tw_im, stride, conj_w),
+    }
+}
+
+/// Scalar oracle for [`butterflies_dit_split`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn butterflies_dit_split_scalar(
+    ar: &mut [f32],
+    ai: &mut [f32],
+    br: &mut [f32],
+    bi: &mut [f32],
+    tw_re: &[f32],
+    tw_im: &[f32],
+    stride: usize,
+    conj_w: bool,
+) {
+    for j in 0..ar.len() {
+        let k = j * stride;
+        let wim = if conj_w { -tw_im[k] } else { tw_im[k] };
+        let w = Complex32::new(tw_re[k], wim);
+        let a = Complex32::new(ar[j], ai[j]);
+        let y = Complex32::new(br[j], bi[j]) * w;
+        let s = a + y;
+        let d = a - y;
+        ar[j] = s.re;
+        ai[j] = s.im;
+        br[j] = d.re;
+        bi[j] = d.im;
+    }
+}
+
+/// One split-layout DIF block across the butterfly index:
+/// `a[j], b[j] ← a[j] + b[j], (a[j] − b[j])·w_j`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn butterflies_dif_split(
+    ar: &mut [f32],
+    ai: &mut [f32],
+    br: &mut [f32],
+    bi: &mut [f32],
+    tw_re: &[f32],
+    tw_im: &[f32],
+    stride: usize,
+    conj_w: bool,
+    isa: Isa,
+) {
+    debug_assert!(
+        ar.len() == ai.len() && ar.len() == br.len() && ar.len() == bi.len(),
+        "butterflies_dif_split: plane length mismatch"
+    );
+    debug_assert!(
+        ar.is_empty() || tw_re.len() > (ar.len() - 1) * stride,
+        "butterflies_dif_split: twiddle table short"
+    );
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma if ar.len() >= 8 => {
+            // SAFETY: Avx2Fma is only returned after runtime AVX2+FMA
+            // detection; table coverage per the debug assert and the
+            // radix-2 schedule.
+            unsafe {
+                avx2_split::butterflies_dif_split_avx2(ar, ai, br, bi, tw_re, tw_im, stride, conj_w)
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon if ar.len() >= 4 => {
+            // SAFETY: NEON is baseline on AArch64.
+            unsafe {
+                neon_split::butterflies_dif_split_neon(ar, ai, br, bi, tw_re, tw_im, stride, conj_w)
+            }
+        }
+        _ => butterflies_dif_split_scalar(ar, ai, br, bi, tw_re, tw_im, stride, conj_w),
+    }
+}
+
+/// Scalar oracle for [`butterflies_dif_split`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn butterflies_dif_split_scalar(
+    ar: &mut [f32],
+    ai: &mut [f32],
+    br: &mut [f32],
+    bi: &mut [f32],
+    tw_re: &[f32],
+    tw_im: &[f32],
+    stride: usize,
+    conj_w: bool,
+) {
+    for j in 0..ar.len() {
+        let k = j * stride;
+        let wim = if conj_w { -tw_im[k] } else { tw_im[k] };
+        let w = Complex32::new(tw_re[k], wim);
+        let a = Complex32::new(ar[j], ai[j]);
+        let b = Complex32::new(br[j], bi[j]);
+        let s = a + b;
+        let d = (a - b) * w;
+        ar[j] = s.re;
+        ai[j] = s.im;
+        br[j] = d.re;
+        bi[j] = d.im;
+    }
+}
+
+/// Split an interleaved complex slice into separate re/im planes.
+#[inline]
+pub fn deinterleave(src: &[Complex32], re: &mut [f32], im: &mut [f32], isa: Isa) {
+    debug_assert!(
+        src.len() == re.len() && src.len() == im.len(),
+        "deinterleave: length mismatch"
+    );
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => {
+            // SAFETY: Avx2Fma is only returned after runtime AVX2+FMA
+            // detection.
+            unsafe { avx2_split::deinterleave_avx2(src, re, im) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => {
+            // SAFETY: NEON is baseline on AArch64.
+            unsafe { neon_split::deinterleave_neon(src, re, im) }
+        }
+        _ => deinterleave_scalar(src, re, im),
+    }
+}
+
+/// Scalar oracle for [`deinterleave`].
+#[inline]
+pub fn deinterleave_scalar(src: &[Complex32], re: &mut [f32], im: &mut [f32]) {
+    for (z, (r, i)) in src.iter().zip(re.iter_mut().zip(im.iter_mut())) {
+        *r = z.re;
+        *i = z.im;
+    }
+}
+
+/// Merge separate re/im planes into an interleaved complex slice.
+#[inline]
+pub fn interleave(re: &[f32], im: &[f32], out: &mut [Complex32], isa: Isa) {
+    debug_assert!(
+        out.len() == re.len() && out.len() == im.len(),
+        "interleave: length mismatch"
+    );
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => {
+            // SAFETY: Avx2Fma is only returned after runtime AVX2+FMA
+            // detection.
+            unsafe { avx2_split::interleave_avx2(re, im, out) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => {
+            // SAFETY: NEON is baseline on AArch64.
+            unsafe { neon_split::interleave_neon(re, im, out) }
+        }
+        _ => interleave_scalar(re, im, out),
+    }
+}
+
+/// Scalar oracle for [`interleave`].
+#[inline]
+pub fn interleave_scalar(re: &[f32], im: &[f32], out: &mut [Complex32]) {
+    for (z, (r, i)) in out.iter_mut().zip(re.iter().zip(im.iter())) {
+        *z = Complex32::new(*r, *i);
+    }
+}
+
+/// Out-of-place f32 transpose: `dst[c·rows + r] = src[r·cols + c]`.
+/// This is the lane-layout conversion between the row and column passes
+/// of the batch-major 2-D transform; the SIMD bodies work in 8×8 (AVX2
+/// unpack/shuffle/permute2f128) or 4×4 (NEON `vtrn1q/vtrn2q`) blocks.
+#[inline]
+pub fn transpose_f32(src: &[f32], rows: usize, cols: usize, dst: &mut [f32], isa: Isa) {
+    debug_assert!(src.len() >= rows * cols, "transpose_f32: src short");
+    debug_assert!(dst.len() >= rows * cols, "transpose_f32: dst short");
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => {
+            // SAFETY: Avx2Fma is only returned after runtime AVX2+FMA
+            // detection; src/dst cover rows·cols per the debug asserts
+            // (callers pass exact-size planes).
+            unsafe { avx2_split::transpose_f32_avx2(src, rows, cols, dst) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => {
+            // SAFETY: NEON is baseline on AArch64.
+            unsafe { neon_split::transpose_f32_neon(src, rows, cols, dst) }
+        }
+        _ => transpose_f32_scalar(src, rows, cols, dst),
+    }
+}
+
+/// Scalar oracle for [`transpose_f32`]: blocked loops so even the
+/// fallback stays cache-aware.
+pub fn transpose_f32_scalar(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    const B: usize = 32;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + B).min(rows);
+        let mut c0 = 0;
+        while c0 < cols {
+            let c1 = (c0 + B).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+            c0 = c1;
+        }
+        r0 = r1;
+    }
+}
+
+/// Split-plane complex multiply-accumulate:
+/// `out += a · b` (or `a · conj(b)` when `conj_b`), all operands as
+/// separate re/im planes. The frequency-domain pointwise product in the
+/// split layout — four FMAs per vector of lanes, no shuffle.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn cmac_split(
+    ar: &[f32],
+    ai: &[f32],
+    br: &[f32],
+    bi: &[f32],
+    conj_b: bool,
+    or_: &mut [f32],
+    oi: &mut [f32],
+    isa: Isa,
+) {
+    debug_assert!(
+        ar.len() == ai.len()
+            && ar.len() == br.len()
+            && ar.len() == bi.len()
+            && ar.len() == or_.len()
+            && ar.len() == oi.len(),
+        "cmac_split: plane length mismatch"
+    );
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => {
+            // SAFETY: Avx2Fma is only returned after runtime AVX2+FMA
+            // detection.
+            unsafe { avx2_split::cmac_split_avx2(ar, ai, br, bi, conj_b, or_, oi) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => {
+            // SAFETY: NEON is baseline on AArch64.
+            unsafe { neon_split::cmac_split_neon(ar, ai, br, bi, conj_b, or_, oi) }
+        }
+        _ => cmac_split_scalar(ar, ai, br, bi, conj_b, or_, oi),
+    }
+}
+
+/// Scalar oracle for [`cmac_split`].
+#[inline]
+pub fn cmac_split_scalar(
+    ar: &[f32],
+    ai: &[f32],
+    br: &[f32],
+    bi: &[f32],
+    conj_b: bool,
+    or_: &mut [f32],
+    oi: &mut [f32],
+) {
+    for j in 0..ar.len() {
+        let a = Complex32::new(ar[j], ai[j]);
+        let b = Complex32::new(br[j], bi[j]);
+        let b = if conj_b { b.conj() } else { b };
+        let p = a * b;
+        or_[j] += p.re;
+        oi[j] += p.im;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,5 +2327,180 @@ mod tests {
         let expect: Vec<Complex32> = x.iter().map(|z| z.scale(0.25)).collect();
         scale(&mut x, 0.25);
         assert_eq!(x, expect);
+    }
+
+    fn plane(n: usize, seed: f32) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * seed + seed).sin()).collect()
+    }
+
+    /// Dispatched lane butterflies match the scalar oracle on lane
+    /// counts that exercise full vectors, tails, and the all-tail case.
+    #[test]
+    fn lane_butterflies_match_scalar() {
+        for lanes in [1usize, 3, 8, 13, 33] {
+            for dif in [false, true] {
+                let (wre, wim) = (0.31f32.cos(), -(0.31f32.sin()));
+                let mut ar = plane(lanes, 0.31);
+                let mut ai = plane(lanes, 0.47);
+                let mut br = plane(lanes, 0.59);
+                let mut bi = plane(lanes, 0.73);
+                let (mut xr, mut xi, mut yr, mut yi) =
+                    (ar.clone(), ai.clone(), br.clone(), bi.clone());
+                if dif {
+                    lane_butterflies_dif(&mut ar, &mut ai, &mut br, &mut bi, wre, wim, split_isa());
+                    lane_butterflies_dif_scalar(&mut xr, &mut xi, &mut yr, &mut yi, wre, wim);
+                } else {
+                    lane_butterflies_dit(&mut ar, &mut ai, &mut br, &mut bi, wre, wim, split_isa());
+                    lane_butterflies_dit_scalar(&mut xr, &mut xi, &mut yr, &mut yi, wre, wim);
+                }
+                for l in 0..lanes {
+                    for (got, want) in [
+                        (ar[l], xr[l]),
+                        (ai[l], xi[l]),
+                        (br[l], yr[l]),
+                        (bi[l], yi[l]),
+                    ] {
+                        assert!(
+                            (got - want).abs() < 1e-5,
+                            "lanes {lanes} dif {dif} lane {l}: {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dispatched split-table butterflies match the scalar oracle for
+    /// every stage geometry of a radix-2 schedule, both directions.
+    #[test]
+    fn split_butterflies_match_scalar_all_stages() {
+        let n = 64;
+        let plan = FftPlan::new(n);
+        let (tw_re, tw_im) = plan.table_split();
+        for conj_w in [false, true] {
+            let mut span = 1;
+            while span < n {
+                let stride = n / (span * 2);
+                for dif in [false, true] {
+                    let mut ar = plane(span, 0.31);
+                    let mut ai = plane(span, 0.47);
+                    let mut br = plane(span, 0.59);
+                    let mut bi = plane(span, 0.73);
+                    let (mut xr, mut xi, mut yr, mut yi) =
+                        (ar.clone(), ai.clone(), br.clone(), bi.clone());
+                    if dif {
+                        butterflies_dif_split(
+                            &mut ar,
+                            &mut ai,
+                            &mut br,
+                            &mut bi,
+                            tw_re,
+                            tw_im,
+                            stride,
+                            conj_w,
+                            split_isa(),
+                        );
+                        butterflies_dif_split_scalar(
+                            &mut xr, &mut xi, &mut yr, &mut yi, tw_re, tw_im, stride, conj_w,
+                        );
+                    } else {
+                        butterflies_dit_split(
+                            &mut ar,
+                            &mut ai,
+                            &mut br,
+                            &mut bi,
+                            tw_re,
+                            tw_im,
+                            stride,
+                            conj_w,
+                            split_isa(),
+                        );
+                        butterflies_dit_split_scalar(
+                            &mut xr, &mut xi, &mut yr, &mut yi, tw_re, tw_im, stride, conj_w,
+                        );
+                    }
+                    for j in 0..span {
+                        assert!(
+                            (ar[j] - xr[j]).abs() < 1e-5
+                                && (ai[j] - xi[j]).abs() < 1e-5
+                                && (br[j] - yr[j]).abs() < 1e-5
+                                && (bi[j] - yi[j]).abs() < 1e-5,
+                            "span {span} stride {stride} dif {dif} conj {conj_w} j {j}"
+                        );
+                    }
+                }
+                span *= 2;
+            }
+        }
+    }
+
+    /// interleave ∘ deinterleave is the identity, and both match the
+    /// scalar oracles bit-exactly (pure data movement).
+    #[test]
+    fn interleave_roundtrip_and_matches_scalar() {
+        for n in [1usize, 4, 7, 8, 15, 16, 33] {
+            let src = signal(n, 0.37);
+            let mut re = vec![0.0f32; n];
+            let mut im = vec![0.0f32; n];
+            deinterleave(&src, &mut re, &mut im, split_isa());
+            let mut re_ref = vec![0.0f32; n];
+            let mut im_ref = vec![0.0f32; n];
+            deinterleave_scalar(&src, &mut re_ref, &mut im_ref);
+            assert_eq!(re, re_ref, "n {n}");
+            assert_eq!(im, im_ref, "n {n}");
+            let mut back = vec![Complex32::ZERO; n];
+            interleave(&re, &im, &mut back, split_isa());
+            assert_eq!(back, src, "n {n}");
+        }
+    }
+
+    /// Blocked SIMD transpose matches the scalar oracle bit-exactly on
+    /// square, tall, wide, and remainder-heavy shapes.
+    #[test]
+    fn transpose_matches_scalar() {
+        for (rows, cols) in [(1, 1), (8, 8), (16, 16), (5, 9), (9, 5), (33, 17), (64, 33)] {
+            let src = plane(rows * cols, 0.17);
+            let mut got = vec![0.0f32; rows * cols];
+            let mut want = vec![0.0f32; rows * cols];
+            transpose_f32(&src, rows, cols, &mut got, split_isa());
+            transpose_f32_scalar(&src, rows, cols, &mut want);
+            assert_eq!(got, want, "{rows}x{cols}");
+            // And it really is the transpose.
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(
+                        got[c * rows + r],
+                        src[r * cols + c],
+                        "{rows}x{cols} ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Split cmac matches the interleaved `cmac` primitive and its own
+    /// scalar oracle, both directions of `conj_b`.
+    #[test]
+    fn cmac_split_matches_scalar() {
+        for n in [1usize, 8, 13, 32] {
+            for conj_b in [false, true] {
+                let ar = plane(n, 0.21);
+                let ai = plane(n, 0.33);
+                let br = plane(n, 0.41);
+                let bi = plane(n, 0.57);
+                let mut or_ = plane(n, 0.61);
+                let mut oi = plane(n, 0.71);
+                let mut or_ref = or_.clone();
+                let mut oi_ref = oi.clone();
+                cmac_split(&ar, &ai, &br, &bi, conj_b, &mut or_, &mut oi, split_isa());
+                cmac_split_scalar(&ar, &ai, &br, &bi, conj_b, &mut or_ref, &mut oi_ref);
+                for j in 0..n {
+                    assert!(
+                        (or_[j] - or_ref[j]).abs() < 1e-5 && (oi[j] - oi_ref[j]).abs() < 1e-5,
+                        "n {n} conj {conj_b} j {j}"
+                    );
+                }
+            }
+        }
     }
 }

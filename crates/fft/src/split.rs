@@ -1,0 +1,198 @@
+//! Batch-major split-complex transforms — the fbfft layout.
+//!
+//! The interleaved path ([`crate::dit`]) transforms one line at a time:
+//! every complex multiply pays a shuffle, spans below the vector width
+//! fall scalar, and the 2-D rfft gathers columns element by element.
+//! This module stores `lanes` simultaneous transforms as two f32 planes
+//! with **bin-major** layout — `re[bin·lanes + lane]` — so one butterfly
+//! applies a single broadcast twiddle across `lanes` contiguous floats:
+//! pure FMA, no shuffle, and every stage (including span 1) runs at
+//! full vector width. That is fbfft's "transform many rows per pass"
+//! design (PAPERS.md arXiv:1412.7580) mapped onto CPU vectors; the
+//! batch dimension the lanes come from is the paper's first sweep axis.
+//!
+//! [`fft_lanes_inplace`] is the whole engine; the 2-D real transforms
+//! in [`crate::rfft`] are two lane passes joined by blocked SIMD
+//! transposes.
+
+use crate::plan::FftPlan;
+use crate::{simd, Direction};
+use gcnn_tensor::simd::Isa;
+
+/// True when the split batch-major engine should run. Scalar dispatch
+/// (no SIMD, or `GCNN_FORCE_SCALAR=1`) keeps the interleaved
+/// line-at-a-time path, which stays the reference implementation and
+/// the forced-scalar oracle — same selection point as every other
+/// kernel in the workspace.
+#[inline]
+pub fn split_enabled() -> bool {
+    !matches!(gcnn_tensor::simd::isa(), Isa::Scalar)
+}
+
+/// Bit-reversal permutation over transform bins: swaps whole lane rows
+/// (`lanes` contiguous floats per bin), so even the permutation runs as
+/// block copies instead of per-element swaps.
+pub(crate) fn bitrev_rows(re: &mut [f32], im: &mut [f32], plan: &FftPlan, lanes: usize) {
+    for (i, &j) in plan.bitrev_table().iter().enumerate() {
+        let j = j as usize;
+        if i < j {
+            let (lo, hi) = re.split_at_mut(j * lanes);
+            lo[i * lanes..i * lanes + lanes].swap_with_slice(&mut hi[..lanes]);
+            let (lo, hi) = im.split_at_mut(j * lanes);
+            lo[i * lanes..i * lanes + lanes].swap_with_slice(&mut hi[..lanes]);
+        }
+    }
+}
+
+/// In-place radix-2 DIT over `lanes` simultaneous transforms in
+/// bin-major split layout: `re[bin·lanes + lane]`, `im[bin·lanes +
+/// lane]`, natural bin order in and out. `Direction::Inverse` applies
+/// the usual `1/n` scaling.
+///
+/// Equivalent to `lanes` calls of [`crate::dit::fft_inplace`] on the
+/// individual transforms (the property suite pins this), but every
+/// butterfly is a broadcast-twiddle FMA across contiguous lanes.
+pub fn fft_lanes_inplace(
+    re: &mut [f32],
+    im: &mut [f32],
+    plan: &FftPlan,
+    dir: Direction,
+    lanes: usize,
+) {
+    let n = plan.len();
+    assert_eq!(re.len(), n * lanes, "fft_lanes_inplace: re plane size");
+    assert_eq!(im.len(), n * lanes, "fft_lanes_inplace: im plane size");
+    if lanes == 0 || n <= 1 {
+        return;
+    }
+    bitrev_rows(re, im, plan, lanes);
+    // One dispatch read and one split-table borrow per transform pass;
+    // each stage then runs as a single kernel call with the whole block
+    // × butterfly-row schedule inside the dispatch boundary
+    // ([`simd::lane_stage_dit`]), instead of one dispatched call per
+    // `lanes`-float row.
+    let isa = simd::split_isa();
+    let (tw_re, tw_im) = plan.table_split();
+    let conj_w = dir == Direction::Inverse;
+    // Fused double stages (the radix-4 data flow) as long as two whole
+    // stages remain, then at most one single stage for odd log2(n).
+    let mut span = 1usize;
+    while span * 4 <= n {
+        let stride_a = n / (span * 2);
+        let stride_b = n / (span * 4);
+        simd::lane_stage2_dit(
+            re, im, n, lanes, span, stride_a, stride_b, tw_re, tw_im, conj_w, isa,
+        );
+        span *= 4;
+    }
+    if span * 2 <= n {
+        let stride = n / (span * 2);
+        simd::lane_stage_dit(re, im, n, lanes, span, stride, tw_re, tw_im, conj_w, isa);
+    }
+    if conj_w {
+        let s = 1.0 / n as f32;
+        gcnn_tensor::simd::sscal(s, re);
+        gcnn_tensor::simd::sscal(s, im);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dit::fft_inplace;
+    use gcnn_tensor::Complex32;
+
+    fn lane_signal(n: usize, lanes: usize, seed: f32) -> (Vec<f32>, Vec<f32>) {
+        let re: Vec<f32> = (0..n * lanes)
+            .map(|i| (i as f32 * seed + 0.2).sin())
+            .collect();
+        let im: Vec<f32> = (0..n * lanes)
+            .map(|i| (i as f32 * (seed + 0.13) + 0.7).cos())
+            .collect();
+        (re, im)
+    }
+
+    /// The lane engine equals `lanes` independent interleaved
+    /// transforms, both directions, including odd lane counts that
+    /// force remainder handling in every kernel.
+    #[test]
+    fn lanes_match_per_transform_fft() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let plan = FftPlan::new(n);
+            for lanes in [1usize, 3, 8, 33] {
+                for dir in [Direction::Forward, Direction::Inverse] {
+                    let (mut re, mut im) = lane_signal(n, lanes, 0.37);
+                    // Reference: transform each lane separately through
+                    // the interleaved path.
+                    let mut expect: Vec<Vec<Complex32>> = (0..lanes)
+                        .map(|l| {
+                            let mut line: Vec<Complex32> = (0..n)
+                                .map(|bin| Complex32::new(re[bin * lanes + l], im[bin * lanes + l]))
+                                .collect();
+                            fft_inplace(&mut line, &plan, dir);
+                            line
+                        })
+                        .collect();
+                    fft_lanes_inplace(&mut re, &mut im, &plan, dir, lanes);
+                    for l in 0..lanes {
+                        for bin in 0..n {
+                            let want = expect[l].remove(0);
+                            let got = Complex32::new(re[bin * lanes + l], im[bin * lanes + l]);
+                            assert!(
+                                (got - want).abs() < 1e-3 * (1.0 + want.abs()),
+                                "n {n} lanes {lanes} {dir:?} lane {l} bin {bin}: {got:?} vs {want:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward then inverse is the identity (up to fp error).
+    #[test]
+    fn lanes_roundtrip() {
+        let n = 32;
+        let lanes = 17;
+        let plan = FftPlan::new(n);
+        let (re0, im0) = lane_signal(n, lanes, 0.19);
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        fft_lanes_inplace(&mut re, &mut im, &plan, Direction::Forward, lanes);
+        fft_lanes_inplace(&mut re, &mut im, &plan, Direction::Inverse, lanes);
+        for i in 0..n * lanes {
+            assert!((re[i] - re0[i]).abs() < 1e-4, "re[{i}]");
+            assert!((im[i] - im0[i]).abs() < 1e-4, "im[{i}]");
+        }
+    }
+
+    /// Row-block bit reversal is an involution and matches the
+    /// element-wise permutation.
+    #[test]
+    fn bitrev_rows_matches_permutation() {
+        let n = 16;
+        let lanes = 5;
+        let plan = FftPlan::new(n);
+        let (re0, im0) = lane_signal(n, lanes, 0.29);
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        bitrev_rows(&mut re, &mut im, &plan, lanes);
+        for (i, &j) in plan.bitrev_table().iter().enumerate() {
+            for l in 0..lanes {
+                assert_eq!(re[i * lanes + l], re0[j as usize * lanes + l]);
+            }
+        }
+        bitrev_rows(&mut re, &mut im, &plan, lanes);
+        assert_eq!(re, re0);
+        assert_eq!(im, im0);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = FftPlan::new(1);
+        let mut re = vec![2.5f32; 4];
+        let mut im = vec![-1.5f32; 4];
+        fft_lanes_inplace(&mut re, &mut im, &plan, Direction::Forward, 4);
+        assert_eq!(re, vec![2.5f32; 4]);
+        fft_lanes_inplace(&mut re, &mut im, &plan, Direction::Inverse, 4);
+        assert_eq!(im, vec![-1.5f32; 4]);
+    }
+}

@@ -1,0 +1,390 @@
+//! Split-complex layout vs the interleaved reference.
+//!
+//! The batch-major split engine (`split::fft_lanes_inplace`, the split
+//! rfft, the split kernels in `simd`) must agree with the interleaved
+//! `Complex32` implementations on randomized inputs, including odd lane
+//! counts and remainder vector tails, non-contiguous (strided) batches,
+//! and both transform directions. Tolerances follow the GEMM suite's
+//! convention: FMA contraction and reassociation legally perturb the
+//! last bits and the divergence grows with the reduction depth, so the
+//! budget is `max(small_abs·scale, ulps(~2·depth + 16))` rather than a
+//! flat epsilon.
+//!
+//! The final test pins the dispatch contract: with the table forced to
+//! scalar, every new split dispatcher is *bit-identical* to its
+//! directly-invoked scalar body (mirroring
+//! `gemm/tests/simd_vs_scalar.rs`).
+
+use gcnn_fft::plan::FftPlan;
+use gcnn_fft::rfft::RfftPlan;
+use gcnn_fft::{simd, split, Direction, Fft2dPlan};
+use gcnn_tensor::simd::Isa;
+use gcnn_tensor::Complex32;
+use proptest::prelude::*;
+
+/// Distance in units-in-the-last-place between two finite f32s.
+fn ulp_diff(a: f32, b: f32) -> u32 {
+    if a == b {
+        return 0;
+    }
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        (if bits < 0 {
+            i32::MIN.wrapping_sub(bits)
+        } else {
+            bits
+        }) as i64
+    }
+    (key(a) - key(b)).unsigned_abs().min(u32::MAX as u64) as u32
+}
+
+/// Closeness for reassociated reductions of depth `depth` over values
+/// of magnitude ~`scale`.
+fn close(a: f32, b: f32, depth: usize, scale: f32) -> bool {
+    (a - b).abs() <= 1e-5 * scale.max(1.0) * (depth as f32).sqrt().max(1.0)
+        || ulp_diff(a, b) <= 2 * depth as u32 + 16
+}
+
+fn lcg_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The split 2-D rfft equals an independent interleaved full 2-D
+    /// FFT (row-column `dit` over `Complex32`), bin for bin over the
+    /// Hermitian half-spectrum. `forward_into` routes through the split
+    /// engine whenever SIMD dispatch is active, so on a SIMD host this
+    /// is split-vs-interleaved; under `GCNN_FORCE_SCALAR=1` it pins the
+    /// interleaved path against itself.
+    #[test]
+    fn rfft_matches_full_2d_fft(
+        log2n in 1u32..7,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let n = 1usize << log2n;
+        let half = n / 2 + 1;
+        let plane = lcg_vec(n * n, seed);
+
+        let plan = RfftPlan::cached(n);
+        let mut spec = vec![Complex32::ZERO; plan.spectrum_len()];
+        plan.forward_into(&plane, &mut spec);
+
+        let full = Fft2dPlan::new(n, n).forward_real(&plane);
+        // The inputs sum coherently at the DC bin: scale ~ n².
+        let scale = n as f32 * n as f32;
+        for r in 0..n {
+            for c in 0..half {
+                let got = spec[r * half + c];
+                let want = full[r * n + c];
+                prop_assert!(
+                    close(got.re, want.re, 4 * n, scale)
+                        && close(got.im, want.im, 4 * n, scale),
+                    "n {n} bin ({r},{c}): {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    /// Forward→inverse through the split batch entry points recovers
+    /// the input.
+    #[test]
+    fn split_batch_roundtrip(
+        log2n in 1u32..7,
+        count in 1usize..5,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let n = 1usize << log2n;
+        let plan = RfftPlan::cached(n);
+        let spec_len = plan.spectrum_len();
+        let x = lcg_vec(count * n * n, seed);
+
+        let mut sre = vec![0.0f32; count * spec_len];
+        let mut sim = vec![0.0f32; count * spec_len];
+        gcnn_fft::rfft_forward_batch_split(&plan, &x, &mut sre, &mut sim);
+        let mut back = vec![0.0f32; x.len()];
+        gcnn_fft::rfft_inverse_batch_split(&plan, &sre, &sim, &mut back);
+
+        for (i, (a, b)) in x.iter().zip(&back).enumerate() {
+            prop_assert!(close(*a, *b, 4 * n, n as f32), "elem {i}: {a} vs {b}");
+        }
+    }
+
+    /// Strided (non-contiguous) batches equal the dense batch on the
+    /// covered cells and never touch the gap cells.
+    #[test]
+    fn strided_batches_match_dense_and_preserve_gaps(
+        log2n in 1u32..6,
+        count in 1usize..4,
+        plane_gap in 0usize..9,
+        spec_gap in 0usize..9,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let n = 1usize << log2n;
+        let plan = RfftPlan::cached(n);
+        let (plane_len, spec_len) = (n * n, plan.spectrum_len());
+        let (ps, ss) = (plane_len + plane_gap, spec_len + spec_gap);
+        let x = lcg_vec(count * plane_len, seed);
+
+        let mut dense = vec![Complex32::ZERO; count * spec_len];
+        gcnn_fft::rfft_forward_batch(&plan, &x, &mut dense);
+
+        let mut gapped = vec![5.5f32; (count - 1) * ps + plane_len];
+        for p in 0..count {
+            gapped[p * ps..p * ps + plane_len]
+                .copy_from_slice(&x[p * plane_len..(p + 1) * plane_len]);
+        }
+        let sentinel = Complex32::new(-7.0, 7.0);
+        let mut spectra = vec![sentinel; (count - 1) * ss + spec_len];
+        gcnn_fft::rfft_forward_batch_strided(&plan, &gapped, ps, &mut spectra, ss, count);
+
+        for p in 0..count {
+            for k in 0..spec_len {
+                // Identical call sequence per transform: exact match.
+                prop_assert_eq!(spectra[p * ss + k], dense[p * spec_len + k],
+                    "plane {} bin {}", p, k);
+            }
+            if p + 1 < count {
+                for g in spec_len..ss {
+                    prop_assert_eq!(spectra[p * ss + g], sentinel, "gap {} of plane {}", g, p);
+                }
+            }
+        }
+
+        let mut out = vec![-2.25f32; (count - 1) * ps + plane_len];
+        gcnn_fft::rfft_inverse_batch_strided(&plan, &spectra, ss, &mut out, ps, count);
+        for p in 0..count {
+            for i in 0..plane_len {
+                let (a, b) = (out[p * ps + i], x[p * plane_len + i]);
+                prop_assert!(close(a, b, 4 * n, n as f32), "plane {p}[{i}]: {a} vs {b}");
+            }
+            if p + 1 < count {
+                for g in plane_len..ps {
+                    prop_assert_eq!(out[p * ps + g], -2.25f32, "gap {} of plane {}", g, p);
+                }
+            }
+        }
+    }
+
+    /// The lane engine at an arbitrary (odd, remainder-producing) lane
+    /// count equals one interleaved transform per lane, both directions.
+    #[test]
+    fn lane_engine_matches_per_lane_interleaved(
+        log2n in 1u32..7,
+        lanes in 1usize..20,
+        inverse in any::<bool>(),
+        seed in 0u64..1u64 << 32,
+    ) {
+        let n = 1usize << log2n;
+        let plan = FftPlan::cached(n);
+        let dir = if inverse { Direction::Inverse } else { Direction::Forward };
+        let re0 = lcg_vec(n * lanes, seed);
+        let im0 = lcg_vec(n * lanes, seed ^ 0x5a5a);
+
+        let mut re = re0.clone();
+        let mut im = im0.clone();
+        split::fft_lanes_inplace(&mut re, &mut im, &plan, dir, lanes);
+
+        for l in 0..lanes {
+            let mut line: Vec<Complex32> = (0..n)
+                .map(|r| Complex32::new(re0[r * lanes + l], im0[r * lanes + l]))
+                .collect();
+            gcnn_fft::dit::fft_inplace(&mut line, &plan, dir);
+            for r in 0..n {
+                let (gr, gi) = (re[r * lanes + l], im[r * lanes + l]);
+                let w = line[r];
+                prop_assert!(
+                    close(gr, w.re, 4 * n, n as f32) && close(gi, w.im, 4 * n, n as f32),
+                    "lane {l} row {r}: ({gr},{gi}) vs {w:?}"
+                );
+            }
+        }
+    }
+
+    /// Interleave→deinterleave round-trips bit-exactly at every length
+    /// (vector body + scalar tail), and matches the scalar bodies.
+    #[test]
+    fn interleave_roundtrip_any_length(
+        len in 0usize..70,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let isa = simd::split_isa();
+        let re = lcg_vec(len, seed);
+        let im = lcg_vec(len, seed ^ 0x77);
+        let mut z = vec![Complex32::ZERO; len];
+        simd::interleave(&re, &im, &mut z, isa);
+        let mut zs = vec![Complex32::ZERO; len];
+        simd::interleave_scalar(&re, &im, &mut zs);
+        prop_assert_eq!(&z, &zs);
+
+        let mut re2 = vec![0.0f32; len];
+        let mut im2 = vec![0.0f32; len];
+        simd::deinterleave(&z, &mut re2, &mut im2, isa);
+        prop_assert_eq!(&re, &re2);
+        prop_assert_eq!(&im, &im2);
+    }
+
+    /// The dispatched transpose equals the scalar blocked transpose on
+    /// arbitrary (including non-multiple-of-8) shapes — pure data
+    /// movement, so bit-exact.
+    #[test]
+    fn transpose_matches_scalar_any_shape(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let src = lcg_vec(rows * cols, seed);
+        let mut a = vec![0.0f32; rows * cols];
+        simd::transpose_f32(&src, rows, cols, &mut a, simd::split_isa());
+        let mut b = vec![0.0f32; rows * cols];
+        simd::transpose_f32_scalar(&src, rows, cols, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The split complex MAC equals per-element interleaved complex
+    /// arithmetic at every length and conjugation flag.
+    #[test]
+    fn cmac_split_matches_complex_mac(
+        len in 0usize..70,
+        conj_b in any::<bool>(),
+        seed in 0u64..1u64 << 32,
+    ) {
+        let ar = lcg_vec(len, seed);
+        let ai = lcg_vec(len, seed ^ 0x1);
+        let br = lcg_vec(len, seed ^ 0x2);
+        let bi = lcg_vec(len, seed ^ 0x3);
+        let or0 = lcg_vec(len, seed ^ 0x4);
+        let oi0 = lcg_vec(len, seed ^ 0x5);
+
+        let mut or_ = or0.clone();
+        let mut oi = oi0.clone();
+        simd::cmac_split(&ar, &ai, &br, &bi, conj_b, &mut or_, &mut oi, simd::split_isa());
+
+        for j in 0..len {
+            let a = Complex32::new(ar[j], ai[j]);
+            let b = Complex32::new(br[j], bi[j]);
+            let b = if conj_b { b.conj() } else { b };
+            let want = Complex32::new(or0[j], oi0[j]) + a * b;
+            prop_assert!(
+                close(or_[j], want.re, 4, 4.0) && close(oi[j], want.im, 4, 4.0),
+                "elem {j}: ({}, {}) vs {want:?}", or_[j], oi[j]
+            );
+        }
+    }
+}
+
+/// The honored override, for every new split kernel: with the dispatch
+/// table forced to scalar, each dispatcher is bit-identical to its
+/// directly-invoked scalar body.
+#[test]
+fn forced_scalar_split_kernels_are_bit_identical() {
+    let lanes = 37; // odd: exercises every remainder path
+    let plan = FftPlan::cached(16);
+    let (tw_re, tw_im) = plan.table_split();
+
+    let was_scalar = gcnn_tensor::simd::isa() == Isa::Scalar;
+    gcnn_tensor::simd::set_force_scalar(true);
+    let isa = simd::split_isa();
+    assert_eq!(isa, Isa::Scalar, "force_scalar not honored by split_isa");
+
+    // Lane butterflies (broadcast twiddle), DIT and DIF.
+    let seeds = [11u64, 12, 13, 14];
+    let [r0, i0, r1, i1] = seeds.map(|s| lcg_vec(lanes, s));
+    for dif in [false, true] {
+        let (mut ar, mut ai, mut br, mut bi) = (r0.clone(), i0.clone(), r1.clone(), i1.clone());
+        let (mut ars, mut ais, mut brs, mut bis) = (r0.clone(), i0.clone(), r1.clone(), i1.clone());
+        if dif {
+            simd::lane_butterflies_dif(&mut ar, &mut ai, &mut br, &mut bi, 0.6, -0.8, isa);
+            simd::lane_butterflies_dif_scalar(&mut ars, &mut ais, &mut brs, &mut bis, 0.6, -0.8);
+        } else {
+            simd::lane_butterflies_dit(&mut ar, &mut ai, &mut br, &mut bi, 0.6, -0.8, isa);
+            simd::lane_butterflies_dit_scalar(&mut ars, &mut ais, &mut brs, &mut bis, 0.6, -0.8);
+        }
+        assert_eq!(
+            (ar, ai, br, bi),
+            (ars, ais, brs, bis),
+            "lane butterflies dif={dif}"
+        );
+    }
+
+    // Per-butterfly-twiddle split butterflies, DIT and DIF, both
+    // conjugation flags.
+    let span = 8;
+    for dif in [false, true] {
+        for conj_w in [false, true] {
+            let (mut ar, mut ai, mut br, mut bi) = (
+                lcg_vec(span, 21),
+                lcg_vec(span, 22),
+                lcg_vec(span, 23),
+                lcg_vec(span, 24),
+            );
+            let (mut ars, mut ais, mut brs, mut bis) =
+                (ar.clone(), ai.clone(), br.clone(), bi.clone());
+            if dif {
+                simd::butterflies_dif_split(
+                    &mut ar, &mut ai, &mut br, &mut bi, tw_re, tw_im, 1, conj_w, isa,
+                );
+                simd::butterflies_dif_split_scalar(
+                    &mut ars, &mut ais, &mut brs, &mut bis, tw_re, tw_im, 1, conj_w,
+                );
+            } else {
+                simd::butterflies_dit_split(
+                    &mut ar, &mut ai, &mut br, &mut bi, tw_re, tw_im, 1, conj_w, isa,
+                );
+                simd::butterflies_dit_split_scalar(
+                    &mut ars, &mut ais, &mut brs, &mut bis, tw_re, tw_im, 1, conj_w,
+                );
+            }
+            assert_eq!(
+                (ar, ai, br, bi),
+                (ars, ais, brs, bis),
+                "split butterflies dif={dif} conj={conj_w}"
+            );
+        }
+    }
+
+    // Layout kernels.
+    let re = lcg_vec(lanes, 31);
+    let im = lcg_vec(lanes, 32);
+    let mut z = vec![Complex32::ZERO; lanes];
+    simd::interleave(&re, &im, &mut z, isa);
+    let mut zs = vec![Complex32::ZERO; lanes];
+    simd::interleave_scalar(&re, &im, &mut zs);
+    assert_eq!(z, zs, "interleave");
+
+    let (mut dr, mut di) = (vec![0.0f32; lanes], vec![0.0f32; lanes]);
+    simd::deinterleave(&z, &mut dr, &mut di, isa);
+    let (mut drs, mut dis) = (vec![0.0f32; lanes], vec![0.0f32; lanes]);
+    simd::deinterleave_scalar(&z, &mut drs, &mut dis);
+    assert_eq!((dr, di), (drs, dis), "deinterleave");
+
+    let (rows, cols) = (13, 21);
+    let src = lcg_vec(rows * cols, 33);
+    let mut t = vec![0.0f32; rows * cols];
+    simd::transpose_f32(&src, rows, cols, &mut t, isa);
+    let mut ts = vec![0.0f32; rows * cols];
+    simd::transpose_f32_scalar(&src, rows, cols, &mut ts);
+    assert_eq!(t, ts, "transpose_f32");
+
+    // Frequency-domain MAC.
+    for conj_b in [false, true] {
+        let (mut or_, mut oi) = (lcg_vec(lanes, 41), lcg_vec(lanes, 42));
+        let (mut ors, mut ois) = (or_.clone(), oi.clone());
+        simd::cmac_split(&r0, &i0, &r1, &i1, conj_b, &mut or_, &mut oi, isa);
+        simd::cmac_split_scalar(&r0, &i0, &r1, &i1, conj_b, &mut ors, &mut ois);
+        assert_eq!((or_, oi), (ors, ois), "cmac_split conj={conj_b}");
+    }
+
+    // Restore the state we found so a GCNN_FORCE_SCALAR=1 run stays
+    // forced afterwards.
+    gcnn_tensor::simd::set_force_scalar(was_scalar);
+}

@@ -126,6 +126,58 @@ pub fn batched_cgemm(
         });
 }
 
+/// Batched **split-complex** GEMM: one `m×k · k×n` product per instance
+/// with every operand a pair of re/im f32 planes, instances in parallel.
+/// The frequency-domain stage of the batch-major FFT convolution calls
+/// this once per bin group — the split layout the lane transforms emit
+/// flows straight in, never materializing interleaved `Complex32`.
+/// Overwrite semantics (see [`crate::cgemm::cgemm_split`]).
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
+pub fn batched_cgemm_split(
+    conj_a: bool,
+    conj_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    batch: usize,
+    a_re: &[f32],
+    a_im: &[f32],
+    stride_a: usize,
+    b_re: &[f32],
+    b_im: &[f32],
+    stride_b: usize,
+    c_re: &mut [f32],
+    c_im: &mut [f32],
+    stride_c: usize,
+) {
+    assert!(
+        stride_c >= m * n || batch <= 1,
+        "batched_cgemm_split: C stride too small"
+    );
+    c_re.par_chunks_mut(stride_c.max(1))
+        .zip(c_im.par_chunks_mut(stride_c.max(1)))
+        .take(batch)
+        .enumerate()
+        .for_each(|(i, (cre, cim))| {
+            crate::cgemm::cgemm_split(
+                conj_a,
+                conj_b,
+                m,
+                n,
+                k,
+                &a_re[i * stride_a..i * stride_a + m * k],
+                &a_im[i * stride_a..i * stride_a + m * k],
+                k,
+                &b_re[i * stride_b..i * stride_b + k * n],
+                &b_im[i * stride_b..i * stride_b + k * n],
+                n,
+                &mut cre[..m * n],
+                &mut cim[..m * n],
+                n,
+            );
+        });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +263,64 @@ mod tests {
             );
             for (x, y) in c[i * m * n..(i + 1) * m * n].iter().zip(&c_ref) {
                 assert!((*x - *y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_cgemm_split_matches_interleaved() {
+        let (m, n, k, batch) = (3, 37, 4, 5);
+        let a: Vec<Complex32> = (0..batch * m * k)
+            .map(|i| Complex32::new((i % 5) as f32 - 2.0, (i % 3) as f32))
+            .collect();
+        let b: Vec<Complex32> = (0..batch * k * n)
+            .map(|i| Complex32::new((i % 4) as f32, (i % 7) as f32 - 3.0))
+            .collect();
+        let (a_re, a_im): (Vec<f32>, Vec<f32>) = a.iter().map(|z| (z.re, z.im)).unzip();
+        let (b_re, b_im): (Vec<f32>, Vec<f32>) = b.iter().map(|z| (z.re, z.im)).unzip();
+
+        for (conj_a, conj_b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut c = vec![Complex32::ZERO; batch * m * n];
+            batched_cgemm(
+                conj_a,
+                conj_b,
+                m,
+                n,
+                k,
+                batch,
+                &a,
+                m * k,
+                &b,
+                k * n,
+                &mut c,
+                m * n,
+            );
+            let mut c_re = vec![f32::NAN; batch * m * n];
+            let mut c_im = vec![f32::NAN; batch * m * n];
+            batched_cgemm_split(
+                conj_a,
+                conj_b,
+                m,
+                n,
+                k,
+                batch,
+                &a_re,
+                &a_im,
+                m * k,
+                &b_re,
+                &b_im,
+                k * n,
+                &mut c_re,
+                &mut c_im,
+                m * n,
+            );
+            for (i, z) in c.iter().enumerate() {
+                assert!(
+                    (c_re[i] - z.re).abs() < 1e-4 && (c_im[i] - z.im).abs() < 1e-4,
+                    "conj ({conj_a},{conj_b}) elem {i}: ({},{}) vs {z:?}",
+                    c_re[i],
+                    c_im[i]
+                );
             }
         }
     }

@@ -28,9 +28,9 @@ pub mod naive;
 pub mod pack;
 pub mod sgemm;
 
-pub use batched::{batched_sgemm, BatchedGemmDesc};
+pub use batched::{batched_cgemm_split, batched_sgemm, BatchedGemmDesc};
 pub use blocking::BlockSizes;
-pub use cgemm::cgemm;
+pub use cgemm::{cgemm, cgemm_split};
 pub use sgemm::{sgemm, sgemm_mat, Transpose};
 
 /// FLOP count of a real `m×k · k×n` GEMM (one multiply + one add per

@@ -248,6 +248,63 @@ fn table1_is_faithful() {
     }
 }
 
+/// fbfft crossover structure (§IV-B, and the fbfft paper's own claim):
+/// the FFT strategy pays a kernel-size-independent transform cost and
+/// amortizes it over the mini-batch, so against im2col+GEMM
+/// (Theano-CorrMM) it wins only above a batch threshold — and that
+/// threshold shrinks as the kernel grows, vanishing once the k² GEMM
+/// work dominates at every batch size.
+#[test]
+fn fbfft_vs_corrmm_batch_threshold_crossover() {
+    let fbfft = implementation_by_name("fbfft").unwrap();
+    let corrmm = implementation_by_name("Theano-CorrMM").unwrap();
+    let time = |imp: &dyn gcnn_frameworks::ConvImplementation, cfg: &ConvConfig| {
+        imp.plan(cfg).execute(&dev(), 1).unwrap().total_ms()
+    };
+    let batches = [1usize, 2, 4, 8, 16, 32, 64, 128];
+
+    let mut prev_threshold = batches.len(); // index of first fbfft win
+    for k in [3usize, 5, 7, 9, 11] {
+        let wins: Vec<bool> = batches
+            .iter()
+            .map(|&b| {
+                let cfg = ConvConfig::from_tuple(b, 64, 64, k, 1);
+                time(fbfft.as_ref(), &cfg) < time(corrmm.as_ref(), &cfg)
+            })
+            .collect();
+        // Single crossover in b: once fbfft wins it keeps winning (the
+        // transform cost is amortized, never un-amortized).
+        let threshold = wins.iter().position(|&w| w).unwrap_or(batches.len());
+        assert!(
+            wins[threshold..].iter().all(|&w| w),
+            "k = {k}: fbfft win set not upward-closed in batch: {wins:?}"
+        );
+        // The threshold is non-increasing in kernel size.
+        assert!(
+            threshold <= prev_threshold,
+            "k = {k}: batch threshold {threshold} grew past {prev_threshold}"
+        );
+        prev_threshold = threshold;
+
+        if k == 3 {
+            // Small kernel: im2col+GEMM holds the small-batch regime…
+            assert!(!wins[0], "k = 3, b = 1: fbfft should lose");
+            // …and the FFT strategy needs a real batch to win at all.
+            assert!(
+                (1..batches.len()).contains(&threshold),
+                "k = 3: expected an interior batch threshold, got {threshold}"
+            );
+        }
+        if k >= 9 {
+            // Large kernel: the k² GEMM cost dominates at every batch.
+            assert!(
+                wins.iter().all(|&w| w),
+                "k = {k}: fbfft should win at every batch size: {wins:?}"
+            );
+        }
+    }
+}
+
 /// §VI: "No single implementation is the best for all scenarios" — the
 /// winner genuinely changes across the parameter space.
 #[test]
