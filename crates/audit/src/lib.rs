@@ -137,6 +137,10 @@ impl Default for AuditConfig {
                     file_suffix: "tensor/src/im2col.rs".into(),
                     functions: s(&["im2col_into", "col2im_from"]),
                 },
+                HotPath {
+                    file_suffix: "serve/src/batcher.rs".into(),
+                    functions: s(&["offer", "pop_batch_into"]),
+                },
             ],
             trace_fns: s(&["span", "counter", "counter_add", "gauge", "gauge_set"]),
         }

@@ -12,7 +12,7 @@ fn workspace_audits_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let report = audit_workspace(&root, &AuditConfig::default()).expect("walk workspace");
     assert!(
-        report.crates_scanned >= 19,
+        report.crates_scanned >= 20,
         "expected the full workspace, scanned only {} crates",
         report.crates_scanned
     );
@@ -31,4 +31,24 @@ fn workspace_audits_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+/// The serving crate's admission/pop pair is on the default
+/// arena-discipline list: a `Vec::new` slipped into `offer` or
+/// `pop_batch_into` (both run under the batcher mutex on every
+/// request) must fail the audit, not just a code review.
+#[test]
+fn default_policy_covers_serve_batcher() {
+    let cfg = AuditConfig::default();
+    let hot = cfg
+        .hot_paths
+        .iter()
+        .find(|h| "crates/serve/src/batcher.rs".ends_with(&h.file_suffix))
+        .expect("serve batcher must be a registered hot path");
+    for f in ["offer", "pop_batch_into"] {
+        assert!(
+            hot.functions.iter().any(|g| g == f),
+            "serve hot path must audit `{f}`"
+        );
+    }
 }

@@ -6,6 +6,8 @@
 //!               [--tolerance 0.25] [--trace results/BENCH_trace.json]
 //!               [--simd results/BENCH_simd.json] [--min-speedup 1.2]
 //!               [--fft results/BENCH_fft.json] [--fft-min-speedup 2.0]
+//!               [--serve baseline_serve.json] [--serve-current results/BENCH_serve.json]
+//!               [--serve-tolerance 0.35] [--serve-min-speedup 1.0]
 //! ```
 //!
 //! A section whose p50 exceeds `baseline · (1 + tolerance)` fails, as
@@ -16,12 +18,16 @@
 //! times faster than scalar (skipped on scalar-only hosts). With
 //! `--fft`, the per-size rfft sweep must show a geomean speedup of at
 //! least `--fft-min-speedup` with no cell below its floor (also skipped
-//! on scalar-only hosts). Exit codes: 0 clean, 1 regression, 2 usage or
-//! I/O error.
+//! on scalar-only hosts). With `--serve`, a fresh `BENCH_serve.json` is
+//! gated against the committed baseline: the batched speedup must stay
+//! at or above `--serve-min-speedup`, and peak throughput / headline
+//! p50 must stay within `--serve-tolerance` (wider than the kernel
+//! tolerance — serving numbers come from a threaded closed loop).
+//! Exit codes: 0 clean, 1 regression, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
-use gcnn_bench::compare::{diff_reports, fft_gate, simd_gate, steady_fresh_allocs};
+use gcnn_bench::compare::{diff_reports, fft_gate, serve_gate, simd_gate, steady_fresh_allocs};
 use serde_json::Value;
 use std::process::exit;
 
@@ -29,7 +35,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_compare --baseline <json> [--current <json>] \
          [--tolerance <frac>] [--trace <json>] [--simd <json>] \
-         [--min-speedup <ratio>]"
+         [--min-speedup <ratio>] [--fft <json>] [--fft-min-speedup <ratio>] \
+         [--serve <baseline json>] [--serve-current <json>] \
+         [--serve-tolerance <frac>] [--serve-min-speedup <ratio>]"
     );
     exit(2);
 }
@@ -54,6 +62,10 @@ fn main() {
     let mut min_speedup = 1.2f64;
     let mut fft = None;
     let mut fft_min_speedup = 2.0f64;
+    let mut serve = None;
+    let mut serve_current = "results/BENCH_serve.json".to_string();
+    let mut serve_tolerance = 0.35f64;
+    let mut serve_min_speedup = 1.0f64;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -79,6 +91,20 @@ fn main() {
             "--fft-min-speedup" => {
                 fft_min_speedup = value().parse().unwrap_or_else(|_| usage());
                 if fft_min_speedup < 1.0 {
+                    usage();
+                }
+            }
+            "--serve" => serve = Some(value()),
+            "--serve-current" => serve_current = value(),
+            "--serve-tolerance" => {
+                serve_tolerance = value().parse().unwrap_or_else(|_| usage());
+                if serve_tolerance < 0.0 {
+                    usage();
+                }
+            }
+            "--serve-min-speedup" => {
+                serve_min_speedup = value().parse().unwrap_or_else(|_| usage());
+                if serve_min_speedup < 0.0 {
                     usage();
                 }
             }
@@ -123,6 +149,24 @@ fn main() {
 
     if let Some(fft_path) = fft {
         match fft_gate(&load(&fft_path), fft_min_speedup) {
+            Ok(gate) => {
+                println!("{}", gate.render());
+                failed |= !gate.passed();
+            }
+            Err(e) => {
+                eprintln!("bench_compare: {e}");
+                exit(2);
+            }
+        }
+    }
+
+    if let Some(serve_baseline) = serve {
+        match serve_gate(
+            &load(&serve_baseline),
+            &load(&serve_current),
+            serve_tolerance,
+            serve_min_speedup,
+        ) {
             Ok(gate) => {
                 println!("{}", gate.render());
                 failed |= !gate.passed();

@@ -315,6 +315,125 @@ pub fn fft_gate(report: &Value, min_overall_speedup: f64) -> Result<FftGate, Str
     })
 }
 
+/// Outcome of the serving gate over a pair of `BENCH_serve.json`
+/// reports (committed baseline vs freshly measured).
+#[derive(Debug, Clone)]
+pub struct ServeGate {
+    /// Current batched speedup (largest cap vs cap 1 at peak load).
+    pub batched_speedup: f64,
+    /// Current peak throughput / baseline peak throughput.
+    pub throughput_ratio: f64,
+    /// Current headline-cell p50 / baseline headline-cell p50.
+    pub p50_ratio: f64,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl ServeGate {
+    /// True when serving throughput, latency and the batching win all
+    /// held up.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line summary for CI logs.
+    pub fn render(&self) -> String {
+        if self.failures.is_empty() {
+            format!(
+                "serve gate: batched {:.2}x, throughput {:.2}x of baseline, p50 {:.2}x: ok",
+                self.batched_speedup, self.throughput_ratio, self.p50_ratio
+            )
+        } else {
+            format!("serve gate: {}", self.failures.join("; "))
+        }
+    }
+}
+
+/// The headline cell of a serve report: largest batch cap at the
+/// highest offered load — the configuration `batched_speedup` is
+/// computed from.
+fn serve_headline_p50(report: &Value) -> Result<f64, String> {
+    let cells = report
+        .get("cells")
+        .and_then(Value::as_array)
+        .ok_or("serve report has no `cells` array")?;
+    cells
+        .iter()
+        .max_by_key(|c| {
+            (
+                c.get("max_batch").and_then(Value::as_u64).unwrap_or(0),
+                c.get("offered_inflight")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0),
+            )
+        })
+        .and_then(|c| c.get("p50_ms").and_then(Value::as_f64))
+        .ok_or_else(|| "serve report headline cell has no `p50_ms`".to_string())
+}
+
+/// Gate a freshly measured `BENCH_serve.json` against the committed
+/// baseline. Three checks:
+///
+/// 1. the batching win survives: `batched_speedup ≥ min_speedup`
+///    (throughput at the largest cap must beat cap 1 — the reason the
+///    serving layer exists);
+/// 2. peak throughput stays within `tolerance` of the baseline;
+/// 3. headline-cell p50 latency stays within `tolerance`.
+///
+/// Serving numbers are wall-clock over a threaded closed loop, so the
+/// tolerance is wider than the kernel gates' (CI default 0.35).
+pub fn serve_gate(
+    baseline: &Value,
+    current: &Value,
+    tolerance: f64,
+    min_speedup: f64,
+) -> Result<ServeGate, String> {
+    let field = |report: &Value, name: &str| {
+        report
+            .get(name)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("serve report has no `{name}`"))
+    };
+    let batched_speedup = field(current, "batched_speedup")?;
+    let base_thru = field(baseline, "capmax_throughput_rps")?;
+    let cur_thru = field(current, "capmax_throughput_rps")?;
+    let base_p50 = serve_headline_p50(baseline)?;
+    let cur_p50 = serve_headline_p50(current)?;
+    if base_thru <= 0.0 || base_p50 <= 0.0 {
+        return Err("serve baseline has non-positive throughput or p50".to_string());
+    }
+    let throughput_ratio = cur_thru / base_thru;
+    let p50_ratio = cur_p50 / base_p50;
+
+    let mut failures = Vec::new();
+    if batched_speedup < min_speedup {
+        failures.push(format!(
+            "batched speedup {batched_speedup:.2}x below floor {min_speedup:.2}x \
+             — batching no longer beats single-image serving"
+        ));
+    }
+    if throughput_ratio < 1.0 - tolerance {
+        failures.push(format!(
+            "peak throughput {cur_thru:.0} rps is {throughput_ratio:.2}x of baseline \
+             {base_thru:.0} rps (floor {:.2}x)",
+            1.0 - tolerance
+        ));
+    }
+    if p50_ratio > 1.0 + tolerance {
+        failures.push(format!(
+            "headline p50 {cur_p50:.2} ms is {p50_ratio:.2}x of baseline {base_p50:.2} ms \
+             (ceiling {:.2}x)",
+            1.0 + tolerance
+        ));
+    }
+    Ok(ServeGate {
+        batched_speedup,
+        throughput_ratio,
+        p50_ratio,
+        failures,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,5 +616,80 @@ mod tests {
         assert_eq!(steady_fresh_allocs(&t).unwrap(), 3);
         let missing: Value = serde_json::from_str("{}").unwrap();
         assert!(steady_fresh_allocs(&missing).is_err());
+    }
+
+    fn serve_report(speedup: f64, capmax_thru: f64, cells: &[(u64, u64, f64)]) -> Value {
+        let cells = cells
+            .iter()
+            .map(|(cap, inflight, p50)| {
+                format!(r#"{{"max_batch":{cap},"offered_inflight":{inflight},"p50_ms":{p50}}}"#)
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        serde_json::from_str(&format!(
+            r#"{{"batched_speedup":{speedup},"capmax_throughput_rps":{capmax_thru},
+                 "cells":[{cells}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn serve_gate_passes_when_everything_holds() {
+        let base = serve_report(1.5, 20_000.0, &[(1, 16, 0.8), (8, 16, 0.5)]);
+        let cur = serve_report(1.6, 21_000.0, &[(1, 16, 0.7), (8, 16, 0.45)]);
+        let gate = serve_gate(&base, &cur, 0.35, 1.0).unwrap();
+        assert!(gate.passed(), "{:?}", gate.failures);
+        assert!(gate.render().contains("ok"));
+    }
+
+    #[test]
+    fn serve_gate_fails_when_batching_stops_winning() {
+        let base = serve_report(1.5, 20_000.0, &[(8, 16, 0.5)]);
+        let cur = serve_report(0.9, 21_000.0, &[(8, 16, 0.5)]);
+        let gate = serve_gate(&base, &cur, 0.35, 1.0).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("batched speedup"));
+    }
+
+    #[test]
+    fn serve_gate_fails_on_throughput_regression() {
+        let base = serve_report(1.5, 20_000.0, &[(8, 16, 0.5)]);
+        let cur = serve_report(1.5, 10_000.0, &[(8, 16, 0.5)]);
+        let gate = serve_gate(&base, &cur, 0.35, 1.0).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("peak throughput"));
+    }
+
+    #[test]
+    fn serve_gate_fails_on_p50_regression_of_headline_cell() {
+        // The headline cell is the largest (cap, inflight) pair; the
+        // low-load cells may regress freely.
+        let base = serve_report(1.5, 20_000.0, &[(1, 4, 0.1), (8, 16, 0.5)]);
+        let cur = serve_report(1.5, 20_000.0, &[(1, 4, 9.9), (8, 16, 0.5)]);
+        assert!(serve_gate(&base, &cur, 0.35, 1.0).unwrap().passed());
+        let cur_bad = serve_report(1.5, 20_000.0, &[(1, 4, 0.1), (8, 16, 1.5)]);
+        let gate = serve_gate(&base, &cur_bad, 0.35, 1.0).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("headline p50"));
+    }
+
+    #[test]
+    fn serve_gate_tolerance_is_honored() {
+        let base = serve_report(1.5, 20_000.0, &[(8, 16, 0.5)]);
+        // 30% worse on both axes: inside a 0.35 tolerance, outside 0.2.
+        let cur = serve_report(1.2, 14_000.0, &[(8, 16, 0.65)]);
+        assert!(serve_gate(&base, &cur, 0.35, 1.0).unwrap().passed());
+        assert!(!serve_gate(&base, &cur, 0.2, 1.0).unwrap().passed());
+    }
+
+    #[test]
+    fn serve_gate_rejects_malformed_reports() {
+        let good = serve_report(1.5, 20_000.0, &[(8, 16, 0.5)]);
+        let no_cells: Value =
+            serde_json::from_str(r#"{"batched_speedup":1.5,"capmax_throughput_rps":1.0}"#).unwrap();
+        assert!(serve_gate(&good, &no_cells, 0.35, 1.0).is_err());
+        assert!(serve_gate(&no_cells, &good, 0.35, 1.0).is_err());
+        let zero_base = serve_report(1.5, 0.0, &[(8, 16, 0.5)]);
+        assert!(serve_gate(&zero_base, &good, 0.35, 1.0).is_err());
     }
 }

@@ -197,12 +197,43 @@ impl Network {
     /// decide. A layer the tuner cannot decide (e.g. no candidate fits
     /// the memory budget) keeps its current strategy and yields no
     /// record. Runs under the `autotune.tune_network` span.
+    ///
+    /// Tunes for [`Direction::Training`]; a forward-only deployment
+    /// (e.g. a `gcnn-serve` worker) should use [`Network::tune_for`]
+    /// with [`Direction::Forward`], which can legitimately pick a
+    /// different winner and keys the persistent cache separately.
+    ///
+    /// [`Direction::Training`]: gcnn_autotune::Direction::Training
+    /// [`Direction::Forward`]: gcnn_autotune::Direction::Forward
     pub fn tune(
         &mut self,
         input: Shape4,
         tuner: &Tuner,
         substrate: &dyn Substrate,
         cache: &mut TuningCache,
+    ) -> Vec<TunedLayer> {
+        self.tune_for(
+            input,
+            tuner,
+            substrate,
+            cache,
+            gcnn_autotune::Direction::Training,
+        )
+    }
+
+    /// [`Network::tune`] for an explicit pass [`Direction`]: serving
+    /// workers tune their forward pass only, training loops the full
+    /// iteration. The direction is part of the cache key, so a warm
+    /// tuning cache answers each deployment mode with its own winners.
+    ///
+    /// [`Direction`]: gcnn_autotune::Direction
+    pub fn tune_for(
+        &mut self,
+        input: Shape4,
+        tuner: &Tuner,
+        substrate: &dyn Substrate,
+        cache: &mut TuningCache,
+        direction: gcnn_autotune::Direction,
     ) -> Vec<TunedLayer> {
         let _span = gcnn_trace::span("autotune.tune_network");
         let mut shape = input;
@@ -220,9 +251,7 @@ impl Network {
                     let mut cfg =
                         ConvConfig::with_channels(shape.n, shape.c, shape.h, w.n, w.h, *stride);
                     cfg.pad = *pad;
-                    if let Some(sel) =
-                        tuner.select(substrate, cache, &cfg, gcnn_autotune::Direction::Training)
-                    {
+                    if let Some(sel) = tuner.select(substrate, cache, &cfg, direction) {
                         *strategy = sel.strategy;
                         schedule.push(TunedLayer {
                             layer_index: i,
@@ -307,7 +336,56 @@ impl Network {
     /// Inference: logits only.
     pub fn forward(&self, input: &Tensor4) -> Tensor4 {
         let mut ws = Workspace::new();
-        self.forward_cached(input, &mut ws).0
+        self.infer_ws(input, &mut ws)
+    }
+
+    /// Batched inference with an explicit [`Workspace`], retaining no
+    /// per-layer caches: unlike [`Network::forward_cached`], the input
+    /// of each layer is dropped as soon as the next activation exists.
+    ///
+    /// This is the serving entry point: a long-lived worker (e.g. in
+    /// `gcnn-serve`) owns one workspace, so after the first batch every
+    /// conv layer's scratch (im2col columns, GEMM pack buffers, FFT
+    /// spectra) is recycled from the arena rather than reallocated.
+    /// `input.shape().n` is the mini-batch size — the paper's first
+    /// sweep axis — and any size may be used from call to call; the
+    /// arena's size-classed pools absorb the variation.
+    pub fn infer_ws(&self, input: &Tensor4, ws: &mut Workspace) -> Tensor4 {
+        let _span = gcnn_trace::span("network.infer");
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            match layer {
+                NetLayer::Conv {
+                    weights,
+                    stride,
+                    pad,
+                    strategy,
+                    ..
+                } => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.conv"));
+                    let s = x.shape();
+                    let w = weights.shape();
+                    let mut cfg = ConvConfig::with_channels(s.n, s.c, s.h, w.n, w.h, *stride);
+                    cfg.pad = *pad;
+                    let algo = algorithm_for(*strategy);
+                    x = algo.forward_ws(&cfg, &x, weights, ws);
+                }
+                NetLayer::Relu => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.relu"));
+                    x = ReluLayer.forward(&x);
+                }
+                NetLayer::MaxPool { window, stride } => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.max_pool"));
+                    let pool = PoolLayer::new(PoolKind::Max, *window, *stride);
+                    x = pool.forward(&x).output;
+                }
+                NetLayer::Fc { layer, .. } => {
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.fc"));
+                    x = layer.forward(&x);
+                }
+            }
+        }
+        x
     }
 
     /// Predicted class per image.
@@ -709,6 +787,69 @@ mod tests {
         for (m, h) in measured.iter().zip(&heuristic) {
             assert_eq!(m.implementation, h.implementation);
         }
+    }
+
+    #[test]
+    fn infer_ws_matches_cached_forward() {
+        let net = Network::lenet5(16, 4, Strategy::Fft, 17);
+        let x = synthetic_digits(5, 16, 4, 8).images;
+        let mut ws = Workspace::new();
+        let lean = net.infer_ws(&x, &mut ws);
+        let cached = net.forward_cached(&x, &mut ws).0;
+        assert_eq!(
+            lean, cached,
+            "inference path must match the training forward"
+        );
+        // Second call must be arena-served: the serving workers rely on
+        // a warm workspace after the first batch.
+        let again = net.infer_ws(&x, &mut ws);
+        assert_eq!(again, cached);
+    }
+
+    #[test]
+    fn network_is_send() {
+        // gcnn-serve moves one Network per worker across a thread
+        // boundary; this must stay true as layers evolve.
+        fn assert_send<T: Send>() {}
+        assert_send::<Network>();
+        assert_send::<Workspace>();
+    }
+
+    #[test]
+    fn tune_for_forward_keys_cache_separately() {
+        // The simulator substrate only models full training iterations,
+        // so forward-only tuning — what a serving worker wants — runs on
+        // the wall-clock CPU substrate.
+        use gcnn_autotune::{CpuSubstrate, Direction, Policy};
+
+        let sub = CpuSubstrate::new();
+        let mut cache = gcnn_autotune::TuningCache::new();
+        let tuner = Tuner::new(Policy::Measure).with_params(gcnn_autotune::MeasureParams {
+            repeats: gcnn_autotune::Repeats::new(1, 2),
+            timeout_ms: None,
+        });
+        let input = Shape4::new(8, 1, 16, 16);
+
+        let mut net = Network::lenet5(16, 4, Strategy::Direct, 1);
+        let fwd = net.tune_for(input, &tuner, &sub, &mut cache, Direction::Forward);
+        assert_eq!(fwd.len(), 2, "LeNet-5 has two conv layers");
+        assert!(fwd
+            .iter()
+            .all(|l| l.source == gcnn_autotune::SelectionSource::Measured));
+        // A training-direction pass afterwards must measure again (its
+        // cache key differs), not answer from the forward entries.
+        let mut net2 = Network::lenet5(16, 4, Strategy::Direct, 1);
+        let train = net2.tune(input, &tuner, &sub, &mut cache);
+        assert!(train
+            .iter()
+            .all(|l| l.source == gcnn_autotune::SelectionSource::Measured));
+        // And a second forward pass is a pure warm-cache hit.
+        let mut net3 = Network::lenet5(16, 4, Strategy::Direct, 1);
+        let warm = net3.tune_for(input, &tuner, &sub, &mut cache, Direction::Forward);
+        assert_eq!(warm.len(), fwd.len());
+        assert!(warm
+            .iter()
+            .all(|l| l.source == gcnn_autotune::SelectionSource::Cache));
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! A minimal blocking client for the serving protocol.
+//!
+//! One TCP connection, pipelining allowed: [`Client::send`] writes a
+//! request frame without waiting, [`Client::recv`] reads the next
+//! response frame in completion order (the server answers batches as
+//! they finish, so ids are the pairing key, not position).
+//! [`Client::infer`] is the convenience send+recv round trip for tests
+//! and low-rate callers.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::protocol::{read_response, write_request, Request, Response, WireError};
+
+/// A blocking connection to a [`Server`](crate::Server).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 0,
+        })
+    }
+
+    /// Write one request frame (auto-assigned id, returned) without
+    /// waiting for the response — the pipelining path load generators
+    /// use to keep many requests in flight per connection.
+    pub fn send(&mut self, c: u16, h: u16, w: u16, pixels: &[f32]) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request {
+            id,
+            c,
+            h,
+            w,
+            pixels: pixels.to_vec(),
+        };
+        write_request(&mut self.writer, &req)?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Read the next response frame, in server completion order.
+    /// `Ok(None)` means the server closed the connection cleanly.
+    pub fn recv(&mut self) -> Result<Option<Response>, WireError> {
+        read_response(&mut self.reader)
+    }
+
+    /// Blocking round trip: send one request, wait for its response.
+    /// Only valid when no other request is in flight on this
+    /// connection (the response read is matched by id and this asserts
+    /// it got the right one).
+    pub fn infer(&mut self, c: u16, h: u16, w: u16, pixels: &[f32]) -> Result<Response, WireError> {
+        let id = self.send(c, h, w, pixels)?;
+        match self.recv()? {
+            Some(resp) => {
+                assert_eq!(
+                    resp.id, id,
+                    "Client::infer with requests already in flight — use send/recv"
+                );
+                Ok(resp)
+            }
+            None => Err(WireError::Malformed(
+                "server closed connection before responding".to_string(),
+            )),
+        }
+    }
+}

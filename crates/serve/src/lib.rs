@@ -1,0 +1,40 @@
+//! gcnn-serve: an inference service over the workspace's CNN stack.
+//!
+//! The paper's central observation is that throughput on every
+//! substrate is a strong function of batch size `b` — single-image
+//! inference leaves most of the arithmetic intensity of the conv
+//! lowerings on the table. This crate turns that observation into a
+//! serving-side mechanism: concurrent single-image requests arrive
+//! over a length-prefixed binary protocol, a deterministic
+//! [`Batcher`] coalesces them into mini-batches under a two-knob
+//! policy (`max_batch`, `max_delay`), and a worker pool runs them
+//! through per-worker `Network` replicas with arena-backed workspaces
+//! so the steady state allocates nothing in the kernel hot paths.
+//!
+//! Layering, bottom to top:
+//!
+//! * [`batcher`] — the clock-free batching state machine (property
+//!   tested under virtual time in `tests/batcher_props.rs`).
+//! * [`protocol`] — the wire format and its framing errors.
+//! * [`metrics`] — serve-side counters, the batch-size histogram and
+//!   latency percentiles, mirrored into `gcnn-trace` as `serve.*`.
+//! * [`server`] — std-TCP accept/reader/writer threads around the
+//!   batcher, plus the draining shutdown path.
+//! * [`client`] — a small blocking client used by tests and
+//!   `serve_bench`.
+//!
+//! Everything is std-only: no async runtime, no new dependencies.
+
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{BatchPolicy, Batcher};
+pub use client::Client;
+pub use metrics::{percentile, ServeMetrics, ServeStats};
+pub use protocol::{Request, Response, Status, WireError};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,274 @@
+//! Serving metrics: request counters, a batch-size histogram and
+//! end-to-end latency percentiles.
+//!
+//! Everything here is double-reported: once into process-local atomics
+//! that [`ServeMetrics::snapshot`] turns into a [`ServeStats`] (what
+//! `serve_bench` records and the smoke gate asserts on), and once into
+//! the global `gcnn-trace` registry under dotted `serve.*` names, so
+//! `bench_report`'s span tree shows the serving layer next to the
+//! kernels it drives. Latency is end-to-end from admission to response
+//! hand-off, accumulated in a fixed-size ring so a long soak never
+//! grows memory; p50/p99 are computed on snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Batch-size histogram bucket upper bounds (inclusive); the last
+/// bucket is open-ended. Powers of two because the interesting caps are.
+const BUCKET_BOUNDS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Dotted trace-counter name per bucket, parallel to [`BUCKET_BOUNDS`]
+/// plus the open-ended tail.
+const BUCKET_NAMES: [&str; 8] = [
+    "serve.batch.size_1",
+    "serve.batch.size_2",
+    "serve.batch.size_4",
+    "serve.batch.size_8",
+    "serve.batch.size_16",
+    "serve.batch.size_32",
+    "serve.batch.size_64",
+    "serve.batch.size_more",
+];
+
+/// Capacity of the latency ring: at 10k req/s this still spans several
+/// seconds of steady state, and the ring keeps the *most recent* window
+/// rather than the start-up transient.
+const LATENCY_RING: usize = 1 << 16;
+
+/// Shared metric sinks for one server instance.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    bad_requests: AtomicU64,
+    batches: AtomicU64,
+    batches_multi: AtomicU64,
+    batch_images: AtomicU64,
+    batch_hist: [AtomicU64; 8],
+    max_batch_seen: AtomicU64,
+    latency_count: AtomicU64,
+    latencies_ms: Mutex<Vec<f64>>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        ServeMetrics {
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batches_multi: AtomicU64::new(0),
+            batch_images: AtomicU64::new(0),
+            batch_hist: Default::default(),
+            max_batch_seen: AtomicU64::new(0),
+            latency_count: AtomicU64::new(0),
+            latencies_ms: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// One request admitted into the queue (depth reported as a gauge).
+    pub fn record_enqueue(&self, queue_depth: usize) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        gcnn_trace::counter_inc("serve.requests");
+        gcnn_trace::gauge_set("serve.queue_depth", queue_depth as f64);
+    }
+
+    /// One request rejected by admission control.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        gcnn_trace::counter_inc("serve.shed");
+    }
+
+    /// One structurally valid request with the wrong image shape.
+    pub fn record_bad_request(&self) {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+        gcnn_trace::counter_inc("serve.bad_requests");
+    }
+
+    /// One batch formed, of `size` images.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_images.fetch_add(size as u64, Ordering::Relaxed);
+        if size > 1 {
+            self.batches_multi.fetch_add(1, Ordering::Relaxed);
+        }
+        self.max_batch_seen
+            .fetch_max(size as u64, Ordering::Relaxed);
+        let bucket = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        gcnn_trace::counter_inc(BUCKET_NAMES[bucket]);
+    }
+
+    /// One response delivered after `latency_ms` end-to-end.
+    pub fn record_completion(&self, latency_ms: f64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let n = self.latency_count.fetch_add(1, Ordering::Relaxed) as usize;
+        let mut ring = self.latencies_ms.lock().expect("latency ring poisoned");
+        if ring.len() < LATENCY_RING {
+            ring.push(latency_ms);
+        } else {
+            ring[n % LATENCY_RING] = latency_ms;
+        }
+    }
+
+    /// Aggregate view; also pushes the p50/p99 accumulators out as
+    /// trace gauges so an `export_trace` snapshot carries them.
+    pub fn snapshot(&self) -> ServeStats {
+        let mut lat = self
+            .latencies_ms
+            .lock()
+            .expect("latency ring poisoned")
+            .clone();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let p50_ms = percentile(&lat, 0.50);
+        let p99_ms = percentile(&lat, 0.99);
+        gcnn_trace::gauge_set("serve.latency_p50_ms", p50_ms);
+        gcnn_trace::gauge_set("serve.latency_p99_ms", p99_ms);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let images = self.batch_images.load(Ordering::Relaxed);
+        ServeStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            batches,
+            batches_multi: self.batches_multi.load(Ordering::Relaxed),
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                images as f64 / batches as f64
+            },
+            max_batch_seen: self.max_batch_seen.load(Ordering::Relaxed) as usize,
+            batch_hist: self
+                .batch_hist
+                .iter()
+                .zip(BUCKET_NAMES)
+                .map(|(c, name)| (name, c.load(Ordering::Relaxed)))
+                .collect(),
+            p50_ms,
+            p99_ms,
+        }
+    }
+}
+
+/// Point-in-time aggregate of one server's metrics.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Responses delivered with [`Status::Ok`](crate::Status::Ok).
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub shed: u64,
+    /// Requests with the wrong image shape.
+    pub bad_requests: u64,
+    /// Batches formed.
+    pub batches: u64,
+    /// Batches of more than one image — the smoke gate's evidence that
+    /// dynamic batching actually coalesced concurrent requests.
+    pub batches_multi: u64,
+    /// Mean images per batch.
+    pub mean_batch: f64,
+    /// Largest batch formed.
+    pub max_batch_seen: usize,
+    /// `(bucket name, count)` pairs, `serve.batch.size_*`.
+    pub batch_hist: Vec<(&'static str, u64)>,
+    /// Median end-to-end latency over the retained window, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, ms.
+    pub p99_ms: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; 0 when empty.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "percentile out of range");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn batch_histogram_buckets() {
+        let m = ServeMetrics::new();
+        for size in [1, 1, 2, 3, 8, 9, 64, 65, 1000] {
+            m.record_batch(size);
+        }
+        let s = m.snapshot();
+        let count = |name: &str| {
+            s.batch_hist
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, c)| *c)
+                .unwrap()
+        };
+        assert_eq!(count("serve.batch.size_1"), 2);
+        assert_eq!(count("serve.batch.size_2"), 1);
+        assert_eq!(count("serve.batch.size_4"), 1); // size 3
+        assert_eq!(count("serve.batch.size_8"), 1);
+        assert_eq!(count("serve.batch.size_16"), 1); // size 9
+        assert_eq!(count("serve.batch.size_64"), 1);
+        assert_eq!(count("serve.batch.size_more"), 2); // 65, 1000
+        assert_eq!(s.batches, 9);
+        assert_eq!(s.batches_multi, 7);
+        assert_eq!(s.max_batch_seen, 1000);
+        let expected_mean = (1 + 1 + 2 + 3 + 8 + 9 + 64 + 65 + 1000) as f64 / 9.0;
+        assert!((s.mean_batch - expected_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_ring_overwrites_oldest() {
+        let m = ServeMetrics::new();
+        // Overfill the ring: the retained window must be the tail.
+        for i in 0..(LATENCY_RING + 10) {
+            m.record_completion(i as f64);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.completed, (LATENCY_RING + 10) as u64);
+        // The smallest surviving sample is ≥ 10 (0..9 were overwritten).
+        assert!(s.p50_ms >= 10.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServeMetrics::new();
+        m.record_enqueue(1);
+        m.record_enqueue(2);
+        m.record_shed();
+        m.record_bad_request();
+        m.record_completion(1.0);
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.bad_requests, 1);
+        assert_eq!(s.completed, 1);
+    }
+}

@@ -17,9 +17,15 @@ cargo run -q -p gcnn-audit
 # vendored crates' defaults.
 cargo test -q --no-default-features \
   -p gcnn-trace -p gcnn-tensor -p gcnn-gemm -p gcnn-fft \
-  -p gcnn-conv -p gcnn-autotune -p gcnn-models -p gcnn-core -p gcnn-bench
+  -p gcnn-conv -p gcnn-autotune -p gcnn-models -p gcnn-core \
+  -p gcnn-bench -p gcnn-serve
 # Autotune smoke: cold measure → persist → warm reload must reproduce
 # every winner from the cache without re-measuring.
 GCNN_TUNE_WARMUP=1 GCNN_TUNE_REPS=3 \
   cargo run -q --release -p gcnn-bench --bin autotune_report -- --smoke
+# Serving smoke: loopback server under concurrent load must answer
+# every request correctly and demonstrably coalesce multi-request
+# batches (non-zero exit otherwise).
+GCNN_SERVE_MS=150 \
+  cargo run -q --release -p gcnn-bench --bin serve_bench -- --smoke
 echo "verify: OK"
