@@ -141,6 +141,10 @@ impl Default for AuditConfig {
                     file_suffix: "serve/src/batcher.rs".into(),
                     functions: s(&["offer", "pop_batch_into"]),
                 },
+                HotPath {
+                    file_suffix: "mtsim/src/engine.rs".into(),
+                    functions: s(&["step", "dispatch"]),
+                },
             ],
             trace_fns: s(&["span", "counter", "counter_add", "gauge", "gauge_set"]),
         }

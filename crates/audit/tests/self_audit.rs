@@ -12,7 +12,7 @@ fn workspace_audits_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let report = audit_workspace(&root, &AuditConfig::default()).expect("walk workspace");
     assert!(
-        report.crates_scanned >= 20,
+        report.crates_scanned >= 21,
         "expected the full workspace, scanned only {} crates",
         report.crates_scanned
     );
@@ -51,4 +51,29 @@ fn default_policy_covers_serve_batcher() {
             "serve hot path must audit `{f}`"
         );
     }
+}
+
+/// The simulator's event loop is covered from day one: `step` and
+/// `dispatch` run once per simulated kernel launch, so an allocation
+/// there turns an analytical simulator into a heap-churn benchmark.
+/// The crate is also pure model code — it must never earn an unsafe
+/// allowance.
+#[test]
+fn default_policy_covers_mtsim_engine() {
+    let cfg = AuditConfig::default();
+    let hot = cfg
+        .hot_paths
+        .iter()
+        .find(|h| "crates/mtsim/src/engine.rs".ends_with(&h.file_suffix))
+        .expect("mtsim engine must be a registered hot path");
+    for f in ["step", "dispatch"] {
+        assert!(
+            hot.functions.iter().any(|g| g == f),
+            "mtsim hot path must audit `{f}`"
+        );
+    }
+    assert!(
+        !cfg.allowed_unsafe.iter().any(|c| c == "gcnn-mtsim"),
+        "the simulator is pure model code; it gets no unsafe allowance"
+    );
 }

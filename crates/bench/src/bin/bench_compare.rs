@@ -23,11 +23,19 @@
 //! at or above `--serve-min-speedup`, and peak throughput / headline
 //! p50 must stay within `--serve-tolerance` (wider than the kernel
 //! tolerance — serving numbers come from a threaded closed loop).
+//! With `--mtsim`, a fresh `BENCH_mtsim.json` (`--mtsim-current`) is
+//! gated against the committed baseline: 2-tenant FIFO slowdown
+//! ≥ 1.8×, partition over round-robin ≥ 1.15× on the occupancy-limited
+//! workload, GM204 occupancy within 5% of maxDNN, and per-cell
+//! throughput within `--mtsim-tolerance` of baseline (tight default —
+//! the simulator is deterministic, so drift means the model changed).
 //! Exit codes: 0 clean, 1 regression, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
-use gcnn_bench::compare::{diff_reports, fft_gate, serve_gate, simd_gate, steady_fresh_allocs};
+use gcnn_bench::compare::{
+    diff_reports, fft_gate, mtsim_gate, serve_gate, simd_gate, steady_fresh_allocs,
+};
 use serde_json::Value;
 use std::process::exit;
 
@@ -37,7 +45,9 @@ fn usage() -> ! {
          [--tolerance <frac>] [--trace <json>] [--simd <json>] \
          [--min-speedup <ratio>] [--fft <json>] [--fft-min-speedup <ratio>] \
          [--serve <baseline json>] [--serve-current <json>] \
-         [--serve-tolerance <frac>] [--serve-min-speedup <ratio>]"
+         [--serve-tolerance <frac>] [--serve-min-speedup <ratio>] \
+         [--mtsim <baseline json>] [--mtsim-current <json>] \
+         [--mtsim-tolerance <frac>]"
     );
     exit(2);
 }
@@ -66,6 +76,9 @@ fn main() {
     let mut serve_current = "results/BENCH_serve.json".to_string();
     let mut serve_tolerance = 0.35f64;
     let mut serve_min_speedup = 1.0f64;
+    let mut mtsim = None;
+    let mut mtsim_current = "results/BENCH_mtsim.json".to_string();
+    let mut mtsim_tolerance = 0.10f64;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -105,6 +118,14 @@ fn main() {
             "--serve-min-speedup" => {
                 serve_min_speedup = value().parse().unwrap_or_else(|_| usage());
                 if serve_min_speedup < 0.0 {
+                    usage();
+                }
+            }
+            "--mtsim" => mtsim = Some(value()),
+            "--mtsim-current" => mtsim_current = value(),
+            "--mtsim-tolerance" => {
+                mtsim_tolerance = value().parse().unwrap_or_else(|_| usage());
+                if mtsim_tolerance < 0.0 {
                     usage();
                 }
             }
@@ -166,6 +187,23 @@ fn main() {
             &load(&serve_current),
             serve_tolerance,
             serve_min_speedup,
+        ) {
+            Ok(gate) => {
+                println!("{}", gate.render());
+                failed |= !gate.passed();
+            }
+            Err(e) => {
+                eprintln!("bench_compare: {e}");
+                exit(2);
+            }
+        }
+    }
+
+    if let Some(mtsim_baseline) = mtsim {
+        match mtsim_gate(
+            &load(&mtsim_baseline),
+            &load(&mtsim_current),
+            mtsim_tolerance,
         ) {
             Ok(gate) => {
                 println!("{}", gate.render());

@@ -434,6 +434,152 @@ pub fn serve_gate(
     })
 }
 
+/// Outcome of the multi-tenant simulator gate over a pair of
+/// `BENCH_mtsim.json` reports (committed baseline vs freshly
+/// generated).
+#[derive(Debug, Clone)]
+pub struct MtsimGate {
+    /// Worst per-stream slowdown of the 2-tenant FIFO cells.
+    pub fifo2_slowdown: f64,
+    /// Partition aggregate throughput over round-robin's, on the
+    /// occupancy-limited workload.
+    pub partition_over_rr: f64,
+    /// Relative error of the model's GM204 occupancy vs maxDNN's
+    /// published figure.
+    pub maxwell_rel_err: f64,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl MtsimGate {
+    /// True when the interference physics and the Maxwell validation
+    /// all held, and no cell drifted beyond tolerance.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line summary for CI logs.
+    pub fn render(&self) -> String {
+        if self.failures.is_empty() {
+            format!(
+                "mtsim gate: fifo2 slowdown {:.2}x, partition/rr {:.2}x, \
+                 maxwell err {:.1}%: ok",
+                self.fifo2_slowdown,
+                self.partition_over_rr,
+                self.maxwell_rel_err * 100.0
+            )
+        } else {
+            format!("mtsim gate: {}", self.failures.join("; "))
+        }
+    }
+}
+
+/// Gate a freshly generated `BENCH_mtsim.json` against the committed
+/// baseline. Four checks:
+///
+/// 1. contention is real: each of two closed-loop FIFO tenants sees at
+///    least 1.8× its dedicated latency (`fifo2_slowdown ≥ 1.8`);
+/// 2. spatial sharing wins where the occupancy model says it must:
+///    partition aggregate throughput beats round-robin by ≥ 1.15× on
+///    the occupancy-limited workload;
+/// 3. the Maxwell descriptor reproduces maxDNN's published occupancy
+///    within 5%;
+/// 4. no sweep cell's aggregate throughput drifted below
+///    `baseline · (1 − tolerance)` (cells are matched on
+///    workload/policy/tenants; a baseline cell missing from the
+///    current report fails). The simulator is deterministic, so drift
+///    means the *model* changed — refresh the baseline deliberately,
+///    per EXPERIMENTS.md.
+pub fn mtsim_gate(baseline: &Value, current: &Value, tolerance: f64) -> Result<MtsimGate, String> {
+    const MIN_FIFO2_SLOWDOWN: f64 = 1.8;
+    const MIN_PARTITION_OVER_RR: f64 = 1.15;
+    const MAX_MAXWELL_REL_ERR: f64 = 0.05;
+    let field = |report: &Value, name: &str| {
+        report
+            .get(name)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("mtsim report has no `{name}`"))
+    };
+    let fifo2_slowdown = field(current, "fifo2_slowdown")?;
+    let partition_over_rr = field(current, "partition_over_rr_occlimited")?;
+    let maxwell_rel_err = current
+        .get("maxwell")
+        .and_then(|m| m.get("rel_err"))
+        .and_then(Value::as_f64)
+        .ok_or("mtsim report has no `maxwell.rel_err`")?;
+
+    let mut failures = Vec::new();
+    if fifo2_slowdown < MIN_FIFO2_SLOWDOWN {
+        failures.push(format!(
+            "2-tenant FIFO slowdown {fifo2_slowdown:.2}x below floor \
+             {MIN_FIFO2_SLOWDOWN:.2}x — interference model lost contention"
+        ));
+    }
+    if partition_over_rr < MIN_PARTITION_OVER_RR {
+        failures.push(format!(
+            "partition/rr aggregate {partition_over_rr:.2}x below floor \
+             {MIN_PARTITION_OVER_RR:.2}x on the occupancy-limited workload"
+        ));
+    }
+    if maxwell_rel_err > MAX_MAXWELL_REL_ERR {
+        failures.push(format!(
+            "GM204 occupancy off maxDNN by {:.1}% (ceiling {:.0}%)",
+            maxwell_rel_err * 100.0,
+            MAX_MAXWELL_REL_ERR * 100.0
+        ));
+    }
+
+    let cells = |report: &Value| -> Result<Vec<(String, f64)>, String> {
+        let list = report
+            .get("cells")
+            .and_then(Value::as_array)
+            .ok_or("mtsim report has no `cells` array")?;
+        let mut out = Vec::with_capacity(list.len());
+        for (i, c) in list.iter().enumerate() {
+            let workload = c
+                .get("workload")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("mtsim cell {i}: missing `workload`"))?;
+            let policy = c
+                .get("policy")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("mtsim cell {i}: missing `policy`"))?;
+            let tenants = c
+                .get("tenants")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("mtsim cell {i}: missing `tenants`"))?;
+            let thru = c
+                .get("aggregate_throughput_jobs_per_s")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("mtsim cell {i}: missing throughput"))?;
+            out.push((format!("{workload}/{policy}/{tenants}"), thru));
+        }
+        Ok(out)
+    };
+    let base_cells = cells(baseline)?;
+    let cur_cells = cells(current)?;
+    for (key, base_thru) in &base_cells {
+        match cur_cells.iter().find(|(k, _)| k == key) {
+            None => failures.push(format!("cell {key} missing from current report")),
+            Some((_, cur_thru)) if *cur_thru < base_thru * (1.0 - tolerance) => {
+                failures.push(format!(
+                    "cell {key}: throughput {cur_thru:.2} jobs/s is below baseline \
+                     {base_thru:.2} − {:.0}%",
+                    tolerance * 100.0
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
+    Ok(MtsimGate {
+        fifo2_slowdown,
+        partition_over_rr,
+        maxwell_rel_err,
+        failures,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -680,6 +826,110 @@ mod tests {
         let cur = serve_report(1.2, 14_000.0, &[(8, 16, 0.65)]);
         assert!(serve_gate(&base, &cur, 0.35, 1.0).unwrap().passed());
         assert!(!serve_gate(&base, &cur, 0.2, 1.0).unwrap().passed());
+    }
+
+    fn mtsim_report(
+        fifo2: f64,
+        part_rr: f64,
+        rel_err: f64,
+        cells: &[(&str, &str, u64, f64)],
+    ) -> Value {
+        let cells = cells
+            .iter()
+            .map(|(w, p, n, thru)| {
+                format!(
+                    r#"{{"workload":"{w}","policy":"{p}","tenants":{n},
+                        "aggregate_throughput_jobs_per_s":{thru}}}"#
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        serde_json::from_str(&format!(
+            r#"{{"fifo2_slowdown":{fifo2},"partition_over_rr_occlimited":{part_rr},
+                 "maxwell":{{"rel_err":{rel_err}}},"cells":[{cells}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn mtsim_gate_passes_healthy_report() {
+        let rep = mtsim_report(2.0, 1.8, 0.0, &[("occ", "fifo", 2, 100.0)]);
+        let gate = mtsim_gate(&rep, &rep, 0.1).unwrap();
+        assert!(gate.passed(), "{:?}", gate.failures);
+        assert!(gate.render().contains("ok"));
+    }
+
+    #[test]
+    fn mtsim_gate_fails_weak_interference() {
+        let base = mtsim_report(2.0, 1.8, 0.0, &[]);
+        let cur = mtsim_report(1.4, 1.8, 0.0, &[]);
+        let gate = mtsim_gate(&base, &cur, 0.1).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("FIFO slowdown"));
+    }
+
+    #[test]
+    fn mtsim_gate_fails_when_partition_stops_winning() {
+        let base = mtsim_report(2.0, 1.8, 0.0, &[]);
+        let cur = mtsim_report(2.0, 1.0, 0.0, &[]);
+        let gate = mtsim_gate(&base, &cur, 0.1).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("partition/rr"));
+    }
+
+    #[test]
+    fn mtsim_gate_fails_maxwell_drift() {
+        let base = mtsim_report(2.0, 1.8, 0.0, &[]);
+        let cur = mtsim_report(2.0, 1.8, 0.08, &[]);
+        let gate = mtsim_gate(&base, &cur, 0.1).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("maxDNN"));
+    }
+
+    #[test]
+    fn mtsim_gate_fails_cell_throughput_drift_and_missing_cells() {
+        let base = mtsim_report(
+            2.0,
+            1.8,
+            0.0,
+            &[("occ", "fifo", 2, 100.0), ("occ", "rr", 2, 90.0)],
+        );
+        let slow = mtsim_report(
+            2.0,
+            1.8,
+            0.0,
+            &[("occ", "fifo", 2, 80.0), ("occ", "rr", 2, 90.0)],
+        );
+        let gate = mtsim_gate(&base, &slow, 0.1).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("occ/fifo/2"));
+
+        let missing = mtsim_report(2.0, 1.8, 0.0, &[("occ", "fifo", 2, 100.0)]);
+        let gate = mtsim_gate(&base, &missing, 0.1).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("missing"));
+    }
+
+    #[test]
+    fn mtsim_gate_tolerance_is_honored() {
+        let base = mtsim_report(2.0, 1.8, 0.0, &[("occ", "fifo", 2, 100.0)]);
+        let cur = mtsim_report(2.0, 1.8, 0.0, &[("occ", "fifo", 2, 92.0)]);
+        assert!(mtsim_gate(&base, &cur, 0.1).unwrap().passed());
+        assert!(!mtsim_gate(&base, &cur, 0.05).unwrap().passed());
+    }
+
+    #[test]
+    fn mtsim_gate_rejects_malformed_reports() {
+        let good = mtsim_report(2.0, 1.8, 0.0, &[("occ", "fifo", 2, 100.0)]);
+        let no_headline: Value =
+            serde_json::from_str(r#"{"partition_over_rr_occlimited":1.8}"#).unwrap();
+        assert!(mtsim_gate(&good, &no_headline, 0.1).is_err());
+        let no_cells: Value = serde_json::from_str(
+            r#"{"fifo2_slowdown":2.0,"partition_over_rr_occlimited":1.8,
+                "maxwell":{"rel_err":0.0}}"#,
+        )
+        .unwrap();
+        assert!(mtsim_gate(&no_cells, &good, 0.1).is_err());
     }
 
     #[test]

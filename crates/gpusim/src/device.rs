@@ -127,6 +127,122 @@ impl DeviceSpec {
         }
     }
 
+    /// GeForce GTX 980 (Maxwell GM204) — the platform maxDNN
+    /// (arXiv:1501.06633) published its occupancy/efficiency numbers
+    /// on. Shorthand for parsing the shipped `gm204` descriptor; the
+    /// two are pinned equal by `tests/descriptors.rs`.
+    pub fn gm204() -> Self {
+        crate::descriptor::parse_descriptor(crate::descriptor::GM204_DESCRIPTOR)
+            .expect("shipped gm204 descriptor parses and validates (pinned by test)")
+    }
+
+    /// Check the spec's internal consistency, returning every violated
+    /// invariant (empty `Err` never happens — an invalid spec names at
+    /// least one violation).
+    ///
+    /// The occupancy, timing and transfer models divide by most of
+    /// these fields; a descriptor that types zero SMs or a per-block
+    /// shared-memory limit above the per-SM capacity must be rejected
+    /// at construction, not discovered as a NaN three models later.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut v = Vec::new();
+        let positive = [
+            ("sm_count", self.sm_count),
+            ("cores_per_sm", self.cores_per_sm),
+            ("clock_mhz", self.clock_mhz),
+            ("warp_size", self.warp_size),
+            ("max_threads_per_sm", self.max_threads_per_sm),
+            ("max_warps_per_sm", self.max_warps_per_sm),
+            ("max_blocks_per_sm", self.max_blocks_per_sm),
+            ("max_threads_per_block", self.max_threads_per_block),
+            ("registers_per_sm", self.registers_per_sm),
+            ("max_registers_per_thread", self.max_registers_per_thread),
+            (
+                "register_alloc_granularity",
+                self.register_alloc_granularity,
+            ),
+            ("shared_mem_per_sm", self.shared_mem_per_sm),
+            ("shared_mem_per_block", self.shared_mem_per_block),
+            ("shared_alloc_granularity", self.shared_alloc_granularity),
+            ("shared_banks", self.shared_banks),
+            ("shared_bank_bytes", self.shared_bank_bytes),
+            ("transaction_bytes", self.transaction_bytes),
+        ];
+        for (name, value) in positive {
+            if value == 0 {
+                v.push(format!("{name} must be > 0"));
+            }
+        }
+        if self.name.trim().is_empty() {
+            v.push("name must be non-empty".to_string());
+        }
+        if self.global_mem_bytes == 0 {
+            v.push("global_mem_bytes must be > 0".to_string());
+        }
+        let finite_positive = [
+            ("mem_bandwidth_gbs", self.mem_bandwidth_gbs),
+            ("pcie_pinned_gbs", self.pcie_pinned_gbs),
+            ("pcie_pageable_gbs", self.pcie_pageable_gbs),
+        ];
+        for (name, value) in finite_positive {
+            if !(value.is_finite() && value > 0.0) {
+                v.push(format!("{name} must be finite and > 0"));
+            }
+        }
+        for (name, value) in [
+            ("launch_overhead_us", self.launch_overhead_us),
+            ("transfer_latency_us", self.transfer_latency_us),
+        ] {
+            if !(value.is_finite() && value >= 0.0) {
+                v.push(format!("{name} must be finite and >= 0"));
+            }
+        }
+        // Cross-field consistency: the limits the occupancy model
+        // combines must admit at least one maximal block.
+        if self.warp_size > 0
+            && self.max_warps_per_sm > 0
+            && self.max_warps_per_sm * self.warp_size > self.max_threads_per_sm
+        {
+            v.push(format!(
+                "max_warps_per_sm ({}) x warp_size ({}) exceeds max_threads_per_sm ({})",
+                self.max_warps_per_sm, self.warp_size, self.max_threads_per_sm
+            ));
+        }
+        if self.max_threads_per_block > self.max_threads_per_sm {
+            v.push(format!(
+                "max_threads_per_block ({}) exceeds max_threads_per_sm ({})",
+                self.max_threads_per_block, self.max_threads_per_sm
+            ));
+        }
+        if self.max_threads_per_block < self.warp_size {
+            v.push(format!(
+                "max_threads_per_block ({}) below warp_size ({})",
+                self.max_threads_per_block, self.warp_size
+            ));
+        }
+        if self.shared_mem_per_block > self.shared_mem_per_sm {
+            v.push(format!(
+                "shared_mem_per_block ({}) exceeds shared_mem_per_sm ({})",
+                self.shared_mem_per_block, self.shared_mem_per_sm
+            ));
+        }
+        if self.max_registers_per_thread > 0
+            && self.warp_size > 0
+            && u64::from(self.max_registers_per_thread) * u64::from(self.warp_size)
+                > u64::from(self.registers_per_sm)
+        {
+            v.push(format!(
+                "register file ({}) cannot hold one warp at max_registers_per_thread ({})",
+                self.registers_per_sm, self.max_registers_per_thread
+            ));
+        }
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+
     /// Total CUDA cores.
     pub fn total_cores(&self) -> u32 {
         self.sm_count * self.cores_per_sm

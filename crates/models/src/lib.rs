@@ -27,5 +27,5 @@ pub mod zoo;
 
 pub use breakdown::{model_breakdown, BreakdownRow, LayerClass, ModelBreakdown};
 pub use layer::{LayerInstance, LayerSpec, ModelSpec, NamedLayer};
-pub use network::{Network, TrainReport};
+pub use network::{Network, TrainReport, TunedLayer};
 pub use zoo::{alexnet, all_models, googlenet, lenet5, overfeat, vgg16};

@@ -1,0 +1,48 @@
+//! # gcnn-mtsim
+//!
+//! A discrete-event multi-tenant GPU simulator: N client streams —
+//! each replaying the kernel schedule of a [`gcnn_frameworks`]
+//! execution plan — time-share one simulated device under a pluggable
+//! scheduling policy.
+//!
+//! The paper measures frameworks *alone* on a dedicated K40c; real
+//! deployments co-locate training and inference streams on shared
+//! devices. This crate extends the analytical machinery of
+//! [`gcnn_gpusim`] to that regime and answers scheduling questions the
+//! paper's single-tenant methodology cannot: what latency does a
+//! tenant see under contention, and which sharing discipline wins for
+//! a given kernel population?
+//!
+//! * [`stream`] — tenant specs: a job (one plan iteration's kernel
+//!   sequence) plus an arrival process (closed-loop or open/periodic).
+//! * [`policy`] — [`SchedPolicy::Fifo`] (stream-interleaved, kernel
+//!   granularity), [`SchedPolicy::RoundRobin`] (service-time quantum +
+//!   context-switch penalty) and [`SchedPolicy::SmPartition`]
+//!   (MPS-style spatial shares re-timed via the occupancy model).
+//! * [`engine`] — the integer-nanosecond event loop. Kernels are
+//!   non-preemptible (pre-Pascal), so all decisions happen at kernel
+//!   boundaries; per-kernel service times are precomputed with
+//!   [`gcnn_gpusim::timing::time_kernel`] and the loop itself is
+//!   allocation-free and bit-for-bit deterministic.
+//! * [`metrics`] — per-stream achieved throughput, p50/p99 queueing
+//!   and service latency, occupancy-weighted SM utilization, and the
+//!   interference slowdown against a dedicated-device baseline.
+//!
+//! The headline phenomenon the model reproduces: *occupancy-limited*
+//! kernels (small grids that cannot fill 15 SMs) lose nothing when
+//! confined to an SM partition, so spatial sharing beats time slicing
+//! on aggregate throughput exactly where the paper's occupancy chapter
+//! predicts — while large-grid kernels prefer the full device and
+//! time slicing. See DESIGN.md §9.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod metrics;
+pub mod policy;
+pub mod stream;
+
+pub use engine::{simulate, Engine};
+pub use metrics::{SimReport, StreamReport};
+pub use policy::{SchedPolicy, SimConfig};
+pub use stream::{Arrival, TenantSpec};

@@ -1,0 +1,85 @@
+//! Scheduling policies for the shared device.
+//!
+//! Pre-Pascal GPUs cannot preempt a running kernel, so every policy
+//! here makes decisions at *kernel boundaries* — the quantum of a
+//! time-slicing scheduler is therefore a service-time budget, not a
+//! hardware timer.
+
+use serde::{Deserialize, Serialize};
+
+/// How the simulated device is shared between tenant streams.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// One queue, earliest-ready stream first. Kernels from different
+    /// streams interleave at kernel granularity with no switch cost —
+    /// the behaviour of concurrent CUDA streams serializing onto one
+    /// compute engine.
+    Fifo,
+    /// Round-robin time slicing: the device stays with one stream until
+    /// `quantum_us` of service time is consumed (or the stream runs
+    /// dry), then rotates, paying the engine's context-switch penalty.
+    /// Models process-level time-sharing without MPS.
+    RoundRobin {
+        /// Service-time budget per turn, microseconds.
+        quantum_us: f64,
+    },
+    /// Static SM partitioning: each of the N streams owns
+    /// `sm_count / N` SMs (and a proportional slice of memory
+    /// bandwidth) and runs concurrently with the others. Models
+    /// MPS-style spatial sharing; kernel times are recomputed against
+    /// the smaller partition via the occupancy model.
+    SmPartition,
+}
+
+impl SchedPolicy {
+    /// Short stable label for reports and bench JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::RoundRobin { .. } => "rr",
+            SchedPolicy::SmPartition => "partition",
+        }
+    }
+}
+
+/// Engine-level knobs shared by all policies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The scheduling policy.
+    pub policy: SchedPolicy,
+    /// Cost of switching the device between streams (pipeline drain +
+    /// context restore), microseconds. Charged by [`SchedPolicy::RoundRobin`]
+    /// on every involuntary rotation; FIFO stream interleaving and SM
+    /// partitioning are free by construction.
+    pub ctx_switch_us: f64,
+}
+
+impl SimConfig {
+    /// A config with the default 25 µs context-switch penalty
+    /// (same order as the K40c's kernel launch overhead ×5, the cost
+    /// of a full pipeline drain on a pre-emption-free part).
+    pub fn new(policy: SchedPolicy) -> Self {
+        SimConfig {
+            policy,
+            ctx_switch_us: 25.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SchedPolicy::Fifo.label(), "fifo");
+        assert_eq!(SchedPolicy::RoundRobin { quantum_us: 100.0 }.label(), "rr");
+        assert_eq!(SchedPolicy::SmPartition.label(), "partition");
+    }
+
+    #[test]
+    fn default_config_charges_context_switches() {
+        let cfg = SimConfig::new(SchedPolicy::Fifo);
+        assert!(cfg.ctx_switch_us > 0.0);
+    }
+}

@@ -210,6 +210,65 @@ fn post_shutdown_connects_are_refused_or_shed() {
     }
 }
 
+/// The pre-serving autotune pass: with `ServeConfig::tune` set, every
+/// worker replica is tuned for `Direction::Forward` before its thread
+/// spawns, and the replicas share one cache — worker 0 measures, every
+/// later worker boots entirely from warm cache hits. Serving answers
+/// stay correct under whatever strategies the tuner picked.
+#[test]
+fn tuned_workers_warm_one_shared_cache_before_serving() {
+    use gcnn_autotune::{MeasureParams, Policy, Repeats, SelectionSource, Tuner};
+
+    let tuner = Tuner::new(Policy::Measure).with_params(MeasureParams {
+        repeats: Repeats::new(1, 2),
+        timeout_ms: None,
+    });
+    let cfg = ServeConfig::loopback(
+        2,
+        BatchPolicy::new(4, Duration::from_millis(2)),
+        (1, SIZE, SIZE),
+    )
+    .with_tuning(tuner);
+    let server = Server::start(cfg, |_| test_net()).expect("bind loopback");
+
+    let report = server.tune_report();
+    assert_eq!(report.len(), 2, "one schedule per worker");
+    assert!(!report[0].is_empty(), "LeNet-5 has conv layers to tune");
+    assert!(
+        report[0]
+            .iter()
+            .all(|l| l.source == SelectionSource::Measured),
+        "worker 0 must pay the measurement cost: {:?}",
+        report[0]
+    );
+    assert_eq!(report[0].len(), report[1].len());
+    assert!(
+        report[1].iter().all(|l| l.source == SelectionSource::Cache),
+        "worker 1 must boot from the cache worker 0 warmed: {:?}",
+        report[1]
+    );
+
+    // Tuning may have swapped conv strategies; different algorithms
+    // agree to float error, so compare against the untuned forward at
+    // a tolerance that admits strategy-level reassociation.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let net = test_net();
+    let pixels = image(11);
+    let resp = client
+        .infer(1, SIZE as u16, SIZE as u16, &pixels)
+        .expect("roundtrip");
+    assert_eq!(resp.status, Status::Ok);
+    let expected = local_logits(&net, &pixels);
+    assert_eq!(resp.values.len(), CLASSES);
+    for (got, want) in resp.values.iter().zip(&expected) {
+        assert!(
+            (got - want).abs() < 1e-3,
+            "tuned serving diverged from reference forward: {got} vs {want}"
+        );
+    }
+    server.shutdown();
+}
+
 #[test]
 fn multiple_workers_serve_concurrent_connections() {
     let server = start(2, BatchPolicy::new(4, Duration::from_millis(5)));

@@ -18,7 +18,7 @@ cargo run -q -p gcnn-audit
 cargo test -q --no-default-features \
   -p gcnn-trace -p gcnn-tensor -p gcnn-gemm -p gcnn-fft \
   -p gcnn-conv -p gcnn-autotune -p gcnn-models -p gcnn-core \
-  -p gcnn-bench -p gcnn-serve
+  -p gcnn-bench -p gcnn-serve -p gcnn-mtsim
 # Autotune smoke: cold measure → persist → warm reload must reproduce
 # every winner from the cache without re-measuring.
 GCNN_TUNE_WARMUP=1 GCNN_TUNE_REPS=3 \
@@ -28,4 +28,9 @@ GCNN_TUNE_WARMUP=1 GCNN_TUNE_REPS=3 \
 # batches (non-zero exit otherwise).
 GCNN_SERVE_MS=150 \
   cargo run -q --release -p gcnn-bench --bin serve_bench -- --smoke
+# Multi-tenant simulator smoke: 2-tenant cells must conserve jobs,
+# model contention (FIFO slowdown >= 1.8x), show partitioning beating
+# round-robin on the occupancy-limited workload, and reproduce maxDNN's
+# GM204 occupancy within 5% (non-zero exit otherwise).
+cargo run -q --release -p gcnn-bench --bin mtsim_report -- --smoke
 echo "verify: OK"
