@@ -138,6 +138,24 @@ impl Default for AuditConfig {
                     functions: s(&["im2col_into", "col2im_from"]),
                 },
                 HotPath {
+                    file_suffix: "tensor/src/nchwc.rs".into(),
+                    functions: s(&[
+                        "pack_nchwc_into",
+                        "unpack_nchwc_from",
+                        "pack_filters_into",
+                        "repad_packed",
+                    ]),
+                },
+                HotPath {
+                    file_suffix: "conv/src/nchwc.rs".into(),
+                    functions: s(&[
+                        "forward_tile",
+                        "fused_conv_relu",
+                        "fused_conv_relu_pool",
+                        "max_pool_tile",
+                    ]),
+                },
+                HotPath {
                     file_suffix: "serve/src/batcher.rs".into(),
                     functions: s(&["offer", "pop_batch_into"]),
                 },

@@ -53,6 +53,54 @@ fn default_policy_covers_serve_batcher() {
     }
 }
 
+/// The NCHWc layout kernels are covered on both sides: the pack/unpack
+/// family in `gcnn-tensor` and the fused tile kernels in `gcnn-conv`
+/// run per inference inside `alloc_scope`-asserted paths, so a stray
+/// allocation must fail the audit. The conv crate also stays on the
+/// no-unsafe side of the containment line — the blocked path vectorizes
+/// through the safe `simd` wrappers, not raw intrinsics.
+#[test]
+fn default_policy_covers_nchwc_kernels() {
+    let cfg = AuditConfig::default();
+    let cases: [(&str, &[&str]); 2] = [
+        (
+            "crates/tensor/src/nchwc.rs",
+            &[
+                "pack_nchwc_into",
+                "unpack_nchwc_from",
+                "pack_filters_into",
+                "repad_packed",
+            ],
+        ),
+        (
+            "crates/conv/src/nchwc.rs",
+            &[
+                "forward_tile",
+                "fused_conv_relu",
+                "fused_conv_relu_pool",
+                "max_pool_tile",
+            ],
+        ),
+    ];
+    for (path, fns) in cases {
+        let hot = cfg
+            .hot_paths
+            .iter()
+            .find(|h| path.ends_with(&h.file_suffix))
+            .unwrap_or_else(|| panic!("{path} must be a registered hot path"));
+        for f in fns {
+            assert!(
+                hot.functions.iter().any(|g| g == f),
+                "{path} hot path must audit `{f}`"
+            );
+        }
+    }
+    assert!(
+        !cfg.allowed_unsafe.iter().any(|c| c == "gcnn-conv"),
+        "gcnn-conv forbids unsafe; the blocked path must not change that"
+    );
+}
+
 /// The simulator's event loop is covered from day one: `step` and
 /// `dispatch` run once per simulated kernel launch, so an allocation
 /// there turns an analytical simulator into a heap-churn benchmark.

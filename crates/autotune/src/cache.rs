@@ -16,6 +16,7 @@
 
 use crate::substrate::Direction;
 use gcnn_conv::{ConvConfig, Strategy};
+use gcnn_tensor::Layout;
 use serde::Serialize;
 use serde_json::Value;
 use std::collections::HashMap;
@@ -24,7 +25,13 @@ use std::sync::OnceLock;
 
 /// Version stamp of the on-disk format. Bump on any incompatible change;
 /// older files then degrade to heuristics instead of being misread.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v3 added the per-entry layout verdict (channel-blocked NCHWc vs.
+/// planar) and tracks the `cpu/host/v3` substrate fingerprint; v2 is
+/// skipped so cache schema and fingerprint versions stay in lockstep.
+/// v1 and v2 files lack the `layout` field and must degrade, not be
+/// misread as planar.
+pub const SCHEMA_VERSION: u32 = 3;
 
 fn hit_counter() -> &'static gcnn_trace::Counter {
     static C: OnceLock<gcnn_trace::Counter> = OnceLock::new();
@@ -66,6 +73,9 @@ pub struct CacheEntry {
     pub implementation: String,
     /// The convolution strategy that candidate executes.
     pub strategy: Strategy,
+    /// The tensor layout the winner executes in (planar `Nchw` for all
+    /// candidates except the CPU channel-blocked `nchwc` path).
+    pub layout: Layout,
     /// Its measured (trimmed-median) time, milliseconds.
     pub time_ms: f64,
     /// Peak workspace the winner required, bytes. JSON numbers travel
@@ -333,6 +343,17 @@ fn decode_strategy(value: &Value) -> Result<Strategy, String> {
     }
 }
 
+fn decode_layout(value: &Value) -> Result<Layout, String> {
+    match value.as_str() {
+        Some("Nchw") => Ok(Layout::Nchw),
+        Some("Chwn") => Ok(Layout::Chwn),
+        Some("Hwcn") => Ok(Layout::Hwcn),
+        Some("Nchw8c") => Ok(Layout::Nchw8c),
+        Some("Nchw16c") => Ok(Layout::Nchw16c),
+        _ => Err(format!("unknown layout {value:?}")),
+    }
+}
+
 fn decode_entry(value: &Value) -> Result<CacheEntry, String> {
     let obj = value.as_object().ok_or("entry is not an object")?;
     Ok(CacheEntry {
@@ -342,6 +363,7 @@ fn decode_entry(value: &Value) -> Result<CacheEntry, String> {
             .ok_or("entry.implementation")?
             .to_string(),
         strategy: decode_strategy(obj.get("strategy").ok_or("entry.strategy")?)?,
+        layout: decode_layout(obj.get("layout").ok_or("entry.layout")?)?,
         time_ms: obj
             .get("time_ms")
             .and_then(Value::as_f64)
@@ -373,6 +395,7 @@ mod tests {
         CacheEntry {
             implementation: name.to_string(),
             strategy: Strategy::Unrolling,
+            layout: Layout::Nchw,
             time_ms: ms,
             workspace_bytes: 1024,
             reps: 5,
@@ -437,6 +460,81 @@ mod tests {
         let cache = TuningCache::load(&path);
         assert!(cache.is_empty());
         assert!(cache.degraded().unwrap().contains("999"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pre_layout_caches_degrade_to_heuristics() {
+        // v1/v2 entries have no `layout` field; reading one as planar
+        // would silently mis-bind layer boundaries, so both versions
+        // must be rejected wholesale (cache degraded → heuristics), even
+        // when the rest of the record would decode fine.
+        let dir = std::env::temp_dir().join("gcnn_autotune_cache_test_prelayout");
+        std::fs::create_dir_all(&dir).unwrap();
+        for old_version in [1u32, 2u32] {
+            let path = dir.join(format!("tune_v{old_version}.json"));
+            let record = concat!(
+                "{\"key\": {\"device\": \"cpu/host/v1/4threads/avx2\", ",
+                "\"cfg\": {\"batch\": 32, \"channels\": 3, \"input\": 32, ",
+                "\"filters\": 16, \"kernel\": 3, \"stride\": 1, \"pad\": 0}, ",
+                "\"direction\": \"Forward\"}, ",
+                "\"entry\": {\"implementation\": \"unrolling\", ",
+                "\"strategy\": \"Unrolling\", \"time_ms\": 1.5, ",
+                "\"workspace_bytes\": 1024, \"reps\": 5}}"
+            );
+            let text = format!("{{\"schema_version\": {old_version}, \"entries\": [{record}]}}");
+            std::fs::write(&path, text).unwrap();
+            let cache = TuningCache::load(&path);
+            assert!(cache.is_empty(), "v{old_version} cache must not load");
+            let reason = cache.degraded().expect("degraded");
+            assert!(
+                reason.contains(&format!("schema version {old_version}")),
+                "reason should name the stale version, got: {reason}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn current_schema_missing_layout_field_degrades() {
+        // Defense in depth: even a file claiming schema v3 must be
+        // rejected if an entry lacks the layout verdict.
+        let dir = std::env::temp_dir().join("gcnn_autotune_cache_test_nolayout");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tune.json");
+        let record = concat!(
+            "{\"key\": {\"device\": \"d\", ",
+            "\"cfg\": {\"batch\": 1, \"channels\": 1, \"input\": 8, ",
+            "\"filters\": 1, \"kernel\": 3, \"stride\": 1, \"pad\": 0}, ",
+            "\"direction\": \"Forward\"}, ",
+            "\"entry\": {\"implementation\": \"direct\", ",
+            "\"strategy\": \"Direct\", \"time_ms\": 1.0, ",
+            "\"workspace_bytes\": 0, \"reps\": 1}}"
+        );
+        let text = format!("{{\"schema_version\": {SCHEMA_VERSION}, \"entries\": [{record}]}}");
+        std::fs::write(&path, text).unwrap();
+        let cache = TuningCache::load(&path);
+        assert!(cache.is_empty());
+        assert!(cache.degraded().unwrap().contains("entry.layout"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn blocked_layout_round_trips() {
+        let dir = std::env::temp_dir().join("gcnn_autotune_cache_test_blocked");
+        let path = dir.join("tune.json");
+        let mut cache = TuningCache::new();
+        let mut e = entry("nchwc", 0.75);
+        e.layout = Layout::Nchw8c;
+        cache.insert(key("cpu/host/v3/4threads/avx2", 32), e.clone());
+        cache.save(&path).expect("save");
+        let mut loaded = TuningCache::load(&path);
+        assert!(loaded.degraded().is_none());
+        let hit = loaded
+            .lookup(&key("cpu/host/v3/4threads/avx2", 32))
+            .expect("hit");
+        assert_eq!(hit, e);
+        assert_eq!(hit.layout, Layout::Nchw8c);
         std::fs::remove_dir_all(&dir).ok();
     }
 

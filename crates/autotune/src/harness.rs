@@ -12,6 +12,7 @@ use crate::policy::Constraint;
 use crate::substrate::{Direction, Substrate};
 use crate::timing::{self, Repeats};
 use gcnn_conv::{ConvConfig, Strategy};
+use gcnn_tensor::Layout;
 use serde::Serialize;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -83,6 +84,8 @@ pub struct CandidateReport {
     pub name: String,
     /// Its convolution strategy.
     pub strategy: Strategy,
+    /// The tensor layout the candidate executes in.
+    pub layout: Layout,
     /// What happened.
     pub outcome: Outcome,
 }
@@ -120,6 +123,7 @@ pub fn measure_candidates(
             CandidateReport {
                 name: cand.name,
                 strategy: cand.strategy,
+                layout: cand.layout,
                 outcome,
             }
         })

@@ -12,6 +12,7 @@ use crate::cache::{CacheEntry, CacheKey, TuningCache};
 use crate::harness::{measure_candidates, pick_winner, MeasureParams, Outcome};
 use crate::substrate::{Direction, Substrate};
 use gcnn_conv::{ConvConfig, Strategy};
+use gcnn_tensor::Layout;
 use serde::Serialize;
 
 /// How winners are selected.
@@ -65,6 +66,9 @@ pub struct Selection {
     pub implementation: String,
     /// The convolution strategy it executes.
     pub strategy: Strategy,
+    /// The tensor layout it executes in (planar [`Layout::Nchw`] for
+    /// everything except the CPU channel-blocked `nchwc` candidate).
+    pub layout: Layout,
     /// Its (measured or modeled) time, milliseconds.
     pub time_ms: f64,
     /// Its peak workspace, bytes.
@@ -132,6 +136,7 @@ impl Tuner {
                     CacheEntry {
                         implementation: sel.implementation.clone(),
                         strategy: sel.strategy,
+                        layout: sel.layout,
                         time_ms: sel.time_ms,
                         workspace_bytes: sel.workspace_bytes,
                         reps: self.params.repeats.reps.max(1),
@@ -170,6 +175,7 @@ impl Tuner {
         Some(Selection {
             implementation: entry.implementation,
             strategy: entry.strategy,
+            layout: entry.layout,
             time_ms: entry.time_ms,
             workspace_bytes: entry.workspace_bytes,
             source: SelectionSource::Cache,
@@ -194,6 +200,7 @@ impl Tuner {
                     .then_some(Selection {
                         implementation: cand.name,
                         strategy: cand.strategy,
+                        layout: cand.layout,
                         time_ms: run.cost_ms,
                         workspace_bytes: run.workspace_bytes,
                         source: SelectionSource::Heuristic,
@@ -221,6 +228,7 @@ impl Tuner {
         Some(Selection {
             implementation: winner.name.clone(),
             strategy: winner.strategy,
+            layout: winner.layout,
             time_ms: *time_ms,
             workspace_bytes: *workspace_bytes,
             source: SelectionSource::Measured,

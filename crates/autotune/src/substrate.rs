@@ -12,9 +12,10 @@
 //!
 //! [`ExecutionPlan`]: gcnn_frameworks::ExecutionPlan
 
-use gcnn_conv::{algorithm_for, ConvConfig, Strategy};
+use gcnn_conv::{algorithm_for, nchwc, ConvConfig, Strategy};
 use gcnn_frameworks::{all_implementations, implementation_by_name};
 use gcnn_gpusim::DeviceSpec;
+use gcnn_tensor::Layout;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
@@ -51,6 +52,10 @@ pub struct Candidate {
     pub name: String,
     /// The convolution strategy the candidate executes.
     pub strategy: Strategy,
+    /// The activation layout the candidate executes over. Planar
+    /// [`Layout::Nchw`] for every candidate except the CPU substrate's
+    /// `"nchwc"`, which runs the channel-blocked fused direct path.
+    pub layout: Layout,
 }
 
 /// Cost of one repetition of a candidate.
@@ -125,6 +130,7 @@ impl Substrate for SimSubstrate {
             .map(|imp| Candidate {
                 name: imp.name().to_string(),
                 strategy: imp.strategy(),
+                layout: Layout::Nchw,
             })
             .collect()
     }
@@ -167,6 +173,45 @@ impl CpuSubstrate {
     pub fn new() -> Self {
         CpuSubstrate
     }
+
+    /// One timed repetition of the channel-blocked fused direct path.
+    ///
+    /// Forward-only — the packed path has no backward kernels. Packing
+    /// (input and filters) happens outside the timed region: in a fused
+    /// chain the pack cost is paid once at the chain boundary and
+    /// amortized across its layers, so charging it to every layer would
+    /// systematically bias the verdict toward planar.
+    fn run_nchwc_once(&self, cfg: &ConvConfig, direction: Direction) -> Result<RunCost, String> {
+        if direction != Direction::Forward {
+            return Err(format!(
+                "nchwc packed path is forward-only, not {direction}"
+            ));
+        }
+        nchwc::supports(cfg).map_err(|e| e.to_string())?;
+        let block = gcnn_tensor::simd::preferred_block();
+        let x = gcnn_tensor::init::uniform_tensor(cfg.input_shape(), -1.0, 1.0, 97);
+        let w = gcnn_tensor::init::uniform_tensor(cfg.filter_shape(), -0.5, 0.5, 98);
+        let mut pin = gcnn_tensor::workspace::take_f32(nchwc::packed_input_len(cfg, block));
+        let mut pw = gcnn_tensor::workspace::take_f32(nchwc::packed_filter_len(cfg, block));
+        let mut pout = gcnn_tensor::workspace::take_f32(nchwc::packed_output_len(cfg, block));
+        nchwc::pack_input(cfg, &x, block, pin.as_mut_slice());
+        nchwc::pack_filters(cfg, &w, block, pw.as_mut_slice());
+
+        let bytes_before = gcnn_tensor::workspace::fresh_alloc_bytes();
+        let t = Instant::now();
+        nchwc::fused_conv_relu(
+            cfg,
+            block,
+            pin.as_slice(),
+            pw.as_slice(),
+            std::hint::black_box(pout.as_mut_slice()),
+            false,
+        );
+        Ok(RunCost {
+            cost_ms: t.elapsed().as_secs_f64() * 1e3,
+            workspace_bytes: gcnn_tensor::workspace::fresh_alloc_bytes() - bytes_before,
+        })
+    }
 }
 
 impl Substrate for CpuSubstrate {
@@ -175,22 +220,32 @@ impl Substrate for CpuSubstrate {
         // The SIMD dispatch path changes what a measurement means: a
         // verdict cached under the scalar kernels must not be trusted by
         // a process running the AVX2/NEON ones (and vice versa), so the
-        // effective ISA is part of the device identity. The `v2`
+        // effective ISA is part of the device identity. The `v3`
         // generation tag invalidates verdicts measured before the
-        // split-complex FFT path: the FFT strategy's cost profile moved
-        // enough that old winners are stale.
+        // NCHWc layout candidate existed (`v2` was the split-complex
+        // FFT rework): older winners never saw the packed path compete.
         let isa = gcnn_tensor::simd::isa_name();
-        format!("cpu/host/v2/{threads}threads/{isa}")
+        format!("cpu/host/v3/{threads}threads/{isa}")
     }
 
     fn candidates(&self) -> Vec<Candidate> {
-        [Strategy::Direct, Strategy::Unrolling, Strategy::Fft]
+        let mut cands: Vec<Candidate> = [Strategy::Direct, Strategy::Unrolling, Strategy::Fft]
             .into_iter()
             .map(|s| Candidate {
                 name: s.to_string(),
                 strategy: s,
+                layout: Layout::Nchw,
             })
-            .collect()
+            .collect();
+        // The channel-blocked fused direct path. Forward-only: training
+        // keeps planar layouts, so this candidate rejects any direction
+        // with a backward pass and can only win serving-style tunes.
+        cands.push(Candidate {
+            name: "nchwc".to_string(),
+            strategy: Strategy::Direct,
+            layout: gcnn_tensor::nchwc::preferred_layout(),
+        });
+        cands
     }
 
     fn run_once(
@@ -203,6 +258,7 @@ impl Substrate for CpuSubstrate {
             "direct" => Strategy::Direct,
             "unrolling" => Strategy::Unrolling,
             "fft" => Strategy::Fft,
+            "nchwc" => return self.run_nchwc_once(cfg, direction),
             other => return Err(format!("unknown strategy {other}")),
         };
         let algo = algorithm_for(strategy);
@@ -287,10 +343,41 @@ mod tests {
         let sub = CpuSubstrate::new();
         let cfg = ConvConfig::with_channels(2, 2, 8, 4, 3, 1);
         for cand in sub.candidates() {
+            if cand.name == "nchwc" {
+                continue; // forward-only; covered below
+            }
             let run = sub
                 .run_once(&cand.name, &cfg, Direction::Training)
                 .unwrap_or_else(|e| panic!("{}: {e}", cand.name));
             assert!(run.cost_ms > 0.0, "{}", cand.name);
+        }
+    }
+
+    #[test]
+    fn cpu_nchwc_candidate_is_forward_only_and_blocked() {
+        let sub = CpuSubstrate::new();
+        let cands = sub.candidates();
+        assert_eq!(cands.len(), 4);
+        let nchwc = cands.iter().find(|c| c.name == "nchwc").unwrap();
+        assert_eq!(nchwc.strategy, Strategy::Direct);
+        assert!(
+            nchwc.layout.is_blocked(),
+            "nchwc must carry a blocked layout"
+        );
+        assert!(
+            cands
+                .iter()
+                .filter(|c| c.name != "nchwc")
+                .all(|c| c.layout == Layout::Nchw),
+            "planar candidates must stay NCHW"
+        );
+
+        let cfg = ConvConfig::with_channels(2, 2, 8, 4, 3, 1);
+        let run = sub.run_once("nchwc", &cfg, Direction::Forward).unwrap();
+        assert!(run.cost_ms > 0.0);
+        for dir in [Direction::Backward, Direction::Training] {
+            let err = sub.run_once("nchwc", &cfg, dir).unwrap_err();
+            assert!(err.contains("forward-only"), "{err}");
         }
     }
 
@@ -310,8 +397,8 @@ mod tests {
             "fingerprint {fp} missing ISA suffix"
         );
         assert!(
-            fp.contains("/v2/"),
-            "fingerprint {fp} missing the split-FFT generation tag"
+            fp.contains("/v3/"),
+            "fingerprint {fp} missing the layout-verdict generation tag"
         );
     }
 }

@@ -9,6 +9,7 @@
 use gcnn_autotune::cache::{CacheEntry, CacheKey, TuningCache};
 use gcnn_autotune::substrate::Direction;
 use gcnn_conv::{ConvConfig, Strategy as ConvStrategy};
+use gcnn_tensor::Layout;
 use proptest::prelude::*;
 use std::path::PathBuf;
 
@@ -31,6 +32,16 @@ fn arb_strategy() -> impl Strategy<Value = ConvStrategy> {
         Just(ConvStrategy::Direct),
         Just(ConvStrategy::Unrolling),
         Just(ConvStrategy::Fft),
+    ]
+}
+
+fn arb_layout() -> impl Strategy<Value = Layout> {
+    prop_oneof![
+        Just(Layout::Nchw),
+        Just(Layout::Chwn),
+        Just(Layout::Hwcn),
+        Just(Layout::Nchw8c),
+        Just(Layout::Nchw16c),
     ]
 }
 
@@ -84,12 +95,13 @@ fn arb_entry() -> impl Strategy<Value = CacheEntry> {
     (
         0usize..7,
         arb_strategy(),
+        arb_layout(),
         0.0f64..1e6,
         0u64..(1 << 53),
         1usize..32,
     )
         .prop_map(
-            |(imp, strategy, time_ms, workspace_bytes, reps)| CacheEntry {
+            |(imp, strategy, layout, time_ms, workspace_bytes, reps)| CacheEntry {
                 implementation: [
                     "Caffe",
                     "Torch-cunn",
@@ -101,6 +113,7 @@ fn arb_entry() -> impl Strategy<Value = CacheEntry> {
                 ][imp]
                     .to_string(),
                 strategy,
+                layout,
                 time_ms,
                 workspace_bytes,
                 reps,

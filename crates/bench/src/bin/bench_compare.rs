@@ -6,6 +6,7 @@
 //!               [--tolerance 0.25] [--trace results/BENCH_trace.json]
 //!               [--simd results/BENCH_simd.json] [--min-speedup 1.2]
 //!               [--fft results/BENCH_fft.json] [--fft-min-speedup 2.0]
+//!               [--layout results/BENCH_layout.json] [--layout-min-speedup 1.15]
 //!               [--serve baseline_serve.json] [--serve-current results/BENCH_serve.json]
 //!               [--serve-tolerance 0.35] [--serve-min-speedup 1.0]
 //! ```
@@ -18,7 +19,11 @@
 //! times faster than scalar (skipped on scalar-only hosts). With
 //! `--fft`, the per-size rfft sweep must show a geomean speedup of at
 //! least `--fft-min-speedup` with no cell below its floor (also skipped
-//! on scalar-only hosts). With `--serve`, a fresh `BENCH_serve.json` is
+//! on scalar-only hosts). With `--layout`, the NCHWc layout A/B sweep
+//! must show the fused packed conv path beating the unfused planar path
+//! by `--layout-min-speedup` (geomean over headline entries, per-entry
+//! floor 1.0×; also skipped on scalar-only hosts).
+//! With `--serve`, a fresh `BENCH_serve.json` is
 //! gated against the committed baseline: the batched speedup must stay
 //! at or above `--serve-min-speedup`, and peak throughput / headline
 //! p50 must stay within `--serve-tolerance` (wider than the kernel
@@ -34,7 +39,7 @@
 #![forbid(unsafe_code)]
 
 use gcnn_bench::compare::{
-    diff_reports, fft_gate, mtsim_gate, serve_gate, simd_gate, steady_fresh_allocs,
+    diff_reports, fft_gate, layout_gate, mtsim_gate, serve_gate, simd_gate, steady_fresh_allocs,
 };
 use serde_json::Value;
 use std::process::exit;
@@ -44,6 +49,7 @@ fn usage() -> ! {
         "usage: bench_compare --baseline <json> [--current <json>] \
          [--tolerance <frac>] [--trace <json>] [--simd <json>] \
          [--min-speedup <ratio>] [--fft <json>] [--fft-min-speedup <ratio>] \
+         [--layout <json>] [--layout-min-speedup <ratio>] \
          [--serve <baseline json>] [--serve-current <json>] \
          [--serve-tolerance <frac>] [--serve-min-speedup <ratio>] \
          [--mtsim <baseline json>] [--mtsim-current <json>] \
@@ -72,6 +78,8 @@ fn main() {
     let mut min_speedup = 1.2f64;
     let mut fft = None;
     let mut fft_min_speedup = 2.0f64;
+    let mut layout = None;
+    let mut layout_min_speedup = 1.15f64;
     let mut serve = None;
     let mut serve_current = "results/BENCH_serve.json".to_string();
     let mut serve_tolerance = 0.35f64;
@@ -104,6 +112,13 @@ fn main() {
             "--fft-min-speedup" => {
                 fft_min_speedup = value().parse().unwrap_or_else(|_| usage());
                 if fft_min_speedup < 1.0 {
+                    usage();
+                }
+            }
+            "--layout" => layout = Some(value()),
+            "--layout-min-speedup" => {
+                layout_min_speedup = value().parse().unwrap_or_else(|_| usage());
+                if layout_min_speedup < 1.0 {
                     usage();
                 }
             }
@@ -170,6 +185,19 @@ fn main() {
 
     if let Some(fft_path) = fft {
         match fft_gate(&load(&fft_path), fft_min_speedup) {
+            Ok(gate) => {
+                println!("{}", gate.render());
+                failed |= !gate.passed();
+            }
+            Err(e) => {
+                eprintln!("bench_compare: {e}");
+                exit(2);
+            }
+        }
+    }
+
+    if let Some(layout_path) = layout {
+        match layout_gate(&load(&layout_path), layout_min_speedup) {
             Ok(gate) => {
                 println!("{}", gate.render());
                 failed |= !gate.passed();

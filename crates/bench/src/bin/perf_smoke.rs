@@ -30,6 +30,12 @@
 //! A third, `results/BENCH_fft.json`, is the rfft A/B broken out per
 //! transform size × batch count (the aggregate in `BENCH_simd` is its
 //! geometric mean); `bench_compare --fft` gates on it.
+//!
+//! A fourth, `results/BENCH_layout.json`, A/Bs the fused NCHWc
+//! conv+ReLU(+pool) path against the unfused planar unrolling path over
+//! LeNet's remainder-heavy layers and two conv-heavy zoo shapes whose
+//! channel counts fill the SIMD block; `bench_compare --layout` gates
+//! on the headline geomean.
 
 #![forbid(unsafe_code)]
 
@@ -265,6 +271,204 @@ fn bench_fft_sweep(repeats: Repeats) -> FftReport {
     }
 }
 
+/// One cell of the layout A/B sweep: a conv(+ReLU(+pool)) chain run
+/// fused over packed NCHWc and unfused over planar NCHW.
+#[derive(Debug, Serialize)]
+struct LayoutEntry {
+    name: String,
+    cfg: ConvConfig,
+    /// Max-pool window fused after conv+ReLU, when the shape pools.
+    pool_window: Option<usize>,
+    /// Max-pool stride fused after conv+ReLU, when the shape pools.
+    pool_stride: Option<usize>,
+    /// Whether this entry gates: true for shapes whose channel counts
+    /// fill the SIMD block. Remainder-heavy shapes (LeNet's 1- and
+    /// 6-channel layers) are kept for honesty but never gate — their
+    /// padded lanes do wasted work and planar can win.
+    headline: bool,
+    fused_p50_ms: f64,
+    planar_p50_ms: f64,
+    /// One-time input+filter packing cost. In a network, activations
+    /// stay packed across adjacent blocked layers, so this is paid per
+    /// chain boundary, not per layer — reported, not gated.
+    pack_p50_ms: f64,
+    /// `planar p50 / fused p50` for this cell.
+    speedup: f64,
+}
+
+/// The NCHWc layout A/B report (`results/BENCH_layout.json`).
+#[derive(Debug, Serialize)]
+struct LayoutReport {
+    /// The natively dispatched ISA ([`gcnn_tensor::simd::isa_name`]).
+    isa: String,
+    /// Inner channel-block width the packed path ran with.
+    block: usize,
+    entries: Vec<LayoutEntry>,
+    /// Geometric mean of the headline-entry speedups — the number
+    /// `bench_compare --layout` gates on.
+    overall_speedup: f64,
+}
+
+/// A/B the fused packed conv path against the unfused planar one.
+fn bench_layout(repeats: Repeats) -> LayoutReport {
+    use gcnn_conv::layers::{PoolKind, PoolLayer, ReluLayer};
+    use gcnn_conv::nchwc;
+    use gcnn_tensor::workspace;
+
+    let isa = gcnn_tensor::simd::isa_name().to_string();
+    let block = gcnn_tensor::simd::preferred_block();
+    println!("layout A/B sweep: isa = {isa}, channel block = {block}");
+
+    struct Case {
+        name: &'static str,
+        cfg: ConvConfig,
+        pool: Option<(usize, usize)>,
+        headline: bool,
+    }
+    let mut vgg3 = ConvConfig::with_channels(8, 128, 28, 256, 3, 1);
+    vgg3.pad = 1;
+    let mut vgg4 = ConvConfig::with_channels(8, 256, 14, 256, 3, 1);
+    vgg4.pad = 1;
+    let mut alex3 = ConvConfig::with_channels(8, 192, 13, 384, 3, 1);
+    alex3.pad = 1;
+    let cases = [
+        Case {
+            name: "lenet_conv1",
+            cfg: ConvConfig::with_channels(64, 1, 32, 6, 5, 1),
+            pool: Some((2, 2)),
+            headline: false,
+        },
+        Case {
+            name: "lenet_conv2",
+            cfg: ConvConfig::with_channels(64, 6, 14, 16, 5, 1),
+            pool: Some((2, 2)),
+            headline: false,
+        },
+        Case {
+            name: "vgg3_like",
+            cfg: vgg3,
+            pool: None,
+            headline: true,
+        },
+        Case {
+            name: "vgg4_like",
+            cfg: vgg4,
+            pool: None,
+            headline: true,
+        },
+        Case {
+            name: "alexnet_conv3_like",
+            cfg: alex3,
+            pool: None,
+            headline: true,
+        },
+    ];
+
+    let mut entries = Vec::new();
+    for case in &cases {
+        let cfg = &case.cfg;
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 61);
+        let w = xavier_filters(cfg.filter_shape(), 62);
+
+        // Planar baseline: the exact layer sequence a planar network
+        // executes — unrolling conv, then ReLU, then max-pool.
+        let algo = algorithm_for(Strategy::Unrolling);
+        let planar = time_wall(repeats, || {
+            let y = algo.forward(cfg, &x, &w);
+            let y = ReluLayer.forward(&y);
+            let y = match case.pool {
+                Some((pw, ps)) => PoolLayer::new(PoolKind::Max, pw, ps).forward(&y).output,
+                None => y,
+            };
+            std::hint::black_box(&y);
+        });
+
+        // Fused packed path. Input and filters are prepacked: within a
+        // network, activations stay packed across adjacent blocked
+        // layers, so packing is a chain-boundary cost (timed separately
+        // below, never folded into the kernel comparison).
+        let mut pin = vec![0.0f32; nchwc::packed_input_len(cfg, block)];
+        let mut pwb = vec![0.0f32; nchwc::packed_filter_len(cfg, block)];
+        nchwc::pack_input(cfg, &x, block, &mut pin);
+        nchwc::pack_filters(cfg, &w, block, &mut pwb);
+        let out_len = match case.pool {
+            Some((pw, ps)) => {
+                let po = nchwc::pooled_output(cfg, pw, ps);
+                cfg.batch * cfg.filters.div_ceil(block) * block * po * po
+            }
+            None => nchwc::packed_output_len(cfg, block),
+        };
+        let mut pout = vec![0.0f32; out_len];
+        let fused_body = |pout: &mut [f32]| match case.pool {
+            Some((pw, ps)) => nchwc::fused_conv_relu_pool(cfg, block, pw, ps, &pin, &pwb, pout),
+            None => nchwc::fused_conv_relu(cfg, block, &pin, &pwb, pout, true),
+        };
+        // The zero-alloc contract is part of what ships: a warm fused
+        // call must be entirely arena-served.
+        fused_body(&mut pout);
+        fused_body(&mut pout);
+        let (_, fresh) = workspace::alloc_scope(|| fused_body(&mut pout));
+        assert_eq!(
+            fresh, 0,
+            "{}: warm fused path allocated {fresh} fresh bytes",
+            case.name
+        );
+        let fused = time_wall(repeats, || {
+            fused_body(&mut pout);
+            std::hint::black_box(&pout);
+        });
+
+        let pack = time_wall(repeats, || {
+            nchwc::pack_input(cfg, &x, block, &mut pin);
+            nchwc::pack_filters(cfg, &w, block, &mut pwb);
+        });
+
+        let sp = stats(&planar);
+        let sf = stats(&fused);
+        let sk = stats(&pack);
+        let speedup = if sf.p50_ms > 0.0 {
+            sp.p50_ms / sf.p50_ms
+        } else {
+            1.0
+        };
+        println!(
+            "{:<20} planar {:>9} ms  fused {:>9} ms  pack {:>9} ms  {:>5.2}x{}",
+            case.name,
+            gcnn_bench::ms(sp.p50_ms),
+            gcnn_bench::ms(sf.p50_ms),
+            gcnn_bench::ms(sk.p50_ms),
+            speedup,
+            if case.headline { "  [headline]" } else { "" },
+        );
+        entries.push(LayoutEntry {
+            name: case.name.to_string(),
+            cfg: *cfg,
+            pool_window: case.pool.map(|(pw, _)| pw),
+            pool_stride: case.pool.map(|(_, ps)| ps),
+            headline: case.headline,
+            fused_p50_ms: sf.p50_ms,
+            planar_p50_ms: sp.p50_ms,
+            pack_p50_ms: sk.p50_ms,
+            speedup,
+        });
+    }
+    let headline: Vec<f64> = entries
+        .iter()
+        .filter(|e| e.headline)
+        .map(|e| e.speedup)
+        .collect();
+    let overall_speedup = (headline.iter().map(|s| s.max(1e-12).ln()).sum::<f64>()
+        / headline.len().max(1) as f64)
+        .exp();
+    println!("layout A/B sweep: headline fused {overall_speedup:.2}x over planar (geomean)");
+    LayoutReport {
+        isa,
+        block,
+        entries,
+        overall_speedup,
+    }
+}
+
 /// Time `body` under the native dispatch table, then with the table
 /// pinned to scalar; returns the two sections and the p50 speedup.
 fn ab_scalar(
@@ -416,5 +620,11 @@ fn main() {
     match gcnn_bench::write_json("BENCH_simd", &simd_report) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write BENCH_simd.json: {e}"),
+    }
+
+    let layout_report = bench_layout(repeats);
+    match gcnn_bench::write_json("BENCH_layout", &layout_report) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write BENCH_layout.json: {e}"),
     }
 }

@@ -315,6 +315,97 @@ pub fn fft_gate(report: &Value, min_overall_speedup: f64) -> Result<FftGate, Str
     })
 }
 
+/// Outcome of the layout gate over a `BENCH_layout.json` report.
+#[derive(Debug, Clone)]
+pub struct LayoutGate {
+    /// The ISA the report was produced under.
+    pub isa: String,
+    /// Geometric mean of the headline-entry speedups (fused NCHWc over
+    /// the unfused planar path).
+    pub overall_speedup: f64,
+    /// Human-readable reasons the gate failed; empty means pass.
+    pub failures: Vec<String>,
+}
+
+impl LayoutGate {
+    /// True when the fused-layout win held up (or the host is
+    /// scalar-only, where the gate is vacuous).
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line summary for CI logs.
+    pub fn render(&self) -> String {
+        if self.failures.is_empty() {
+            format!(
+                "layout gate: isa {} — fused nchwc {:.2}x over planar (geomean): ok",
+                self.isa, self.overall_speedup
+            )
+        } else {
+            format!(
+                "layout gate: isa {} — {}",
+                self.isa,
+                self.failures.join("; ")
+            )
+        }
+    }
+}
+
+/// Gate a `BENCH_layout.json` sweep: on a SIMD-capable host the
+/// geometric mean of the *headline* entries (channel counts that fill
+/// the SIMD block) must show the fused NCHWc path at least
+/// `min_speedup` faster than the unfused planar path, and no headline
+/// entry may have lost outright (floor 1.0×). Non-headline entries —
+/// remainder-heavy shapes like LeNet's 1- and 6-channel layers, kept in
+/// the report for honesty — are informational and never gate. Scalar
+/// hosts pass trivially: without a vector block the packed layout is
+/// pure overhead and the autotuner will not pick it.
+pub fn layout_gate(report: &Value, min_speedup: f64) -> Result<LayoutGate, String> {
+    const MIN_HEADLINE_SPEEDUP: f64 = 1.0;
+    let isa = report
+        .get("isa")
+        .and_then(Value::as_str)
+        .ok_or("layout report has no `isa`")?
+        .to_string();
+    let overall_speedup = report
+        .get("overall_speedup")
+        .and_then(Value::as_f64)
+        .ok_or("layout report has no `overall_speedup`")?;
+    let entries = report
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or("layout report has no `entries` array")?;
+    let mut failures = Vec::new();
+    if isa != "scalar" {
+        if overall_speedup < min_speedup {
+            failures.push(format!(
+                "headline speedup {overall_speedup:.2}x below floor {min_speedup:.2}x"
+            ));
+        }
+        for (i, e) in entries.iter().enumerate() {
+            // The vendored `Value` has no `as_bool` helper.
+            if !matches!(e.get("headline"), Some(Value::Bool(true))) {
+                continue;
+            }
+            let speedup = e
+                .get("speedup")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("layout entry {i}: missing `speedup`"))?;
+            if speedup < MIN_HEADLINE_SPEEDUP {
+                let name = e.get("name").and_then(Value::as_str).unwrap_or("?");
+                failures.push(format!(
+                    "{name}: {speedup:.2}x below per-entry floor {MIN_HEADLINE_SPEEDUP:.2}x"
+                ));
+            }
+        }
+    }
+    Ok(LayoutGate {
+        isa,
+        overall_speedup,
+        failures,
+    })
+}
+
 /// Outcome of the serving gate over a pair of `BENCH_serve.json`
 /// reports (committed baseline vs freshly measured).
 #[derive(Debug, Clone)]
@@ -754,6 +845,82 @@ mod tests {
         )
         .unwrap();
         assert!(fft_gate(&no_speedup, 2.0).is_err());
+    }
+
+    fn layout_report(isa: &str, overall: f64, cells: &[(&str, bool, f64)]) -> Value {
+        let entries = cells
+            .iter()
+            .map(|(name, headline, s)| {
+                format!(r#"{{"name":"{name}","headline":{headline},"speedup":{s}}}"#)
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        serde_json::from_str(&format!(
+            r#"{{"isa":"{isa}","overall_speedup":{overall},"entries":[{entries}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn layout_gate_passes_healthy_sweep() {
+        let rep = layout_report(
+            "avx2+fma",
+            1.6,
+            &[("vgg3_like", true, 1.7), ("lenet_conv1", false, 0.6)],
+        );
+        let gate = layout_gate(&rep, 1.15).unwrap();
+        assert!(gate.passed(), "{:?}", gate.failures);
+        assert!(gate.render().contains("ok"));
+    }
+
+    #[test]
+    fn layout_gate_fails_low_overall() {
+        let rep = layout_report("avx2+fma", 1.05, &[("vgg3_like", true, 1.05)]);
+        let gate = layout_gate(&rep, 1.15).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("headline speedup"));
+    }
+
+    #[test]
+    fn layout_gate_fails_losing_headline_entry_despite_good_overall() {
+        let rep = layout_report(
+            "avx2+fma",
+            1.4,
+            &[("vgg3_like", true, 2.1), ("alexnet_conv3", true, 0.9)],
+        );
+        let gate = layout_gate(&rep, 1.15).unwrap();
+        assert!(!gate.passed());
+        assert!(gate.render().contains("alexnet_conv3"));
+    }
+
+    #[test]
+    fn layout_gate_ignores_non_headline_losses() {
+        // Remainder-heavy shapes may legitimately lose to planar; they
+        // are reported but never gate.
+        let rep = layout_report(
+            "avx2+fma",
+            1.5,
+            &[("vgg3_like", true, 1.5), ("lenet_conv1", false, 0.4)],
+        );
+        assert!(layout_gate(&rep, 1.15).unwrap().passed());
+    }
+
+    #[test]
+    fn layout_gate_is_vacuous_on_scalar_hosts() {
+        let rep = layout_report("scalar", 0.8, &[("vgg3_like", true, 0.8)]);
+        assert!(layout_gate(&rep, 1.15).unwrap().passed());
+    }
+
+    #[test]
+    fn layout_gate_rejects_malformed_report() {
+        let bad: Value = serde_json::from_str(r#"{"isa":"avx2+fma"}"#).unwrap();
+        assert!(layout_gate(&bad, 1.15).is_err());
+        let no_speedup: Value = serde_json::from_str(
+            r#"{"isa":"avx2+fma","overall_speedup":1.5,
+                "entries":[{"name":"x","headline":true}]}"#,
+        )
+        .unwrap();
+        assert!(layout_gate(&no_speedup, 1.15).is_err());
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   channels and padding), including [`config::table1_configs`].
 //! * [`ConvAlgorithm`] — the strategy trait, with implementations
 //!   [`DirectConv`], [`UnrollConv`] and [`FftConv`].
+//! * [`nchwc`] — the channel-blocked direct path with fused
+//!   conv+ReLU(+pool) execution for inference.
 
 #![forbid(unsafe_code)]
 
@@ -25,6 +27,7 @@ pub mod fft_conv;
 pub mod gradcheck;
 pub mod grouped;
 pub mod layers;
+pub mod nchwc;
 pub mod reference;
 pub mod strategy;
 pub mod unroll;

@@ -1,0 +1,421 @@
+//! Direct convolution over the channel-blocked NCHWc layout, with
+//! optional fused ReLU and max-pool stages.
+//!
+//! The planar strategies pay for layout twice: im2col materializes a
+//! `ck² × o²` column matrix per image, and every layer boundary writes
+//! a full feature map that the next layer immediately re-reads. Packing
+//! activations as `[n][⌈c/b⌉][h][w][b]` (see `gcnn_tensor::nchwc`)
+//! removes both costs for the forward pass:
+//!
+//! * the inner channel block vectorizes directly — one broadcast lane
+//!   against a `b×b` filter panel per tap ([`gcnn_tensor::simd::conv_nchwc_tap`]),
+//!   so no column matrix exists at any stride;
+//! * conv+ReLU(+pool) chains run tile-at-a-time: one `(image, filter
+//!   block)` output plane lives in arena scratch, gets its activation
+//!   applied while cache-hot, and is pooled before the next plane is
+//!   touched — the full pre-pool feature map is never materialized
+//!   (the memory-efficiency move of arXiv:1610.03618).
+//!
+//! Spatial padding is baked into the packed input at pack time, so the
+//! hot loops are branch-free. This module is forward/inference only;
+//! training keeps the planar layouts and their backward kernels.
+
+use crate::config::ConvConfig;
+use crate::strategy::Unsupported;
+use gcnn_tensor::{nchwc, simd, workspace, Tensor4};
+use rayon::prelude::*;
+
+/// Whether the packed direct path can run `cfg` (forward only).
+pub fn supports(cfg: &ConvConfig) -> Result<(), Unsupported> {
+    if !cfg.is_valid() {
+        return Err(Unsupported::InvalidGeometry {
+            reason: "kernel larger than padded input".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Derived loop bounds of one packed convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedGeom {
+    /// Inner channel-block width.
+    pub block: usize,
+    /// Input channel blocks, `⌈c/b⌉`.
+    pub cblocks: usize,
+    /// Output channel blocks, `⌈f/b⌉`.
+    pub fblocks: usize,
+    /// Output spatial edge.
+    pub o: usize,
+    /// Kernel edge.
+    pub k: usize,
+    /// Convolution stride.
+    pub stride: usize,
+    /// Padded input height (`input + 2·pad`).
+    pub ihp: usize,
+    /// Padded input width (`input + 2·pad`).
+    pub iwp: usize,
+}
+
+impl PackedGeom {
+    /// Loop bounds for `cfg` at channel block `block`.
+    pub fn of(cfg: &ConvConfig, block: usize) -> Self {
+        PackedGeom {
+            block,
+            cblocks: cfg.channels.div_ceil(block),
+            fblocks: cfg.filters.div_ceil(block),
+            o: cfg.output(),
+            k: cfg.kernel,
+            stride: cfg.stride,
+            ihp: cfg.input + 2 * cfg.pad,
+            iwp: cfg.input + 2 * cfg.pad,
+        }
+    }
+
+    /// Elements of one packed input image.
+    pub fn image_in_len(&self) -> usize {
+        self.cblocks * self.ihp * self.iwp * self.block
+    }
+
+    /// Elements of one packed output image.
+    pub fn image_out_len(&self) -> usize {
+        self.fblocks * self.o * self.o * self.block
+    }
+
+    /// Elements of one packed output plane (one filter block).
+    pub fn plane_len(&self) -> usize {
+        self.o * self.o * self.block
+    }
+}
+
+/// Packed-input buffer length for `cfg` (spatial padding included).
+pub fn packed_input_len(cfg: &ConvConfig, block: usize) -> usize {
+    nchwc::packed_len(cfg.input_shape(), block, cfg.pad)
+}
+
+/// Packed-output buffer length for `cfg`.
+pub fn packed_output_len(cfg: &ConvConfig, block: usize) -> usize {
+    nchwc::packed_len(cfg.output_shape(), block, 0)
+}
+
+/// Packed filter-bank length for `cfg`.
+pub fn packed_filter_len(cfg: &ConvConfig, block: usize) -> usize {
+    nchwc::packed_filter_len(cfg.filter_shape(), block)
+}
+
+/// Pooled-output spatial edge for a conv output pooled by
+/// `window`/`stride` (the `PoolLayer` formula, no pool padding).
+pub fn pooled_output(cfg: &ConvConfig, window: usize, stride: usize) -> usize {
+    (cfg.output() - window) / stride + 1
+}
+
+/// Pack a planar input for `cfg` (bakes `cfg.pad` zero borders in).
+pub fn pack_input(cfg: &ConvConfig, input: &Tensor4, block: usize, dst: &mut [f32]) {
+    assert_eq!(input.shape(), cfg.input_shape(), "pack_input: shape");
+    nchwc::pack_nchwc_into(input.as_slice(), input.shape(), block, cfg.pad, dst);
+}
+
+/// Pack a planar `(f, c, k, k)` filter bank for `cfg`.
+pub fn pack_filters(cfg: &ConvConfig, filters: &Tensor4, block: usize, dst: &mut [f32]) {
+    assert_eq!(filters.shape(), cfg.filter_shape(), "pack_filters: shape");
+    nchwc::pack_filters_into(filters.as_slice(), filters.shape(), block, dst);
+}
+
+/// Accumulate one `(image, filter block)` output plane.
+///
+/// `out_plane` (`o²·b`, caller-zeroed) accumulates over input channel
+/// blocks and kernel taps; `packed_img` is one image of the padded
+/// packed input; `packed_w` the whole packed filter bank. The padded
+/// borders and zeroed remainder lanes make every tap unconditional —
+/// this loop nest has no branches beyond its trip counts.
+pub fn forward_tile(
+    g: &PackedGeom,
+    packed_img: &[f32],
+    packed_w: &[f32],
+    fb: usize,
+    out_plane: &mut [f32],
+) {
+    let b = g.block;
+    let bb = b * b;
+    let row = g.o * b;
+    for cb in 0..g.cblocks {
+        let wbase = (fb * g.cblocks + cb) * g.k * g.k * bb;
+        let ibase = cb * g.ihp * g.iwp * b;
+        for oy in 0..g.o {
+            let orow = &mut out_plane[oy * row..(oy + 1) * row];
+            for ky in 0..g.k {
+                let iy = oy * g.stride + ky;
+                let irow0 = ibase + iy * g.iwp * b;
+                for kx in 0..g.k {
+                    let tap = &packed_w[wbase + (ky * g.k + kx) * bb..][..bb];
+                    let irow = &packed_img[irow0 + kx * b..];
+                    simd::conv_nchwc_tap(orow, irow, tap, g.o, g.stride, b);
+                }
+            }
+        }
+    }
+}
+
+/// Packed direct convolution forward, optionally fusing ReLU into each
+/// output plane while it is cache-hot.
+///
+/// `packed_in`/`packed_w` come from [`pack_input`]/[`pack_filters`];
+/// `out` receives the packed `[n][⌈f/b⌉][o][o][b]` result. Parallel
+/// over images, like the planar strategies.
+pub fn fused_conv_relu(
+    cfg: &ConvConfig,
+    block: usize,
+    packed_in: &[f32],
+    packed_w: &[f32],
+    out: &mut [f32],
+    relu: bool,
+) {
+    let _span = gcnn_trace::span("conv.nchwc.forward");
+    let g = PackedGeom::of(cfg, block);
+    assert_eq!(
+        packed_in.len(),
+        cfg.batch * g.image_in_len(),
+        "fused_conv_relu: packed_in"
+    );
+    assert_eq!(
+        packed_w.len(),
+        packed_filter_len(cfg, block),
+        "fused_conv_relu: packed_w"
+    );
+    assert_eq!(
+        out.len(),
+        cfg.batch * g.image_out_len(),
+        "fused_conv_relu: out"
+    );
+    out.par_chunks_mut(g.image_out_len())
+        .enumerate()
+        .for_each(|(n, oimg)| {
+            let pimg = &packed_in[n * g.image_in_len()..(n + 1) * g.image_in_len()];
+            for (fb, plane) in oimg.chunks_mut(g.plane_len()).enumerate() {
+                plane.fill(0.0);
+                forward_tile(&g, pimg, packed_w, fb, plane);
+                if relu {
+                    simd::relu_inplace(plane);
+                }
+            }
+        });
+}
+
+/// Packed conv+ReLU+max-pool, tile-at-a-time: each `(image, filter
+/// block)` conv plane lives only in arena scratch — ReLU is applied
+/// in-tile and the pool fold writes the final pooled plane, so the
+/// intermediate feature map is never materialized.
+///
+/// `out` receives the packed `[n][⌈f/b⌉][po][po][b]` pooled result
+/// where `po = `[`pooled_output`]`(cfg, window, pool_stride)`.
+pub fn fused_conv_relu_pool(
+    cfg: &ConvConfig,
+    block: usize,
+    window: usize,
+    pool_stride: usize,
+    packed_in: &[f32],
+    packed_w: &[f32],
+    out: &mut [f32],
+) {
+    let _span = gcnn_trace::span("conv.nchwc.forward_pool");
+    let g = PackedGeom::of(cfg, block);
+    let po = pooled_output(cfg, window, pool_stride);
+    let pooled_plane = po * po * block;
+    assert_eq!(
+        packed_in.len(),
+        cfg.batch * g.image_in_len(),
+        "fused_conv_relu_pool: packed_in"
+    );
+    assert_eq!(
+        packed_w.len(),
+        packed_filter_len(cfg, block),
+        "fused_conv_relu_pool: packed_w"
+    );
+    assert_eq!(
+        out.len(),
+        cfg.batch * g.fblocks * pooled_plane,
+        "fused_conv_relu_pool: out"
+    );
+    out.par_chunks_mut(g.fblocks * pooled_plane)
+        .enumerate()
+        .for_each(|(n, oimg)| {
+            let pimg = &packed_in[n * g.image_in_len()..(n + 1) * g.image_in_len()];
+            // One conv plane of scratch per worker, recycled from the
+            // thread-local arena: steady state allocates nothing, and
+            // the full conv output (batch × f × o²) never exists.
+            let mut tile = workspace::take_f32(g.plane_len());
+            for (fb, pooled) in oimg.chunks_mut(pooled_plane).enumerate() {
+                let t = tile.as_mut_slice();
+                t.fill(0.0);
+                forward_tile(&g, pimg, packed_w, fb, t);
+                simd::relu_inplace(t);
+                max_pool_tile(t, g.o, block, window, pool_stride, po, pooled);
+            }
+        });
+}
+
+/// Fold one relu'd conv plane into its pooled plane: `pooled[py, px] =
+/// max` over the `window²` tile positions, lane-wise across the block.
+pub fn max_pool_tile(
+    tile: &[f32],
+    o: usize,
+    block: usize,
+    window: usize,
+    stride: usize,
+    po: usize,
+    pooled: &mut [f32],
+) {
+    debug_assert!(tile.len() >= o * o * block);
+    debug_assert!(pooled.len() >= po * po * block);
+    for py in 0..po {
+        for px in 0..po {
+            let dst = &mut pooled[(py * po + px) * block..(py * po + px + 1) * block];
+            let iy0 = py * stride;
+            let ix0 = px * stride;
+            dst.copy_from_slice(&tile[(iy0 * o + ix0) * block..][..block]);
+            for wy in 0..window {
+                for wx in 0..window {
+                    if wy == 0 && wx == 0 {
+                        continue;
+                    }
+                    let src = &tile[((iy0 + wy) * o + ix0 + wx) * block..][..block];
+                    simd::max_assign(dst, src);
+                }
+            }
+        }
+    }
+}
+
+/// Planar-in, planar-out convenience wrapper: pack, run the fused
+/// packed path, unpack. All intermediates come from the arena, so a
+/// warm caller allocates only the output tensor. Used by equivalence
+/// tests and the autotune substrate's measurement setup.
+pub fn forward_planar(cfg: &ConvConfig, input: &Tensor4, filters: &Tensor4, relu: bool) -> Tensor4 {
+    let block = simd::preferred_block();
+    let mut pin = workspace::take_f32(packed_input_len(cfg, block));
+    let mut pw = workspace::take_f32(packed_filter_len(cfg, block));
+    let mut pout = workspace::take_f32(packed_output_len(cfg, block));
+    pack_input(cfg, input, block, pin.as_mut_slice());
+    pack_filters(cfg, filters, block, pw.as_mut_slice());
+    fused_conv_relu(
+        cfg,
+        block,
+        pin.as_slice(),
+        pw.as_slice(),
+        pout.as_mut_slice(),
+        relu,
+    );
+    let mut out = Tensor4::zeros(cfg.output_shape());
+    nchwc::unpack_nchwc_from(pout.as_slice(), out.shape(), block, out.as_mut_slice());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectConv;
+    use crate::layers::{PoolKind, PoolLayer, ReluLayer};
+    use crate::strategy::ConvAlgorithm;
+    use gcnn_tensor::init::uniform_tensor;
+
+    fn tolerance_check(a: &Tensor4, b: &Tensor4, tol: f32, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        let d = a.max_abs_diff(b).unwrap();
+        assert!(d <= tol, "{what}: max abs diff {d} > {tol}");
+    }
+
+    /// The packed path must match the planar direct algorithm on
+    /// geometries covering remainder channels, stride > 1, and padding.
+    /// Accumulation orders differ ((cb, ky, kx, ci) vs (c, ky, kx)), so
+    /// the comparison budgets a few ulps, not bit equality.
+    #[test]
+    fn packed_forward_matches_direct() {
+        let cases = [
+            ConvConfig::with_channels(2, 3, 8, 4, 3, 1),
+            ConvConfig::with_channels(1, 1, 5, 1, 5, 1),
+            ConvConfig::with_channels(3, 2, 9, 5, 3, 2),
+            ConvConfig::with_channels(2, 8, 7, 16, 3, 1),
+            ConvConfig::with_channels(2, 10, 6, 9, 3, 3),
+        ];
+        for (i, mut cfg) in cases.into_iter().enumerate() {
+            if i == 3 {
+                cfg.pad = 1;
+            }
+            supports(&cfg).expect("valid geometry");
+            let input = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 41 + i as u64);
+            let filters = uniform_tensor(cfg.filter_shape(), -0.5, 0.5, 51 + i as u64);
+            let want = DirectConv::new().forward(&cfg, &input, &filters);
+            let got = forward_planar(&cfg, &input, &filters, false);
+            tolerance_check(&got, &want, 1e-4, "packed vs direct");
+        }
+    }
+
+    #[test]
+    fn fused_relu_matches_separate_relu() {
+        let mut cfg = ConvConfig::with_channels(2, 6, 8, 10, 3, 1);
+        cfg.pad = 1;
+        let input = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 7);
+        let filters = uniform_tensor(cfg.filter_shape(), -0.5, 0.5, 8);
+        let unfused = ReluLayer.forward(&forward_planar(&cfg, &input, &filters, false));
+        let fused = forward_planar(&cfg, &input, &filters, true);
+        // Same conv numerics underneath: only the activation placement
+        // differs, so this comparison is exact.
+        assert_eq!(fused.as_slice(), unfused.as_slice());
+    }
+
+    #[test]
+    fn fused_pool_matches_separate_pool() {
+        let cfg = ConvConfig::with_channels(2, 6, 9, 10, 4, 1);
+        let (window, stride) = (2, 2);
+        let block = simd::preferred_block();
+        let input = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 9);
+        let filters = uniform_tensor(cfg.filter_shape(), -0.5, 0.5, 10);
+
+        let conv = forward_planar(&cfg, &input, &filters, true);
+        let want = PoolLayer::new(PoolKind::Max, window, stride)
+            .forward(&conv)
+            .output;
+
+        let mut pin = vec![0.0; packed_input_len(&cfg, block)];
+        let mut pw = vec![0.0; packed_filter_len(&cfg, block)];
+        pack_input(&cfg, &input, block, &mut pin);
+        pack_filters(&cfg, &filters, block, &mut pw);
+        let po = pooled_output(&cfg, window, stride);
+        let pooled_shape = gcnn_tensor::Shape4::new(cfg.batch, cfg.filters, po, po);
+        let mut pout = vec![0.0; nchwc::packed_len(pooled_shape, block, 0)];
+        fused_conv_relu_pool(&cfg, block, window, stride, &pin, &pw, &mut pout);
+        let mut got = Tensor4::zeros(pooled_shape);
+        nchwc::unpack_nchwc_from(&pout, pooled_shape, block, got.as_mut_slice());
+        tolerance_check(&got, &want, 1e-5, "fused pool vs PoolLayer");
+    }
+
+    /// Warm fused calls must check out every buffer from the arena:
+    /// zero fresh allocations in steady state.
+    #[test]
+    fn fused_path_is_zero_alloc_when_warm() {
+        let mut cfg = ConvConfig::with_channels(2, 8, 8, 16, 3, 1);
+        cfg.pad = 1;
+        let input = uniform_tensor(cfg.input_shape(), -1.0, 1.0, 3);
+        let filters = uniform_tensor(cfg.filter_shape(), -0.5, 0.5, 4);
+        // Warm both fused drivers (and rayon's worker-local pools).
+        for _ in 0..2 {
+            let _ = forward_planar(&cfg, &input, &filters, true);
+        }
+        let block = simd::preferred_block();
+        let mut pin = vec![0.0; packed_input_len(&cfg, block)];
+        let mut pw = vec![0.0; packed_filter_len(&cfg, block)];
+        let po = pooled_output(&cfg, 2, 2);
+        let mut pooled = vec![0.0; cfg.batch * cfg.filters.div_ceil(block) * block * po * po];
+        pack_input(&cfg, &input, block, &mut pin);
+        pack_filters(&cfg, &filters, block, &mut pw);
+        for _ in 0..2 {
+            fused_conv_relu_pool(&cfg, block, 2, 2, &pin, &pw, &mut pooled);
+        }
+
+        let (_, fresh) = workspace::alloc_scope(|| {
+            let mut pout = workspace::take_f32(packed_output_len(&cfg, block));
+            fused_conv_relu(&cfg, block, &pin, &pw, pout.as_mut_slice(), true);
+            fused_conv_relu_pool(&cfg, block, 2, 2, &pin, &pw, &mut pooled);
+        });
+        assert_eq!(fresh, 0, "fused hot path must not allocate when warm");
+    }
+}

@@ -45,6 +45,37 @@ proptest! {
         prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-3, "at {cfg}");
     }
 
+    /// The packed NCHWc direct path agrees with the planar direct
+    /// algorithm on arbitrary valid geometries — remainder channels,
+    /// stride, padding. Accumulation orders differ ((cb, ky, kx, ci)
+    /// packed vs (c, ky, kx) planar), so the bound budgets ulps; under
+    /// `GCNN_FORCE_SCALAR=1` (the CI force-scalar job) both sides run
+    /// the scalar kernels and the same bound pins scalar-vs-scalar.
+    #[test]
+    fn nchwc_equals_direct(cfg in small_config(), seed in 0u64..1000) {
+        prop_assume!(gcnn_conv::nchwc::supports(&cfg).is_ok());
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, seed);
+        let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, seed + 7);
+        let a = gcnn_conv::nchwc::forward_planar(&cfg, &x, &w, false);
+        let b = DirectConv.forward(&cfg, &x, &w);
+        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-3, "at {cfg}");
+    }
+
+    /// Fusing the activation into the conv tile must be *bit*-identical
+    /// to convolving and then applying ReLU separately: the conv
+    /// numerics are the same code path, only the activation placement
+    /// differs. Holds on every ISA, including `GCNN_FORCE_SCALAR=1`.
+    #[test]
+    fn fused_relu_bitwise_equals_unfused(cfg in small_config(), seed in 0u64..1000) {
+        prop_assume!(gcnn_conv::nchwc::supports(&cfg).is_ok());
+        let x = uniform_tensor(cfg.input_shape(), -1.0, 1.0, seed);
+        let w = uniform_tensor(cfg.filter_shape(), -1.0, 1.0, seed + 8);
+        let unfused = gcnn_conv::layers::ReluLayer
+            .forward(&gcnn_conv::nchwc::forward_planar(&cfg, &x, &w, false));
+        let fused = gcnn_conv::nchwc::forward_planar(&cfg, &x, &w, true);
+        prop_assert_eq!(fused.as_slice(), unfused.as_slice(), "at {}", cfg);
+    }
+
     #[test]
     fn fft_equals_reference_when_supported(cfg in small_config(), seed in 0u64..1000) {
         prop_assume!(FftConv.supports(&cfg).is_ok());

@@ -11,8 +11,10 @@ use gcnn_autotune::{SelectionSource, Substrate, Tuner, TuningCache};
 use gcnn_conv::layers::{
     softmax_cross_entropy, FcLayer, PoolForward, PoolKind, PoolLayer, ReluLayer,
 };
+use gcnn_conv::nchwc as packed;
 use gcnn_conv::{algorithm_for, ConvConfig, Strategy};
-use gcnn_tensor::{Shape4, Tensor4, Workspace};
+use gcnn_tensor::workspace::{self, Scratch};
+use gcnn_tensor::{nchwc, Layout, Shape4, Tensor4, Workspace};
 use serde::Serialize;
 
 /// A trainable layer.
@@ -25,6 +27,12 @@ enum NetLayer {
         stride: usize,
         pad: usize,
         strategy: Strategy,
+        /// Forward-pass tensor layout. Planar [`Layout::Nchw`] runs the
+        /// strategy's `forward_ws`; a channel-blocked `NCHW{8,16}c`
+        /// layout routes inference through the fused packed path
+        /// (training always runs planar — the blocked path is
+        /// forward-only).
+        layout: Layout,
     },
     Relu,
     MaxPool {
@@ -55,6 +63,44 @@ enum Cache {
     Fc {
         input: Tensor4,
     },
+}
+
+/// An activation flowing through [`Network::infer_ws`]: planar, or
+/// packed NCHWc (arena-backed) between adjacent blocked conv layers.
+/// Keeping the packed form across layer boundaries is what makes the
+/// pack/unpack transitions explicit and minimal: a conversion happens
+/// only where consecutive layers disagree on layout.
+enum Act {
+    Planar(Tensor4),
+    Packed {
+        /// Packed `[n][⌈c/b⌉][h][w][b]` buffer (no spatial padding).
+        buf: Scratch<f32>,
+        /// The planar shape this buffer packs.
+        shape: Shape4,
+        /// Inner channel-block width.
+        block: usize,
+    },
+}
+
+impl Act {
+    fn shape(&self) -> Shape4 {
+        match self {
+            Act::Planar(t) => t.shape(),
+            Act::Packed { shape, .. } => *shape,
+        }
+    }
+
+    /// Unpack to planar if needed (the explicit layout transition).
+    fn into_planar(self) -> Tensor4 {
+        match self {
+            Act::Planar(t) => t,
+            Act::Packed { buf, shape, block } => {
+                let mut t = Tensor4::zeros(shape);
+                nchwc::unpack_nchwc_from(buf.as_slice(), shape, block, t.as_mut_slice());
+                t
+            }
+        }
+    }
 }
 
 /// A sequential CNN.
@@ -102,6 +148,10 @@ pub struct TunedLayer {
     pub implementation: String,
     /// The strategy the layer will execute from now on.
     pub strategy: Strategy,
+    /// The tensor layout the layer will execute in from now on (planar
+    /// `Nchw`, or a channel-blocked `NCHW{8,16}c` for the fused packed
+    /// forward path).
+    pub layout: Layout,
     /// The winner's (measured or modeled) time, milliseconds.
     pub time_ms: f64,
     /// Where the decision came from (cache / measurement / heuristic).
@@ -138,8 +188,34 @@ impl Network {
             stride,
             pad,
             strategy,
+            layout: Layout::Nchw,
         });
         self
+    }
+
+    /// Set the forward-pass layout of the conv layer at `layer_index`
+    /// (its index within the network, as reported by
+    /// [`TunedLayer::layer_index`] / [`Network::conv_layouts`]).
+    ///
+    /// # Panics
+    /// If `layer_index` is out of range or not a convolution.
+    pub fn set_conv_layout(&mut self, layer_index: usize, layout: Layout) {
+        match self.layers.get_mut(layer_index) {
+            Some(NetLayer::Conv { layout: l, .. }) => *l = layout,
+            _ => panic!("set_conv_layout: layer {layer_index} is not a conv layer"),
+        }
+    }
+
+    /// `(layer_index, layout)` of every conv layer, in network order.
+    pub fn conv_layouts(&self) -> Vec<(usize, Layout)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, layer)| match layer {
+                NetLayer::Conv { layout, .. } => Some((i, *layout)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Append a ReLU.
@@ -245,6 +321,7 @@ impl Network {
                     stride,
                     pad,
                     strategy,
+                    layout,
                     ..
                 } => {
                     let w = weights.shape();
@@ -253,11 +330,13 @@ impl Network {
                     cfg.pad = *pad;
                     if let Some(sel) = tuner.select(substrate, cache, &cfg, direction) {
                         *strategy = sel.strategy;
+                        *layout = sel.layout;
                         schedule.push(TunedLayer {
                             layer_index: i,
                             cfg,
                             implementation: sel.implementation,
                             strategy: sel.strategy,
+                            layout: sel.layout,
                             time_ms: sel.time_ms,
                             source: sel.source,
                         });
@@ -350,42 +429,168 @@ impl Network {
     /// `input.shape().n` is the mini-batch size — the paper's first
     /// sweep axis — and any size may be used from call to call; the
     /// arena's size-classed pools absorb the variation.
+    /// Layers whose layout is a channel-blocked `NCHW{8,16}c` execute
+    /// the fused packed path instead: a blocked conv consumes a
+    /// directly following ReLU (and, after it, a max-pool) in a single
+    /// tile-at-a-time pass, so the intermediate feature maps between
+    /// the fused stages are never materialized. Activations stay packed
+    /// between adjacent blocked convs; pack/unpack transitions happen
+    /// only where consecutive layers disagree on layout.
     pub fn infer_ws(&self, input: &Tensor4, ws: &mut Workspace) -> Tensor4 {
         let _span = gcnn_trace::span("network.infer");
-        let mut x = input.clone();
-        for (i, layer) in self.layers.iter().enumerate() {
-            match layer {
+        let mut x = Act::Planar(input.clone());
+        let mut i = 0;
+        while i < self.layers.len() {
+            match &self.layers[i] {
                 NetLayer::Conv {
                     weights,
                     stride,
                     pad,
                     strategy,
+                    layout,
                     ..
                 } => {
-                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.conv"));
                     let s = x.shape();
                     let w = weights.shape();
                     let mut cfg = ConvConfig::with_channels(s.n, s.c, s.h, w.n, w.h, *stride);
                     cfg.pad = *pad;
+                    let blocked = layout
+                        .channel_block()
+                        .filter(|_| packed::supports(&cfg).is_ok());
+                    if let Some(block) = blocked {
+                        let _layer = gcnn_trace::span_owned(|| format!("layer{i}.conv_nchwc"));
+                        let (act, consumed) = self.fused_packed_chain(i, &cfg, weights, block, x);
+                        x = act;
+                        i += consumed;
+                        continue;
+                    }
+                    let _layer = gcnn_trace::span_owned(|| format!("layer{i}.conv"));
+                    let xp = x.into_planar();
                     let algo = algorithm_for(*strategy);
-                    x = algo.forward_ws(&cfg, &x, weights, ws);
+                    x = Act::Planar(algo.forward_ws(&cfg, &xp, weights, ws));
                 }
                 NetLayer::Relu => {
                     let _layer = gcnn_trace::span_owned(|| format!("layer{i}.relu"));
-                    x = ReluLayer.forward(&x);
+                    x = Act::Planar(ReluLayer.forward(&x.into_planar()));
                 }
                 NetLayer::MaxPool { window, stride } => {
                     let _layer = gcnn_trace::span_owned(|| format!("layer{i}.max_pool"));
                     let pool = PoolLayer::new(PoolKind::Max, *window, *stride);
-                    x = pool.forward(&x).output;
+                    x = Act::Planar(pool.forward(&x.into_planar()).output);
                 }
                 NetLayer::Fc { layer, .. } => {
                     let _layer = gcnn_trace::span_owned(|| format!("layer{i}.fc"));
-                    x = layer.forward(&x);
+                    x = Act::Planar(layer.forward(&x.into_planar()));
                 }
             }
+            i += 1;
         }
-        x
+        x.into_planar()
+    }
+
+    /// Execute one blocked conv starting at layer `i`, fusing a
+    /// directly following ReLU (and max-pool after it) when present.
+    /// Returns the packed output activation and how many layers were
+    /// consumed. All buffers (packed input, packed weights, packed
+    /// output) come from the thread-local arena, so a warm caller
+    /// allocates nothing on this path.
+    fn fused_packed_chain(
+        &self,
+        i: usize,
+        cfg: &ConvConfig,
+        weights: &Tensor4,
+        block: usize,
+        x: Act,
+    ) -> (Act, usize) {
+        let fuse_relu = matches!(self.layers.get(i + 1), Some(NetLayer::Relu));
+        let fuse_pool = if fuse_relu {
+            match self.layers.get(i + 2) {
+                Some(NetLayer::MaxPool { window, stride }) if cfg.output() >= *window => {
+                    Some((*window, *stride))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+
+        // Bring the activation into packed form with this layer's
+        // spatial padding baked in (the zero borders make the conv
+        // loops branch-free).
+        let pin = match x {
+            Act::Packed {
+                buf,
+                shape,
+                block: prev,
+            } if prev == block => {
+                if cfg.pad == 0 {
+                    buf // already in exactly the form the kernel wants
+                } else {
+                    let mut padded = workspace::take_f32(packed::packed_input_len(cfg, block));
+                    nchwc::repad_packed(
+                        buf.as_slice(),
+                        shape,
+                        block,
+                        cfg.pad,
+                        padded.as_mut_slice(),
+                    );
+                    padded
+                }
+            }
+            other => {
+                let planar = other.into_planar();
+                let mut fresh = workspace::take_f32(packed::packed_input_len(cfg, block));
+                packed::pack_input(cfg, &planar, block, fresh.as_mut_slice());
+                fresh
+            }
+        };
+        // Weights are packed per call: the bank is tiny next to the
+        // conv itself, and repacking keeps training updates (which
+        // mutate the planar weights) from invalidating anything.
+        let mut pw = workspace::take_f32(packed::packed_filter_len(cfg, block));
+        packed::pack_filters(cfg, weights, block, pw.as_mut_slice());
+
+        if let Some((window, pstride)) = fuse_pool {
+            let po = packed::pooled_output(cfg, window, pstride);
+            let oshape = Shape4::new(cfg.batch, cfg.filters, po, po);
+            let mut pout = workspace::take_f32(nchwc::packed_len(oshape, block, 0));
+            packed::fused_conv_relu_pool(
+                cfg,
+                block,
+                window,
+                pstride,
+                pin.as_slice(),
+                pw.as_slice(),
+                pout.as_mut_slice(),
+            );
+            (
+                Act::Packed {
+                    buf: pout,
+                    shape: oshape,
+                    block,
+                },
+                3,
+            )
+        } else {
+            let oshape = cfg.output_shape();
+            let mut pout = workspace::take_f32(packed::packed_output_len(cfg, block));
+            packed::fused_conv_relu(
+                cfg,
+                block,
+                pin.as_slice(),
+                pw.as_slice(),
+                pout.as_mut_slice(),
+                fuse_relu,
+            );
+            (
+                Act::Packed {
+                    buf: pout,
+                    shape: oshape,
+                    block,
+                },
+                1 + usize::from(fuse_relu),
+            )
+        }
     }
 
     /// Predicted class per image.
@@ -804,6 +1009,115 @@ mod tests {
         // a warm workspace after the first batch.
         let again = net.infer_ws(&x, &mut ws);
         assert_eq!(again, cached);
+    }
+
+    #[test]
+    fn blocked_layout_inference_matches_planar() {
+        // LeNet-5 with every conv forced to the blocked layout: both
+        // conv+relu+pool chains run fused, and the result must agree
+        // with the planar path. Accumulation orders differ between the
+        // packed and planar kernels, so the comparison budgets ulps.
+        let x = synthetic_digits(5, 16, 4, 8).images;
+        let planar = Network::lenet5(16, 4, Strategy::Direct, 17);
+        let mut blocked = Network::lenet5(16, 4, Strategy::Direct, 17);
+        for (idx, _) in planar.conv_layouts() {
+            blocked.set_conv_layout(idx, gcnn_tensor::nchwc::preferred_layout());
+        }
+        let want = planar.forward(&x);
+        let got = blocked.forward(&x);
+        assert_eq!(want.shape(), got.shape());
+        assert!(
+            want.max_abs_diff(&got).unwrap() < 1e-4,
+            "fused blocked inference diverged from planar"
+        );
+    }
+
+    #[test]
+    fn adjacent_blocked_convs_stay_packed_and_match_planar() {
+        // conv(pad=1)+relu → conv(pad=1)+relu → conv (no relu): the
+        // activation stays packed across all three conv boundaries
+        // (exercising the repad transition, since pad > 0), and the
+        // trailing unfused blocked conv unpacks only at the end.
+        let build = || {
+            Network::new(0.05)
+                .conv(3, 10, 3, 1, 1, Strategy::Direct, 5)
+                .relu()
+                .conv(10, 8, 3, 1, 1, Strategy::Direct, 6)
+                .relu()
+                .conv(8, 4, 3, 1, 0, Strategy::Direct, 7)
+        };
+        let x = gcnn_tensor::init::uniform_tensor(Shape4::new(2, 3, 10, 10), -1.0, 1.0, 12);
+        let planar = build();
+        let mut blocked = build();
+        for (idx, _) in planar.conv_layouts() {
+            blocked.set_conv_layout(idx, gcnn_tensor::nchwc::preferred_layout());
+        }
+        let want = planar.forward(&x);
+        let got = blocked.forward(&x);
+        assert!(
+            want.max_abs_diff(&got).unwrap() < 1e-4,
+            "packed conv chain diverged from planar"
+        );
+    }
+
+    #[test]
+    fn blocked_inference_is_arena_served_when_warm() {
+        // The fused path checks every intermediate out of the arena;
+        // after a warm-up round, a whole forward pass must add no fresh
+        // pool allocations (Tensor4 outputs are plain allocations and
+        // are not counted — the arena discipline covers scratch).
+        let mut net = Network::lenet5(16, 4, Strategy::Direct, 23);
+        for (idx, _) in net.conv_layouts() {
+            net.set_conv_layout(idx, gcnn_tensor::nchwc::preferred_layout());
+        }
+        let x = synthetic_digits(4, 16, 4, 3).images;
+        let mut ws = Workspace::new();
+        for _ in 0..2 {
+            let _ = net.infer_ws(&x, &mut ws);
+        }
+        let (_, fresh) = gcnn_tensor::workspace::alloc_scope(|| {
+            let _ = net.infer_ws(&x, &mut ws);
+        });
+        assert_eq!(fresh, 0, "warm blocked inference must not miss the arena");
+    }
+
+    #[test]
+    fn tune_rebinds_layouts_consistently() {
+        // Whatever the tuner picks, the network's per-layer layouts
+        // must mirror the schedule — and an "nchwc" winner must carry a
+        // blocked layout.
+        use gcnn_autotune::{CpuSubstrate, Direction, Policy};
+
+        let sub = CpuSubstrate::new();
+        let mut cache = gcnn_autotune::TuningCache::new();
+        let tuner = Tuner::new(Policy::Measure).with_params(gcnn_autotune::MeasureParams {
+            repeats: gcnn_autotune::Repeats::new(1, 2),
+            timeout_ms: None,
+        });
+        let mut net = Network::lenet5(16, 4, Strategy::Direct, 1);
+        let schedule = net.tune_for(
+            Shape4::new(4, 1, 16, 16),
+            &tuner,
+            &sub,
+            &mut cache,
+            Direction::Forward,
+        );
+        assert_eq!(schedule.len(), 2);
+        let layouts = net.conv_layouts();
+        for (t, (idx, layout)) in schedule.iter().zip(&layouts) {
+            assert_eq!(t.layer_index, *idx);
+            assert_eq!(t.layout, *layout);
+            assert_eq!(
+                t.implementation == "nchwc",
+                t.layout.is_blocked(),
+                "only the nchwc candidate runs blocked"
+            );
+        }
+        // The rebound network must still infer correctly.
+        let x = synthetic_digits(4, 16, 4, 3).images;
+        let reference = Network::lenet5(16, 4, Strategy::Direct, 1).forward(&x);
+        let tuned = net.forward(&x);
+        assert!(reference.max_abs_diff(&tuned).unwrap() < 1e-4);
     }
 
     #[test]

@@ -23,9 +23,52 @@ pub enum Layout {
     /// layout, produced by its `Transpose` kernel so the per-frequency
     /// complex GEMM reads contiguous `[c × n]` panels.
     Hwcn,
+    /// Channel-blocked NCHW with an inner block of 8:
+    /// `[n][⌈c/8⌉][h][w][8]`. The layout oneDNN and the cuDNN CPU
+    /// backends converged on: the innermost 8 channels sit contiguously
+    /// so a direct convolution broadcasts one input lane against a full
+    /// SIMD vector of filter taps — no im2col expansion needed. When
+    /// `c % 8 != 0` the trailing lanes of the last block are zero
+    /// padding (see `crate::nchwc`), so the buffer is larger than the
+    /// logical element count.
+    Nchw8c,
+    /// Channel-blocked NCHW with an inner block of 16
+    /// (`[n][⌈c/16⌉][h][w][16]`), for 512-bit SIMD hosts. Stride math
+    /// and pack/unpack are block-generic; the AVX2 kernels use
+    /// [`Layout::Nchw8c`].
+    Nchw16c,
 }
 
 impl Layout {
+    /// Inner channel-block width, or `None` for the planar layouts.
+    #[inline]
+    pub const fn channel_block(&self) -> Option<usize> {
+        match self {
+            Layout::Nchw8c => Some(8),
+            Layout::Nchw16c => Some(16),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a channel-blocked (NCHWc) layout.
+    #[inline]
+    pub const fn is_blocked(&self) -> bool {
+        self.channel_block().is_some()
+    }
+
+    /// Buffer length (in elements) a tensor of logical shape
+    /// `(nn, cc, hh, ww)` occupies in this layout. Planar layouts store
+    /// exactly `nn*cc*hh*ww`; blocked layouts round the channel count up
+    /// to a whole number of blocks, so remainder channels cost zero
+    /// padding rather than a scalar tail in every kernel.
+    #[inline]
+    pub const fn buffer_len(&self, (nn, cc, hh, ww): (usize, usize, usize, usize)) -> usize {
+        match self.channel_block() {
+            Some(b) => nn * cc.div_ceil(b) * b * hh * ww,
+            None => nn * cc * hh * ww,
+        }
+    }
+
     /// Linear offset of logical element `(n, c, h, w)` in a tensor of
     /// logical shape `(nn, cc, hh, ww)` stored in this layout.
     #[inline]
@@ -38,7 +81,20 @@ impl Layout {
             Layout::Nchw => ((n * cc + c) * hh + h) * ww + w,
             Layout::Chwn => ((c * hh + h) * ww + w) * nn + n,
             Layout::Hwcn => ((h * ww + w) * cc + c) * nn + n,
+            Layout::Nchw8c => Self::blocked_offset(8, (nn, cc, hh, ww), (n, c, h, w)),
+            Layout::Nchw16c => Self::blocked_offset(16, (nn, cc, hh, ww), (n, c, h, w)),
         }
+    }
+
+    /// `[n][c/b][h][w][c%b]` stride math shared by the blocked variants.
+    #[inline]
+    const fn blocked_offset(
+        b: usize,
+        (_nn, cc, hh, ww): (usize, usize, usize, usize),
+        (n, c, h, w): (usize, usize, usize, usize),
+    ) -> usize {
+        let blocks = cc.div_ceil(b);
+        ((((n * blocks + c / b) * hh + h) * ww + w) * b) + c % b
     }
 
     /// Short name used in reports.
@@ -47,6 +103,8 @@ impl Layout {
             Layout::Nchw => "NCHW",
             Layout::Chwn => "CHWN",
             Layout::Hwcn => "HWCN",
+            Layout::Nchw8c => "NCHW8c",
+            Layout::Nchw16c => "NCHW16c",
         }
     }
 }
@@ -69,6 +127,11 @@ pub fn relayout(
     to: Layout,
 ) {
     let (nn, cc, hh, ww) = shape;
+    assert!(
+        !from.is_blocked() && !to.is_blocked(),
+        "relayout handles planar layouts only; use gcnn_tensor::nchwc for \
+         blocked pack/unpack (the buffers differ in length when c % block != 0)"
+    );
     assert_eq!(src.len(), nn * cc * hh * ww, "relayout: src length");
     assert_eq!(dst.len(), src.len(), "relayout: dst length");
     if from == to {
@@ -114,6 +177,54 @@ mod tests {
         assert_eq!(Layout::Hwcn.offset(shape, (1, 0, 0, 0)), 1);
         assert_eq!(Layout::Hwcn.offset(shape, (0, 1, 0, 0)), 2);
         assert_eq!(Layout::Hwcn.offset(shape, (0, 0, 1, 0)), 5 * 3 * 2);
+    }
+
+    #[test]
+    fn blocked_offsets_interleave_channels() {
+        // c=10, block=8: two blocks, the second 6 lanes of padding.
+        let shape = (2, 10, 3, 4);
+        let l = Layout::Nchw8c;
+        assert_eq!(l.channel_block(), Some(8));
+        assert_eq!(l.buffer_len(shape), 2 * 16 * 3 * 4);
+        assert_eq!(l.offset(shape, (0, 0, 0, 0)), 0);
+        // Channels within one block are adjacent...
+        assert_eq!(l.offset(shape, (0, 1, 0, 0)), 1);
+        assert_eq!(l.offset(shape, (0, 7, 0, 0)), 7);
+        // ...the next spatial position starts a fresh lane group...
+        assert_eq!(l.offset(shape, (0, 0, 0, 1)), 8);
+        // ...and channel 8 lives in the second block plane.
+        assert_eq!(l.offset(shape, (0, 8, 0, 0)), 8 * 3 * 4);
+        // Images are buffer_len/n apart.
+        assert_eq!(l.offset(shape, (1, 0, 0, 0)), 16 * 3 * 4);
+    }
+
+    #[test]
+    fn blocked_offsets_are_injective_within_padded_buffer() {
+        let shape = (2, 10, 3, 4);
+        for layout in [Layout::Nchw8c, Layout::Nchw16c] {
+            let len = layout.buffer_len(shape);
+            let mut seen = vec![false; len];
+            for n in 0..2 {
+                for c in 0..10 {
+                    for h in 0..3 {
+                        for w in 0..4 {
+                            let off = layout.offset(shape, (n, c, h, w));
+                            assert!(off < len, "{layout}: offset {off} out of bounds");
+                            assert!(!seen[off], "{layout}: duplicate offset {off}");
+                            seen[off] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "planar layouts only")]
+    fn relayout_rejects_blocked_layouts() {
+        let src = [0.0f32; 8];
+        let mut dst = [0.0f32; 8];
+        relayout(&src, &mut dst, (1, 2, 2, 2), Layout::Nchw, Layout::Nchw8c);
     }
 
     #[test]

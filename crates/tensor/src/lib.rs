@@ -12,7 +12,9 @@
 //! * [`Matrix`] — an owned, contiguous, row-major `f32` matrix.
 //! * [`Complex32`] — a minimal complex number for the FFT substrate.
 //! * [`Layout`] — NCHW vs. CHWN (the paper's "BDHW" vs. "HWBD" fbfft
-//!   layouts map onto these plus explicit transposes).
+//!   layouts map onto these plus explicit transposes), plus the
+//!   channel-blocked `NCHW{8,16}c` variants whose pack/unpack kernels
+//!   live in [`nchwc`].
 //! * `im2col`/`col2im` — the unrolling primitives behind Caffe-style
 //!   convolution (paper §II-B, "Unrolling Based Convolution").
 //! * Zero-padding / cropping used by the FFT convolution strategy.
@@ -27,6 +29,7 @@ pub mod im2col;
 pub mod init;
 pub mod layout;
 pub mod matrix;
+pub mod nchwc;
 pub mod ops;
 pub mod pad;
 pub mod shape;

@@ -46,6 +46,61 @@ proptest! {
         prop_assert_eq!(back, t.as_slice().to_vec());
     }
 
+    /// NCHW → NCHWc → NCHW is the identity for any channel count,
+    /// including remainders (`c % block != 0`), any block, and any baked
+    /// spatial padding — the contract `Network::infer_ws` relies on at
+    /// every layout transition.
+    #[test]
+    fn nchwc_pack_unpack_roundtrip(
+        shape in small_shape(),
+        wide_c in 1usize..20,
+        block_sel in 0usize..2,
+        pad in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        use gcnn_tensor::nchwc::{pack_nchwc_into, packed_len, unpack_nchwc_from};
+        // Stretch the channel axis past the block width so remainder
+        // lanes (and multi-block counts) are actually exercised.
+        let shape = Shape4::new(shape.n, wide_c, shape.h, shape.w);
+        let block = [8usize, 16][block_sel];
+        let t = gcnn_tensor::init::uniform_tensor(shape, -1.0, 1.0, seed);
+        // Remainder lanes and padded borders must be zero, never NaN —
+        // the conv kernels read them unconditionally.
+        let mut padded = vec![f32::NAN; packed_len(shape, block, pad)];
+        pack_nchwc_into(t.as_slice(), shape, block, pad, &mut padded);
+        prop_assert!(padded.iter().all(|v| v.is_finite()));
+        // Unpack works on pad-0 buffers (the only form the network
+        // ever unpacks) and must be the exact inverse of pack.
+        let mut packed = vec![f32::NAN; packed_len(shape, block, 0)];
+        pack_nchwc_into(t.as_slice(), shape, block, 0, &mut packed);
+        let mut back = vec![0.0f32; shape.len()];
+        unpack_nchwc_from(&packed, shape, block, &mut back);
+        prop_assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    /// Repacking a pad-0 packed buffer to a padded one preserves every
+    /// interior value (the packed-to-packed transition between adjacent
+    /// blocked conv layers).
+    #[test]
+    fn nchwc_repad_preserves_interior(
+        shape in small_shape(),
+        wide_c in 1usize..20,
+        pad in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        use gcnn_tensor::nchwc::{pack_nchwc_into, packed_len, repad_packed};
+        let shape = Shape4::new(shape.n, wide_c, shape.h, shape.w);
+        let block = 8usize;
+        let t = gcnn_tensor::init::uniform_tensor(shape, -1.0, 1.0, seed);
+        let mut tight = vec![0.0f32; packed_len(shape, block, 0)];
+        pack_nchwc_into(t.as_slice(), shape, block, 0, &mut tight);
+        let mut padded = vec![0.0f32; packed_len(shape, block, pad)];
+        repad_packed(&tight, shape, block, pad, &mut padded);
+        let mut direct = vec![0.0f32; packed_len(shape, block, pad)];
+        pack_nchwc_into(t.as_slice(), shape, block, pad, &mut direct);
+        prop_assert_eq!(padded, direct);
+    }
+
     /// im2col followed by summing each column group equals a box filter —
     /// here we only check the adjoint identity <im2col(x), y> = <x, col2im(y)>,
     /// which pins both functions to each other.
