@@ -1,52 +1,78 @@
 //! # gcnn-audit
 //!
-//! Workspace soundness auditor. Walks every `.rs` file under
-//! `crates/` and `vendor/` and enforces four policies the compiler and
-//! clippy cannot express on their own:
+//! Workspace soundness auditor — a two-pass, call-graph-aware static
+//! analyzer. It walks every `.rs` file under `crates/`, `vendor/`, the
+//! workspace `tests/`, and `examples/`; pass 1 ([`items`]) parses every
+//! `fn` into a lightweight item table and resolves call sites into an
+//! intra-workspace call graph, pass 2 ([`analysis`]) runs dataflow
+//! lints over that graph alongside the original per-file token lints.
 //!
-//! 1. **SAFETY comments** — every `unsafe` block, `unsafe fn`, and
+//! Per-file lints (v1, unchanged semantics):
+//!
+//! 1. **safety-comment** — every `unsafe` block, `unsafe fn`, and
 //!    `unsafe impl` must be preceded by a `// SAFETY:` justification
-//!    (or a `# Safety` doc section for functions). This duplicates
-//!    clippy's `undocumented_unsafe_blocks` for blocks/impls but also
-//!    covers `unsafe fn` declarations, and runs without a full
-//!    compilation.
-//! 2. **Unsafe containment** — `unsafe` is permitted only in the three
+//!    (or a `# Safety` doc section for functions).
+//! 2. **unsafe-containment** — `unsafe` is permitted only in the three
 //!    kernel crates (`gcnn-tensor`, `gcnn-fft`, `gcnn-gemm`); every
-//!    other crate root must declare `#![forbid(unsafe_code)]`, and no
-//!    `unsafe` token may appear anywhere in those crates — including
-//!    integration tests and benches, which `#![forbid]` on the library
-//!    root does not reach.
-//! 3. **Arena discipline** — configured hot-path functions may not
-//!    call `Vec::new`, `vec![…]`, `.to_vec()` or `Box::new`; steady-
-//!    state allocations must come from `gcnn_tensor::workspace`.
-//! 4. **Trace naming** — string literals passed to `gcnn-trace` span /
+//!    other crate root (and every example binary) must declare
+//!    `#![forbid(unsafe_code)]`, and no `unsafe` token may appear
+//!    anywhere else — integration tests, benches, and the workspace
+//!    `tests/`/`examples/` trees included.
+//! 3. **arena-discipline** — hot-path *root* functions may not call
+//!    `Vec::new`, `vec![…]`, `.to_vec()` or `Box::new`; steady-state
+//!    allocations must come from `gcnn_tensor::workspace`.
+//! 4. **trace-naming** — string literals passed to `gcnn-trace` span /
 //!    counter / gauge calls must follow the `subsystem.verb`
-//!    convention: lowercase dot-separated segments such as
-//!    `gemm.sgemm` or `autotune.cache.hits`.
+//!    convention (lowercase dot-separated segments such as
+//!    `gemm.sgemm`). Applies to production code everywhere, including
+//!    non-`#[test]` helpers in test and bench files.
+//!
+//! Call-graph lints (v2, see [`analysis`] for the full semantics):
+//!
+//! 5. **transitive-arena** — allocation reachability propagated from
+//!    the configured roots through the call graph, with a
+//!    `// AUDIT: cold-path — <why>` escape hatch.
+//! 6. **lock-discipline** — lock-order violations per function body,
+//!    `.lock().unwrap()` outside tests, `Condvar::wait` outside a
+//!    predicate re-check loop.
+//! 7. **panic-freedom** — `unwrap`/`expect`/`panic!`/slice indexing in
+//!    `unsafe` / `#[target_feature]` kernel fns must be
+//!    `debug_assert`-guarded or carry a SAFETY/bounds comment.
+//! 8. **config-staleness** — every configured root, file, lock,
+//!    condvar, and trace fn must resolve against the parsed workspace.
 //!
 //! The workspace vendors no parser crates, so the auditor runs on a
-//! hand-rolled lexer ([`lexer`]) rather than `syn`. Lints 3 and 4 skip
-//! `#[test]` / `#[cfg(test)]` regions and `tests/` / `benches/` files;
-//! lints 1 and 2 apply everywhere (test code gets no soundness pass).
+//! hand-rolled lexer ([`lexer`]) rather than `syn`. Style lints skip
+//! `#[test]` / `#[cfg(test)]` regions; the soundness lints apply
+//! everywhere (test code gets no soundness pass). Vendored crates get
+//! the per-file lints only — the call graph stops at the workspace
+//! boundary, since arena discipline is a policy about our code, not
+//! upstream's.
 //!
-//! Run with `cargo run -p gcnn-audit`; exits non-zero on any
-//! diagnostic. See `DESIGN.md` ("Soundness auditing") for the
-//! policy rationale.
+//! Run with `cargo run -p gcnn-audit` (human-readable, non-zero exit on
+//! any diagnostic) or `cargo run -p gcnn-audit -- --format json` for
+//! the machine-readable form CI uploads and the problem matcher
+//! consumes. See `DESIGN.md` ("Soundness auditing") for the policy
+//! rationale.
 
 #![forbid(unsafe_code)]
 // The auditor's own docs and diagnostics quote `// SAFETY:` syntax,
 // which this clippy lint mistakes for misplaced safety comments.
 #![allow(clippy::unnecessary_safety_comment)]
 
+pub mod analysis;
+pub mod items;
 pub mod lexer;
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub use analysis::SourceFile;
 use lexer::{lex, Tok, TokKind};
 
-/// The four audit lints.
+/// The audit lints: four per-file token lints and four call-graph
+/// dataflow lints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Lint {
     /// `unsafe` without a `// SAFETY:` / `# Safety` justification.
@@ -54,10 +80,22 @@ pub enum Lint {
     /// `unsafe` outside the kernel-crate allowlist, or a non-kernel
     /// crate root missing `#![forbid(unsafe_code)]`.
     UnsafeContainment,
-    /// Heap allocation inside a configured hot-path function.
+    /// Heap allocation inside a configured hot-path root function.
     ArenaDiscipline,
     /// Trace span/counter literal violating `subsystem.verb`.
     TraceNaming,
+    /// Heap allocation in a function *reachable* from a hot-path root
+    /// (or an unjustified `// AUDIT: cold-path` escape).
+    TransitiveArena,
+    /// Lock-order violation, `.lock().unwrap()`, or a condvar wait
+    /// outside a predicate re-check loop.
+    LockDiscipline,
+    /// Panic-capable site in an `unsafe`/`#[target_feature]` kernel fn
+    /// without a `debug_assert` guard or bounds comment.
+    PanicFreedom,
+    /// A configured hot path, file, lock, condvar, or trace fn that no
+    /// longer resolves against the parsed workspace.
+    ConfigStaleness,
 }
 
 impl fmt::Display for Lint {
@@ -67,6 +105,10 @@ impl fmt::Display for Lint {
             Lint::UnsafeContainment => "unsafe-containment",
             Lint::ArenaDiscipline => "arena-discipline",
             Lint::TraceNaming => "trace-naming",
+            Lint::TransitiveArena => "transitive-arena",
+            Lint::LockDiscipline => "lock-discipline",
+            Lint::PanicFreedom => "panic-freedom",
+            Lint::ConfigStaleness => "config-staleness",
         })
     }
 }
@@ -92,30 +134,47 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// A set of hot-path functions in one file that must not allocate.
+/// A set of hot-path *root* functions in one file. Their own bodies
+/// must not allocate (arena-discipline), and everything they reach
+/// through the call graph is checked by the transitive-arena pass.
+/// Function entries may be owner-qualified (`Engine::step`).
 #[derive(Debug, Clone)]
 pub struct HotPath {
     /// Matched against the end of the workspace-relative path.
     pub file_suffix: String,
-    /// Function names audited within that file.
+    /// Root function names audited within that file.
     pub functions: Vec<String>,
 }
 
 /// Auditor policy. [`AuditConfig::default`] is the repo policy;
 /// the fields are public so fixture tests can build narrower configs.
+/// Every name-shaped field is validated by the config-staleness lint:
+/// a root, lock, condvar, or trace fn that stops resolving against the
+/// parsed workspace fails the audit rather than silently rotting.
 #[derive(Debug, Clone)]
 pub struct AuditConfig {
     /// Crates (by `Cargo.toml` package name) allowed to contain
-    /// `unsafe`.
+    /// `unsafe`. Also the scope of the panic-freedom kernel lint.
     pub allowed_unsafe: Vec<String>,
-    /// Hot-path functions subject to the arena-discipline lint.
+    /// Hot-path roots: arena-discipline on their bodies, and the
+    /// origin set of the transitive reachability pass.
     pub hot_paths: Vec<HotPath>,
     /// Function names whose first string-literal argument is a trace
     /// name subject to the naming convention.
     pub trace_fns: Vec<String>,
+    /// Lock acquisition order, outermost first (receiver identifiers,
+    /// e.g. the `batcher` in `shared.batcher.lock()`). Within any one
+    /// function body, a configured lock may never be acquired after a
+    /// lock that ranks below it.
+    pub lock_order: Vec<String>,
+    /// Condvar receiver identifiers whose `wait`/`wait_timeout` calls
+    /// must sit inside a `while`/`loop` predicate re-check.
+    pub condvars: Vec<String>,
 }
 
 impl Default for AuditConfig {
+    // AUDIT: cold-path — the config is built once per auditor run; it never
+    // sits on an inference hot path.
     fn default() -> Self {
         let s = |v: &[&str]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>();
         AuditConfig {
@@ -160,11 +219,32 @@ impl Default for AuditConfig {
                     functions: s(&["offer", "pop_batch_into"]),
                 },
                 HotPath {
+                    file_suffix: "serve/src/server.rs".into(),
+                    functions: s(&["worker_loop"]),
+                },
+                HotPath {
+                    file_suffix: "models/src/network.rs".into(),
+                    functions: s(&["Network::infer_ws"]),
+                },
+                HotPath {
                     file_suffix: "mtsim/src/engine.rs".into(),
-                    functions: s(&["step", "dispatch"]),
+                    functions: s(&["Engine::step", "Engine::dispatch"]),
                 },
             ],
-            trace_fns: s(&["span", "counter", "counter_add", "gauge", "gauge_set"]),
+            trace_fns: s(&[
+                "span",
+                "span_owned",
+                "counter",
+                "counter_add",
+                "counter_inc",
+                "gauge_set",
+            ]),
+            // Outermost first. The batcher mutex is the serving layer's
+            // outer lock; the trace registry's maps come next (counters
+            // are bumped while the batcher is held); the latency ring is
+            // a leaf no other lock may be taken under.
+            lock_order: s(&["batcher", "counters", "gauges", "spans", "latencies_ms"]),
+            condvars: s(&["available"]),
         }
     }
 }
@@ -174,7 +254,15 @@ impl Default for AuditConfig {
 pub struct AuditReport {
     pub diagnostics: Vec<Diagnostic>,
     pub files_scanned: usize,
+    /// Scan units: crates under `crates/` and `vendor/`, plus the
+    /// workspace `tests/` and `examples/` trees (one unit each).
     pub crates_scanned: usize,
+    /// Workspace-relative paths of every file visited, sorted.
+    pub files: Vec<String>,
+    /// `fn` items in the pass-1 table (workspace code only).
+    pub fn_items: usize,
+    /// Resolved intra-workspace call edges.
+    pub call_edges: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -459,11 +547,14 @@ fn lint_arena_discipline(
     else {
         return;
     };
+    // Config entries may be owner-qualified (`Engine::step`); the
+    // per-file pass matches on the bare name — names are file-scoped.
+    let bare = |f: &String| f.rsplit("::").next().unwrap_or(f).to_string();
     let mut i = 0;
     while i + 1 < toks.len() {
         let named_hot = toks[i].is_ident("fn")
             && toks[i + 1].kind == TokKind::Ident
-            && hot.functions.iter().any(|f| *f == toks[i + 1].text);
+            && hot.functions.iter().any(|f| bare(f) == toks[i + 1].text);
         if !named_hot || in_regions(regions, i) {
             i += 1;
             continue;
@@ -521,7 +612,7 @@ fn lint_arena_discipline(
 }
 
 /// The banned-allocation token patterns, reported at their first token.
-fn banned_alloc_at(toks: &[Tok], i: usize) -> Option<&'static str> {
+pub(crate) fn banned_alloc_at(toks: &[Tok], i: usize) -> Option<&'static str> {
     let t = |d: usize| toks.get(i + d);
     let seq2 = |a: &str, b: char| toks[i].is_ident(a) && t(1).map(|x| x.is_punct(b)) == Some(true);
     let path2 = |a: &str, b: &str| {
@@ -566,10 +657,10 @@ fn lint_trace_naming(
     cfg: &AuditConfig,
     out: &mut Vec<Diagnostic>,
 ) {
-    // Whole-file test/bench code keeps its short ad-hoc names.
-    if file.contains("/tests/") || file.contains("/benches/") {
-        return;
-    }
+    // Test and bench *regions* keep their short ad-hoc names, but the
+    // files themselves are visited: a non-`#[test]` helper in an
+    // integration test or a bench binary is production code and must
+    // follow the convention.
     for i in 0..toks.len() {
         let is_trace_call = toks[i].kind == TokKind::Ident
             && cfg.trace_fns.iter().any(|f| *f == toks[i].text)
@@ -621,13 +712,54 @@ pub fn audit_file(
 }
 
 /// Audit every `.rs` file of every crate under `<root>/crates` and
-/// `<root>/vendor`. Paths containing `tests/fixtures/` are skipped —
-/// those are the auditor's own deliberately-violating test inputs.
+/// `<root>/vendor`, plus the workspace-level `tests/` and `examples/`
+/// trees. Paths containing `tests/fixtures/` are skipped — those are
+/// the auditor's own deliberately-violating test inputs.
+///
+/// The per-file lints run on everything; the call-graph passes run on
+/// the workspace's own code (vendored crates are external to the arena
+/// and lock policies).
 pub fn audit_workspace(root: &Path, cfg: &AuditConfig) -> std::io::Result<AuditReport> {
     let mut report = AuditReport {
         diagnostics: Vec::new(),
         files_scanned: 0,
         crates_scanned: 0,
+        files: Vec::new(),
+        fn_items: 0,
+        call_edges: 0,
+    };
+    // Workspace sources for the call-graph passes, collected as we walk.
+    let mut sources: Vec<SourceFile> = Vec::new();
+    let visit = |report: &mut AuditReport,
+                 sources: &mut Vec<SourceFile>,
+                 f: &Path,
+                 crate_name: &str,
+                 is_root: bool,
+                 graph: bool|
+     -> std::io::Result<()> {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.contains("tests/fixtures/") {
+            return Ok(());
+        }
+        let src = fs::read_to_string(f)?;
+        report.files_scanned += 1;
+        report.files.push(rel.clone());
+        report
+            .diagnostics
+            .extend(audit_file(&rel, &src, crate_name, is_root, cfg));
+        if graph {
+            sources.push(SourceFile {
+                rel,
+                crate_name: crate_name.to_string(),
+                is_root,
+                src,
+            });
+        }
+        Ok(())
     };
     for group in ["crates", "vendor"] {
         let dir = root.join(group);
@@ -646,27 +778,109 @@ pub fn audit_workspace(root: &Path, cfg: &AuditConfig) -> std::io::Result<AuditR
             collect_rs(&cdir, &mut files)?;
             files.sort();
             for f in files {
-                let rel = f
-                    .strip_prefix(root)
-                    .unwrap_or(&f)
-                    .to_string_lossy()
-                    .replace('\\', "/");
-                if rel.contains("tests/fixtures/") {
-                    continue;
-                }
-                let src = fs::read_to_string(&f)?;
                 let is_root = is_crate_root(&f, &cdir);
-                report.files_scanned += 1;
-                report
-                    .diagnostics
-                    .extend(audit_file(&rel, &src, &name, is_root, cfg));
+                visit(
+                    &mut report,
+                    &mut sources,
+                    &f,
+                    &name,
+                    is_root,
+                    group == "crates",
+                )?;
             }
         }
     }
+    // Workspace-level integration tests and examples: one scan unit
+    // each. Examples are standalone binaries, so each must carry
+    // `#![forbid(unsafe_code)]` like any other non-kernel crate root;
+    // test files are scanned for unsafe tokens and (non-test-region)
+    // trace names but are not crate roots.
+    for (dir_name, unit_name, files_are_roots) in [
+        ("tests", "workspace-tests", false),
+        ("examples", "workspace-examples", true),
+    ] {
+        let dir = root.join(dir_name);
+        if !dir.is_dir() {
+            continue;
+        }
+        report.crates_scanned += 1;
+        let mut files = Vec::new();
+        collect_rs(&dir, &mut files)?;
+        files.sort();
+        for f in files {
+            visit(
+                &mut report,
+                &mut sources,
+                &f,
+                unit_name,
+                files_are_roots,
+                true,
+            )?;
+        }
+    }
+    let (graph_diags, fn_items, call_edges) = analysis::analyze_sources(&sources, cfg);
+    report.diagnostics.extend(graph_diags);
+    report.fn_items = fn_items;
+    report.call_edges = call_edges;
+    report.files.sort();
     report
         .diagnostics
         .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     Ok(report)
+}
+
+/// Serialize a report as the machine-readable diagnostics document the
+/// CI audit job uploads (`--format json`). Hand-rolled — the auditor
+/// stays dependency-free — with full string escaping.
+pub fn report_to_json(report: &AuditReport) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"gcnn-audit\",\n  \"schema_version\": 2,\n");
+    out.push_str(&format!(
+        "  \"crates_scanned\": {},\n  \"files_scanned\": {},\n  \"fn_items\": {},\n  \"call_edges\": {},\n",
+        report.crates_scanned, report.files_scanned, report.fn_items, report.call_edges
+    ));
+    out.push_str(&format!(
+        "  \"violations\": {},\n  \"diagnostics\": [",
+        report.diagnostics.len()
+    ));
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"lint\": {}, \"message\": {}}}",
+            json_str(&d.file),
+            d.line,
+            json_str(&d.lint.to_string()),
+            json_str(&d.message)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// JSON string literal with escaping for quotes, backslashes, and
+/// control characters.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn is_crate_root(file: &Path, crate_dir: &Path) -> bool {
@@ -827,16 +1041,25 @@ mod tests {
     }
 
     #[test]
-    fn trace_lint_skips_tests_and_benches() {
-        let src = "fn f() { let _s = span(\"bad\"); }\n";
-        assert!(audit_file("crates/gemm/tests/t.rs", src, "gcnn-gemm", false, &cfg()).is_empty());
+    fn trace_lint_skips_test_regions_but_not_test_file_helpers() {
+        // A `#[test]` fn in an integration-test file keeps its ad-hoc
+        // span names...
+        let in_region = "#[test]\nfn t() { let _s = span(\"bad\"); }\n";
         assert!(audit_file(
-            "crates/bench/benches/b.rs",
-            src,
-            "gcnn-bench",
+            "crates/gemm/tests/t.rs",
+            in_region,
+            "gcnn-gemm",
             false,
             &cfg()
         )
         .is_empty());
+        // ...but a bare helper fn in the same file is production code
+        // for naming purposes: test files are now visited.
+        let helper = "fn f() { let _s = span(\"bad\"); }\n";
+        for rel in ["crates/gemm/tests/t.rs", "crates/bench/benches/b.rs"] {
+            let diags = audit_file(rel, helper, "gcnn-gemm", false, &cfg());
+            assert_eq!(diags.len(), 1, "{rel}: {diags:?}");
+            assert_eq!(diags[0].lint, Lint::TraceNaming);
+        }
     }
 }

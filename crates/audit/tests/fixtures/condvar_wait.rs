@@ -1,0 +1,34 @@
+//! Lock-discipline fixture: condvar waits. Condition variables wake
+//! spuriously, so a configured condvar's `wait`/`wait_timeout` must sit
+//! inside a `while`/`loop` that re-checks the predicate.
+
+pub fn bad(shared: &Shared) {
+    let mut guard = shared.queue.lock().expect("queue lock");
+    if guard.is_empty() {
+        guard = shared.available.wait(guard).expect("queue lock");
+    }
+    drop(guard);
+}
+
+pub fn good(shared: &Shared) {
+    let mut guard = shared.queue.lock().expect("queue lock");
+    while guard.is_empty() {
+        guard = shared.available.wait(guard).expect("queue lock");
+    }
+    drop(guard);
+}
+
+pub fn good_timeout(shared: &Shared) {
+    let mut guard = shared.queue.lock().expect("queue lock");
+    loop {
+        if !guard.is_empty() {
+            break;
+        }
+        let (g, _timed_out) = shared
+            .available
+            .wait_timeout(guard, TICK)
+            .expect("queue lock");
+        guard = g;
+    }
+    drop(guard);
+}

@@ -1,0 +1,16 @@
+//! Panic-freedom fixture, comment-covered case: each panic-capable
+//! site carries a SAFETY/bounds comment within three lines above it
+//! instead of a body-level assert.
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn kern(x: &mut [f32], n: usize) {
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < n {
+        // in-bounds: i < n <= x.len(), checked by the dispatch wrapper
+        acc += x[i];
+        i += 1;
+    }
+    // in-bounds: n >= 1 per the wrapper's argument validation
+    x[n - 1] = acc;
+}

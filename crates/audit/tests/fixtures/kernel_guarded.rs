@@ -1,0 +1,17 @@
+//! Panic-freedom fixture, negative case: the same kernel with its
+//! preconditions asserted at entry. A `debug_assert` earlier in the
+//! body guards every later site.
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn kern(x: &mut [f32], n: usize) {
+    debug_assert!(n >= 1 && n <= x.len(), "n within the slice");
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < n {
+        acc += x[i];
+        i += 1;
+    }
+    x[n - 1] = acc;
+    let first = x[0];
+    x[0] = first + acc;
+}

@@ -1,0 +1,19 @@
+//! Panic-freedom fixture, positive case: a `#[target_feature]` kernel
+//! with computed slice indexing and an `.unwrap()`, no `debug_assert`
+//! and no covering comment. Every site must be flagged.
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn kern(x: &mut [f32], n: usize) {
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < n {
+        acc += x[i];
+        i += 1;
+    }
+    x[n - 1] = acc;
+    let _ = lookup(acc).unwrap();
+}
+
+fn lookup(v: f32) -> Option<f32> {
+    Some(v)
+}

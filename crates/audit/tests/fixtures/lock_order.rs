@@ -1,0 +1,15 @@
+//! Lock-discipline fixture: ordering. With the configured order
+//! `counters > gauges` (outermost first), `bad` acquires them inverted
+//! within one body; `good` follows the table.
+
+pub fn bad(shared: &Shared) -> u64 {
+    let g = shared.gauges.lock().expect("gauges lock");
+    let c = shared.counters.lock().expect("counters lock");
+    *g + *c
+}
+
+pub fn good(shared: &Shared) -> u64 {
+    let c = shared.counters.lock().expect("counters lock");
+    let g = shared.gauges.lock().expect("gauges lock");
+    *c + *g
+}

@@ -1,0 +1,27 @@
+//! Lock-discipline fixture: `.unwrap()` on lock results. Production
+//! code must name the lock in an `.expect`; `#[test]` regions are
+//! exempt (a poisoned lock in a test should just panic).
+
+pub fn bad(shared: &Shared) -> u64 {
+    let g = shared.state.lock().unwrap();
+    *g
+}
+
+pub fn good(shared: &Shared) -> u64 {
+    let g = shared.state.lock().expect("state lock poisoned");
+    *g
+}
+
+pub fn rwlock_bad(shared: &Shared) -> u64 {
+    let g = shared.table.read().unwrap();
+    *g
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let g = SHARED.state.lock().unwrap();
+        assert_eq!(*g, 0);
+    }
+}

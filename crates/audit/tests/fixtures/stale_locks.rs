@@ -1,0 +1,16 @@
+//! Config-staleness fixture: lock names. `inner` and `outer` are real
+//! Mutex fields (declared and acquired); anything else a config lists
+//! in its lock tables must be flagged as stale.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub outer: Mutex<u64>,
+    pub inner: Mutex<u64>,
+}
+
+pub fn touch(shared: &Shared) -> u64 {
+    let o = shared.outer.lock().expect("outer lock");
+    let i = shared.inner.lock().expect("inner lock");
+    *o + *i
+}

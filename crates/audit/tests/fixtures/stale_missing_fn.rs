@@ -1,0 +1,9 @@
+//! Config-staleness fixture: the file a config's hot path points at,
+//! after the registered root was renamed away. Only `hot_renamed`
+//! remains — a config still listing `hot` must be flagged.
+
+pub fn hot_renamed(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v += 1.0;
+    }
+}

@@ -1,0 +1,20 @@
+//! Config-staleness fixture: a miniature workspace file defining the
+//! items a config can point at — a hot fn, a Mutex field, a condvar
+//! field, and a trace-shaped fn.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Shared {
+    pub state: Mutex<u64>,
+    pub available: Condvar,
+}
+
+pub fn hot(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v += 1.0;
+    }
+}
+
+pub fn span(name: &str) -> usize {
+    name.len()
+}

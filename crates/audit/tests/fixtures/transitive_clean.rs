@@ -1,0 +1,16 @@
+//! Transitive-arena fixture, negative case: the whole reachable set
+//! works in place — no banned allocation anywhere in the chain.
+
+pub fn hot_root(x: &mut [f32]) {
+    stage_one(x);
+}
+
+fn stage_one(x: &mut [f32]) {
+    stage_two(x);
+}
+
+fn stage_two(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v *= 2.0;
+    }
+}

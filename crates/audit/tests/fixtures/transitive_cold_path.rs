@@ -1,0 +1,30 @@
+//! Transitive-arena fixture, escape-hatch cases: a justified
+//! `// AUDIT: cold-path` exempts the helper (and stops traversal
+//! through it); a bare marker without a justification is itself a
+//! violation.
+
+pub fn hot_root(x: &mut [f32]) {
+    let p = build_plan(x.len());
+    apply(x, &p);
+    shortcut(x);
+}
+
+// AUDIT: cold-path — the plan is built once per size and memoized by
+// the caller; steady-state iterations only read it.
+fn build_plan(n: usize) -> Vec<f32> {
+    let mut p = Vec::new();
+    p.resize(n, 0.0);
+    p
+}
+
+fn apply(x: &mut [f32], p: &[f32]) {
+    for (v, w) in x.iter_mut().zip(p) {
+        *v += *w;
+    }
+}
+
+// AUDIT: cold-path
+fn shortcut(x: &mut [f32]) {
+    let copy = x.to_vec();
+    x.copy_from_slice(&copy);
+}

@@ -1,0 +1,17 @@
+//! Transitive-arena fixture: the hot root allocates nothing itself,
+//! but a helper two calls away does. v1's per-file lint was blind to
+//! this; the call-graph pass must catch it.
+
+pub fn hot_root(x: &mut [f32]) {
+    stage_one(x);
+}
+
+fn stage_one(x: &mut [f32]) {
+    stage_two(x);
+}
+
+fn stage_two(x: &mut [f32]) {
+    let mut scratch: Vec<f32> = Vec::new();
+    scratch.extend_from_slice(x);
+    x.copy_from_slice(&scratch);
+}

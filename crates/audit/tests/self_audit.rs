@@ -12,14 +12,21 @@ fn workspace_audits_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let report = audit_workspace(&root, &AuditConfig::default()).expect("walk workspace");
     assert!(
-        report.crates_scanned >= 21,
-        "expected the full workspace, scanned only {} crates",
+        report.crates_scanned >= 22,
+        "expected the full workspace (crates + vendor + tests + examples), \
+         scanned only {} units",
         report.crates_scanned
     );
     assert!(
         report.files_scanned >= 100,
         "expected the full workspace, scanned only {} files",
         report.files_scanned
+    );
+    assert!(
+        report.fn_items >= 500 && report.call_edges >= 1000,
+        "call graph looks truncated: {} fns / {} edges",
+        report.fn_items,
+        report.call_edges
     );
     assert!(
         report.diagnostics.is_empty(),
@@ -30,6 +37,76 @@ fn workspace_audits_clean() {
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+/// Regression test for the v1 blind spot: the auditor used to scan only
+/// `crates/*`, so workspace-level integration tests and example
+/// binaries escaped the forbid-unsafe and trace-naming passes entirely.
+/// The paper-claims suite is the load-bearing case — it must be visited.
+#[test]
+fn workspace_tests_and_examples_are_visited() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = audit_workspace(&root, &AuditConfig::default()).expect("walk workspace");
+    assert!(
+        report.files.iter().any(|f| f == "tests/paper_claims.rs"),
+        "tests/paper_claims.rs must be audited; visited: {:?}",
+        report
+            .files
+            .iter()
+            .filter(|f| f.starts_with("tests/"))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        report.files.iter().any(|f| f.starts_with("examples/")),
+        "example binaries must be audited"
+    );
+}
+
+/// The staleness guarantee against the real tree: if any hand-listed
+/// hot function disappeared from the workspace (renamed, deleted), the
+/// audit fails instead of silently auditing nothing. Simulated by
+/// renaming one configured root to a name that cannot exist.
+#[test]
+fn deleting_a_hot_function_is_caught_by_staleness() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut cfg = AuditConfig::default();
+    let first = &mut cfg.hot_paths[0].functions[0];
+    let victim = first.clone();
+    *first = format!("{victim}_deleted_in_a_refactor");
+    let report = audit_workspace(&root, &cfg).expect("walk workspace");
+    assert!(
+        report.diagnostics.iter().any(|d| {
+            d.lint == gcnn_audit::Lint::ConfigStaleness
+                && d.message.contains("_deleted_in_a_refactor")
+        }),
+        "staleness lint must catch the missing root `{victim}`:\n{:?}",
+        report.diagnostics
+    );
+}
+
+/// The JSON diagnostics document CI uploads must stay parseable and
+/// carry the counters the problem-matcher workflow reports.
+#[test]
+fn json_report_is_well_formed() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = audit_workspace(&root, &AuditConfig::default()).expect("walk workspace");
+    let json = gcnn_audit::report_to_json(&report);
+    for key in [
+        "\"tool\": \"gcnn-audit\"",
+        "\"schema_version\": 2",
+        "\"crates_scanned\"",
+        "\"files_scanned\"",
+        "\"fn_items\"",
+        "\"call_edges\"",
+        "\"violations\"",
+        "\"diagnostics\"",
+    ] {
+        assert!(json.contains(key), "JSON report missing {key}:\n{json}");
+    }
+    assert!(
+        json.ends_with("}\n") && json.starts_with('{'),
+        "not a JSON object"
     );
 }
 
@@ -114,7 +191,7 @@ fn default_policy_covers_mtsim_engine() {
         .iter()
         .find(|h| "crates/mtsim/src/engine.rs".ends_with(&h.file_suffix))
         .expect("mtsim engine must be a registered hot path");
-    for f in ["step", "dispatch"] {
+    for f in ["Engine::step", "Engine::dispatch"] {
         assert!(
             hot.functions.iter().any(|g| g == f),
             "mtsim hot path must audit `{f}`"

@@ -43,6 +43,8 @@ pub use winograd::WinogradConv;
 
 /// All three strategies behind one constructor, for callers that select
 /// at runtime.
+// AUDIT: cold-path — boxes one algorithm object per layer at model build
+// time; steady-state inference reuses the returned impl.
 pub fn algorithm_for(strategy: Strategy) -> Box<dyn ConvAlgorithm> {
     match strategy {
         Strategy::Direct => Box::new(DirectConv::new()),

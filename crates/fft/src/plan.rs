@@ -43,6 +43,8 @@ impl FftPlan {
     ///
     /// # Panics
     /// Panics if `n` is not a power of two or is zero.
+    // AUDIT: cold-path — a plan is built once per transform size and cached
+    // in the per-thread LRU; steady-state transforms only read it.
     pub fn new(n: usize) -> Self {
         assert!(n.is_power_of_two(), "FftPlan: size {n} not a power of two");
         let log2n = n.trailing_zeros();

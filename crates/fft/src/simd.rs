@@ -327,6 +327,10 @@ mod avx2_split {
         wim: f32,
     ) {
         let n = ar.len();
+        debug_assert!(
+            ai.len() == n && br.len() == n && bi.len() == n,
+            "equal-length planes"
+        );
         // SAFETY: reached only after runtime AVX2+FMA detection; the
         // vector loop touches lanes `[l, l + 8)` of each plane only
         // while `l + 8 <= n` and the planes are equal length (checked
@@ -394,6 +398,14 @@ mod avx2_split {
         tw_im: &[f32],
         conj_w: bool,
     ) {
+        debug_assert!(
+            re.len() >= n * lanes && im.len() >= n * lanes,
+            "planes cover n*lanes"
+        );
+        debug_assert!(
+            span == 0 || (tw_re.len() > (span - 1) * stride && tw_im.len() > (span - 1) * stride),
+            "twiddles cover the stage"
+        );
         // SAFETY: post-detection execution. For every (start, j) the
         // stage schedule gives `start + j + span ≤ n − 1`, so rows `a`
         // and `b` live inside the `n·lanes` extent the caller
@@ -505,6 +517,18 @@ mod avx2_split {
         tw_im: &[f32],
         conj_w: bool,
     ) {
+        debug_assert!(
+            re.len() >= n * lanes && im.len() >= n * lanes,
+            "planes cover n*lanes"
+        );
+        debug_assert!(
+            s == 0
+                || (tw_re.len() > (2 * s - 1) * stride_b
+                    && tw_im.len() > (2 * s - 1) * stride_b
+                    && tw_re.len() > (s - 1) * stride_a
+                    && tw_im.len() > (s - 1) * stride_a),
+            "twiddles cover the fused schedule"
+        );
         // SAFETY: post-detection execution. The fused schedule keeps
         // `start + j + 3s ≤ n − 1`, so all four rows live inside the
         // caller-guaranteed `n·lanes` extent; the vector loop stays in
@@ -689,6 +713,10 @@ mod avx2_split {
         wim: f32,
     ) {
         let n = ar.len();
+        debug_assert!(
+            ai.len() == n && br.len() == n && bi.len() == n,
+            "equal-length planes"
+        );
         // SAFETY: same argument as `lane_butterflies_dit_avx2`.
         unsafe {
             let wr = _mm256_set1_ps(wre);
@@ -784,6 +812,14 @@ mod avx2_split {
         conj_w: bool,
     ) {
         let span = ar.len();
+        debug_assert!(
+            ai.len() == span && br.len() == span && bi.len() == span,
+            "equal-length planes"
+        );
+        debug_assert!(
+            span == 0 || (tw_re.len() > (span - 1) * stride && tw_im.len() > (span - 1) * stride),
+            "twiddles cover the span"
+        );
         // SAFETY: post-detection execution; the vector loop stays in
         // `[j, j + 8)` while `j + 8 <= span` over equal-length planes,
         // twiddle reads are covered by the caller's table precondition,
@@ -845,6 +881,14 @@ mod avx2_split {
         conj_w: bool,
     ) {
         let span = ar.len();
+        debug_assert!(
+            ai.len() == span && br.len() == span && bi.len() == span,
+            "equal-length planes"
+        );
+        debug_assert!(
+            span == 0 || (tw_re.len() > (span - 1) * stride && tw_im.len() > (span - 1) * stride),
+            "twiddles cover the span"
+        );
         // SAFETY: same argument as `butterflies_dit_split_avx2`.
         unsafe {
             let neg0 = _mm256_set1_ps(-0.0);
@@ -891,6 +935,7 @@ mod avx2_split {
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn deinterleave_avx2(src: &[Complex32], re: &mut [f32], im: &mut [f32]) {
         let n = src.len();
+        debug_assert!(re.len() == n && im.len() == n, "equal-length planes");
         // SAFETY: post-detection execution; the interleaved f32 view of
         // `repr(C)` Complex32 is sound, the loop reads f32 offsets
         // `[2l, 2l + 16)` of `src` and writes `[l, l + 8)` of `re`/`im`
@@ -925,6 +970,7 @@ mod avx2_split {
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn interleave_avx2(re: &[f32], im: &[f32], out: &mut [Complex32]) {
         let n = out.len();
+        debug_assert!(re.len() == n && im.len() == n, "equal-length planes");
         // SAFETY: mirror of `deinterleave_avx2` — reads `[l, l + 8)` of
         // `re`/`im` and writes f32 offsets `[2l, 2l + 16)` of `out`
         // only while `l + 8 <= n`; sound interleaved view; scalar tail
@@ -996,6 +1042,10 @@ mod avx2_split {
         cols: usize,
         dst: &mut [f32],
     ) {
+        debug_assert!(
+            src.len() >= rows * cols && dst.len() >= rows * cols,
+            "rows*cols extent"
+        );
         let rb = rows / 8 * 8;
         let cb = cols / 8 * 8;
         // SAFETY: post-detection execution. Block loads read
@@ -1059,6 +1109,10 @@ mod avx2_split {
         oi: &mut [f32],
     ) {
         let n = ar.len();
+        debug_assert!(
+            ai.len() == n && br.len() == n && bi.len() == n && or_.len() == n && oi.len() == n,
+            "equal-length planes"
+        );
         // SAFETY: post-detection execution; the loop stays in
         // `[l, l + 8)` while `l + 8 <= n` over equal-length planes
         // (wrapper debug assert); scalar tail re-borrows.
@@ -1129,6 +1183,10 @@ mod neon_split {
         wim: f32,
     ) {
         let n = ar.len();
+        debug_assert!(
+            ai.len() == n && br.len() == n && bi.len() == n,
+            "equal-length planes"
+        );
         // SAFETY: NEON is baseline on AArch64; the vector loop touches
         // lanes `[l, l + 4)` of each equal-length plane only while
         // `l + 4 <= n`; the scalar tail re-borrows the slices.
@@ -1189,6 +1247,14 @@ mod neon_split {
         tw_im: &[f32],
         conj_w: bool,
     ) {
+        debug_assert!(
+            re.len() >= n * lanes && im.len() >= n * lanes,
+            "planes cover n*lanes"
+        );
+        debug_assert!(
+            span == 0 || (tw_re.len() > (span - 1) * stride && tw_im.len() > (span - 1) * stride),
+            "twiddles cover the stage"
+        );
         // SAFETY: the stage schedule keeps `start + j + span ≤ n − 1`,
         // so rows `a`/`b` are inside the caller-guaranteed `n·lanes`
         // extent; the vector loop stays in `[l, l + 4)` while
@@ -1283,6 +1349,10 @@ mod neon_split {
         wim: f32,
     ) {
         let n = ar.len();
+        debug_assert!(
+            ai.len() == n && br.len() == n && bi.len() == n,
+            "equal-length planes"
+        );
         // SAFETY: same argument as `lane_butterflies_dit_neon`.
         unsafe {
             let wr = vdupq_n_f32(wre);
@@ -1331,6 +1401,10 @@ mod neon_split {
         stride: usize,
         conj_w: bool,
     ) -> (float32x4_t, float32x4_t) {
+        debug_assert!(
+            tw_re.len() > (j + 3) * stride && tw_im.len() > (j + 3) * stride,
+            "tables cover (j+3)*stride"
+        );
         // SAFETY: contiguous loads are bounds-covered by the caller's
         // table precondition; the gather path uses safe indexing into
         // live stack arrays.
@@ -1375,6 +1449,14 @@ mod neon_split {
         conj_w: bool,
     ) {
         let span = ar.len();
+        debug_assert!(
+            ai.len() == span && br.len() == span && bi.len() == span,
+            "equal-length planes"
+        );
+        debug_assert!(
+            span == 0 || (tw_re.len() > (span - 1) * stride && tw_im.len() > (span - 1) * stride),
+            "twiddles cover the span"
+        );
         // SAFETY: the loop stays in `[j, j + 4)` while `j + 4 <= span`
         // over equal-length planes; twiddle reads covered by the
         // caller's precondition; scalar tail re-borrows.
@@ -1429,6 +1511,14 @@ mod neon_split {
         conj_w: bool,
     ) {
         let span = ar.len();
+        debug_assert!(
+            ai.len() == span && br.len() == span && bi.len() == span,
+            "equal-length planes"
+        );
+        debug_assert!(
+            span == 0 || (tw_re.len() > (span - 1) * stride && tw_im.len() > (span - 1) * stride),
+            "twiddles cover the span"
+        );
         // SAFETY: same argument as `butterflies_dit_split_neon`.
         unsafe {
             let arp = ar.as_mut_ptr();
@@ -1470,6 +1560,7 @@ mod neon_split {
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn deinterleave_neon(src: &[Complex32], re: &mut [f32], im: &mut [f32]) {
         let n = src.len();
+        debug_assert!(re.len() == n && im.len() == n, "equal-length planes");
         // SAFETY: the `vld2q` reads f32 offsets `[2l, 2l + 8)` of the
         // sound interleaved view of `src` only while `l + 4 <= n`;
         // writes stay in `[l, l + 4)`; scalar tail re-borrows.
@@ -1496,6 +1587,7 @@ mod neon_split {
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn interleave_neon(re: &[f32], im: &[f32], out: &mut [Complex32]) {
         let n = out.len();
+        debug_assert!(re.len() == n && im.len() == n, "equal-length planes");
         // SAFETY: mirror of `deinterleave_neon`.
         unsafe {
             let rp = re.as_ptr();
@@ -1559,6 +1651,10 @@ mod neon_split {
         cols: usize,
         dst: &mut [f32],
     ) {
+        debug_assert!(
+            src.len() >= rows * cols && dst.len() >= rows * cols,
+            "rows*cols extent"
+        );
         let rb = rows / 4 * 4;
         let cb = cols / 4 * 4;
         // SAFETY: block loads read `src[(r + k)·cols + c .. + 4]` and
@@ -1616,6 +1712,10 @@ mod neon_split {
         oi: &mut [f32],
     ) {
         let n = ar.len();
+        debug_assert!(
+            ai.len() == n && br.len() == n && bi.len() == n && or_.len() == n && oi.len() == n,
+            "equal-length planes"
+        );
         // SAFETY: the loop stays in `[l, l + 4)` while `l + 4 <= n`
         // over equal-length planes; scalar tail re-borrows.
         unsafe {

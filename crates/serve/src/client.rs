@@ -35,6 +35,8 @@ impl Client {
     /// Write one request frame (auto-assigned id, returned) without
     /// waiting for the response — the pipelining path load generators
     /// use to keep many requests in flight per connection.
+    // AUDIT: cold-path — client-side request marshalling in the load-generator
+    // harness; the server's worker loop never executes this.
     pub fn send(&mut self, c: u16, h: u16, w: u16, pixels: &[f32]) -> Result<u64, WireError> {
         let id = self.next_id;
         self.next_id += 1;

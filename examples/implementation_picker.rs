@@ -6,6 +6,8 @@
 //! cargo run --release --example implementation_picker
 //! ```
 
+#![forbid(unsafe_code)]
+
 use gcnn_conv::{table1_configs, ConvConfig, TABLE1_NAMES};
 use gcnn_core::{advise, Scenario};
 use gcnn_gpusim::DeviceSpec;

@@ -7,6 +7,8 @@
 //! cargo run --release --example lenet_training
 //! ```
 
+#![forbid(unsafe_code)]
+
 use gcnn_conv::Strategy;
 use gcnn_models::data::synthetic_digits;
 use gcnn_models::Network;

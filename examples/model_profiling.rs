@@ -5,6 +5,8 @@
 //! cargo run --release --example model_profiling [alexnet|vgg|googlenet|overfeat|lenet]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use gcnn_frameworks::cudnn::CuDnn;
 use gcnn_gpusim::DeviceSpec;
 use gcnn_models::layer::InstanceKind;

@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use gcnn_conv::ConvConfig;
 use gcnn_core::{advise, Scenario};
 use gcnn_frameworks::all_implementations;

@@ -10,9 +10,25 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --all -- --check
-# Soundness audit: SAFETY comments, unsafe containment, arena
-# discipline on hot paths, trace naming (see crates/audit).
+# Soundness audit: call-graph lints (transitive arena, lock discipline,
+# panic freedom, config staleness) plus the per-file SAFETY/containment/
+# trace-naming passes (see crates/audit).
 cargo run -q -p gcnn-audit
+# Gate coverage: every benchmark suite that lands in results/ must have
+# a bench_compare gate flag wired in CI — a suite without a gate can
+# regress silently while still looking "benchmarked".
+for f in results/BENCH_*.json; do
+  name="$(basename "$f" .json)"
+  name="${name#BENCH_}"
+  case "$name" in
+    hotpaths) flag="--baseline" ;;
+    *) flag="--$name" ;;
+  esac
+  if ! grep -q -- "$flag " .github/workflows/ci.yml; then
+    echo "verify: $f has no bench_compare gate ($flag) wired in .github/workflows/ci.yml" >&2
+    exit 1
+  fi
+done
 # Explicit -p list: plain --no-default-features would also strip the
 # vendored crates' defaults.
 cargo test -q --no-default-features \
